@@ -1,0 +1,164 @@
+// Command ehcalc evaluates the EH model for a parameter set: forward
+// progress, the full energy breakdown, and the derived design points
+// (optimal backup interval, worst-case optimum, backup/restore
+// break-even, bit-precision sweet spot, single-backup progress).
+//
+// Example:
+//
+//	ehcalc -E 100 -eps 1 -tauB 10 -omegaB 1 -AB 1 -alphaB 0.1 -sweep
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ehmodel/internal/core"
+	"ehmodel/internal/textplot"
+)
+
+func main() {
+	def := core.DefaultParams()
+	var p core.Params
+	flag.Float64Var(&p.E, "E", def.E, "energy supply per active period (J)")
+	flag.Float64Var(&p.Epsilon, "eps", def.Epsilon, "execution energy per cycle (J/cycle)")
+	flag.Float64Var(&p.EpsilonC, "epsC", def.EpsilonC, "charging energy per cycle (J/cycle)")
+	flag.Float64Var(&p.TauB, "tauB", def.TauB, "time between backups (cycles)")
+	flag.Float64Var(&p.SigmaB, "sigmaB", def.SigmaB, "backup bandwidth (bytes/cycle)")
+	flag.Float64Var(&p.OmegaB, "omegaB", def.OmegaB, "backup energy cost (J/byte)")
+	flag.Float64Var(&p.AB, "AB", def.AB, "architectural state per backup (bytes)")
+	flag.Float64Var(&p.AlphaB, "alphaB", def.AlphaB, "application state per backup (bytes/cycle)")
+	flag.Float64Var(&p.SigmaR, "sigmaR", def.SigmaR, "restore bandwidth (bytes/cycle)")
+	flag.Float64Var(&p.OmegaR, "omegaR", def.OmegaR, "restore energy cost (J/byte)")
+	flag.Float64Var(&p.AR, "AR", def.AR, "architectural state per restore (bytes)")
+	flag.Float64Var(&p.AlphaR, "alphaR", def.AlphaR, "application state per restore (bytes/cycle)")
+	sweep := flag.Bool("sweep", false, "render an ASCII p-vs-τ_B sweep")
+	fitFile := flag.String("fit", "", "fit the model to measured (tau_b,p) CSV rows from this file ('-' for stdin) and exit")
+	fitR := flag.Float64("fitR", 0, "restore fraction e_R/E assumed when decomposing a fit")
+	flag.Parse()
+
+	if *fitFile != "" {
+		if err := runFit(*fitFile, *fitR); err != nil {
+			fmt.Fprintln(os.Stderr, "ehcalc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid parameters:", err)
+		os.Exit(1)
+	}
+
+	b := p.Breakdown()
+	lo, hi := p.ProgressBounds()
+	fmt.Println(p)
+	fmt.Println()
+	fmt.Print(textplot.Table(
+		[]string{"quantity", "value", "meaning"},
+		[][]string{
+			{"p", fmt.Sprintf("%.4f", b.P), "forward progress (τ_D = τ_B/2)"},
+			{"p bounds", fmt.Sprintf("[%.4f, %.4f]", lo, hi), "worst/best-case dead cycles"},
+			{"τ_P", fmt.Sprintf("%.1f cycles", b.TauP), "useful cycles per period"},
+			{"n_B", fmt.Sprintf("%.2f", b.NB), "backups per period"},
+			{"e_B", fmt.Sprintf("%.4g J", b.EB), "energy per backup"},
+			{"e_D", fmt.Sprintf("%.4g J", b.ED), "dead energy"},
+			{"e_R", fmt.Sprintf("%.4g J", b.ER), "restore energy"},
+			{"τ_B,opt", fmt.Sprintf("%.2f cycles", p.TauBOpt()), "optimal backup interval (Eq. 9)"},
+			{"τ_B,opt(wc)", fmt.Sprintf("%.2f cycles", p.TauBOptWorstCase()), "worst-case optimum (Eq. 10)"},
+			{"τ_B,be", fmt.Sprintf("%.2f cycles", p.TauBBreakEven()), "backup/restore break-even (Eq. 11)"},
+			{"τ_B,bit", fmt.Sprintf("%.2f cycles", p.TauBBit()), "bit-precision sweet spot (Eq. 16)"},
+			{"p single", fmt.Sprintf("%.4f", p.ProgressSingleBackup()), "single-backup progress (Eq. 12)"},
+		}))
+
+	if *sweep {
+		axis := core.LogSpace(0.1, 4*p.E/p.Epsilon, 100)
+		var xs, ys, losY, hisY []float64
+		for _, pt := range p.SweepTauB(axis, core.DeadAverage) {
+			xs = append(xs, pt.X)
+			ys = append(ys, pt.P)
+		}
+		for _, pt := range p.SweepTauB(axis, core.DeadWorst) {
+			losY = append(losY, pt.P)
+		}
+		for _, pt := range p.SweepTauB(axis, core.DeadBest) {
+			hisY = append(hisY, pt.P)
+		}
+		fmt.Println()
+		fmt.Print(textplot.Chart("progress p vs τ_B", []textplot.Series{
+			{Label: "average τ_D", Xs: xs, Ys: ys},
+			{Label: "worst case", Xs: xs, Ys: losY},
+			{Label: "best case", Xs: xs, Ys: hisY},
+		}, 64, 16, true))
+	}
+}
+
+// runFit reads "tau_b,p" rows (header optional) and prints the fitted
+// identifiable coefficients, the implied optimal backup interval, and a
+// decomposition at the assumed restore fraction.
+func runFit(path string, restoreFrac float64) error {
+	var src io.Reader
+	if path == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	points, err := readSweepCSV(src)
+	if err != nil {
+		return err
+	}
+	fc, err := core.FitSweep(points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted %d points, rms residual %.4g\n\n", len(points), fc.Residual)
+	rows := [][]string{
+		{"S", fmt.Sprintf("%.4g", fc.S), "scale (1−r)/(1+c)"},
+		{"Ã", fmt.Sprintf("%.4g", fc.A), "dead-energy slope a/(1−r)"},
+		{"B̃", fmt.Sprintf("%.4g", fc.B), "compulsory backup cost b/(1+c) (cycles)"},
+		{"τ_B,opt", fmt.Sprintf("%.2f cycles", fc.TauBOpt()), "fitted optimal backup interval"},
+	}
+	if a, b, c, err := fc.Decompose(restoreFrac); err == nil {
+		rows = append(rows,
+			[]string{"a", fmt.Sprintf("%.4g", a), fmt.Sprintf("ε/(2E) at r=%g", restoreFrac)},
+			[]string{"b", fmt.Sprintf("%.4g", b), "Ω_B·A_B/ε (cycles)"},
+			[]string{"c", fmt.Sprintf("%.4g", c), "Ω_B·α_B/ε"},
+		)
+	} else {
+		rows = append(rows, []string{"decompose", err.Error(), ""})
+	}
+	fmt.Print(textplot.Table([]string{"quantity", "value", "meaning"}, rows))
+	return nil
+}
+
+// readSweepCSV parses rows of "tau_b,p", skipping a non-numeric header.
+func readSweepCSV(r io.Reader) ([]core.SweepPoint, error) {
+	recs, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var points []core.SweepPoint
+	for i, rec := range recs {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("row %d: need tau_b,p", i+1)
+		}
+		x, errX := strconv.ParseFloat(rec[0], 64)
+		y, errY := strconv.ParseFloat(rec[1], 64)
+		if errX != nil || errY != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("row %d: bad numbers %q", i+1, rec)
+		}
+		points = append(points, core.SweepPoint{X: x, P: y})
+	}
+	return points, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestReadSweepCSV(t *testing.T) {
+	pts, err := readSweepCSV(strings.NewReader("tau_b,p\n10,0.5\n20,0.6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].X != 10 || pts[1].P != 0.6 {
+		t.Fatalf("points: %+v", pts)
+	}
+	// headerless input also works
+	pts, err = readSweepCSV(strings.NewReader("10,0.5\n20,0.6\n30,0.55\n"))
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("headerless: %v %v", pts, err)
+	}
+	if _, err := readSweepCSV(strings.NewReader("10\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := readSweepCSV(strings.NewReader("10,0.5\nx,y\n")); err == nil {
+		t.Error("non-numeric data row accepted")
+	}
+}
+
+func TestRunFitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/sweep.csv"
+	data := "tau_b,p\n2,0.65\n5,0.72\n10,0.78\n20,0.76\n40,0.69\n80,0.55\n"
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFit(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFit(dir+"/missing.csv", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFile(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
+}

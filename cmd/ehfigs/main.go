@@ -1,0 +1,267 @@
+// Command ehfigs regenerates every table and figure of the paper's
+// evaluation (Figs. 2–11 and the §VI case studies), rendering ASCII
+// charts with the derived scalars and optionally dumping CSVs.
+//
+// Example:
+//
+//	ehfigs -fig all -quick -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ehmodel/internal/experiments"
+	"ehmodel/internal/textplot"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure: all, 2–11, table2, storemajor, storemajor-device, circular, bitprecision, clank-buffers, clank-watchdog, hibernus-margin, mementos-gap, variability, capacitor, nvm, breakdown, breakeven, charging, tail")
+	quick := flag.Bool("quick", false, "scaled-down simulation sweeps (same shapes, ~100× faster)")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
+	flag.Parse()
+
+	if err := run(*fig, *quick, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ehfigs:", err)
+		os.Exit(1)
+	}
+}
+
+// generate builds the requested figures.
+func generate(which string, quick bool) ([]*experiments.Figure, error) {
+	want := func(id string) bool { return which == "all" || which == id }
+	var figs []*experiments.Figure
+	add := func(f *experiments.Figure) { figs = append(figs, f) }
+
+	if want("2") {
+		add(experiments.Fig2())
+	}
+	if want("3") {
+		add(experiments.Fig3())
+	}
+	if want("4") {
+		add(experiments.Fig4())
+	}
+	if want("5") {
+		cfg := experiments.Fig5Config{}
+		if quick {
+			cfg = experiments.QuickFig5Config()
+		}
+		f, _, err := experiments.Fig5(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("6") {
+		f, _, err := experiments.Fig6(experiments.Fig6Config{})
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("7") {
+		f, _, err := experiments.Fig7(experiments.Fig6Config{})
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("8") || want("9") {
+		cfg := experiments.CharacterizationConfig{}
+		if quick {
+			cfg = experiments.QuickCharacterizationConfig()
+		}
+		f8, f9, _, err := experiments.Fig8And9(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if want("8") {
+			add(f8)
+		}
+		if want("9") {
+			add(f9)
+		}
+	}
+	if want("10") {
+		cfg := experiments.CharacterizationConfig{}
+		if quick {
+			cfg = experiments.QuickCharacterizationConfig()
+		}
+		f, _, err := experiments.Fig10(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("11") {
+		add(experiments.Fig11(experiments.Fig11Config{Base: experiments.DefaultFig11Base()}))
+	}
+	if want("table2") {
+		rows, err := experiments.Table2(nil)
+		if err != nil {
+			return nil, err
+		}
+		f := &experiments.Figure{ID: "table2", Title: "Table II benchmark inventory (measured characteristics)"}
+		for _, r := range rows {
+			f.AddNote("%-6s %s — %d instrs, %d cycles, %.1f%% loads, %.1f%% stores, τ_store %.0f, %d B sram",
+				r.Name, r.Desc, r.Instructions, r.Cycles, 100*r.LoadFrac, 100*r.StoreFrac, r.TauStore, r.SRAMFootprint)
+		}
+		add(f)
+	}
+	if want("storemajor") {
+		f, _, err := experiments.CaseStoreMajor()
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("storemajor-device") {
+		f, _, err := experiments.CaseStoreMajorDevice()
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("circular") {
+		f, _, _, err := experiments.CaseCircularBuffer(experiments.CircularConfig{})
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	for id, gen := range map[string]func() (*experiments.Figure, error){
+		"clank-buffers":   experiments.AblationClankBuffers,
+		"clank-watchdog":  experiments.AblationClankWatchdog,
+		"hibernus-margin": experiments.AblationHibernusMargin,
+		"mementos-gap":    experiments.AblationMementosGap,
+	} {
+		if which == "all" || which == id {
+			f, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			add(f)
+		}
+	}
+	if want("tail") {
+		f, _, err := experiments.TailLatencyStudy(0)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("charging") {
+		f, _, err := experiments.ChargingStudy()
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("breakeven") {
+		f, _, _, err := experiments.BreakEvenStudy()
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("breakdown") {
+		f, _, err := experiments.BreakdownComparison("crc", 0)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("capacitor") {
+		f, err := experiments.CapacitorSweep("crc", nil)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("nvm") {
+		f, _, err := experiments.NVMComparison("crc", 2000)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("variability") {
+		f, err := experiments.VariabilityStudy(4000, 40)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	if want("bitprecision") {
+		base := experiments.DefaultFig11Base()
+		r := experiments.CaseBitPrecision(base)
+		f := &experiments.Figure{ID: "case-bitprecision", Title: "Reduced bit-precision payoff (§VI-C)"}
+		f.AddNote("τ_B,bit = %.1f cycles", r.TauBBit)
+		f.AddNote("Δp for a 1-bit α_B cut at τ_B,bit: %.4f", r.GainOneBit)
+		f.AddNote("Δp for the same cut at τ_B,opt: %.4f", r.GainAtOpt)
+		add(f)
+	}
+	if len(figs) == 0 {
+		return nil, fmt.Errorf("unknown figure %q", which)
+	}
+	return figs, nil
+}
+
+func run(which string, quick bool, csvDir string) error {
+	figs, err := generate(which, quick)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		render(f)
+		if csvDir != "" {
+			if err := writeCSV(f, csvDir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func render(f *experiments.Figure) {
+	fmt.Printf("── %s ─ %s ──\n", f.ID, f.Title)
+	if len(f.Series) > 0 {
+		var series []textplot.Series
+		for _, s := range f.Series {
+			ts := textplot.Series{Label: s.Label}
+			for _, p := range s.Points {
+				ts.Xs = append(ts.Xs, p.X)
+				ts.Ys = append(ts.Ys, p.Y)
+			}
+			series = append(series, ts)
+		}
+		fmt.Print(textplot.Chart(
+			fmt.Sprintf("y: %s   x: %s", f.YLabel, f.XLabel),
+			series, 72, 18, f.XLog))
+	}
+	for _, n := range f.Notes {
+		fmt.Println("  •", n)
+	}
+	fmt.Println()
+}
+
+func writeCSV(f *experiments.Figure, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, strings.ReplaceAll(f.ID, "/", "_")+".csv")
+	file, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", name)
+	return nil
+}

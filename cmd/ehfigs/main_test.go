@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAnalyticFigures(t *testing.T) {
+	for _, id := range []string{"2", "3", "4", "11", "storemajor", "bitprecision"} {
+		figs, err := generate(id, true)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(figs) != 1 {
+			t.Errorf("%s: %d figures", id, len(figs))
+		}
+	}
+}
+
+func TestGenerateSimulatedFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated figures are slow")
+	}
+	for _, id := range []string{"5", "6", "7", "8", "10", "circular", "variability"} {
+		figs, err := generate(id, true)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(figs) != 1 {
+			t.Errorf("%s: %d figures", id, len(figs))
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := generate("nope", true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("3", true, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y,err\n") {
+		t.Fatalf("bad csv: %.40q", string(data))
+	}
+}

@@ -1,0 +1,214 @@
+// Command ehsim runs one benchmark under one intermittent runtime on
+// the device simulator and reports where its cycles and energy went —
+// including a correctness check against the workload's reference
+// output.
+//
+// Example:
+//
+//	ehsim -workload ds -strategy clank -period 20000 -trace multipeak
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/textplot"
+	"ehmodel/internal/trace"
+	"ehmodel/internal/workload"
+)
+
+// strategyFor builds the named runtime and reports the data placement
+// its memory model requires.
+func strategyFor(name string, tauB uint64) (device.Strategy, asm.Segment, error) {
+	switch name {
+	case "timer":
+		return strategy.NewTimer(tauB, 0.1), asm.SRAM, nil
+	case "speculative":
+		return strategy.NewSpeculative(tauB, 0.1), asm.SRAM, nil
+	case "hibernus":
+		return strategy.NewHibernus(), asm.SRAM, nil
+	case "mementos":
+		return strategy.NewMementos(), asm.SRAM, nil
+	case "dino":
+		return strategy.NewDINO(), asm.SRAM, nil
+	case "chain":
+		return strategy.NewChain(), asm.SRAM, nil
+	case "mixvol":
+		return strategy.NewMixedVolatility(tauB), asm.SRAM, nil
+	case "clank":
+		return strategy.NewClank(), asm.FRAM, nil
+	case "ratchet":
+		return strategy.NewRatchet(), asm.FRAM, nil
+	case "nvp":
+		return strategy.NewNVPEveryCycle(), asm.FRAM, nil
+	case "nvp-threshold":
+		return strategy.NewNVPThreshold(), asm.FRAM, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func traceFor(name string, seconds float64) (trace.Kind, bool, error) {
+	switch name {
+	case "", "none":
+		return 0, false, nil
+	case "spikes":
+		return trace.Spikes, true, nil
+	case "ramp":
+		return trace.Ramp, true, nil
+	case "multipeak":
+		return trace.MultiPeak, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown trace %q", name)
+	}
+}
+
+// periodsOut, when set, receives per-period CSV statistics after a run.
+var periodsOut string
+
+func main() {
+	wname := flag.String("workload", "counter", "workload: "+strings.Join(workload.Names(), ", "))
+	sname := flag.String("strategy", "timer", "runtime: timer, speculative, hibernus, mementos, dino, chain, mixvol, clank, ratchet, nvp, nvp-threshold")
+	period := flag.Float64("period", 20000, "per-period energy budget in ALU cycles")
+	tauB := flag.Uint64("tauB", 1000, "backup period for timer/mixvol (cycles)")
+	scale := flag.Int("scale", 1, "workload problem-size multiplier")
+	traceName := flag.String("trace", "none", "supply trace: none (bench supply), spikes, ramp, multipeak")
+	list := flag.Bool("list", false, "print the workload's disassembly and exit")
+	periodsCSV := flag.String("periods", "", "write per-period statistics to this CSV file")
+	flag.Parse()
+	periodsOut = *periodsCSV
+
+	if *list {
+		if err := listProgram(*wname, *sname, *tauB, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*wname, *sname, *period, *tauB, *scale, *traceName); err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(1)
+	}
+}
+
+// listProgram prints the disassembly the selected strategy would run.
+func listProgram(wname, sname string, tauB uint64, scale int) error {
+	w, ok := workload.Get(wname)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", wname)
+	}
+	_, seg, err := strategyFor(sname, tauB)
+	if err != nil {
+		return err
+	}
+	prog, err := w.Build(workload.Options{Seg: seg, Scale: scale})
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Listing())
+	return nil
+}
+
+func run(wname, sname string, period float64, tauB uint64, scale int, traceName string) error {
+	w, ok := workload.Get(wname)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (have: %s)", wname, strings.Join(workload.Names(), ", "))
+	}
+	strat, seg, err := strategyFor(sname, tauB)
+	if err != nil {
+		return err
+	}
+	opts := workload.Options{Seg: seg, Scale: scale}
+	prog, err := w.Build(opts)
+	if err != nil {
+		return err
+	}
+
+	pm := energy.MSP430Power()
+	e := period * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	cfg := device.Config{
+		Prog: prog, Power: pm,
+		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+		MaxPeriods: 200000, MaxCycles: 1 << 62,
+	}
+	kind, hasTrace, err := traceFor(traceName, 10)
+	if err != nil {
+		return err
+	}
+	if hasTrace {
+		tr := trace.Generate(kind, 10, 1e-3, 42)
+		h, err := energy.NewHarvester(tr, 1000, 0.7)
+		if err != nil {
+			return err
+		}
+		cfg.Harvester = h
+	}
+
+	d, err := device.New(cfg, strat)
+	if err != nil {
+		return err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return err
+	}
+	if periodsOut != "" {
+		f, err := os.Create(periodsOut)
+		if err != nil {
+			return err
+		}
+		if err := res.WritePeriodsCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-period statistics to %s\n", periodsOut)
+	}
+
+	fmt.Printf("%s under %s (%s data), E = %.3g J/period\n\n", wname, strat.Name(), seg, e)
+	bd := res.Breakdown()
+	total := bd.Supply + bd.Harvested
+	pct := func(v float64) string { return fmt.Sprintf("%.4g J  (%.1f%%)", v, 100*v/total) }
+	fmt.Print(textplot.Table(
+		[]string{"metric", "value"},
+		[][]string{
+			{"completed", fmt.Sprint(res.Completed)},
+			{"active periods", fmt.Sprint(len(res.Periods))},
+			{"backups / restores", fmt.Sprintf("%d / %d", res.Backups(), res.Restores())},
+			{"measured progress p", fmt.Sprintf("%.4f", res.MeasuredProgress())},
+			{"mean τ_B", fmt.Sprintf("%.1f cycles", res.MeanTauB())},
+			{"mean τ_D", fmt.Sprintf("%.1f cycles", res.MeanTauD())},
+			{"total cycles", fmt.Sprint(res.TotalCycles)},
+			{"simulated time", fmt.Sprintf("%.4g s", res.TimeS)},
+			{"supply energy", pct(bd.Supply)},
+			{"harvested in-period", pct(bd.Harvested)},
+			{"progress energy", pct(bd.Progress)},
+			{"dead energy", pct(bd.Dead)},
+			{"backup energy", pct(bd.Backup)},
+			{"restore energy", pct(bd.Restore)},
+			{"idle energy", pct(bd.Idle)},
+		}))
+
+	if res.Completed {
+		want := w.Ref(opts)
+		if reflect.DeepEqual(res.Output, want) {
+			fmt.Printf("\noutput: %d words, matches the continuous-execution oracle ✓\n", len(res.Output))
+		} else {
+			fmt.Printf("\noutput MISMATCH:\n got %v\nwant %v\n", res.Output, want)
+			return fmt.Errorf("intermittent output diverged from oracle")
+		}
+	} else {
+		fmt.Println("\nrun hit its limits before completing; stats above are steady-state")
+	}
+	return nil
+}

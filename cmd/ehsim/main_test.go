@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+)
+
+func TestStrategyForAll(t *testing.T) {
+	cases := map[string]asm.Segment{
+		"timer":         asm.SRAM,
+		"speculative":   asm.SRAM,
+		"hibernus":      asm.SRAM,
+		"mementos":      asm.SRAM,
+		"dino":          asm.SRAM,
+		"chain":         asm.SRAM,
+		"mixvol":        asm.SRAM,
+		"clank":         asm.FRAM,
+		"ratchet":       asm.FRAM,
+		"nvp":           asm.FRAM,
+		"nvp-threshold": asm.FRAM,
+	}
+	for name, wantSeg := range cases {
+		s, seg, err := strategyFor(name, 1000)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s == nil || seg != wantSeg {
+			t.Errorf("%s: seg %v, want %v", name, seg, wantSeg)
+		}
+	}
+	if _, _, err := strategyFor("bogus", 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestTraceFor(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		if _, has, err := traceFor(name, 1); err != nil || has {
+			t.Errorf("%q should mean no trace", name)
+		}
+	}
+	for _, name := range []string{"spikes", "ramp", "multipeak"} {
+		if _, has, err := traceFor(name, 1); err != nil || !has {
+			t.Errorf("%q should resolve", name)
+		}
+	}
+	if _, _, err := traceFor("bogus", 1); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// bench supply
+	if err := run("counter", "timer", 20000, 1000, 1, "none"); err != nil {
+		t.Fatalf("bench supply: %v", err)
+	}
+	// harvested supply on a nonvolatile-memory runtime
+	if err := run("ds", "clank", 20000, 1000, 1, "multipeak"); err != nil {
+		t.Fatalf("harvested: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "timer", 20000, 1000, 1, "none"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("counter", "nope", 20000, 1000, 1, "none"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run("counter", "timer", 20000, 1000, 1, "nope"); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ehmodel/internal/trace"
+)
+
+func TestKindFor(t *testing.T) {
+	for _, k := range trace.Kinds() {
+		got, err := kindFor(k.String())
+		if err != nil || got != k {
+			t.Errorf("%s: %v %v", k, got, err)
+		}
+	}
+	if _, err := kindFor("nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := run("ramp", 1, 0.001, 7, path, 20000); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,voltage_v\n") {
+		t.Fatalf("csv: %.40q", string(data))
+	}
+	back, err := trace.ReadCSV(strings.NewReader(string(data)), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.SamplesV) < 500 {
+		t.Fatalf("%d samples", len(back.SamplesV))
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run("ramp", 0, 0.001, 7, "", 20000); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run("nope", 1, 0.001, 7, "", 20000); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("ramp", 1, 0.001, 7, "", -5); err == nil {
+		t.Error("negative resistance accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Characterize: fit the EH model to measurements. The example plays the
+// role of an engineer with a board on the bench: sweep the firmware's
+// backup interval, record measured progress (here the device simulator
+// stands in for the hardware), fit the identifiable model curve, and
+// read off the optimal cadence and the physical cost coefficients.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/core"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/textplot"
+	"ehmodel/internal/trace"
+	"ehmodel/internal/workload"
+)
+
+func main() {
+	pm := energy.MSP430Power()
+	w, _ := workload.Get("fir")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 60})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
+	// Harvested supply: per-period energy varies with the trace, so
+	// dead cycles average toward the model's τ_B/2 assumption instead
+	// of locking to one deterministic phase.
+	tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 21)
+	harv, err := energy.NewHarvester(tr, 40000, 0.7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The sweep must straddle the progress peak: without points on the
+	// dead-energy rolloff (τ_B approaching the period length) the
+	// model's slope coefficient is unidentifiable.
+	fmt.Println("sweeping the backup interval on the \"hardware\"...")
+	var pts []core.SweepPoint
+	var rows [][]string
+	for _, tauB := range []uint64{100, 250, 500, 1000, 2000, 4000, 8000, 12000, 16000, 19000} {
+		capC, vmax, von, voff := device.FixedSupplyConfig(e)
+		d, err := device.New(device.Config{
+			Prog: prog, Power: pm, Harvester: harv,
+			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+			MaxPeriods: 30, MaxCycles: 1 << 62,
+		}, strategy.NewTimer(tauB, 0.1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := d.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p := res.MeasuredProgress()
+		pts = append(pts, core.SweepPoint{X: float64(tauB), P: p})
+		rows = append(rows, []string{fmt.Sprint(tauB), fmt.Sprintf("%.4f", p)})
+	}
+	fmt.Print(textplot.Table([]string{"τ_B (cycles)", "measured p"}, rows))
+
+	fc, err := core.FitSweep(pts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfit (rms residual %.4f):\n", fc.Residual)
+	fmt.Printf("  scale S = %.4f, slope Ã = %.3g, compulsory cost B̃ = %.1f cycles\n", fc.S, fc.A, fc.B)
+	fmt.Printf("  fitted optimal backup interval τ_B,opt = %.0f cycles\n", fc.TauBOpt())
+	if a, b, c, err := fc.Decompose(0); err == nil {
+		fmt.Printf("  decomposed (r=0): a = %.3g, b = %.1f cycles, c = %.3f\n", a, b, c)
+	}
+	fmt.Println("\nWith the model fitted, every other design question — worst-case")
+	fmt.Println("cadence (Eq. 10), backup-vs-restore focus (Eq. 11), precision sweet")
+	fmt.Println("spot (Eq. 16) — is an analytical evaluation instead of a lab day.")
+}

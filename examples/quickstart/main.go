@@ -1,0 +1,53 @@
+// Quickstart: evaluate the EH model for an intermittent processor
+// design and find its optimal backup cadence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"ehmodel/internal/core"
+)
+
+func main() {
+	// An energy-harvesting device: each active period delivers 100 µJ;
+	// execution costs 70 pJ/cycle; a backup writes 72 bytes of
+	// architectural state plus 0.1 bytes/cycle of application state to
+	// FRAM at 37.5 pJ/byte, 2 bytes/cycle.
+	p := core.Params{
+		E:       100e-6,
+		Epsilon: 70e-12,
+		TauB:    5000, // current firmware checkpoints every 5000 cycles
+		SigmaB:  2,
+		OmegaB:  37.5e-12,
+		AB:      72,
+		AlphaB:  0.1,
+		SigmaR:  2,
+		OmegaR:  37.5e-12,
+		AR:      72,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+
+	b := p.Breakdown()
+	fmt.Printf("At τ_B = %.0f cycles:\n", p.TauB)
+	fmt.Printf("  forward progress p = %.4f (%.1f%% of each period's energy)\n", b.P, 100*b.P)
+	fmt.Printf("  %.0f useful cycles across %.1f backups per period\n", b.TauP, b.NB)
+	lo, hi := p.ProgressBounds()
+	fmt.Printf("  dead-cycle variability bounds: [%.4f, %.4f]\n\n", lo, hi)
+
+	// Where should this design's backup interval actually sit?
+	opt := p.TauBOpt()
+	fmt.Printf("Optimal τ_B (Eq. 9): %.0f cycles → p = %.4f\n", opt, p.WithTauB(opt).Progress())
+	fmt.Printf("Designing for tail latency instead (Eq. 10): τ_B = %.0f cycles\n", p.TauBOptWorstCase())
+
+	// Below the break-even interval, optimize the backup path; above
+	// it, the restore path (Eq. 11).
+	fmt.Printf("Backup/restore break-even (Eq. 11): %.0f cycles\n", p.TauBBreakEven())
+
+	// And if the runtime could instead take a single backup right
+	// before dying (Hibernus-style)?
+	fmt.Printf("Single-backup progress (Eq. 12): %.4f\n", p.ProgressSingleBackup())
+}

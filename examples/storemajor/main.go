@@ -1,0 +1,49 @@
+// Store-major locality (§VI-A): on a conventional machine you order the
+// transpose loop for load locality; on an intermittent machine with a
+// mixed-volatility cache, dirty blocks are the backup payload, so store
+// locality can matter more. This example runs Listing 1 both ways on
+// the cache model and checks Eq. 13/14 against the measurement across
+// NVM write/read bandwidth ratios.
+//
+//	go run ./examples/storemajor
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ehmodel/internal/experiments"
+	"ehmodel/internal/textplot"
+)
+
+func main() {
+	fig, pts, err := experiments.CaseStoreMajor()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		verdict := "load-major (or tie)"
+		if p.StoreWins {
+			verdict = "store-major"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.SigmaRatio),
+			fmt.Sprintf("%.3f", p.MeasuredRatio),
+			fmt.Sprintf("%.3f", p.ModelRatio),
+			verdict,
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"σ_B/σ_load", "sim τ_lm/τ_sm", "Eq. 13 ratio", "Eq. 14 says write your loop"},
+		rows))
+	fmt.Println()
+	for _, n := range fig.Notes {
+		fmt.Println("•", n)
+	}
+	fmt.Println("\nTakeaway: with STT-RAM-like writes (σ_B = σ_load/10), transform loops")
+	fmt.Println("to store-major order; with symmetric FRAM bandwidth the orders tie —")
+	fmt.Println("a trade-off that does not exist on conventional architectures.")
+}

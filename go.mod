@@ -1,0 +1,3 @@
+module ehmodel
+
+go 1.24

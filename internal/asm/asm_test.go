@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ehmodel/internal/isa"
+	"ehmodel/internal/mem"
+)
+
+func TestAssembleSimpleLoop(t *testing.T) {
+	b := New("loop")
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 10)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Bne(isa.R1, isa.R2, "top")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 {
+		t.Fatalf("expected 5 instructions, got %d", len(p.Code))
+	}
+	// branch at index 3 targets index 2: offset −1
+	if p.Code[3].Imm != -1 {
+		t.Errorf("branch offset = %d, want -1", p.Code[3].Imm)
+	}
+	if len(p.Words) != len(p.Code) {
+		t.Error("words not aligned with code")
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	b := New("fwd")
+	b.Beq(isa.R0, isa.R0, "done") // index 0 → index 2: offset +2
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 2 {
+		t.Errorf("forward branch offset = %d, want 2", p.Code[0].Imm)
+	}
+}
+
+func TestJalAbsolute(t *testing.T) {
+	b := New("jal")
+	b.Jump("end")
+	b.Nop()
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.JAL || p.Code[0].Imm != 3 {
+		t.Errorf("jal = %+v, want absolute target 3", p.Code[0])
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("bad")
+	b.Jump("nowhere")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("dup")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := New("empty").Assemble(); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestImmediateRangeChecked(t *testing.T) {
+	b := New("imm")
+	b.Addi(isa.R1, isa.R0, isa.ImmMax+1)
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("oversized immediate accepted")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	b := New("data")
+	b.Seg(SRAM)
+	b.Word("counter", 42)
+	b.Space("buf", 16)
+	b.Seg(FRAM)
+	b.Word("table", 1, 2, 3)
+	b.Bytes("msg", []byte("hi"))
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := p.Symbols["counter"]; a != mem.SRAMBase {
+		t.Errorf("counter at %#x", a)
+	}
+	if a := p.Symbols["buf"]; a != mem.SRAMBase+4 {
+		t.Errorf("buf at %#x", a)
+	}
+	if a := p.Symbols["table"]; a != mem.FRAMBase {
+		t.Errorf("table at %#x", a)
+	}
+	if a := p.Symbols["msg"]; a != mem.FRAMBase+12 {
+		t.Errorf("msg at %#x", a)
+	}
+	if len(p.SRAMImage) != 20 {
+		t.Errorf("sram image %d bytes, want 20", len(p.SRAMImage))
+	}
+	// table contents little-endian
+	if p.FRAMImage[0] != 1 || p.FRAMImage[4] != 2 || p.FRAMImage[8] != 3 {
+		t.Errorf("table image wrong: % x", p.FRAMImage[:12])
+	}
+}
+
+func TestWordAlignmentAfterBytes(t *testing.T) {
+	b := New("align")
+	b.Seg(SRAM)
+	b.Bytes("odd", []byte{1, 2, 3}) // 3 bytes
+	b.Word("w", 7)                  // must align to 4
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := p.Symbols["w"]; a != mem.SRAMBase+4 {
+		t.Errorf("w at %#x, want aligned %#x", a, mem.SRAMBase+4)
+	}
+}
+
+func TestDuplicateSymbol(t *testing.T) {
+	b := New("dupsym")
+	b.Word("x", 1)
+	b.Word("x", 2)
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+}
+
+func TestNegativeSpace(t *testing.T) {
+	b := New("negspace")
+	b.Space("x", -1)
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("negative space accepted")
+	}
+}
+
+func TestLaUndefined(t *testing.T) {
+	b := New("la")
+	b.La(isa.R1, "missing")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("La of undefined symbol accepted")
+	}
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	b := New("li")
+	b.Li(isa.R1, 5)          // one ADDI
+	b.Li(isa.R2, 0xDEADBEEF) // LUI+ORI
+	b.Li(isa.R3, 0x20000)    // FRAM base: LUI only (low bits zero)
+	b.Li(isa.R4, 0x20004)    // past ImmMax with nonzero low bits
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.ADDI {
+		t.Errorf("small Li should be one ADDI, got %v", p.Code[0].Op)
+	}
+	if p.Code[1].Op != isa.LUI || p.Code[2].Op != isa.ORI {
+		t.Errorf("large Li should be LUI+ORI, got %v %v", p.Code[1].Op, p.Code[2].Op)
+	}
+	if p.Code[3].Op != isa.LUI {
+		t.Errorf("aligned Li should be a lone LUI, got %v", p.Code[3].Op)
+	}
+	// the fourth Li starts right after the lone LUI
+	if p.Code[4].Op != isa.LUI || p.Code[5].Op != isa.ORI {
+		t.Errorf("Li(0x20004) should be LUI+ORI, got %v %v", p.Code[4].Op, p.Code[5].Op)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := New("call")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.JAL || p.Code[0].Rd != isa.LR {
+		t.Errorf("call = %+v", p.Code[0])
+	}
+	if p.Code[2].Op != isa.JALR || p.Code[2].Rd != isa.R0 || p.Code[2].Rs1 != isa.LR {
+		t.Errorf("ret = %+v", p.Code[2])
+	}
+}
+
+func TestFirstErrorSticks(t *testing.T) {
+	b := New("sticky")
+	b.Addi(isa.R1, isa.R0, isa.ImmMax+1) // error 1
+	b.La(isa.R2, "missing")              // would be error 2
+	_, err := b.Assemble()
+	if err == nil || !strings.Contains(err.Error(), "immediate") {
+		t.Fatalf("first error should win, got %v", err)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	if SRAM.String() != "sram" || FRAM.String() != "fram" {
+		t.Error("segment names wrong")
+	}
+}
+
+func TestProgramIsolation(t *testing.T) {
+	b := New("iso")
+	b.Seg(SRAM)
+	b.Word("x", 1)
+	b.Nop()
+	b.Halt()
+	p, _ := b.Assemble()
+	p.SRAMImage[0] = 99
+	p2, _ := b.Assemble()
+	if p2.SRAMImage[0] == 99 {
+		t.Error("assembled images share backing storage")
+	}
+}

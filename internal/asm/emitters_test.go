@@ -1,0 +1,133 @@
+package asm
+
+import (
+	"testing"
+
+	"ehmodel/internal/isa"
+)
+
+// TestEveryEmitter drives each instruction emitter once and checks the
+// emitted opcode and operands — a within-package safety net for the
+// builder surface the workloads rely on.
+func TestEveryEmitter(t *testing.T) {
+	b := New("emitters")
+	b.Seg(SRAM)
+	b.Word("w", 0)
+
+	type want struct {
+		op  isa.Op
+		rd  isa.Reg
+		rs1 isa.Reg
+		rs2 isa.Reg
+		imm int32
+	}
+	var wants []want
+	emit := func(w want, f func()) {
+		f()
+		wants = append(wants, w)
+	}
+
+	r1, r2, r3 := isa.R1, isa.R2, isa.R3
+	emit(want{op: isa.ADD, rd: r1, rs1: r2, rs2: r3}, func() { b.Add(r1, r2, r3) })
+	emit(want{op: isa.SUB, rd: r1, rs1: r2, rs2: r3}, func() { b.Sub(r1, r2, r3) })
+	emit(want{op: isa.AND, rd: r1, rs1: r2, rs2: r3}, func() { b.And(r1, r2, r3) })
+	emit(want{op: isa.OR, rd: r1, rs1: r2, rs2: r3}, func() { b.Or(r1, r2, r3) })
+	emit(want{op: isa.XOR, rd: r1, rs1: r2, rs2: r3}, func() { b.Xor(r1, r2, r3) })
+	emit(want{op: isa.SLL, rd: r1, rs1: r2, rs2: r3}, func() { b.Sll(r1, r2, r3) })
+	emit(want{op: isa.SRL, rd: r1, rs1: r2, rs2: r3}, func() { b.Srl(r1, r2, r3) })
+	emit(want{op: isa.SRA, rd: r1, rs1: r2, rs2: r3}, func() { b.Sra(r1, r2, r3) })
+	emit(want{op: isa.SLT, rd: r1, rs1: r2, rs2: r3}, func() { b.Slt(r1, r2, r3) })
+	emit(want{op: isa.SLTU, rd: r1, rs1: r2, rs2: r3}, func() { b.Sltu(r1, r2, r3) })
+	emit(want{op: isa.MUL, rd: r1, rs1: r2, rs2: r3}, func() { b.Mul(r1, r2, r3) })
+	emit(want{op: isa.DIV, rd: r1, rs1: r2, rs2: r3}, func() { b.Div(r1, r2, r3) })
+	emit(want{op: isa.REM, rd: r1, rs1: r2, rs2: r3}, func() { b.Rem(r1, r2, r3) })
+
+	emit(want{op: isa.ADDI, rd: r1, rs1: r2, imm: 5}, func() { b.Addi(r1, r2, 5) })
+	emit(want{op: isa.ANDI, rd: r1, rs1: r2, imm: 5}, func() { b.Andi(r1, r2, 5) })
+	emit(want{op: isa.ORI, rd: r1, rs1: r2, imm: 5}, func() { b.Ori(r1, r2, 5) })
+	emit(want{op: isa.XORI, rd: r1, rs1: r2, imm: 5}, func() { b.Xori(r1, r2, 5) })
+	emit(want{op: isa.SLLI, rd: r1, rs1: r2, imm: 5}, func() { b.Slli(r1, r2, 5) })
+	emit(want{op: isa.SRLI, rd: r1, rs1: r2, imm: 5}, func() { b.Srli(r1, r2, 5) })
+	emit(want{op: isa.SRAI, rd: r1, rs1: r2, imm: 5}, func() { b.Srai(r1, r2, 5) })
+	emit(want{op: isa.SLTI, rd: r1, rs1: r2, imm: 5}, func() { b.Slti(r1, r2, 5) })
+	emit(want{op: isa.LUI, rd: r1, imm: 5}, func() { b.Lui(r1, 5) })
+
+	emit(want{op: isa.LW, rd: r1, rs1: r2, imm: 4}, func() { b.Lw(r1, r2, 4) })
+	emit(want{op: isa.LB, rd: r1, rs1: r2, imm: 4}, func() { b.Lb(r1, r2, 4) })
+	emit(want{op: isa.LBU, rd: r1, rs1: r2, imm: 4}, func() { b.Lbu(r1, r2, 4) })
+	emit(want{op: isa.SW, rd: r1, rs1: r2, imm: 4}, func() { b.Sw(r1, r2, 4) })
+	emit(want{op: isa.SB, rd: r1, rs1: r2, imm: 4}, func() { b.Sb(r1, r2, 4) })
+
+	emit(want{op: isa.JALR, rd: r1, rs1: r2, imm: 0}, func() { b.Jalr(r1, r2, 0) })
+	emit(want{op: isa.SYS, imm: int32(isa.SysChkpt)}, func() { b.Chkpt() })
+	emit(want{op: isa.SYS, imm: int32(isa.SysTaskBegin)}, func() { b.TaskBegin() })
+	emit(want{op: isa.SYS, imm: int32(isa.SysTaskEnd)}, func() { b.TaskEnd() })
+	emit(want{op: isa.SYS, rs1: r2, imm: int32(isa.SysOut)}, func() { b.Out(r2) })
+	emit(want{op: isa.SYS, rd: r1, imm: int32(isa.SysSense)}, func() { b.Sense(r1) })
+	emit(want{op: isa.ADDI, rd: isa.R0, rs1: isa.R0}, func() { b.Nop() })
+	emit(want{op: isa.ADD, rd: r1, rs1: r2}, func() { b.Mv(r1, r2) })
+	emit(want{op: isa.SYS, imm: int32(isa.SysHalt)}, func() { b.Halt() })
+
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != len(wants) {
+		t.Fatalf("emitted %d instructions, expected %d", len(p.Code), len(wants))
+	}
+	for i, w := range wants {
+		in := p.Code[i]
+		if in.Op != w.op || in.Rd != w.rd || in.Rs1 != w.rs1 || in.Imm != w.imm {
+			t.Errorf("instr %d: got %+v, want %+v", i, in, w)
+		}
+		if w.op.IsRType() && in.Rs2 != w.rs2 {
+			t.Errorf("instr %d: rs2 %v, want %v", i, in.Rs2, w.rs2)
+		}
+	}
+}
+
+// TestBranchEmitters checks every conditional branch resolves its label.
+func TestBranchEmitters(t *testing.T) {
+	b := New("branches")
+	b.Label("t")
+	b.Beq(isa.R1, isa.R2, "t")
+	b.Bne(isa.R1, isa.R2, "t")
+	b.Blt(isa.R1, isa.R2, "t")
+	b.Bge(isa.R1, isa.R2, "t")
+	b.Bltu(isa.R1, isa.R2, "t")
+	b.Bgeu(isa.R1, isa.R2, "t")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+	for i, op := range ops {
+		if p.Code[i].Op != op {
+			t.Errorf("branch %d: %v, want %v", i, p.Code[i].Op, op)
+		}
+		if p.Code[i].Imm != int32(-i) {
+			t.Errorf("branch %d: offset %d, want %d", i, p.Code[i].Imm, -i)
+		}
+	}
+}
+
+// TestPCHelper: PC reports the next instruction slot.
+func TestPCHelper(t *testing.T) {
+	b := New("pc")
+	if b.PC() != 0 {
+		t.Error("fresh builder PC != 0")
+	}
+	b.Nop()
+	if b.PC() != 1 {
+		t.Error("PC after one instruction != 1")
+	}
+	if _, ok := b.Symbol("none"); ok {
+		t.Error("undefined symbol found")
+	}
+	b.Seg(SRAM)
+	b.Word("x", 1)
+	if a, ok := b.Symbol("x"); !ok || a != 0 {
+		t.Errorf("symbol x at %#x ok=%v", a, ok)
+	}
+}

@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Listing renders a human-readable disassembly of the program: every
+// instruction with its index, encoding and any label, followed by the
+// data symbol table. It is the inspection surface ehsim's -list flag
+// exposes.
+func (p *Program) Listing() string {
+	labelAt := make(map[uint32][]string)
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for _, names := range labelAt {
+		sort.Strings(names)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q: %d instructions, %d B sram data, %d B fram data\n",
+		p.Name, len(p.Code), len(p.SRAMImage), len(p.FRAMImage))
+	for i, in := range p.Code {
+		for _, l := range labelAt[uint32(i)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %5d  %08x  %v\n", i, p.Words[i], in)
+	}
+
+	if len(p.Symbols) > 0 {
+		b.WriteString("symbols:\n")
+		names := make([]string, 0, len(p.Symbols))
+		for n := range p.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-20s %#x\n", n, p.Symbols[n])
+		}
+	}
+	return b.String()
+}

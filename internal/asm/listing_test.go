@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ehmodel/internal/isa"
+)
+
+func TestListing(t *testing.T) {
+	b := New("demo")
+	b.Seg(SRAM)
+	b.Word("count", 0)
+	b.Seg(FRAM)
+	b.Word("table", 1, 2)
+	b.La(isa.R1, "count")
+	b.Label("loop")
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Bne(isa.R2, isa.R3, "loop")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Listing()
+	for _, want := range []string{
+		`program "demo"`,
+		"loop:",
+		"addi",
+		"bne",
+		"sys halt",
+		"symbols:",
+		"count",
+		"table",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// one line per instruction plus headers
+	if lines := strings.Count(out, "\n"); lines < len(p.Code)+3 {
+		t.Errorf("listing too short: %d lines", lines)
+	}
+}

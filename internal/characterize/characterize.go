@@ -1,0 +1,203 @@
+// Package characterize reproduces the paper's §V-B simulator
+// characterization: running MiBench-like kernels on a Clank-style
+// architecture fed by RF voltage traces to profile the time between
+// backups τ_B (Fig. 8) and dead cycles τ_D (Fig. 9), and running the
+// hypothetical mixed-volatility store-queue processor across watchdog
+// settings to profile application state α_B (Fig. 10).
+package characterize
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/stats"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/trace"
+	"ehmodel/internal/workload"
+)
+
+// ClankConfig parametrizes the §V-B Clank runs.
+type ClankConfig struct {
+	// PeriodCycles sizes the capacitor so one full active period holds
+	// roughly this many ALU cycles of energy (default 20000, comfortably
+	// above the 8000-cycle watchdog but far below a workload's length so
+	// every run spans many power failures).
+	PeriodCycles float64
+	// Scale is the workload problem-size multiplier (default 6, sized so
+	// each benchmark crosses several active periods).
+	Scale int
+	// TraceSeconds is the generated trace length (default 10 s).
+	TraceSeconds float64
+	// HarvestR and HarvestEta configure the transducer. The default
+	// 20 kΩ keeps peak harvested power below the core's draw, so the
+	// supply is genuinely intermittent (ε_C < ε); smaller resistances
+	// can sustain the device indefinitely during trace peaks.
+	HarvestR   float64
+	HarvestEta float64
+}
+
+func (c *ClankConfig) setDefaults() {
+	if c.PeriodCycles == 0 {
+		c.PeriodCycles = 20000
+	}
+	if c.Scale == 0 {
+		c.Scale = 6
+	}
+	if c.TraceSeconds == 0 {
+		c.TraceSeconds = 10
+	}
+	if c.HarvestR == 0 {
+		c.HarvestR = 20000
+	}
+	if c.HarvestEta == 0 {
+		c.HarvestEta = 0.7
+	}
+}
+
+// ClankRun is one benchmark × trace characterization result.
+type ClankRun struct {
+	Bench  string
+	Trace  trace.Kind
+	TauB   stats.Summary // cycles between backups
+	TauD   stats.Summary // dead cycles per failed period
+	Stats  strategy.ClankStats
+	Result *device.Result
+}
+
+// RunClank executes one benchmark under Clank powered by the given
+// trace kind and returns its τ_B/τ_D profile.
+func RunClank(bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error) {
+	cfg.setDefaults()
+	w, ok := workload.Get(bench)
+	if !ok {
+		return nil, fmt.Errorf("characterize: unknown workload %q", bench)
+	}
+	prog, err := w.Build(workload.Options{Seg: asm.FRAM, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	pm := energy.CortexM0Power() // Clank is modelled on a Cortex-M0+
+	e := cfg.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	tr := trace.Generate(kind, cfg.TraceSeconds, 1e-3, 7+int64(kind))
+	h, err := energy.NewHarvester(tr, cfg.HarvestR, cfg.HarvestEta)
+	if err != nil {
+		return nil, err
+	}
+	cl := strategy.NewClank()
+	d, err := device.New(device.Config{
+		Prog:      prog,
+		Power:     pm,
+		CapC:      capC,
+		CapVMax:   vmax,
+		VOn:       von,
+		VOff:      voff,
+		Harvester: h,
+	}, cl)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Completed {
+		return nil, fmt.Errorf("characterize: %s did not complete under %v (periods=%d)", bench, kind, len(res.Periods))
+	}
+	return &ClankRun{
+		Bench:  bench,
+		Trace:  kind,
+		TauB:   stats.Summarize(res.TauBSamples()),
+		TauD:   stats.Summarize(res.TauDSamples()),
+		Stats:  cl.Stats(),
+		Result: res,
+	}, nil
+}
+
+// TauBProfile runs every benchmark across every trace kind — the data
+// behind Figs. 8 and 9. Rows are ordered benchmark-major, trace-minor.
+func TauBProfile(benches []string, cfg ClankConfig) ([]*ClankRun, error) {
+	var out []*ClankRun
+	for _, bench := range benches {
+		for _, kind := range trace.Kinds() {
+			r, err := RunClank(bench, kind, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// AlphaBRun is one benchmark's α_B profile across watchdog settings
+// (Fig. 10).
+type AlphaBRun struct {
+	Bench string
+	// PerWatchdog holds the mean α_B (bytes/cycle) for each watchdog
+	// period, index-aligned with the Watchdogs argument.
+	PerWatchdog []float64
+	// AlphaB summarizes the per-watchdog means: its Mean is the bar of
+	// Fig. 10 and its SEM the error bar.
+	AlphaB stats.Summary
+}
+
+// DefaultWatchdogs is the paper's Fig. 10 sweep: 250–3000 cycles in
+// increments of 250.
+func DefaultWatchdogs() []uint64 {
+	var out []uint64
+	for w := uint64(250); w <= 3000; w += 250 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// AlphaBProfile characterizes application state per cycle on the
+// mixed-volatility store-queue processor across watchdog periods.
+func AlphaBProfile(benches []string, watchdogs []uint64, scale int) ([]*AlphaBRun, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	var out []*AlphaBRun
+	for _, bench := range benches {
+		w, ok := workload.Get(bench)
+		if !ok {
+			return nil, fmt.Errorf("characterize: unknown workload %q", bench)
+		}
+		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		run := &AlphaBRun{Bench: bench}
+		for _, wd := range watchdogs {
+			pm := energy.MSP430Power()
+			// ample fixed supply: α_B is a workload property, not a
+			// power property
+			capC, vmax, von, voff := device.FixedSupplyConfig(1.0)
+			d, err := device.New(device.Config{
+				Prog:    prog,
+				Power:   pm,
+				CapC:    capC,
+				CapVMax: vmax,
+				VOn:     von,
+				VOff:    voff,
+			}, strategy.NewMixedVolatility(wd))
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.Run()
+			if err != nil {
+				return nil, err
+			}
+			if !res.Completed {
+				return nil, fmt.Errorf("characterize: %s watchdog %d did not complete", bench, wd)
+			}
+			run.PerWatchdog = append(run.PerWatchdog, stats.Mean(res.AlphaBSamples()))
+		}
+		run.AlphaB = stats.Summarize(run.PerWatchdog)
+		out = append(out, run)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circular buffers for idempotency (Sec. VI-B). On architectures like
+// Clank, a store to a location read since the last checkpoint (a
+// write-after-read idempotency violation) forces a backup. Storing an
+// array of n elements in a circular buffer of N ≥ n slots postpones the
+// violation: on average N − n + 1 stores separate consecutive violations,
+// so the buffer size is a software knob for the backup cadence.
+
+// CircularBufferPlan is the outcome of sizing a circular buffer against a
+// target backup period.
+type CircularBufferPlan struct {
+	N          int     // chosen buffer size (slots)
+	NPow2      int     // N rounded up to a power of two (cheap modular indexing)
+	StoresBetw float64 // stores between violations, N − n + 1 (+w with a write-back buffer)
+	TauB       float64 // resulting cycles between backups
+	Target     float64 // the τ_B the plan aimed for
+}
+
+// StoresBetweenViolations returns the average number of stores to the
+// array between idempotency violations for buffer size N, array size n
+// and a hardware write-back buffer of w entries: N − n + 1 + w
+// (footnote 4 of the paper). N = n is the conventional, violate-every-
+// iteration case; N = 2n is double buffering.
+func StoresBetweenViolations(bufN, arrayN, writeback int) float64 {
+	s := float64(bufN - arrayN + 1 + writeback)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// OptimalCircularBuffer solves Eq. 15 for the buffer size N_opt that
+// matches the architecture's optimal backup period:
+//
+//	(N_opt − n + 1)·τ_store = τ_B,opt
+//
+// where tauStore is the average cycles between store instructions
+// (obtained by profiling) and tauBOpt typically comes from
+// Params.TauBOpt. writeback is the size of a hardware write-back buffer
+// (0 if none). The returned plan reports both the exact N and its
+// power-of-two rounding.
+func OptimalCircularBuffer(arrayN int, tauStore, tauBOpt float64, writeback int) (CircularBufferPlan, error) {
+	if arrayN <= 0 {
+		return CircularBufferPlan{}, fmt.Errorf("%w: array size n = %d", ErrNonPositive, arrayN)
+	}
+	if tauStore <= 0 {
+		return CircularBufferPlan{}, fmt.Errorf("%w: τ_store = %v", ErrNonPositive, tauStore)
+	}
+	if tauBOpt < 0 {
+		return CircularBufferPlan{}, fmt.Errorf("%w: τ_B,opt = %v", ErrNegative, tauBOpt)
+	}
+	stores := tauBOpt / tauStore
+	n := int(math.Round(stores)) + arrayN - 1 - writeback
+	if n < arrayN {
+		n = arrayN // cannot shrink below the array itself
+	}
+	plan := CircularBufferPlan{
+		N:          n,
+		NPow2:      nextPow2(n),
+		StoresBetw: StoresBetweenViolations(n, arrayN, writeback),
+		Target:     tauBOpt,
+	}
+	plan.TauB = plan.StoresBetw * tauStore
+	return plan, nil
+}
+
+// nextPow2 returns the smallest power of two ≥ v (and ≥ 1).
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

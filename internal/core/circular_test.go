@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+func TestStoresBetweenViolations(t *testing.T) {
+	// N = n: conventional case, violation every store (plus write-back w).
+	if got := StoresBetweenViolations(100, 100, 0); got != 1 {
+		t.Errorf("N=n: got %g, want 1", got)
+	}
+	// N = 2n: double buffering.
+	if got := StoresBetweenViolations(200, 100, 0); got != 101 {
+		t.Errorf("N=2n: got %g, want 101", got)
+	}
+	// Write-back buffer adds w (footnote 4).
+	if got := StoresBetweenViolations(100, 100, 8); got != 9 {
+		t.Errorf("w=8: got %g, want 9", got)
+	}
+	// Degenerate: never below one store between violations.
+	if got := StoresBetweenViolations(10, 100, 0); got != 1 {
+		t.Errorf("N<n: got %g, want clamp to 1", got)
+	}
+}
+
+func TestOptimalCircularBufferSolvesEq15(t *testing.T) {
+	// τ_B,opt = 1000 cycles, stores every 10 cycles → 100 stores between
+	// violations → N = n + 99.
+	plan, err := OptimalCircularBuffer(64, 10, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != 64+99 {
+		t.Errorf("N = %d, want %d", plan.N, 64+99)
+	}
+	if !almostEq(plan.TauB, 1000, 1e-9) {
+		t.Errorf("resulting τ_B = %g, want 1000", plan.TauB)
+	}
+	if plan.NPow2 != 256 {
+		t.Errorf("NPow2 = %d, want 256", plan.NPow2)
+	}
+}
+
+func TestOptimalCircularBufferWritebackDiscount(t *testing.T) {
+	// A hardware write-back buffer of w entries already postpones
+	// violations by w stores; the software buffer shrinks accordingly.
+	plain, err := OptimalCircularBuffer(64, 10, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := OptimalCircularBuffer(64, 10, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.N != plain.N-8 {
+		t.Errorf("write-back should shave 8 slots: %d vs %d", wb.N, plain.N)
+	}
+	if !almostEq(wb.TauB, 1000, 1e-9) {
+		t.Errorf("write-back plan τ_B = %g, want 1000", wb.TauB)
+	}
+}
+
+func TestOptimalCircularBufferNeverBelowArray(t *testing.T) {
+	// If the optimal cadence is "every store", the buffer cannot shrink
+	// below the array itself (N = n is the conventional layout).
+	plan, err := OptimalCircularBuffer(64, 10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != 64 {
+		t.Errorf("N = %d, want clamp to array size 64", plan.N)
+	}
+}
+
+func TestOptimalCircularBufferErrors(t *testing.T) {
+	if _, err := OptimalCircularBuffer(0, 10, 100, 0); err == nil {
+		t.Error("zero array size should error")
+	}
+	if _, err := OptimalCircularBuffer(10, 0, 100, 0); err == nil {
+		t.Error("zero τ_store should error")
+	}
+	if _, err := OptimalCircularBuffer(10, 10, -1, 0); err == nil {
+		t.Error("negative τ_B,opt should error")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 63: 64, 64: 64, 65: 128, 1000: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestCircularBufferEndToEnd ties Eq. 9 and Eq. 15 together the way a
+// programmer would: compute the architecture's τ_B,opt, then size the
+// buffer to hit it.
+func TestCircularBufferEndToEnd(t *testing.T) {
+	arch := DefaultParams()
+	arch.E = 1e4
+	tauOpt := arch.TauBOpt()
+	if tauOpt <= 0 {
+		t.Fatal("expected interior optimum")
+	}
+	const tauStore = 7.0
+	plan, err := OptimalCircularBuffer(128, tauStore, tauOpt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The achieved τ_B should land within one store period of optimal.
+	if diff := plan.TauB - tauOpt; diff > tauStore || diff < -tauStore {
+		t.Errorf("achieved τ_B %g misses optimum %g by more than one store period", plan.TauB, tauOpt)
+	}
+	// And progress at the achieved cadence should be within a hair of the
+	// progress at the true optimum.
+	pAt := arch.WithTauB(plan.TauB).Progress()
+	pOpt := arch.WithTauB(tauOpt).Progress()
+	if pAt < pOpt*0.999 {
+		t.Errorf("progress at planned τ_B (%g) should be near optimal (%g)", pAt, pOpt)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import "math"
+
+// This file provides the sensitivity analysis of Sec. VI-C: how progress
+// responds to shrinking the state that must be backed up. Closed forms
+// are derived from Eq. 8 with the average dead-cycle assumption and the
+// paper's derivation regime (restore cost independent of α_B and A_B);
+// numeric central differences are provided for the general model and for
+// cross-checking.
+
+// DPDAlphaB returns ∂p/∂α_B: the marginal progress change per unit of
+// application state backed up per cycle. It is negative — more state to
+// save means less progress — and Sec. VI-C shows |∂p/∂α_B| ≥ |∂p/∂A_B|
+// whenever τ_B ≥ 1, which is why reduced-precision techniques should
+// target application state first.
+//
+// Derivation: writing p(τ) = τ(1 − aτ)/((1+c)τ + b) with a = ε'/(2E)·ε/ε',
+// b = w_B·A_B/ε', c = w_B·α_B/ε' (ε' = ε − ε_C), we get
+// ∂p/∂α_B = −(w_B/ε')·τ²·scale/((1+c)τ + b)² with the same normalization
+// Eq. 8 applies. The implementation differentiates Eq. 8 directly.
+func (pr Params) DPDAlphaB() float64 {
+	epsEff := pr.epsEff()
+	tau := pr.TauB
+	tauD := DeadAverage.TauD(tau)
+	num := 1 - pr.DeadEnergy(tauD)/pr.E - pr.RestoreEnergy(tauD)/pr.E
+	if num < 0 {
+		return 0
+	}
+	charge := 1 - pr.EpsilonC/pr.Epsilon
+	// p = num / ((1 + w_B(A_B + α_B τ)/(ε' τ))·charge); only the
+	// denominator depends on α_B.
+	den := 1 + pr.wB()*(pr.AB+pr.AlphaB*tau)/(epsEff*tau)
+	dDen := pr.wB() * tau / (epsEff * tau) // ∂den/∂α_B = w_B/ε'
+	return -num * dDen / (den * den * charge)
+}
+
+// DPDAB returns ∂p/∂A_B: the marginal progress change per byte of
+// compulsory architectural state saved on every backup.
+func (pr Params) DPDAB() float64 {
+	epsEff := pr.epsEff()
+	tau := pr.TauB
+	tauD := DeadAverage.TauD(tau)
+	num := 1 - pr.DeadEnergy(tauD)/pr.E - pr.RestoreEnergy(tauD)/pr.E
+	if num < 0 {
+		return 0
+	}
+	charge := 1 - pr.EpsilonC/pr.Epsilon
+	den := 1 + pr.wB()*(pr.AB+pr.AlphaB*tau)/(epsEff*tau)
+	dDen := pr.wB() / (epsEff * tau) // ∂den/∂A_B = w_B/(ε' τ)
+	return -num * dDen / (den * den * charge)
+}
+
+// DPDEB returns ∂p/∂e_B treating the per-backup energy as an independent
+// knob (Sec. IV-A3). Negative: cheaper backups mean more progress.
+func (pr Params) DPDEB() float64 {
+	epsEff := pr.epsEff()
+	tauD := DeadAverage.TauD(pr.TauB)
+	num := 1 - pr.DeadEnergy(tauD)/pr.E - pr.RestoreEnergy(tauD)/pr.E
+	if num < 0 {
+		return 0
+	}
+	charge := 1 - pr.EpsilonC/pr.Epsilon
+	den := 1 + pr.EnergyPerBackup()/(epsEff*pr.TauB)
+	return -num / (den * den * charge * epsEff * pr.TauB)
+}
+
+// DPDER returns ∂p/∂e_R treating the restore energy as an independent
+// knob (Sec. IV-A3). Negative: cheaper restores mean more progress. At
+// τ_B = TauBBreakEven the two sensitivities are equal; beyond it,
+// restores dominate.
+func (pr Params) DPDER() float64 {
+	charge := 1 - pr.EpsilonC/pr.Epsilon
+	den := 1 + pr.EnergyPerBackup()/(pr.epsEff()*pr.TauB)
+	return -1 / (pr.E * den * charge)
+}
+
+// NumericPartial computes a central-difference estimate of ∂p/∂x where
+// set installs the perturbed value of the chosen parameter. It evaluates
+// the full model (no derivation assumptions), making it the ground truth
+// the closed forms are tested against.
+func (pr Params) NumericPartial(set func(*Params, float64), base float64) float64 {
+	h := 1e-6 * (math.Abs(base) + 1)
+	lo, hi := pr, pr
+	set(&lo, base-h)
+	set(&hi, base+h)
+	return (hi.Progress() - lo.Progress()) / (2 * h)
+}

@@ -1,0 +1,50 @@
+// Package core implements the EH model, an analytical model for early
+// design-space exploration of intermittent (energy-harvesting) processor
+// architectures, as published in:
+//
+//	J. San Miguel, K. Ganesan, M. Badr, C. Xia, R. Li, H. Hsiao and
+//	N. Enright Jerger, "The EH Model: Early Design Space Exploration of
+//	Intermittent Processor Architectures", MICRO 2018.
+//
+// The model estimates forward progress p — the fraction of an active
+// period's energy supply E spent on useful execution rather than on
+// backups, restores and dead (re-executed) computation:
+//
+//	E = e_P + n_B·e_B + e_D + e_R                          (Eq. 1)
+//	e_P = (ε − ε_C)·τ_P                                    (Eq. 2)
+//	n_B = τ_P / τ_B                                        (Eq. 3)
+//	e_B = (Ω_B − ε_C/σ_B)·(A_B + α_B·τ_B)                  (Eq. 4)
+//	e_D = (ε − ε_C)·τ_D                                    (Eq. 5)
+//	τ_D = τ_B/2 on average, 0 ≤ τ_D ≤ τ_B                  (Eq. 6)
+//	e_R = (Ω_R − ε_C/σ_R)·(A_R + α_R·τ_D)                  (Eq. 7)
+//	p = ε·τ_P/E  (closed form in Eq. 8)
+//
+// Parameter glossary (Table I of the paper):
+//
+//	General
+//	  E    (J)        energy supply per active period          E > 0
+//	  ε    (J/cycle)  execution energy per cycle               ε > 0
+//	  ε_C  (J/cycle)  charging energy per cycle                ε_C ≥ 0
+//	Backup
+//	  τ_B  (cycles)   time between backups                     τ_B > 0
+//	  σ_B  (B/cycle)  memory backup bandwidth                  σ_B > 0
+//	  Ω_B  (J/B)      backup energy cost                       Ω_B ≥ 0
+//	  A_B  (B)        architectural state per backup           A_B ≥ 0
+//	  α_B  (B/cycle)  application state per backup             α_B ≥ 0
+//	Restore
+//	  σ_R  (B/cycle)  memory restore bandwidth                 σ_R > 0
+//	  Ω_R  (J/B)      restore energy cost                      Ω_R ≥ 0
+//	  A_R  (B)        architectural state per restore          A_R ≥ 0
+//	  α_R  (B/cycle)  application state per restore            α_R ≥ 0
+//	Output
+//	  τ_P  (cycles)   time spent on forward progress
+//	  p = ε·τ_P/E     fraction of E spent on forward progress
+//
+// Beyond the progress estimate, the package provides the paper's derived
+// design-space results: the optimal time between backups for the average
+// (Eq. 9) and worst case (Eq. 10), the backup-vs-restore break-even point
+// (Eq. 11), the single-backup progress estimate (Eq. 12), the store-major
+// cache-locality condition (Eqs. 13–14), circular-buffer sizing for
+// idempotency-driven architectures such as Clank (Eq. 15), and the
+// reduced-bit-precision sweet spot (Eq. 16).
+package core

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestEpsilonReductionAlwaysHelps: the paper's Eq. 2 remark — reducing
+// ε is always beneficial (gain > 1) — but gains stay sub-linear
+// because NVM-bound backup energy does not scale with core voltage.
+// With free backups, scaling is exactly linear.
+func TestEpsilonReductionAlwaysHelps(t *testing.T) {
+	p := DefaultParams()
+	for _, factor := range []float64{0.9, 0.75, 0.5, 0.25} {
+		gain := p.ScaleEpsilonGain(factor)
+		if gain <= 1 {
+			t.Errorf("factor %g: gain %g — reducing ε must always help", factor, gain)
+		}
+		if gain >= 1/factor {
+			t.Errorf("factor %g: gain %g should be sub-linear (< %g) with costly backups",
+				factor, gain, 1/factor)
+		}
+	}
+	// with free backups only the dead-energy effect remains, so the
+	// gain turns (slightly) super-linear
+	free := p
+	free.OmegaB, free.OmegaR = 0, 0
+	for _, factor := range []float64{0.5, 0.25} {
+		if gain := free.ScaleEpsilonGain(factor); gain < 1/factor {
+			t.Errorf("free backups, factor %g: gain %g should be ≥ %g", factor, gain, 1/factor)
+		}
+	}
+}
+
+func TestScaleEpsilonGainDegenerate(t *testing.T) {
+	p := DefaultParams()
+	if got := p.ScaleEpsilonGain(0); got != 0 {
+		t.Errorf("zero factor: %g", got)
+	}
+	p.EpsilonC = 0.5
+	if got := p.ScaleEpsilonGain(0.4); got != 0 {
+		t.Errorf("scaling below ε_C should be rejected: %g", got)
+	}
+	clamped := DefaultParams()
+	clamped.OmegaR = 1
+	clamped.AR = 1000 // zero-progress regime
+	if got := clamped.ScaleEpsilonGain(0.5); got != 0 {
+		t.Errorf("zero-progress base should yield 0, got %g", got)
+	}
+}
+
+func TestSweepEpsilonMonotoneTauP(t *testing.T) {
+	p := DefaultParams()
+	values := []float64{2, 1.5, 1, 0.75, 0.5}
+	prevTauP := 0.0
+	for _, v := range values {
+		q := p
+		q.Epsilon = v
+		tauP := q.Breakdown().TauP
+		if tauP <= prevTauP {
+			t.Fatalf("ε=%g: τ_P %g did not grow as ε fell (prev %g)", v, tauP, prevTauP)
+		}
+		prevTauP = tauP
+	}
+	pts := p.SweepEpsilon(values, DeadAverage)
+	if len(pts) != len(values) {
+		t.Fatalf("sweep length %d", len(pts))
+	}
+}
+
+// TestPropSpendthriftBound: no dead-cycle outcome beats the perfect
+// speculator's bound.
+func TestPropSpendthriftBound(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		bound := p.SpendthriftBound()
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if p.ProgressAtTauD(frac*p.TauB) > bound+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ehmodel/internal/core"
+)
+
+// The paper's headline computation: how much of each active period's
+// energy becomes useful work at a given backup cadence.
+func ExampleParams_Progress() {
+	p := core.DefaultParams() // E=100, ε=1, τ_B=10, Ω_B=A_B=1, α_B=0.1
+	fmt.Printf("p = %.4f\n", p.Progress())
+	lo, hi := p.ProgressBounds()
+	fmt.Printf("bounds = [%.4f, %.4f]\n", lo, hi)
+	// Output:
+	// p = 0.7917
+	// bounds = [0.7500, 0.8333]
+}
+
+// Eq. 9: the backup interval that maximizes forward progress.
+func ExampleParams_TauBOpt() {
+	p := core.DefaultParams()
+	opt := p.TauBOpt()
+	fmt.Printf("τ_B,opt = %.2f cycles\n", opt)
+	fmt.Printf("p at opt = %.4f\n", p.WithTauB(opt).Progress())
+	// Output:
+	// τ_B,opt = 12.61 cycles
+	// p at opt = 0.7945
+}
+
+// Eq. 11: whether to spend engineering effort on the backup or the
+// restore path.
+func ExampleParams_TauBBreakEven() {
+	p := core.DefaultParams()
+	fmt.Printf("break-even at τ_B = %.2f cycles\n", p.TauBBreakEven())
+	// Output:
+	// break-even at τ_B = 65.33 cycles
+}
+
+// Eq. 15: size a circular buffer so a Clank-style architecture backs up
+// at its optimal interval.
+func ExampleOptimalCircularBuffer() {
+	arch := core.DefaultParams()
+	arch.E = 10000 // a larger supply: τ_B,opt ≈ 128 cycles
+	plan, err := core.OptimalCircularBuffer(64, 10, arch.TauBOpt(), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("N = %d slots (power of two: %d)\n", plan.N, plan.NPow2)
+	// Output:
+	// N = 76 slots (power of two: 128)
+}
+
+// Eq. 12: a single-backup (Hibernus-style) system's progress estimate.
+func ExampleParams_ProgressSingleBackup() {
+	p := core.DefaultParams()
+	fmt.Printf("single-backup p = %.4f\n", p.ProgressSingleBackup())
+	// Output:
+	// single-backup p = 0.9000
+}
+
+// Inverse modeling: fit the identifiable curve to a measured sweep and
+// read off the optimal cadence.
+func ExampleFitSweep() {
+	truth := core.DefaultParams()
+	var pts []core.SweepPoint
+	for _, tb := range []float64{2, 5, 10, 20, 40, 80} {
+		pts = append(pts, core.SweepPoint{X: tb, P: truth.WithTauB(tb).Progress()})
+	}
+	fc, err := core.FitSweep(pts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted τ_B,opt = %.1f cycles\n", fc.TauBOpt())
+	// Output:
+	// fitted τ_B,opt = 12.6 cycles
+}

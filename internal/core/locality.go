@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Store-major locality (Sec. VI-A). In intermittent systems with a
+// volatile (or mixed-volatility) cache, every dirty cache block must be
+// written back to nonvolatile memory on a backup, and dirtiness is
+// tracked at block granularity. A loop nest ordered for load locality
+// therefore scatters its stores across β_block/β_store times more blocks
+// than a store-major ordering, inflating backup traffic — a trade-off
+// that does not exist on conventional architectures.
+
+// LocalityParams parametrizes Eqs. 13–14.
+type LocalityParams struct {
+	Model Params // the underlying EH configuration (τ_B, α_B, σ_B, …)
+
+	AlphaLoad float64 // bytes read by the application per cycle
+	SigmaLoad float64 // NVM load bandwidth (bytes/cycle)
+	BetaBlock float64 // cache block size (bytes)
+	BetaLoad  float64 // bytes per load instruction
+	BetaStore float64 // bytes per store instruction
+}
+
+// Validate checks the locality-specific domains; the embedded model
+// parameters are validated separately by Params.Validate.
+func (lp LocalityParams) Validate() error {
+	if lp.AlphaLoad < 0 {
+		return fmt.Errorf("%w: α_load = %v", ErrNegative, lp.AlphaLoad)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"σ_load", lp.SigmaLoad},
+		{"β_block", lp.BetaBlock},
+		{"β_load", lp.BetaLoad},
+		{"β_store", lp.BetaStore},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("%w: %s = %v", ErrNonPositive, c.name, c.v)
+		}
+	}
+	if lp.BetaLoad > lp.BetaBlock || lp.BetaStore > lp.BetaBlock {
+		return errors.New("ehmodel: access width exceeds cache block size")
+	}
+	return nil
+}
+
+// OverheadRatio evaluates Eq. 13: the ratio of memory-overhead cycles of
+// a load-major loop to a store-major loop,
+//
+//	τ_lm/τ_sm = (α_load·τ_P/σ_load + (β_block/β_store)·n_B·α_B·τ_B/σ_B)
+//	            ───────────────────────────────────────────────────────
+//	            ((β_block/β_load)·α_load·τ_P/σ_load + n_B·α_B·τ_B/σ_B)
+//
+// A ratio above 1 means store-major ordering is faster on this
+// intermittent configuration.
+func (lp LocalityParams) OverheadRatio() float64 {
+	m := lp.Model
+	b := m.Breakdown()
+	loadCycles := lp.AlphaLoad * b.TauP / lp.SigmaLoad
+	backupCycles := b.NB * m.AlphaB * m.TauB / m.SigmaB
+	num := loadCycles + (lp.BetaBlock/lp.BetaStore)*backupCycles
+	den := (lp.BetaBlock/lp.BetaLoad)*loadCycles + backupCycles
+	return num / den
+}
+
+// StoreMajorWins evaluates the simplified condition of Eq. 14:
+//
+//	α_B·(β_block/β_store − 1)        σ_B
+//	────────────────────────────  >  ──────
+//	α_load·(β_block/β_load − 1)      σ_load
+//
+// i.e. store-major ordering helps when the application's write footprint
+// outweighs its read footprint, or when NVM backup bandwidth is poor
+// relative to read bandwidth (e.g. STT-RAM writes ~10× slower than
+// reads).
+func (lp LocalityParams) StoreMajorWins() bool {
+	lhs := lp.Model.AlphaB * (lp.BetaBlock/lp.BetaStore - 1)
+	rhs := lp.AlphaLoad * (lp.BetaBlock/lp.BetaLoad - 1) * lp.SigmaB() / lp.SigmaLoad
+	return lhs > rhs
+}
+
+// SigmaB exposes the backup bandwidth of the embedded model so callers
+// of the locality analysis need not reach through two levels.
+func (lp LocalityParams) SigmaB() float64 { return lp.Model.SigmaB }
+
+// FootprintRatio returns the left-hand side of Eq. 14 divided by the
+// dirty-vs-load footprint normalizer — a single scalar architects can
+// compare against σ_B/σ_load to see how far a workload is from the
+// crossover.
+func (lp LocalityParams) FootprintRatio() float64 {
+	return lp.Model.AlphaB * (lp.BetaBlock/lp.BetaStore - 1) /
+		(lp.AlphaLoad * (lp.BetaBlock/lp.BetaLoad - 1))
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// transposeLocality builds the matrix-transpose scenario of Listing 1:
+// equal read and write footprints, 4-byte accesses, 32-byte cache blocks.
+func transposeLocality() LocalityParams {
+	m := DefaultParams()
+	m.AlphaB = 0.5 // bytes written back per cycle
+	return LocalityParams{
+		Model:     m,
+		AlphaLoad: 0.5, // equal read footprint
+		SigmaLoad: 1,
+		BetaBlock: 32,
+		BetaLoad:  4,
+		BetaStore: 4,
+	}
+}
+
+func TestLocalityValidate(t *testing.T) {
+	lp := transposeLocality()
+	if err := lp.Validate(); err != nil {
+		t.Fatalf("valid locality params rejected: %v", err)
+	}
+	bad := lp
+	bad.BetaLoad = 64
+	if err := bad.Validate(); err == nil {
+		t.Fatal("access wider than block should be rejected")
+	}
+	bad = lp
+	bad.SigmaLoad = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero load bandwidth should be rejected")
+	}
+	bad = lp
+	bad.AlphaLoad = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative load footprint should be rejected")
+	}
+}
+
+// TestEqualFootprintsEqualBandwidth: the paper's takeaway for the
+// transpose example — with equal footprints and σ_load = σ_B, load-major
+// and store-major perform identically (ratio 1, no winner).
+func TestEqualFootprintsEqualBandwidth(t *testing.T) {
+	lp := transposeLocality()
+	if lp.StoreMajorWins() {
+		t.Error("store-major should not win with symmetric footprints and bandwidths")
+	}
+	if fr := lp.FootprintRatio(); !almostEq(fr, 1, 1e-12) {
+		t.Errorf("footprint ratio should be 1 for the transpose example, got %g", fr)
+	}
+}
+
+// TestSlowWritesFavourStoreMajor: with STT-RAM-like 10× slower writes
+// (σ_B = σ_load/10), store-major ordering wins (Sec. VI-A).
+func TestSlowWritesFavourStoreMajor(t *testing.T) {
+	lp := transposeLocality()
+	lp.Model.SigmaB = lp.SigmaLoad / 10
+	if !lp.StoreMajorWins() {
+		t.Error("store-major should win when NVM writes are 10× slower")
+	}
+}
+
+// TestWriteHeavyFavoursStoreMajor: a larger write footprint than read
+// footprint triggers condition 1 of Eq. 14.
+func TestWriteHeavyFavoursStoreMajor(t *testing.T) {
+	lp := transposeLocality()
+	lp.Model.AlphaB = 2 * lp.AlphaLoad
+	if !lp.StoreMajorWins() {
+		t.Error("store-major should win for write-heavy workloads")
+	}
+}
+
+// TestOverheadRatioConsistentWithWinner: Eq. 13's full ratio must agree
+// in direction with Eq. 14's simplified condition.
+func TestOverheadRatioConsistentWithWinner(t *testing.T) {
+	cases := []func(*LocalityParams){
+		func(lp *LocalityParams) {},                                      // symmetric
+		func(lp *LocalityParams) { lp.Model.SigmaB = lp.SigmaLoad / 10 }, // slow writes
+		func(lp *LocalityParams) { lp.Model.AlphaB = 4 * lp.AlphaLoad },  // write heavy
+		func(lp *LocalityParams) { lp.AlphaLoad = 4 * lp.Model.AlphaB },  // read heavy
+		func(lp *LocalityParams) { lp.Model.SigmaB = lp.SigmaLoad * 10 }, // fast writes
+	}
+	for i, mut := range cases {
+		lp := transposeLocality()
+		mut(&lp)
+		ratio := lp.OverheadRatio()
+		wins := lp.StoreMajorWins()
+		if wins && ratio <= 1 {
+			t.Errorf("case %d: Eq.14 says store-major wins but Eq.13 ratio = %g", i, ratio)
+		}
+		if !wins && ratio > 1+1e-9 {
+			t.Errorf("case %d: Eq.14 says no win but Eq.13 ratio = %g", i, ratio)
+		}
+	}
+}
+
+// TestLoadMajorPenaltyGrowsWithBlockSize: bigger cache blocks amplify the
+// dirty-data inflation of load-major ordering.
+func TestLoadMajorPenaltyGrowsWithBlockSize(t *testing.T) {
+	lp := transposeLocality()
+	lp.Model.SigmaB = lp.SigmaLoad / 10 // regime where backups dominate
+	prev := 0.0
+	for i, block := range []float64{8, 16, 32, 64, 128} {
+		lp.BetaBlock = block
+		r := lp.OverheadRatio()
+		if i > 0 && r <= prev {
+			t.Errorf("β_block=%v: ratio %g should exceed previous %g", block, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestOverheadRatioFinite(t *testing.T) {
+	lp := transposeLocality()
+	r := lp.OverheadRatio()
+	if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+		t.Fatalf("ratio should be a positive finite number, got %g", r)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeadModel selects how the model fills in τ_D, the number of dead cycles
+// executed after the last backup of an active period (Eq. 6).
+type DeadModel int
+
+const (
+	// DeadAverage is the paper's default: τ_D = τ_B/2.
+	DeadAverage DeadModel = iota
+	// DeadBest assumes a backup lands exactly at the end of the active
+	// period: τ_D = 0. Upper bound on progress.
+	DeadBest
+	// DeadWorst assumes the period ends just before the next backup:
+	// τ_D = τ_B. Lower bound on progress.
+	DeadWorst
+)
+
+func (d DeadModel) String() string {
+	switch d {
+	case DeadAverage:
+		return "average"
+	case DeadBest:
+		return "best"
+	case DeadWorst:
+		return "worst"
+	}
+	return fmt.Sprintf("DeadModel(%d)", int(d))
+}
+
+// TauD returns the dead cycles this model assumes for a given τ_B.
+func (d DeadModel) TauD(tauB float64) float64 {
+	switch d {
+	case DeadBest:
+		return 0
+	case DeadWorst:
+		return tauB
+	default:
+		return tauB / 2
+	}
+}
+
+// Breakdown is the model's full output: where the active period's energy
+// goes (Eq. 1) and the resulting progress.
+type Breakdown struct {
+	EP   float64 // energy spent on forward progress (Eq. 2)
+	EB   float64 // energy per backup (Eq. 4)
+	NB   float64 // number of backups in the period (Eq. 3)
+	ED   float64 // dead energy (Eq. 5)
+	ER   float64 // restore energy (Eq. 7)
+	TauP float64 // cycles of forward progress
+	TauD float64 // dead cycles assumed
+	P    float64 // forward progress p = ε·τ_P/E (Eq. 8)
+}
+
+// Residual returns E − (e_P + n_B·e_B + e_D + e_R), which Eq. 1 requires
+// to be zero. It is exposed so tests and callers can confirm the closed
+// form is energy-balanced.
+func (b Breakdown) Residual(e float64) float64 {
+	return e - (b.EP + b.NB*b.EB + b.ED + b.ER)
+}
+
+// EnergyPerBackup returns e_B of Eq. 4: the effective per-byte cost of
+// nonvolatile writes times the architectural plus accumulated application
+// state saved in one backup.
+func (pr Params) EnergyPerBackup() float64 {
+	return pr.wB() * (pr.AB + pr.AlphaB*pr.TauB)
+}
+
+// RestoreEnergy returns e_R of Eq. 7 for a given number of dead cycles:
+// restoring fixed architectural state plus cleaning up τ_D cycles of
+// uncommitted work.
+func (pr Params) RestoreEnergy(tauD float64) float64 {
+	return pr.wR() * (pr.AR + pr.AlphaR*tauD)
+}
+
+// DeadEnergy returns e_D of Eq. 5.
+func (pr Params) DeadEnergy(tauD float64) float64 {
+	return pr.epsEff() * tauD
+}
+
+// Progress evaluates Eq. 8 with the average dead-cycle assumption
+// (τ_D = τ_B/2). This is the model's headline output p ∈ [0, 1) for
+// ε_C = 0 (p can exceed 1 as ε_C → ε, since charging during the active
+// period adds energy beyond E).
+func (pr Params) Progress() float64 {
+	return pr.ProgressDead(DeadAverage)
+}
+
+// ProgressDead evaluates Eq. 8 under a chosen dead-cycle model.
+func (pr Params) ProgressDead(d DeadModel) float64 {
+	return pr.ProgressAtTauD(d.TauD(pr.TauB))
+}
+
+// ProgressAtTauD evaluates Eq. 8 for an explicit τ_D. Results are clamped
+// below at 0: parameter regimes where overheads exceed the supply make no
+// forward progress rather than negative progress.
+func (pr Params) ProgressAtTauD(tauD float64) float64 {
+	b := pr.BreakdownAtTauD(tauD)
+	return b.P
+}
+
+// ProgressBounds returns the best-case (τ_D = 0) and worst-case
+// (τ_D = τ_B) progress, the dashed bounds of the paper's Fig. 4/Fig. 5.
+func (pr Params) ProgressBounds() (lo, hi float64) {
+	return pr.ProgressDead(DeadWorst), pr.ProgressDead(DeadBest)
+}
+
+// Breakdown computes the full energy breakdown with the average
+// dead-cycle assumption.
+func (pr Params) Breakdown() Breakdown {
+	return pr.BreakdownAtTauD(DeadAverage.TauD(pr.TauB))
+}
+
+// BreakdownAtTauD computes the full energy breakdown for an explicit τ_D,
+// solving Eq. 1 for τ_P:
+//
+//	τ_P = (E − e_D − e_R) / ((ε − ε_C) + e_B/τ_B)
+//
+// which is algebraically identical to the paper's Eq. 8 once expressed as
+// p = ε·τ_P/E.
+func (pr Params) BreakdownAtTauD(tauD float64) Breakdown {
+	eB := pr.EnergyPerBackup()
+	eD := pr.DeadEnergy(tauD)
+	eR := pr.RestoreEnergy(tauD)
+	denom := pr.epsEff() + eB/pr.TauB
+	tauP := (pr.E - eD - eR) / denom
+	if tauP < 0 || math.IsNaN(tauP) {
+		tauP = 0
+	}
+	b := Breakdown{
+		EB:   eB,
+		NB:   tauP / pr.TauB,
+		ED:   eD,
+		ER:   eR,
+		TauP: tauP,
+		TauD: tauD,
+		EP:   pr.epsEff() * tauP,
+	}
+	b.P = pr.Epsilon * tauP / pr.E
+	return b
+}
+
+// TauP returns the cycles of forward progress per active period under the
+// average dead-cycle assumption.
+func (pr Params) TauP() float64 { return pr.Breakdown().TauP }
+
+// Backups returns n_B, the expected number of backups per active period
+// (Eq. 3) under the average dead-cycle assumption.
+func (pr Params) Backups() float64 { return pr.Breakdown().NB }
+
+// ActiveCycles returns the total cycles the model accounts for in one
+// active period: progress, dead, backup and restore time. Backup time is
+// the bytes written per backup divided by σ_B, restore time the bytes
+// read divided by σ_R.
+func (pr Params) ActiveCycles() float64 {
+	b := pr.Breakdown()
+	backupBytes := pr.AB + pr.AlphaB*pr.TauB
+	restoreBytes := pr.AR + pr.AlphaR*b.TauD
+	return b.TauP + b.TauD + b.NB*backupBytes/pr.SigmaB + restoreBytes/pr.SigmaR
+}

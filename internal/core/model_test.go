@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1)
+}
+
+func TestValidateDefault(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero E", func(p *Params) { p.E = 0 }},
+		{"negative E", func(p *Params) { p.E = -1 }},
+		{"zero epsilon", func(p *Params) { p.Epsilon = 0 }},
+		{"negative epsilonC", func(p *Params) { p.EpsilonC = -0.1 }},
+		{"zero tauB", func(p *Params) { p.TauB = 0 }},
+		{"zero sigmaB", func(p *Params) { p.SigmaB = 0 }},
+		{"negative omegaB", func(p *Params) { p.OmegaB = -1 }},
+		{"negative AB", func(p *Params) { p.AB = -1 }},
+		{"negative alphaB", func(p *Params) { p.AlphaB = -1 }},
+		{"zero sigmaR", func(p *Params) { p.SigmaR = 0 }},
+		{"negative omegaR", func(p *Params) { p.OmegaR = -1 }},
+		{"negative AR", func(p *Params) { p.AR = -1 }},
+		{"negative alphaR", func(p *Params) { p.AlphaR = -1 }},
+		{"NaN E", func(p *Params) { p.E = math.NaN() }},
+		{"Inf epsilon", func(p *Params) { p.Epsilon = math.Inf(1) }},
+		{"charge >= drain", func(p *Params) { p.EpsilonC = 1.5 }},
+		{"negative effective backup", func(p *Params) { p.EpsilonC = 0.5; p.OmegaB = 0.1; p.SigmaB = 0.2 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := DefaultParams()
+			c.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("expected validation error for %s, got nil (%v)", c.name, p)
+			}
+		})
+	}
+}
+
+// TestEnergyBalance verifies Eq. 1: the closed-form progress must be
+// consistent with E = e_P + n_B·e_B + e_D + e_R.
+func TestEnergyBalance(t *testing.T) {
+	p := DefaultParams()
+	for _, tauB := range []float64{0.5, 1, 2, 5, 10, 50, 99} {
+		b := p.WithTauB(tauB).Breakdown()
+		if b.TauP == 0 {
+			continue // clamped regime: no balance to check
+		}
+		if r := b.Residual(p.E); !almostEq(r+p.E, p.E, 1e-12) {
+			t.Errorf("τ_B=%v: energy balance residual %g", tauB, r)
+		}
+	}
+}
+
+// TestProgressMatchesPaperForm checks that the τ_P-based evaluation equals
+// Eq. 8 written exactly as in the paper.
+func TestProgressMatchesPaperForm(t *testing.T) {
+	p := DefaultParams()
+	p.EpsilonC = 0.2
+	p.OmegaR = 0.5
+	p.AR = 4
+	p.AlphaR = 0.05
+	for _, tauB := range []float64{1, 3, 7, 20} {
+		q := p.WithTauB(tauB)
+		tauD := tauB / 2
+		eB := (q.OmegaB - q.EpsilonC/q.SigmaB) * (q.AB + q.AlphaB*tauB)
+		eD := (q.Epsilon - q.EpsilonC) * tauD
+		eR := (q.OmegaR - q.EpsilonC/q.SigmaR) * (q.AR + q.AlphaR*tauD)
+		want := (1 - eD/q.E - eR/q.E) /
+			((1 + eB/((q.Epsilon-q.EpsilonC)*tauB)) * (1 - q.EpsilonC/q.Epsilon))
+		got := q.Progress()
+		if !almostEq(got, want, 1e-12) {
+			t.Errorf("τ_B=%v: Progress()=%g want Eq.8=%g", tauB, got, want)
+		}
+	}
+}
+
+func TestProgressBoundsOrdering(t *testing.T) {
+	p := DefaultParams()
+	for _, tauB := range []float64{1, 5, 20, 80} {
+		q := p.WithTauB(tauB)
+		lo, hi := q.ProgressBounds()
+		mid := q.Progress()
+		if !(lo <= mid && mid <= hi) {
+			t.Errorf("τ_B=%v: bounds not ordered: lo=%g mid=%g hi=%g", tauB, lo, mid, hi)
+		}
+	}
+}
+
+func TestProgressClampedToZero(t *testing.T) {
+	p := DefaultParams()
+	p.OmegaR = 1
+	p.AR = 1000 // restore alone exceeds the supply
+	if got := p.Progress(); got != 0 {
+		t.Fatalf("expected zero progress when restores exceed E, got %g", got)
+	}
+	b := p.Breakdown()
+	if b.TauP != 0 || b.NB != 0 {
+		t.Fatalf("expected clamped breakdown, got %+v", b)
+	}
+}
+
+// TestChargingIncreasesProgress: harvesting during the active period
+// always helps (ε_C < ε).
+func TestChargingIncreasesProgress(t *testing.T) {
+	base := DefaultParams()
+	withCharge := base
+	withCharge.EpsilonC = 0.3
+	if withCharge.Progress() <= base.Progress() {
+		t.Fatalf("charging should increase progress: %g vs %g",
+			withCharge.Progress(), base.Progress())
+	}
+}
+
+// TestChargingDivergence: p grows without bound as ε_C → ε (Sec. III).
+func TestChargingDivergence(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for _, ec := range []float64{0, 0.5, 0.9, 0.99, 0.999} {
+		q := p
+		q.EpsilonC = ec
+		got := q.Progress()
+		if got <= prev {
+			t.Fatalf("progress should increase monotonically toward divergence: ε_C=%v p=%g prev=%g", ec, got, prev)
+		}
+		prev = got
+	}
+	if prev < 10 {
+		t.Fatalf("progress should far exceed 1 as ε_C→ε; got %g", prev)
+	}
+}
+
+// TestReducingCostsHelps: the first takeaway of Fig. 2 — lower backup
+// cost is always at least as good.
+func TestReducingCostsHelps(t *testing.T) {
+	p := DefaultParams()
+	for _, tauB := range []float64{1, 5, 20} {
+		q := p.WithTauB(tauB)
+		expensive := q
+		expensive.OmegaB = 10
+		if expensive.Progress() > q.Progress() {
+			t.Errorf("τ_B=%v: higher Ω_B should not help", tauB)
+		}
+	}
+}
+
+func TestDeadModelTauD(t *testing.T) {
+	if got := DeadBest.TauD(10); got != 0 {
+		t.Errorf("best τ_D = %g, want 0", got)
+	}
+	if got := DeadWorst.TauD(10); got != 10 {
+		t.Errorf("worst τ_D = %g, want 10", got)
+	}
+	if got := DeadAverage.TauD(10); got != 5 {
+		t.Errorf("average τ_D = %g, want 5", got)
+	}
+}
+
+func TestDeadModelString(t *testing.T) {
+	for d, want := range map[DeadModel]string{
+		DeadAverage:  "average",
+		DeadBest:     "best",
+		DeadWorst:    "worst",
+		DeadModel(9): "DeadModel(9)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("DeadModel(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestActiveCyclesExceedsTauP(t *testing.T) {
+	p := DefaultParams()
+	b := p.Breakdown()
+	if ac := p.ActiveCycles(); ac <= b.TauP {
+		t.Fatalf("active cycles %g should exceed progress cycles %g", ac, b.TauP)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := DefaultParams().String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("unexpected String(): %q", s)
+	}
+}
+
+// TestBackupsCountMonotone: more time between backups means fewer
+// backups per period.
+func TestBackupsCountMonotone(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for _, tauB := range []float64{1, 2, 4, 8, 16} {
+		nb := p.WithTauB(tauB).Backups()
+		if nb >= prev {
+			t.Fatalf("n_B should fall as τ_B grows: τ_B=%v n_B=%g prev=%g", tauB, nb, prev)
+		}
+		prev = nb
+	}
+}
+
+// TestFreeBackupsFavourFrequent: as Ω_B → 0 the optimum shifts toward
+// backing up every cycle (Fig. 2's second takeaway).
+func TestFreeBackupsFavourFrequent(t *testing.T) {
+	p := DefaultParams()
+	p.OmegaB = 0
+	small := p.WithTauB(0.5).Progress()
+	large := p.WithTauB(50).Progress()
+	if small <= large {
+		t.Fatalf("free backups should favour small τ_B: p(0.5)=%g p(50)=%g", small, large)
+	}
+}

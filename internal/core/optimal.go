@@ -1,0 +1,117 @@
+package core
+
+import "math"
+
+// compulsoryRatio returns the ratio the paper identifies as governing the
+// optimal backup cadence:
+//
+//	Ω_B·A_B / (Ω_B·α_B + ε)
+//
+// The numerator is the compulsory energy per backup; the denominator the
+// energy proportional to work done since the last backup (Sec. IV-A1).
+func (pr Params) compulsoryRatio() float64 {
+	return pr.OmegaB * pr.AB / (pr.OmegaB*pr.AlphaB + pr.Epsilon)
+}
+
+// TauBOpt returns the optimal time between backups for the average
+// dead-cycle case (Eq. 9):
+//
+//	τ_B,opt = R·(√(2·(E/ε)·(1/R) + 1) − 1),  R = Ω_B·A_B/(Ω_B·α_B + ε)
+//
+// The closed form is exact under the paper's derivation assumptions
+// (ε_C = 0 and restore cost independent of τ_B); TauBOptNumeric maximizes
+// the full model when those assumptions do not hold. With A_B = 0 there
+// is no interior optimum — progress is monotonically non-increasing in
+// τ_B (Fig. 3) — and TauBOpt returns 0, meaning "back up as often as
+// possible".
+func (pr Params) TauBOpt() float64 {
+	r := pr.compulsoryRatio()
+	if r == 0 {
+		return 0
+	}
+	return r * (math.Sqrt(2*(pr.E/pr.Epsilon)/r+1) - 1)
+}
+
+// TauBOptWorstCase returns the optimal time between backups when
+// designing for the worst-case dead cycles τ_D = τ_B (Eq. 10):
+//
+//	τ_B,opt(wc) = R·(√((E/ε)·(1/R) + 1) − 1)
+//
+// The paper's takeaway: τ_B,opt(wc) < τ_B,opt always, so tail-latency
+// designs should back up more often than average-case designs.
+func (pr Params) TauBOptWorstCase() float64 {
+	r := pr.compulsoryRatio()
+	if r == 0 {
+		return 0
+	}
+	return r * (math.Sqrt((pr.E/pr.Epsilon)/r+1) - 1)
+}
+
+// TauBBit returns the time between backups at which reducing the
+// bit-precision of application state yields the largest progress gain,
+// i.e. the argmax of |∂p/∂α_B| over τ_B (Eq. 16):
+//
+//	τ_B,bit = (3/2)·R·(√((16/9)·(E/ε)·(1/R) + 1) − 1)
+func (pr Params) TauBBit() float64 {
+	r := pr.compulsoryRatio()
+	if r == 0 {
+		return 0
+	}
+	return 1.5 * r * (math.Sqrt((16.0/9.0)*(pr.E/pr.Epsilon)/r+1) - 1)
+}
+
+// TauBBreakEven returns the time between backups at which optimizing the
+// backup cost and optimizing the restore cost are equally profitable,
+// ∂p/∂e_B = ∂p/∂e_R (Eq. 11):
+//
+//	τ_B,be = (2/3)·(E − e_B − e_R)/ε
+//
+// Below the break-even point architects should reduce backup cost; above
+// it, restore cost (Sec. IV-A3). e_B and e_R are evaluated at the
+// receiver's current τ_B with average dead cycles.
+func (pr Params) TauBBreakEven() float64 {
+	eB := pr.EnergyPerBackup()
+	eR := pr.RestoreEnergy(DeadAverage.TauD(pr.TauB))
+	be := (2.0 / 3.0) * (pr.E - eB - eR) / pr.Epsilon
+	if be < 0 {
+		return 0
+	}
+	return be
+}
+
+// TauBOptNumeric maximizes the full Eq. 8 progress over τ_B by golden-
+// section search under the given dead-cycle model, honouring charging and
+// τ_D-dependent restore costs that the closed forms neglect. The search
+// covers τ_B ∈ [lo, hi]; it returns the argmax. The objective is
+// unimodal in the model's physical regimes.
+func (pr Params) TauBOptNumeric(d DeadModel, lo, hi float64) float64 {
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	f := func(tauB float64) float64 {
+		return pr.WithTauB(tauB).ProgressDead(d)
+	}
+	return goldenMax(f, lo, hi, 1e-10)
+}
+
+// goldenMax locates the maximum of a unimodal f on [lo, hi] to a relative
+// interval tolerance tol via golden-section search.
+func goldenMax(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949 // (√5 − 1)/2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 400 && (b-a) > tol*(math.Abs(a)+math.Abs(b)+1e-300); i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

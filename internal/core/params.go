@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the EH model inputs of Table I. The zero value is not
+// usable; construct via a composite literal and call Validate, or start
+// from DefaultParams and adjust.
+type Params struct {
+	// General parameters.
+	E        float64 // energy supply per active period (J), > 0
+	Epsilon  float64 // execution energy per cycle (J/cycle), > 0
+	EpsilonC float64 // charging energy per cycle (J/cycle), ≥ 0
+
+	// Backup parameters.
+	TauB   float64 // time between backups (cycles), > 0
+	SigmaB float64 // memory backup bandwidth (bytes/cycle), > 0
+	OmegaB float64 // backup energy cost (J/byte), ≥ 0
+	AB     float64 // architectural state per backup (bytes), ≥ 0
+	AlphaB float64 // application state per backup (bytes/cycle), ≥ 0
+
+	// Restore parameters.
+	SigmaR float64 // memory restore bandwidth (bytes/cycle), > 0
+	OmegaR float64 // restore energy cost (J/byte), ≥ 0
+	AR     float64 // architectural state per restore (bytes), ≥ 0
+	AlphaR float64 // application state per restore (bytes/cycle), ≥ 0
+}
+
+// DefaultParams returns the illustrative configuration the paper uses for
+// its exploration figures (Figs. 2–4): E=100, ε=1 (i.e., execution energy
+// is 1% of the supply), unit backup cost and architectural state,
+// α_B = 0.1 bytes/cycle, free restores, no charging, unit bandwidths.
+func DefaultParams() Params {
+	return Params{
+		E:        100,
+		Epsilon:  1,
+		EpsilonC: 0,
+		TauB:     10,
+		SigmaB:   1,
+		OmegaB:   1,
+		AB:       1,
+		AlphaB:   0.1,
+		SigmaR:   1,
+		OmegaR:   0,
+		AR:       0,
+		AlphaR:   0,
+	}
+}
+
+// Errors returned by Validate.
+var (
+	ErrNonPositive    = errors.New("ehmodel: parameter must be > 0")
+	ErrNegative       = errors.New("ehmodel: parameter must be ≥ 0")
+	ErrNotFinite      = errors.New("ehmodel: parameter must be finite")
+	ErrChargeExceeds  = errors.New("ehmodel: charging rate ε_C must be < execution rate ε")
+	ErrNegativeBackup = errors.New("ehmodel: effective backup cost Ω_B − ε_C/σ_B is negative")
+)
+
+// Validate reports whether the parameters satisfy the domain constraints
+// of Table I plus the model's well-formedness conditions (ε_C < ε so that
+// the capacitor actually drains, and non-negative effective backup and
+// restore costs so energy flows are physical).
+func (pr Params) Validate() error {
+	type check struct {
+		name string
+		v    float64
+		pos  bool // must be strictly positive
+	}
+	checks := []check{
+		{"E", pr.E, true},
+		{"ε", pr.Epsilon, true},
+		{"ε_C", pr.EpsilonC, false},
+		{"τ_B", pr.TauB, true},
+		{"σ_B", pr.SigmaB, true},
+		{"Ω_B", pr.OmegaB, false},
+		{"A_B", pr.AB, false},
+		{"α_B", pr.AlphaB, false},
+		{"σ_R", pr.SigmaR, true},
+		{"Ω_R", pr.OmegaR, false},
+		{"A_R", pr.AR, false},
+		{"α_R", pr.AlphaR, false},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("%w: %s = %v", ErrNotFinite, c.name, c.v)
+		}
+		if c.pos && c.v <= 0 {
+			return fmt.Errorf("%w: %s = %v", ErrNonPositive, c.name, c.v)
+		}
+		if !c.pos && c.v < 0 {
+			return fmt.Errorf("%w: %s = %v", ErrNegative, c.name, c.v)
+		}
+	}
+	if pr.EpsilonC >= pr.Epsilon {
+		return fmt.Errorf("%w: ε_C = %v, ε = %v", ErrChargeExceeds, pr.EpsilonC, pr.Epsilon)
+	}
+	if pr.wB() < 0 {
+		return fmt.Errorf("%w: Ω_B = %v, ε_C/σ_B = %v", ErrNegativeBackup, pr.OmegaB, pr.EpsilonC/pr.SigmaB)
+	}
+	if pr.wR() < 0 {
+		return fmt.Errorf("%w (restore): Ω_R = %v, ε_C/σ_R = %v", ErrNegativeBackup, pr.OmegaR, pr.EpsilonC/pr.SigmaR)
+	}
+	return nil
+}
+
+// wB is the effective per-byte backup cost Ω_B − ε_C/σ_B: writing a byte
+// costs Ω_B but the charger contributes ε_C for each of the 1/σ_B cycles
+// the write occupies (Eq. 4).
+func (pr Params) wB() float64 { return pr.OmegaB - pr.EpsilonC/pr.SigmaB }
+
+// wR is the effective per-byte restore cost Ω_R − ε_C/σ_R (Eq. 7).
+func (pr Params) wR() float64 { return pr.OmegaR - pr.EpsilonC/pr.SigmaR }
+
+// epsEff is the effective per-cycle drain ε − ε_C during execution.
+func (pr Params) epsEff() float64 { return pr.Epsilon - pr.EpsilonC }
+
+// WithTauB returns a copy of the parameters with the time between backups
+// replaced. It is the sweep variable of most of the paper's figures.
+func (pr Params) WithTauB(tauB float64) Params {
+	pr.TauB = tauB
+	return pr
+}
+
+// String renders the parameters compactly for logs and experiment headers.
+func (pr Params) String() string {
+	return fmt.Sprintf(
+		"EH{E=%g ε=%g ε_C=%g | τ_B=%g σ_B=%g Ω_B=%g A_B=%g α_B=%g | σ_R=%g Ω_R=%g A_R=%g α_R=%g}",
+		pr.E, pr.Epsilon, pr.EpsilonC,
+		pr.TauB, pr.SigmaB, pr.OmegaB, pr.AB, pr.AlphaB,
+		pr.SigmaR, pr.OmegaR, pr.AR, pr.AlphaR)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomParams draws a physically valid configuration from generator
+// values. The ranges cover several decades around the paper's regimes.
+func randomParams(r *rand.Rand) Params {
+	exp := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + r.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+	p := Params{
+		E:        exp(1, 1e6),
+		Epsilon:  exp(1e-3, 10),
+		EpsilonC: 0,
+		TauB:     exp(0.1, 1e5),
+		SigmaB:   exp(0.1, 100),
+		OmegaB:   exp(1e-4, 100),
+		AB:       exp(0.1, 1000),
+		AlphaB:   exp(1e-4, 10),
+		SigmaR:   exp(0.1, 100),
+		OmegaR:   exp(1e-4, 100),
+		AR:       exp(0.1, 1000),
+		AlphaR:   exp(1e-4, 10),
+	}
+	// half the draws get charging, capped safely below ε
+	if r.Intn(2) == 0 {
+		p.EpsilonC = r.Float64() * 0.9 * p.Epsilon
+		// keep effective backup/restore costs non-negative
+		if p.wB() < 0 {
+			p.OmegaB = p.EpsilonC/p.SigmaB + exp(1e-6, 1)
+		}
+		if p.wR() < 0 {
+			p.OmegaR = p.EpsilonC/p.SigmaR + exp(1e-6, 1)
+		}
+	}
+	return p
+}
+
+// quickCfg returns the shared configuration: parameters are generated
+// through randomParams rather than raw struct fuzzing so every case is
+// physically valid.
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomParams(r))
+			}
+		},
+	}
+}
+
+// Property: the closed form always satisfies the Eq. 1 energy balance.
+func TestPropEnergyBalance(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true // skip rare invalid draws
+		}
+		b := p.Breakdown()
+		if b.TauP == 0 {
+			return true // clamped: no balance claimed
+		}
+		return almostEq(b.Residual(p.E)+p.E, p.E, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: progress is never negative and, without charging, never
+// exceeds 1 (you cannot commit more work than the energy supply allows).
+func TestPropProgressRange(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		pNoCharge := p
+		pNoCharge.EpsilonC = 0
+		got := pNoCharge.Progress()
+		return got >= 0 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: best-case ≥ average ≥ worst-case progress for every valid
+// configuration (Fig. 4's bounds).
+func TestPropDeadCycleBounds(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		lo, hi := p.ProgressBounds()
+		mid := p.Progress()
+		return lo <= mid+1e-12 && mid <= hi+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: progress is monotone non-increasing in each overhead
+// parameter (Ω_B, A_B, α_B, Ω_R, A_R, α_R).
+func TestPropMonotoneInOverheads(t *testing.T) {
+	muts := map[string]func(*Params){
+		"OmegaB": func(p *Params) { p.OmegaB *= 2 },
+		"AB":     func(p *Params) { p.AB = p.AB*2 + 1 },
+		"AlphaB": func(p *Params) { p.AlphaB = p.AlphaB*2 + 0.01 },
+		"OmegaR": func(p *Params) { p.OmegaR *= 2 },
+		"AR":     func(p *Params) { p.AR = p.AR*2 + 1 },
+		"AlphaR": func(p *Params) { p.AlphaR = p.AlphaR*2 + 0.01 },
+	}
+	for name, mut := range muts {
+		f := func(p Params) bool {
+			if err := p.Validate(); err != nil {
+				return true
+			}
+			worse := p
+			mut(&worse)
+			return worse.Progress() <= p.Progress()+1e-12
+		}
+		if err := quick.Check(f, quickCfg()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: τ_B,opt(wc) < τ_B,opt whenever there is an interior optimum.
+func TestPropWorstCaseOptBelowAverage(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil || p.compulsoryRatio() == 0 {
+			return true
+		}
+		return p.TauBOptWorstCase() < p.TauBOpt()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Sec. VI-C dominance result — |∂p/∂α_B| ≥ |∂p/∂A_B| for
+// τ_B ≥ 1, regardless of the sizes of architectural/application state.
+func TestPropAlphaBSensitivityDominates(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		if p.TauB < 1 {
+			p.TauB += 1
+		}
+		return math.Abs(p.DPDAlphaB()) >= math.Abs(p.DPDAB())-1e-15
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closed-form derivatives match numeric central differences of
+// the full model (in the regime where restore cost is τ_D-independent,
+// which the closed forms assume).
+func TestPropDerivativesMatchNumeric(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		p.AlphaR = 0 // closed forms assume restore independent of τ_D
+		if p.Progress() <= 0 || p.Progress() >= 1e3 {
+			return true // clamped or divergent regimes have no smooth derivative
+		}
+		gotA := p.DPDAlphaB()
+		wantA := p.NumericPartial(func(q *Params, v float64) { q.AlphaB = v }, p.AlphaB)
+		if !almostEq(gotA, wantA, 1e-3) {
+			return false
+		}
+		gotB := p.DPDAB()
+		wantB := p.NumericPartial(func(q *Params, v float64) { q.AB = v }, p.AB)
+		return almostEq(gotB, wantB, 1e-3)
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 300
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single-backup closed form (Eq. 12) equals the exact energy-
+// balance solution.
+func TestPropSingleBackupConsistency(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		b := p.SingleBackupBreakdown()
+		return almostEq(b.P, p.ProgressSingleBackup(), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single-backup progress is an upper bound on the same
+// configuration's multi-backup progress whenever the multi-backup τ_B is
+// no longer than the single-backup active time (single backup avoids all
+// dead energy and pays the compulsory cost once).
+func TestPropSingleBackupBeatsFrequentMulti(t *testing.T) {
+	f := func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		single := p.ProgressSingleBackup()
+		multi := p.Progress()
+		// Only claim dominance when multi pays at least one full backup
+		// within its active period.
+		if b := p.Breakdown(); b.NB < 1 {
+			return true
+		}
+		return single >= multi-1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

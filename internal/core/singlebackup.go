@@ -1,0 +1,73 @@
+package core
+
+import "math"
+
+// Single-backup systems (Sec. IV-B) — e.g. Hibernus, QuickRecall and
+// threshold-triggered nonvolatile processors — invoke exactly one backup
+// per active period, just before the supply dies. The model degenerates
+// to τ_B = τ_P and τ_D = 0.
+
+// ProgressSingleBackup evaluates Eq. 12:
+//
+//	p = (1 − (Ω_B − ε_C/σ_B)·A_B/E − e_R/E)
+//	    ───────────────────────────────────────────────
+//	    (1 + (Ω_B − ε_C/σ_B)·α_B/(ε − ε_C))·(1 − ε_C/ε)
+//
+// The compulsory architectural cost becomes a one-time cost (numerator)
+// while the application-state cost, which accrues over the whole active
+// period, scales the denominator. τ_B is ignored. Restore energy is
+// evaluated at τ_D = 0 (no dead execution to clean up).
+func (pr Params) ProgressSingleBackup() float64 {
+	num := 1 - pr.wB()*pr.AB/pr.E - pr.RestoreEnergy(0)/pr.E
+	if num < 0 {
+		return 0
+	}
+	den := (1 + pr.wB()*pr.AlphaB/pr.epsEff()) * (1 - pr.EpsilonC/pr.Epsilon)
+	return num / den
+}
+
+// SingleBackupBreakdown returns the full energy accounting for a
+// single-backup system by solving the balance of Eq. 1 with n_B = 1,
+// e_B = w_B·(A_B + α_B·τ_P) and τ_D = 0 exactly (a fixed point in τ_P,
+// solved in closed form):
+//
+//	E − e_R = (ε − ε_C)·τ_P + w_B·(A_B + α_B·τ_P)
+//	τ_P = (E − e_R − w_B·A_B) / (ε − ε_C + w_B·α_B)
+//
+// Eq. 12 is this expression re-normalized; the two agree exactly.
+func (pr Params) SingleBackupBreakdown() Breakdown {
+	eR := pr.RestoreEnergy(0)
+	tauP := (pr.E - eR - pr.wB()*pr.AB) / (pr.epsEff() + pr.wB()*pr.AlphaB)
+	if tauP < 0 || math.IsNaN(tauP) {
+		tauP = 0
+	}
+	b := Breakdown{
+		EB:   pr.wB() * (pr.AB + pr.AlphaB*tauP),
+		NB:   1,
+		ED:   0,
+		ER:   eR,
+		TauP: tauP,
+		TauD: 0,
+		EP:   pr.epsEff() * tauP,
+	}
+	if tauP == 0 {
+		b.NB = 0
+		b.EB = 0
+	}
+	b.P = pr.Epsilon * tauP / pr.E
+	return b
+}
+
+// MonitorOverhead scales a single-backup progress estimate by the cost of
+// continuously monitoring the supply voltage for imminent power loss.
+// The paper notes ADC-based monitoring can cost up to 40% of the energy
+// budget (Sec. IV-B); overhead is that fraction in [0, 1).
+func MonitorOverhead(p, overhead float64) float64 {
+	if overhead < 0 {
+		overhead = 0
+	}
+	if overhead >= 1 {
+		return 0
+	}
+	return p * (1 - overhead)
+}

@@ -1,0 +1,76 @@
+package core
+
+import "math"
+
+// SweepPoint is one evaluated configuration in a parameter sweep.
+type SweepPoint struct {
+	X float64 // the swept parameter value
+	P float64 // progress at that value
+}
+
+// SweepTauB evaluates progress across times-between-backups, the x-axis
+// of the paper's Figs. 2–4. Values must be positive.
+func (pr Params) SweepTauB(values []float64, d DeadModel) []SweepPoint {
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		out = append(out, SweepPoint{X: v, P: pr.WithTauB(v).ProgressDead(d)})
+	}
+	return out
+}
+
+// SweepOmegaB evaluates progress across backup energy costs, the family
+// parameter of Fig. 2.
+func (pr Params) SweepOmegaB(values []float64, d DeadModel) []SweepPoint {
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		q := pr
+		q.OmegaB = v
+		out = append(out, SweepPoint{X: v, P: q.ProgressDead(d)})
+	}
+	return out
+}
+
+// LogSpace returns n values logarithmically spaced over [lo, hi]
+// inclusive. It is the canonical x-axis generator for the τ_B sweeps,
+// which span several decades. n must be ≥ 2 and 0 < lo < hi.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		t := float64(i) / float64(n-1)
+		out[i] = math.Exp(llo + t*(lhi-llo))
+	}
+	out[0], out[n-1] = lo, hi // exact endpoints despite rounding
+	return out
+}
+
+// LinSpace returns n values linearly spaced over [lo, hi] inclusive.
+// n must be ≥ 2 and hi > lo.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return nil
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// ArgmaxP returns the sweep point with the highest progress; useful for
+// locating the empirical sweet spot against TauBOpt. Returns a zero
+// point for an empty sweep.
+func ArgmaxP(points []SweepPoint) SweepPoint {
+	var best SweepPoint
+	for i, pt := range points {
+		if i == 0 || pt.P > best.P {
+			best = pt
+		}
+	}
+	return best
+}

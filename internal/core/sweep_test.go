@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(0.1, 1000, 5)
+	if len(v) != 5 {
+		t.Fatalf("len = %d, want 5", len(v))
+	}
+	if v[0] != 0.1 || v[4] != 1000 {
+		t.Errorf("endpoints %v, %v not exact", v[0], v[4])
+	}
+	for i := 1; i < len(v); i++ {
+		ratio := v[i] / v[i-1]
+		if !almostEq(ratio, 10, 1e-9) {
+			t.Errorf("step %d ratio = %g, want 10", i, ratio)
+		}
+	}
+	if LogSpace(0, 10, 5) != nil || LogSpace(10, 1, 5) != nil || LogSpace(1, 10, 1) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	v := LinSpace(0, 10, 6)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	for i := range want {
+		if !almostEq(v[i], want[i], 1e-12) {
+			t.Errorf("v[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+	if LinSpace(5, 5, 3) != nil || LinSpace(0, 1, 1) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestSweepTauBShape(t *testing.T) {
+	p := DefaultParams()
+	xs := LogSpace(0.1, 100, 50)
+	pts := p.SweepTauB(xs, DeadAverage)
+	if len(pts) != len(xs) {
+		t.Fatalf("len = %d, want %d", len(pts), len(xs))
+	}
+	for i, pt := range pts {
+		if pt.X != xs[i] {
+			t.Errorf("point %d x = %g, want %g", i, pt.X, xs[i])
+		}
+		if math.IsNaN(pt.P) || pt.P < 0 {
+			t.Errorf("point %d p = %g out of range", i, pt.P)
+		}
+	}
+}
+
+// TestSweepPeakNearTauBOpt: the empirical argmax of a fine τ_B sweep must
+// straddle the closed-form optimum.
+func TestSweepPeakNearTauBOpt(t *testing.T) {
+	p := DefaultParams()
+	xs := LogSpace(0.01, 200, 4000)
+	best := ArgmaxP(p.SweepTauB(xs, DeadAverage))
+	opt := p.TauBOpt()
+	if math.Abs(best.X-opt)/opt > 0.02 {
+		t.Fatalf("sweep peak at %g, closed form at %g", best.X, opt)
+	}
+}
+
+func TestSweepOmegaBMonotone(t *testing.T) {
+	p := DefaultParams()
+	pts := p.SweepOmegaB([]float64{0.01, 0.1, 1, 10}, DeadAverage)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P > pts[i-1].P {
+			t.Errorf("progress should fall with Ω_B: %v then %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestArgmaxPEmpty(t *testing.T) {
+	got := ArgmaxP(nil)
+	if got.X != 0 || got.P != 0 {
+		t.Fatalf("empty argmax should be zero point, got %+v", got)
+	}
+}
+
+func TestMonitorOverhead(t *testing.T) {
+	if got := MonitorOverhead(0.8, 0.4); !almostEq(got, 0.48, 1e-12) {
+		t.Errorf("40%% ADC overhead on 0.8: got %g, want 0.48", got)
+	}
+	if got := MonitorOverhead(0.8, 0); got != 0.8 {
+		t.Errorf("no overhead: got %g", got)
+	}
+	if got := MonitorOverhead(0.8, -1); got != 0.8 {
+		t.Errorf("negative overhead clamps: got %g", got)
+	}
+	if got := MonitorOverhead(0.8, 1); got != 0 {
+		t.Errorf("total overhead: got %g, want 0", got)
+	}
+}

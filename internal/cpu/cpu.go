@@ -1,0 +1,322 @@
+// Package cpu implements the cycle-level EH32 interpreter. The core is
+// deliberately small and deterministic: every Step reports exactly how
+// many cycles it took, which power class it belongs to, and what memory
+// it touched — the raw quantities the intermittent-device simulator and
+// the EH model's parameters (ε, α_B, τ_B) are built from.
+package cpu
+
+import (
+	"fmt"
+
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+)
+
+// Memory is the data address space the core executes against.
+// *mem.System satisfies it.
+type Memory interface {
+	LoadWord(addr uint32) (uint32, error)
+	StoreWord(addr uint32, v uint32) error
+	LoadByte(addr uint32) (byte, error)
+	StoreByte(addr uint32, v byte) error
+}
+
+// Cycle costs per instruction kind. Loads and stores take two cycles —
+// the FRAM word access time at 16 MHz the paper cites (§III).
+const (
+	cyclesALU    = 1
+	cyclesMul    = 2
+	cyclesDiv    = 8
+	cyclesMem    = 2
+	cyclesBranch = 1 // +1 when taken
+	cyclesJump   = 2
+	cyclesSys    = 1
+)
+
+// Access describes one data-memory access made by an instruction.
+type Access struct {
+	Addr  uint32
+	Size  uint8 // bytes: 1 or 4
+	Store bool
+}
+
+// Step reports what a single executed instruction did.
+type Step struct {
+	Instr  isa.Instr
+	Cycles uint64
+	Class  energy.InstrClass
+	Access *Access // nil when no data memory was touched
+	Sys    isa.Sys // valid when HasSys
+	HasSys bool
+	Taken  bool // branch taken / jump executed
+}
+
+// Core is the architectural state of one EH32 hart. The zero value is a
+// reset core at PC 0.
+type Core struct {
+	PC       uint32
+	Regs     [isa.NumRegs]uint32
+	SenseSeq uint32   // next deterministic sensor sample index
+	OutBuf   []uint32 // volatile output buffer, commits on backup
+	Halted   bool
+}
+
+// Snapshot returns a deep copy of the architectural state; it is the
+// register-file payload of a checkpoint.
+func (c *Core) Snapshot() Core {
+	cp := *c
+	cp.OutBuf = append([]uint32(nil), c.OutBuf...)
+	return cp
+}
+
+// Restore reinstates a snapshot taken by Snapshot.
+func (c *Core) Restore(snap Core) {
+	*c = snap
+	c.OutBuf = append([]uint32(nil), snap.OutBuf...)
+}
+
+// Reset returns the core to power-on state with corrupted registers,
+// modelling the loss of volatile state at a power failure.
+func (c *Core) Reset() {
+	const corrupt = 0xABABABAB
+	c.PC = corrupt
+	for i := range c.Regs {
+		c.Regs[i] = corrupt
+	}
+	c.Regs[0] = 0
+	c.SenseSeq = corrupt
+	c.OutBuf = nil
+	c.Halted = false
+}
+
+// ArchStateBytes is the size of the architectural state a full-register
+// checkpoint saves: 16 registers, the PC and the sensor sequence
+// counter, 4 bytes each.
+const ArchStateBytes = (isa.NumRegs + 2) * 4
+
+// SenseValue derives the deterministic sensor sample for index i. It is
+// a splitmix64-style hash so replay after a restore reads identical
+// values, keeping intermittent and continuous executions equivalent.
+// Workload reference oracles use it to predict SysSense results.
+func SenseValue(i uint32) uint32 {
+	z := uint64(i) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return uint32(z ^ (z >> 31))
+}
+
+// setReg writes a register honouring the hardwired zero.
+func (c *Core) setReg(r isa.Reg, v uint32) {
+	if r != isa.R0 {
+		c.Regs[r] = v
+	}
+}
+
+// Step executes one instruction from code against m. The returned Step
+// carries the cycle/energy accounting. Executing on a halted core or
+// with the PC outside code is an error.
+func (c *Core) Step(code []isa.Instr, m Memory) (Step, error) {
+	if c.Halted {
+		return Step{}, fmt.Errorf("cpu: step on halted core")
+	}
+	if int(c.PC) >= len(code) {
+		return Step{}, fmt.Errorf("cpu: PC %d outside code (%d instructions)", c.PC, len(code))
+	}
+	in := code[c.PC]
+	st := Step{Instr: in, Cycles: cyclesALU, Class: energy.ClassALU}
+	next := c.PC + 1
+
+	rs1 := c.Regs[in.Rs1]
+	rs2 := c.Regs[in.Rs2]
+	rd := c.Regs[in.Rd]
+	imm := uint32(in.Imm)
+
+	switch in.Op {
+	case isa.ADD:
+		c.setReg(in.Rd, rs1+rs2)
+	case isa.SUB:
+		c.setReg(in.Rd, rs1-rs2)
+	case isa.AND:
+		c.setReg(in.Rd, rs1&rs2)
+	case isa.OR:
+		c.setReg(in.Rd, rs1|rs2)
+	case isa.XOR:
+		c.setReg(in.Rd, rs1^rs2)
+	case isa.SLL:
+		c.setReg(in.Rd, rs1<<(rs2&31))
+	case isa.SRL:
+		c.setReg(in.Rd, rs1>>(rs2&31))
+	case isa.SRA:
+		c.setReg(in.Rd, uint32(int32(rs1)>>(rs2&31)))
+	case isa.SLT:
+		c.setReg(in.Rd, boolTo(int32(rs1) < int32(rs2)))
+	case isa.SLTU:
+		c.setReg(in.Rd, boolTo(rs1 < rs2))
+	case isa.MUL:
+		st.Cycles = cyclesMul
+		c.setReg(in.Rd, rs1*rs2)
+	case isa.DIV:
+		st.Cycles = cyclesDiv
+		c.setReg(in.Rd, div32(rs1, rs2))
+	case isa.REM:
+		st.Cycles = cyclesDiv
+		c.setReg(in.Rd, rem32(rs1, rs2))
+
+	case isa.ADDI:
+		c.setReg(in.Rd, rs1+imm)
+	case isa.ANDI:
+		c.setReg(in.Rd, rs1&imm)
+	case isa.ORI:
+		c.setReg(in.Rd, rs1|imm)
+	case isa.XORI:
+		c.setReg(in.Rd, rs1^imm)
+	case isa.SLLI:
+		c.setReg(in.Rd, rs1<<(imm&31))
+	case isa.SRLI:
+		c.setReg(in.Rd, rs1>>(imm&31))
+	case isa.SRAI:
+		c.setReg(in.Rd, uint32(int32(rs1)>>(imm&31)))
+	case isa.SLTI:
+		c.setReg(in.Rd, boolTo(int32(rs1) < in.Imm))
+	case isa.LUI:
+		c.setReg(in.Rd, imm<<14)
+
+	case isa.LW, isa.LB, isa.LBU:
+		st.Cycles = cyclesMem
+		st.Class = energy.ClassMem
+		addr := rs1 + imm
+		size := uint8(4)
+		var v uint32
+		var err error
+		switch in.Op {
+		case isa.LW:
+			v, err = m.LoadWord(addr)
+		case isa.LB:
+			var b byte
+			b, err = m.LoadByte(addr)
+			v = uint32(int32(int8(b)))
+			size = 1
+		case isa.LBU:
+			var b byte
+			b, err = m.LoadByte(addr)
+			v = uint32(b)
+			size = 1
+		}
+		if err != nil {
+			return Step{}, fmt.Errorf("cpu: pc %d: %w", c.PC, err)
+		}
+		c.setReg(in.Rd, v)
+		st.Access = &Access{Addr: addr, Size: size}
+
+	case isa.SW, isa.SB:
+		st.Cycles = cyclesMem
+		st.Class = energy.ClassMem
+		addr := rs1 + imm
+		var err error
+		size := uint8(4)
+		if in.Op == isa.SW {
+			err = m.StoreWord(addr, rd)
+		} else {
+			err = m.StoreByte(addr, byte(rd))
+			size = 1
+		}
+		if err != nil {
+			return Step{}, fmt.Errorf("cpu: pc %d: %w", c.PC, err)
+		}
+		st.Access = &Access{Addr: addr, Size: size, Store: true}
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		st.Cycles = cyclesBranch
+		a, b := rd, rs1 // branches compare the Rd and Rs1 fields
+		var taken bool
+		switch in.Op {
+		case isa.BEQ:
+			taken = a == b
+		case isa.BNE:
+			taken = a != b
+		case isa.BLT:
+			taken = int32(a) < int32(b)
+		case isa.BGE:
+			taken = int32(a) >= int32(b)
+		case isa.BLTU:
+			taken = a < b
+		case isa.BGEU:
+			taken = a >= b
+		}
+		if taken {
+			st.Cycles++
+			st.Taken = true
+			next = c.PC + uint32(in.Imm)
+		}
+
+	case isa.JAL:
+		st.Cycles = cyclesJump
+		st.Taken = true
+		c.setReg(in.Rd, c.PC+1)
+		next = uint32(in.Imm)
+
+	case isa.JALR:
+		st.Cycles = cyclesJump
+		st.Taken = true
+		c.setReg(in.Rd, c.PC+1)
+		next = rs1 + imm
+
+	case isa.SYS:
+		st.Cycles = cyclesSys
+		st.HasSys = true
+		st.Sys = isa.Sys(in.Imm)
+		switch st.Sys {
+		case isa.SysHalt:
+			c.Halted = true
+			next = c.PC // stay put; device commits final state
+		case isa.SysOut:
+			c.OutBuf = append(c.OutBuf, rs1)
+		case isa.SysSense:
+			c.setReg(in.Rd, SenseValue(c.SenseSeq))
+			c.SenseSeq++
+		case isa.SysChkpt, isa.SysTaskBegin, isa.SysTaskEnd:
+			// semantics belong to the runtime strategy
+		default:
+			return Step{}, fmt.Errorf("cpu: pc %d: unknown syscall %d", c.PC, in.Imm)
+		}
+
+	default:
+		return Step{}, fmt.Errorf("cpu: pc %d: unimplemented op %v", c.PC, in.Op)
+	}
+
+	c.PC = next
+	return st, nil
+}
+
+func boolTo(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// div32 implements signed division with RISC-V edge semantics:
+// x/0 = −1 (all ones) and INT_MIN/−1 = INT_MIN.
+func div32(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xFFFFFFFF
+	}
+	sa, sb := int32(a), int32(b)
+	if sa == -1<<31 && sb == -1 {
+		return a
+	}
+	return uint32(sa / sb)
+}
+
+// rem32 implements signed remainder with RISC-V edge semantics:
+// x%0 = x and INT_MIN%−1 = 0.
+func rem32(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	sa, sb := int32(a), int32(b)
+	if sa == -1<<31 && sb == -1 {
+		return 0
+	}
+	return uint32(sa % sb)
+}

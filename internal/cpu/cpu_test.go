@@ -1,0 +1,401 @@
+package cpu
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/mem"
+)
+
+// runProgram builds, assembles and executes a program to completion (or
+// maxSteps), returning the core and memory for inspection.
+func runProgram(t *testing.T, build func(*asm.Builder), maxSteps int) (*Core, *mem.System) {
+	t.Helper()
+	b := asm.New(t.Name())
+	build(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mem.NewSystem(4096, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteSRAMImage(p.SRAMImage); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFRAMImage(p.FRAMImage); err != nil {
+		t.Fatal(err)
+	}
+	c := &Core{}
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		if _, err := c.Step(p.Code, m); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt within %d steps", maxSteps)
+	}
+	return c, m
+}
+
+func TestArithmetic(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 20)
+		b.Li(isa.R2, 7)
+		b.Add(isa.R3, isa.R1, isa.R2)  // 27
+		b.Sub(isa.R4, isa.R1, isa.R2)  // 13
+		b.Mul(isa.R5, isa.R1, isa.R2)  // 140
+		b.Div(isa.R6, isa.R1, isa.R2)  // 2
+		b.Rem(isa.R7, isa.R1, isa.R2)  // 6
+		b.And(isa.R8, isa.R1, isa.R2)  // 4
+		b.Or(isa.R9, isa.R1, isa.R2)   // 23
+		b.Xor(isa.R10, isa.R1, isa.R2) // 19
+		b.Halt()
+	}, 100)
+	want := map[isa.Reg]uint32{
+		isa.R3: 27, isa.R4: 13, isa.R5: 140, isa.R6: 2,
+		isa.R7: 6, isa.R8: 4, isa.R9: 23, isa.R10: 19,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%v = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 0x80000000)
+		b.Li(isa.R2, 4)
+		b.Srl(isa.R3, isa.R1, isa.R2)  // logical: 0x08000000
+		b.Sra(isa.R4, isa.R1, isa.R2)  // arithmetic: 0xF8000000
+		b.Sll(isa.R5, isa.R2, isa.R2)  // 64
+		b.Slt(isa.R6, isa.R1, isa.R2)  // signed: -2^31 < 4 → 1
+		b.Sltu(isa.R7, isa.R1, isa.R2) // unsigned: big ≥ 4 → 0
+		b.Slti(isa.R8, isa.R2, 5)      // 4 < 5 → 1
+		b.Srai(isa.R9, isa.R1, 1)      // 0xC0000000
+		b.Srli(isa.R10, isa.R1, 1)     // 0x40000000
+		b.Slli(isa.R11, isa.R2, 2)     // 16
+		b.Halt()
+	}, 100)
+	want := map[isa.Reg]uint32{
+		isa.R3: 0x08000000, isa.R4: 0xF8000000, isa.R5: 64,
+		isa.R6: 1, isa.R7: 0, isa.R8: 1,
+		isa.R9: 0xC0000000, isa.R10: 0x40000000, isa.R11: 16,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 10)
+		b.Li(isa.R2, 0)
+		b.Div(isa.R3, isa.R1, isa.R2) // /0 → all ones
+		b.Rem(isa.R4, isa.R1, isa.R2) // %0 → dividend
+		b.Li(isa.R5, 0x80000000)      // INT_MIN
+		b.Li(isa.R6, 0xFFFFFFFF)      // −1
+		b.Div(isa.R7, isa.R5, isa.R6) // overflow → INT_MIN
+		b.Rem(isa.R8, isa.R5, isa.R6) // overflow → 0
+		b.Halt()
+	}, 100)
+	if c.Regs[isa.R3] != 0xFFFFFFFF {
+		t.Errorf("div by zero = %#x", c.Regs[isa.R3])
+	}
+	if c.Regs[isa.R4] != 10 {
+		t.Errorf("rem by zero = %d", c.Regs[isa.R4])
+	}
+	if c.Regs[isa.R7] != 0x80000000 {
+		t.Errorf("overflow div = %#x", c.Regs[isa.R7])
+	}
+	if c.Regs[isa.R8] != 0 {
+		t.Errorf("overflow rem = %d", c.Regs[isa.R8])
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Addi(isa.R0, isa.R0, 42)
+		b.Add(isa.R1, isa.R0, isa.R0)
+		b.Halt()
+	}, 10)
+	if c.Regs[isa.R0] != 0 || c.Regs[isa.R1] != 0 {
+		t.Errorf("r0 = %d, r1 = %d; r0 must stay 0", c.Regs[isa.R0], c.Regs[isa.R1])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c, m := runProgram(t, func(b *asm.Builder) {
+		b.Seg(asm.SRAM)
+		b.Word("w", 0)
+		b.Seg(asm.FRAM)
+		b.Word("nv", 0)
+		b.La(isa.R1, "w")
+		b.Li(isa.R2, 0x11223344)
+		b.Sw(isa.R2, isa.R1, 0)
+		b.Lw(isa.R3, isa.R1, 0)
+		b.Lb(isa.R4, isa.R1, 3)  // sign-extended 0x11
+		b.Lbu(isa.R5, isa.R1, 0) // zero-extended 0x44
+		b.Sb(isa.R2, isa.R1, 0)  // low byte only
+		b.La(isa.R6, "nv")
+		b.Sw(isa.R2, isa.R6, 0)
+		b.Halt()
+	}, 100)
+	if c.Regs[isa.R3] != 0x11223344 {
+		t.Errorf("lw = %#x", c.Regs[isa.R3])
+	}
+	if c.Regs[isa.R4] != 0x11 {
+		t.Errorf("lb = %#x", c.Regs[isa.R4])
+	}
+	if c.Regs[isa.R5] != 0x44 {
+		t.Errorf("lbu = %#x", c.Regs[isa.R5])
+	}
+	v, _ := m.LoadWord(mem.FRAMBase)
+	if v != 0x11223344 {
+		t.Errorf("fram word = %#x", v)
+	}
+}
+
+func TestSignExtendedLoadByte(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Seg(asm.SRAM)
+		b.Word("w", 0x000000F0)
+		b.La(isa.R1, "w")
+		b.Lb(isa.R2, isa.R1, 0)  // 0xF0 → sign-extends to 0xFFFFFFF0
+		b.Lbu(isa.R3, isa.R1, 0) // 0xF0 stays
+		b.Halt()
+	}, 20)
+	if c.Regs[isa.R2] != 0xFFFFFFF0 {
+		t.Errorf("lb = %#x", c.Regs[isa.R2])
+	}
+	if c.Regs[isa.R3] != 0xF0 {
+		t.Errorf("lbu = %#x", c.Regs[isa.R3])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 0)  // i
+		b.Li(isa.R2, 10) // limit
+		b.Li(isa.R3, 0)  // sum
+		b.Label("top")
+		b.Add(isa.R3, isa.R3, isa.R1)
+		b.Addi(isa.R1, isa.R1, 1)
+		b.Blt(isa.R1, isa.R2, "top")
+		b.Halt()
+	}, 1000)
+	if c.Regs[isa.R3] != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", c.Regs[isa.R3])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c, _ := runProgram(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 5)
+		b.Call("double")
+		b.Out(isa.R2)
+		b.Halt()
+		b.Label("double")
+		b.Add(isa.R2, isa.R1, isa.R1)
+		b.Ret()
+	}, 100)
+	if c.Regs[isa.R2] != 10 {
+		t.Errorf("double(5) = %d", c.Regs[isa.R2])
+	}
+	if len(c.OutBuf) != 1 || c.OutBuf[0] != 10 {
+		t.Errorf("out buffer = %v", c.OutBuf)
+	}
+}
+
+func TestSenseDeterministicAndSequential(t *testing.T) {
+	run := func() (uint32, uint32) {
+		c, _ := runProgram(t, func(b *asm.Builder) {
+			b.Sense(isa.R1)
+			b.Sense(isa.R2)
+			b.Halt()
+		}, 10)
+		return c.Regs[isa.R1], c.Regs[isa.R2]
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Error("sensor values not deterministic across runs")
+	}
+	if a1 == a2 {
+		t.Error("consecutive sensor samples should differ")
+	}
+}
+
+func TestSenseReplayAfterRestore(t *testing.T) {
+	// A sense, a snapshot, another sense; restoring the snapshot must
+	// replay the second sense with the identical value.
+	b := asm.New("sense")
+	b.Sense(isa.R1)
+	b.Sense(isa.R2)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mem.NewSystem(4096, 4096)
+	c := &Core{}
+	if _, err := c.Step(p.Code, m); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if _, err := c.Step(p.Code, m); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Regs[isa.R2]
+	c.Restore(snap)
+	if _, err := c.Step(p.Code, m); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R2] != first {
+		t.Errorf("replayed sense %#x != original %#x", c.Regs[isa.R2], first)
+	}
+}
+
+func TestStepAccounting(t *testing.T) {
+	b := asm.New("acct")
+	b.Seg(asm.SRAM)
+	b.Word("w", 0)
+	b.Addi(isa.R1, isa.R0, 1) // alu, 1 cycle
+	b.Mul(isa.R2, isa.R1, isa.R1)
+	b.Div(isa.R3, isa.R1, isa.R1)
+	b.La(isa.R4, "w")
+	b.Lw(isa.R5, isa.R4, 0)
+	b.Sw(isa.R5, isa.R4, 0)
+	b.Beq(isa.R0, isa.R1, "skip") // not taken
+	b.Label("skip")
+	b.Beq(isa.R0, isa.R0, "skip2") // taken
+	b.Label("skip2")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mem.NewSystem(4096, 4096)
+	c := &Core{}
+
+	type expect struct {
+		cycles uint64
+		class  energy.InstrClass
+		store  bool
+		mem    bool
+	}
+	wants := []expect{
+		{1, energy.ClassALU, false, false}, // addi
+		{2, energy.ClassALU, false, false}, // mul
+		{8, energy.ClassALU, false, false}, // div
+		{1, energy.ClassALU, false, false}, // la → addi
+		{2, energy.ClassMem, false, true},  // lw
+		{2, energy.ClassMem, true, true},   // sw
+		{1, energy.ClassALU, false, false}, // beq not taken
+		{2, energy.ClassALU, false, false}, // beq taken
+		{1, energy.ClassALU, false, false}, // halt
+	}
+	for i, w := range wants {
+		st, err := c.Step(p.Code, m)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if st.Cycles != w.cycles {
+			t.Errorf("step %d (%v): cycles %d, want %d", i, st.Instr.Op, st.Cycles, w.cycles)
+		}
+		if st.Class != w.class {
+			t.Errorf("step %d: class %v, want %v", i, st.Class, w.class)
+		}
+		if (st.Access != nil) != w.mem {
+			t.Errorf("step %d: access %v, want mem=%v", i, st.Access, w.mem)
+		}
+		if st.Access != nil && st.Access.Store != w.store {
+			t.Errorf("step %d: store %v", i, st.Access.Store)
+		}
+	}
+	if !c.Halted {
+		t.Error("core should be halted")
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m, _ := mem.NewSystem(4096, 4096)
+	halted := &Core{Halted: true}
+	if _, err := halted.Step([]isa.Instr{{Op: isa.ADD}}, m); err == nil {
+		t.Error("step on halted core accepted")
+	}
+	runaway := &Core{PC: 5}
+	if _, err := runaway.Step([]isa.Instr{{Op: isa.ADD}}, m); err == nil {
+		t.Error("PC past code accepted")
+	}
+	badSys := &Core{}
+	if _, err := badSys.Step([]isa.Instr{{Op: isa.SYS, Imm: 99}}, m); err == nil {
+		t.Error("unknown syscall accepted")
+	}
+	badMem := &Core{}
+	if _, err := badMem.Step([]isa.Instr{{Op: isa.LW, Rs1: isa.R0, Imm: int32(0x1FFFC)}}, m); err == nil {
+		t.Error("unmapped load accepted")
+	}
+}
+
+func TestSnapshotRestoreIsolation(t *testing.T) {
+	c := &Core{}
+	c.OutBuf = append(c.OutBuf, 1)
+	snap := c.Snapshot()
+	c.OutBuf = append(c.OutBuf, 2)
+	c.Regs[1] = 99
+	c.Restore(snap)
+	if len(c.OutBuf) != 1 || c.OutBuf[0] != 1 {
+		t.Errorf("restored outbuf %v", c.OutBuf)
+	}
+	if c.Regs[1] != 0 {
+		t.Errorf("restored reg %d", c.Regs[1])
+	}
+	// mutating the restored core must not touch the snapshot
+	c.OutBuf[0] = 77
+	if snap.OutBuf[0] == 77 {
+		t.Error("restore aliased the snapshot's output buffer")
+	}
+}
+
+func TestResetCorrupts(t *testing.T) {
+	c := &Core{}
+	c.Regs[3] = 42
+	c.PC = 7
+	c.Reset()
+	if c.Regs[3] == 42 || c.PC == 7 {
+		t.Error("reset did not corrupt volatile state")
+	}
+	if c.Regs[0] != 0 {
+		t.Error("r0 must remain 0 after reset")
+	}
+	if c.Halted {
+		t.Error("reset core should not be halted")
+	}
+}
+
+func TestHaltStaysPut(t *testing.T) {
+	b := asm.New("halt")
+	b.Halt()
+	p, _ := b.Assemble()
+	m, _ := mem.NewSystem(4096, 4096)
+	c := &Core{}
+	if _, err := c.Step(p.Code, m); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted || c.PC != 0 {
+		t.Errorf("halt: halted=%v pc=%d", c.Halted, c.PC)
+	}
+}
+
+func TestArchStateBytes(t *testing.T) {
+	if ArchStateBytes != 72 {
+		t.Errorf("arch state = %d bytes, want 72 (16 regs + pc + sense)", ArchStateBytes)
+	}
+}

@@ -1,0 +1,152 @@
+package device
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// cacheFlushStrategy checkpoints on a fixed interval, flushing the
+// cache with a dirty-sized payload — a minimal cache-aware runtime for
+// unit-testing the device's cache plumbing.
+type cacheFlushStrategy struct {
+	nullStrategy
+	k uint64
+}
+
+func (s cacheFlushStrategy) PostStep(d *Device, _ cpu.Step) *Payload {
+	if d.ExecSinceBackup() < s.k {
+		return nil
+	}
+	return &Payload{
+		ArchBytes:  cpu.ArchStateBytes,
+		AppBytes:   d.Cache().DirtyBytes(),
+		FlushCache: true,
+	}
+}
+func (s cacheFlushStrategy) FinalPayload(d *Device) Payload {
+	return Payload{ArchBytes: cpu.ArchStateBytes, AppBytes: d.Cache().DirtyBytes(), FlushCache: true}
+}
+
+// strideProgram walks an array of n words with the given word stride,
+// storing to each location visited.
+func strideProgram(t *testing.T, words, stride, iters int) *asm.Program {
+	t.Helper()
+	b := asm.New("stride")
+	b.Seg(asm.FRAM)
+	b.Space("arr", 4*words)
+	b.La(isa.R1, "arr")
+	b.Li(isa.R2, uint32(iters))
+	b.Label("outer")
+	b.Li(isa.R3, 0) // word index
+	b.Label("walk")
+	b.Slli(isa.TR, isa.R3, 2)
+	b.Add(isa.TR, isa.TR, isa.R1)
+	b.Sw(isa.R2, isa.TR, 0)
+	b.Addi(isa.R3, isa.R3, int32(stride))
+	b.Li(isa.R4, uint32(words))
+	b.Blt(isa.R3, isa.R4, "walk")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "outer")
+	b.Out(isa.R2)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheConfiguredAndFlushed: with a cache, dirty payloads appear in
+// backups and flushing clears them.
+func TestCacheConfiguredAndFlushed(t *testing.T) {
+	prog := strideProgram(t, 64, 1, 20)
+	cfg := fixedConfig(t, prog, 1.0)
+	cfg.CacheBlockSize = 32
+	cfg.CacheSets = 16
+	cfg.CacheWays = 2
+	d, err := New(cfg, cacheFlushStrategy{k: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cache() == nil {
+		t.Fatal("cache not constructed")
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	sawDirty := false
+	for _, p := range res.Periods {
+		for _, ab := range p.AppBytes {
+			if ab > 0 {
+				sawDirty = true
+			}
+			// dirty payload cannot exceed cache capacity
+			if ab > 32*16*2 {
+				t.Errorf("dirty payload %d exceeds cache capacity", ab)
+			}
+		}
+	}
+	if !sawDirty {
+		t.Fatal("no dirty payloads observed")
+	}
+}
+
+// TestCacheStridePenalty: a sparse stride misses every block; a dense
+// walk hits within blocks — the dense program must consume fewer cycles
+// per store.
+func TestCacheStridePenalty(t *testing.T) {
+	run := func(stride int) uint64 {
+		prog := strideProgram(t, 64, stride, 20)
+		cfg := fixedConfig(t, prog, 1.0)
+		cfg.CacheBlockSize = 32
+		cfg.CacheSets = 2 // tiny: sparse strides thrash
+		cfg.CacheWays = 1
+		d, err := New(cfg, cacheFlushStrategy{k: 1 << 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil || !res.Completed {
+			t.Fatalf("stride %d failed: %v", stride, err)
+		}
+		return res.TotalCycles
+	}
+	dense := run(1)  // 64 stores per pass, 8 blocks
+	sparse := run(8) // 8 stores per pass, 8 blocks — a miss per store
+	// normalize per store executed: dense does 8× the stores
+	densePerStore := float64(dense) / (64.0 / 1)
+	sparsePerStore := float64(sparse) / (64.0 / 8)
+	if sparsePerStore <= densePerStore {
+		t.Fatalf("sparse stride should cost more per store: %.1f vs %.1f cycles",
+			sparsePerStore, densePerStore)
+	}
+}
+
+// TestNoCacheByDefault: the cache is opt-in.
+func TestNoCacheByDefault(t *testing.T) {
+	prog := strideProgram(t, 8, 1, 1)
+	d, err := New(fixedConfig(t, prog, 1.0), nullStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cache() != nil {
+		t.Fatal("cache constructed without configuration")
+	}
+}
+
+// TestCacheInvalidConfig: bad cache geometry is rejected at New.
+func TestCacheInvalidConfig(t *testing.T) {
+	prog := strideProgram(t, 8, 1, 1)
+	cfg := fixedConfig(t, prog, 1.0)
+	cfg.CacheBlockSize = 3 // not a power of two
+	if _, err := New(cfg, nullStrategy{}); err == nil {
+		t.Fatal("invalid cache block size accepted")
+	}
+}

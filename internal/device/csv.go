@@ -1,0 +1,39 @@
+package device
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WritePeriodsCSV emits one row per active period with the full
+// cycle/energy split — the raw material for external analysis tooling
+// (ehsim's -periods flag).
+func (r *Result) WritePeriodsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"period", "supply_j", "harvested_j", "charge_s",
+		"progress_cycles", "dead_cycles", "backup_cycles", "restore_cycles", "idle_cycles",
+		"progress_j", "dead_j", "backup_j", "restore_j", "idle_j",
+		"backups",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := range r.Periods {
+		p := &r.Periods[i]
+		rec := []string{
+			strconv.Itoa(i), f(p.SupplyE), f(p.HarvestedE), f(p.ChargeTimeS),
+			u(p.ProgressCycles), u(p.DeadCycles), u(p.BackupCycles), u(p.RestoreCycles), u(p.IdleCycles),
+			f(p.ProgressE), f(p.DeadE), f(p.BackupE), f(p.RestoreE), f(p.IdleE),
+			strconv.Itoa(p.Backups),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

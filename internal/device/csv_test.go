@@ -1,0 +1,39 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/energy"
+)
+
+func TestWritePeriodsCSV(t *testing.T) {
+	prog := loopProgram(t, 3000, asm.SRAM)
+	e := 2500 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+	d, err := New(fixedConfig(t, prog, e), intervalStrategy{k: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WritePeriodsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Periods)+1 {
+		t.Fatalf("%d lines for %d periods", len(lines), len(res.Periods))
+	}
+	if !strings.HasPrefix(lines[0], "period,supply_j") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != strings.Count(lines[0], ",") {
+			t.Fatalf("row %d has %d commas", i, got)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package device simulates a complete intermittent computing platform:
+// an EH32 core, SRAM/FRAM memory, a storage capacitor charged by an
+// ambient harvester, and a pluggable backup/restore runtime strategy.
+//
+// The simulator's accounting mirrors the EH model's taxonomy exactly.
+// Every active period's cycles and energy are split into forward
+// progress, backups, restores, dead (uncommitted) execution and idle
+// time, so measured results can be compared against the model's
+// predictions parameter-for-parameter (the validation of §V).
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/mem"
+)
+
+// AccessPreview describes the memory access the next instruction will
+// make, computed before it executes so strategies like Clank can
+// checkpoint ahead of idempotency-violating stores.
+type AccessPreview struct {
+	Valid bool
+	Addr  uint32
+	Size  uint8
+	Store bool
+}
+
+// Payload describes what a backup (or the restore that mirrors it)
+// saves.
+type Payload struct {
+	// ArchBytes is fixed architectural state: registers, PC, etc.
+	ArchBytes int
+	// AppBytes is application state accumulated since the last backup
+	// (dirty data, SRAM snapshot, store-queue contents).
+	AppBytes int
+	// SaveSRAM snapshots volatile data memory contents so the restore
+	// can reinstate them (full-memory checkpoint systems).
+	SaveSRAM bool
+	// ThenSleep puts the device into idle until the supply dies after
+	// the backup commits — single-backup behaviour (Hibernus).
+	ThenSleep bool
+	// FlushCache marks the mixed-volatility cache clean when the
+	// checkpoint commits: its dirty blocks are the AppBytes this backup
+	// wrote to FRAM.
+	FlushCache bool
+}
+
+// Bytes is the total checkpoint size.
+func (p Payload) Bytes() int { return p.ArchBytes + p.AppBytes }
+
+// Strategy is a backup/restore runtime policy. The device consults it
+// around every instruction; the strategy requests backups by returning a
+// non-nil Payload.
+type Strategy interface {
+	// Name identifies the strategy in results and logs.
+	Name() string
+	// Attach is called once before the run with the fully constructed
+	// device, letting the strategy derive thresholds from its config.
+	Attach(d *Device)
+	// Boot is called at every power-on after state has been restored
+	// (or cold-started). Strategies may request an immediate backup by
+	// returning a payload (e.g. Clank checkpoints at boot).
+	Boot(d *Device) *Payload
+	// PreStep may request a backup before the given instruction
+	// executes; acc previews its memory access.
+	PreStep(d *Device, in isa.Instr, acc AccessPreview) *Payload
+	// PostStep observes the executed instruction and may request a
+	// backup after it (checkpoint sites, task ends, timers).
+	PostStep(d *Device, st cpu.Step) *Payload
+	// FinalPayload is the backup taken when the program halts, which
+	// commits the remaining output.
+	FinalPayload(d *Device) Payload
+	// Reset is called on power failure: all volatile tracking state
+	// (buffers, timers) is lost.
+	Reset()
+}
+
+// Config assembles a device.
+type Config struct {
+	Prog *asm.Program
+
+	SRAMSize int // bytes; default 8 KiB
+	FRAMSize int // bytes; default 256 KiB
+
+	Power energy.PowerModel
+
+	// Capacitor and thresholds. The device begins executing at VOn and
+	// browns out at VOff (Fig. 1's minimum threshold behaviour).
+	CapC    float64 // farads
+	CapVMax float64
+	VOn     float64
+	VOff    float64
+
+	// Harvester charges the capacitor; nil models a bench supply that
+	// recharges instantly between fixed-energy active periods.
+	Harvester *energy.Harvester
+
+	// NVM checkpoint bandwidths in bytes/cycle (σ_B, σ_R of Table I).
+	SigmaB float64
+	SigmaR float64
+	// Extra energy per checkpointed byte beyond the memory-class cycle
+	// energy (models expensive NVM writes, Ω_B/Ω_R adjustments).
+	OmegaBExtra float64
+	OmegaRExtra float64
+
+	// Mixed-volatility cache (§VI-A): when CacheBlockSize > 0, data
+	// accesses run through a volatile writeback cache in front of FRAM.
+	// Misses pay a block-fill penalty at σ_R and dirty evictions a
+	// writeback at σ_B; the cache's dirty blocks are the backup payload
+	// cache-aware strategies flush at checkpoints. The cache is a
+	// timing/energy model — architectural data still lives in the
+	// memory system — and is invalidated on every power failure.
+	CacheBlockSize int
+	CacheSets      int
+	CacheWays      int
+
+	// Run limits.
+	MaxCycles  uint64 // total consumed cycles; default 500M
+	MaxPeriods int    // default 100k
+}
+
+func (c *Config) setDefaults() {
+	if c.SRAMSize == 0 {
+		c.SRAMSize = 8 * 1024
+	}
+	if c.FRAMSize == 0 {
+		c.FRAMSize = 256 * 1024
+	}
+	if c.SigmaB == 0 {
+		c.SigmaB = 2 // FRAM word per two cycles (§III)
+	}
+	if c.SigmaR == 0 {
+		c.SigmaR = 2
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 500_000_000
+	}
+	if c.MaxPeriods == 0 {
+		c.MaxPeriods = 100_000
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Prog == nil || len(c.Prog.Code) == 0 {
+		return fmt.Errorf("device: config needs a program")
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.CapC <= 0 || c.CapVMax <= 0 {
+		return fmt.Errorf("device: capacitor C=%g Vmax=%g must be positive", c.CapC, c.CapVMax)
+	}
+	if !(0 <= c.VOff && c.VOff < c.VOn && c.VOn <= c.CapVMax) {
+		return fmt.Errorf("device: need 0 ≤ VOff < VOn ≤ VMax, have %g/%g/%g", c.VOff, c.VOn, c.CapVMax)
+	}
+	if c.SigmaB <= 0 || c.SigmaR <= 0 {
+		return fmt.Errorf("device: σ_B=%g σ_R=%g must be positive", c.SigmaB, c.SigmaR)
+	}
+	if c.OmegaBExtra < 0 || c.OmegaRExtra < 0 {
+		return fmt.Errorf("device: Ω extras must be ≥ 0")
+	}
+	return nil
+}
+
+// FixedSupplyConfig builds the capacitor parameters for a bench-style
+// supply delivering exactly eJoules per active period: the capacitor is
+// sized so its usable energy between VOn and VOff equals eJoules, and
+// with no harvester the recharge is instantaneous.
+func FixedSupplyConfig(eJoules float64) (capC, vMax, vOn, vOff float64) {
+	// choose VOn = 3 V, VOff = 1.8 V (MSP430-like thresholds)
+	vOn, vOff = 3.0, 1.8
+	capC = 2 * eJoules / (vOn*vOn - vOff*vOff)
+	return capC, vOn, vOn, vOff
+}
+
+// checkpoint is the nonvolatile copy of execution state.
+type checkpoint struct {
+	valid   bool
+	core    cpu.Core
+	sram    []byte // nil when the strategy does not snapshot SRAM
+	payload Payload
+}
+
+// Device is one simulated intermittent platform.
+type Device struct {
+	cfg   Config
+	strat Strategy
+
+	core  *cpu.Core
+	mem   *mem.System
+	cap   *energy.Capacitor
+	cache *mem.Cache // nil when not configured
+
+	ckpt         checkpoint
+	committedOut []uint32
+
+	timeS  float64
+	cycles uint64 // total consumed cycles (exec+backup+restore+idle)
+
+	// per-period running counters
+	period        PeriodStats
+	sinceCommit   uint64  // executed cycles not yet committed by a backup
+	pendingE      float64 // energy of those uncommitted cycles
+	execSinceBkup uint64  // executed cycles since last backup (for τ_B)
+	chargeS       float64 // recharge time preceding the current period
+
+	result Result
+	halted bool // final commit landed; run complete
+}
+
+// New builds a device running prog under strategy s.
+func New(cfg Config, s Strategy) (*Device, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("device: nil strategy")
+	}
+	ms, err := mem.NewSystem(cfg.SRAMSize, cfg.FRAMSize)
+	if err != nil {
+		return nil, err
+	}
+	cap_, err := energy.NewCapacitor(cfg.CapC, cfg.CapVMax, 0)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:   cfg,
+		strat: s,
+		core:  &cpu.Core{},
+		mem:   ms,
+		cap:   cap_,
+	}
+	if cfg.CacheBlockSize > 0 {
+		sets, ways := cfg.CacheSets, cfg.CacheWays
+		if sets == 0 {
+			sets = 16
+		}
+		if ways == 0 {
+			ways = 2
+		}
+		cache, err := mem.NewCache(cfg.CacheBlockSize, sets, ways)
+		if err != nil {
+			return nil, err
+		}
+		d.cache = cache
+	}
+	s.Attach(d)
+	return d, nil
+}
+
+// Cache returns the mixed-volatility cache model, or nil when the
+// device is configured without one. Cache-aware strategies read its
+// dirty-block payload and flush it at checkpoints.
+func (d *Device) Cache() *mem.Cache { return d.cache }
+
+// --- accessors strategies use ---
+
+// Cfg returns the device configuration.
+func (d *Device) Cfg() Config { return d.cfg }
+
+// Voltage returns the current capacitor voltage.
+func (d *Device) Voltage() float64 { return d.cap.Voltage() }
+
+// StoredEnergy returns the capacitor's usable energy above VOff,
+// clamped at zero when the voltage sits below the brown-out threshold.
+func (d *Device) StoredEnergy() float64 {
+	e := d.cap.UsableEnergy(d.cap.Voltage(), d.cfg.VOff)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// FullSupply returns the usable energy of a freshly charged capacitor —
+// the model's E. Threshold-based strategies use it to place their
+// trigger voltage relative to the period budget.
+func (d *Device) FullSupply() float64 {
+	return d.cap.UsableEnergy(d.cfg.VOn, d.cfg.VOff)
+}
+
+// ExecSinceBackup returns executed cycles since the last committed
+// backup — the live τ_B counter watchdog strategies use.
+func (d *Device) ExecSinceBackup() uint64 { return d.execSinceBkup }
+
+// SRAMFootprint is the number of volatile bytes a full-memory
+// checkpoint must save: the program's initialized SRAM data, word
+// aligned, or at least one word.
+func (d *Device) SRAMFootprint() int {
+	n := len(d.cfg.Prog.SRAMImage)
+	if n == 0 {
+		n = 4
+	}
+	return (n + 3) &^ 3
+}
+
+// BackupCost estimates the energy a backup of the payload would consume
+// — what Hibernus-style strategies need to place their voltage
+// threshold.
+func (d *Device) BackupCost(p Payload) float64 {
+	cycles := d.transferCycles(p.Bytes(), d.cfg.SigmaB)
+	return float64(cycles)*d.cfg.Power.EnergyPerCycle(energy.ClassMem) +
+		float64(p.Bytes())*d.cfg.OmegaBExtra
+}
+
+// HasCheckpoint reports whether a committed checkpoint exists.
+func (d *Device) HasCheckpoint() bool { return d.ckpt.valid }
+
+func (d *Device) transferCycles(bytes int, sigma float64) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(float64(bytes) / sigma))
+}
+
+// consume draws energy for n cycles of the given class, harvesting in
+// parallel, and reports whether the supply survived (stayed at or above
+// VOff).
+func (d *Device) consume(n uint64, class energy.InstrClass) bool {
+	if n == 0 {
+		return d.cap.Voltage() >= d.cfg.VOff
+	}
+	dt := float64(n) * d.cfg.Power.CyclePeriod()
+	if d.cfg.Harvester != nil {
+		h := d.cfg.Harvester.EnergyOver(d.timeS, dt)
+		d.period.HarvestedE += d.cap.Store(h)
+	}
+	d.timeS += dt
+	d.cycles += n
+	e := float64(n) * d.cfg.Power.EnergyPerCycle(class)
+	ok := d.cap.Draw(e)
+	return ok && d.cap.Voltage() >= d.cfg.VOff
+}
+
+// drawExtra draws flat energy (per-byte NVM surcharges) with no time
+// passing.
+func (d *Device) drawExtra(e float64) bool {
+	if e <= 0 {
+		return d.cap.Voltage() >= d.cfg.VOff
+	}
+	ok := d.cap.Draw(e)
+	return ok && d.cap.Voltage() >= d.cfg.VOff
+}

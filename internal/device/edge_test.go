@@ -1,0 +1,190 @@
+package device
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/trace"
+)
+
+// TestRestoreFailureLoop: when the restore cost alone exceeds the
+// supply (here via pathologically slow restore bandwidth), the device
+// retries forever without crashing and records the restore energy it
+// wasted.
+func TestRestoreFailureLoop(t *testing.T) {
+	prog := loopProgram(t, 100000, asm.SRAM)
+	e := 5000 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+	cfg := fixedConfig(t, prog, e)
+	cfg.MaxPeriods = 10
+	cfg.SigmaR = 0.001 // restoring one checkpoint costs ~76k cycles ≫ E
+	d, err := New(cfg, intervalStrategy{k: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("run cannot complete with impossible restores")
+	}
+	sawFailedRestore := false
+	for i, p := range res.Periods {
+		if i == 0 {
+			continue // first period took the poison checkpoint
+		}
+		if p.RestoreCycles > 0 && p.ProgressCycles == 0 && p.DeadCycles == 0 {
+			sawFailedRestore = true
+			if p.RestoreE <= 0 {
+				t.Error("failed restore should still burn energy")
+			}
+		}
+	}
+	if !sawFailedRestore {
+		t.Fatal("expected periods consumed entirely by failed restores")
+	}
+}
+
+// TestHarvesterTooWeak: a source that can never reach VOn aborts the
+// run with a diagnostic instead of spinning forever.
+func TestHarvesterTooWeak(t *testing.T) {
+	prog := loopProgram(t, 100, asm.SRAM)
+	cfg := fixedConfig(t, prog, 1e-6)
+	src := trace.Constant(0.001, 1, 0.01) // microvolts: effectively dead
+	h, err := energy.NewHarvester(src, 1e6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Harvester = h
+	d, err := New(cfg, nullStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Fatal("dead harvester should abort with an error")
+	}
+}
+
+// TestMaxCyclesTruncation: the cycle budget stops the run cleanly with
+// a valid (incomplete) result.
+func TestMaxCyclesTruncation(t *testing.T) {
+	prog := loopProgram(t, 1<<30, asm.SRAM)
+	cfg := fixedConfig(t, prog, 1.0) // ample energy, endless program
+	cfg.MaxCycles = 100000
+	d, err := New(cfg, intervalStrategy{k: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("truncated run reported complete")
+	}
+	if res.TotalCycles < 100000 || res.TotalCycles > 110000 {
+		t.Fatalf("total cycles %d not near the budget", res.TotalCycles)
+	}
+}
+
+// TestRunawayProgramIsAnError: a program whose PC leaves the code image
+// is a program bug, reported as an error rather than a power event.
+func TestRunawayProgramIsAnError(t *testing.T) {
+	b := asm.New("runaway")
+	b.Nop() // falls off the end
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixedConfig(t, prog, 1.0)
+	d, err := New(cfg, nullStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Fatal("runaway PC should error")
+	}
+}
+
+// TestHarvestedChargingAccountsTime: recharging over a trace advances
+// simulated wall-clock time and records per-period charge durations.
+func TestHarvestedChargingAccountsTime(t *testing.T) {
+	prog := loopProgram(t, 5000, asm.SRAM)
+	e := 2000 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+	cfg := fixedConfig(t, prog, e)
+	src := trace.Constant(2.0, 1, 0.01)
+	h, err := energy.NewHarvester(src, 50000, 0.7) // weak but alive
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Harvester = h
+	d, err := New(cfg, intervalStrategy{k: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete after %d periods", len(res.Periods))
+	}
+	if len(res.Periods) < 2 {
+		t.Fatal("expected multiple periods")
+	}
+	charged := 0
+	for i, p := range res.Periods {
+		if i > 0 && p.ChargeTimeS > 0 {
+			charged++
+		}
+		if p.HarvestedE < 0 {
+			t.Error("negative harvest")
+		}
+	}
+	if charged == 0 {
+		t.Error("no recharge time recorded")
+	}
+	if res.TimeS <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+// TestIdleDrainsToDeath: a sleep-after-backup strategy leaves no dead
+// cycles and burns the residual as idle.
+type sleepStrategy struct{ nullStrategy }
+
+func (sleepStrategy) PostStep(d *Device, _ cpu.Step) *Payload {
+	if d.ExecSinceBackup() < 1000 {
+		return nil
+	}
+	return &Payload{ArchBytes: cpu.ArchStateBytes, SaveSRAM: true, ThenSleep: true}
+}
+func (sleepStrategy) FinalPayload(*Device) Payload {
+	return Payload{ArchBytes: cpu.ArchStateBytes, SaveSRAM: true}
+}
+
+func TestIdleDrainsToDeath(t *testing.T) {
+	prog := loopProgram(t, 20000, asm.SRAM)
+	e := 3000 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+	d, err := New(fixedConfig(t, prog, e), sleepStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	for i, p := range res.Periods[:len(res.Periods)-1] {
+		if p.Backups == 1 && p.IdleCycles == 0 {
+			t.Errorf("period %d: backed up but no idle drain", i)
+		}
+		if p.Backups == 1 && p.DeadCycles != 0 {
+			t.Errorf("period %d: dead cycles despite sleeping", i)
+		}
+	}
+}

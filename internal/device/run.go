@@ -1,0 +1,335 @@
+package device
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/mem"
+)
+
+// maxChargeS bounds how long the simulator will wait for the harvester
+// to refill the capacitor before declaring the source dead.
+const maxChargeS = 3600.0
+
+// Run executes the program under the configured strategy until it halts
+// and commits, or a run limit is reached. The returned Result is valid
+// in both cases (Completed distinguishes them); errors indicate program
+// or configuration bugs, not power failures.
+func (d *Device) Run() (*Result, error) {
+	d.result = Result{Strategy: d.strat.Name(), Program: d.cfg.Prog.Name}
+	if err := d.mem.WriteFRAMImage(d.cfg.Prog.FRAMImage); err != nil {
+		return nil, err
+	}
+	for len(d.result.Periods) < d.cfg.MaxPeriods && d.cycles < d.cfg.MaxCycles && !d.halted {
+		if err := d.chargePhase(); err != nil {
+			return nil, err
+		}
+		d.beginPeriod()
+		alive, err := d.boot()
+		if err != nil {
+			return nil, err
+		}
+		if alive {
+			if err := d.activePhase(); err != nil {
+				return nil, err
+			}
+		}
+		d.endPeriod()
+	}
+	d.result.Completed = d.halted
+	d.result.Output = append([]uint32(nil), d.committedOut...)
+	d.result.TotalCycles = d.cycles
+	d.result.TimeS = d.timeS
+	return &d.result, nil
+}
+
+// chargePhase refills the capacitor to VOn. With no harvester the bench
+// supply recharges instantly.
+func (d *Device) chargePhase() error {
+	start := d.timeS
+	if d.cfg.Harvester == nil {
+		d.cap.SetVoltage(d.cfg.VOn)
+		d.chargeS = 0
+		return nil
+	}
+	// Adaptive integration: step fine enough to resolve trace features
+	// near the target, coarse when the source is nearly dead (spike
+	// traces spend most of their time at microwatts).
+	for d.cap.Voltage() < d.cfg.VOn {
+		need := d.cap.UsableEnergy(d.cfg.VOn, d.cap.Voltage())
+		p := d.cfg.Harvester.PowerAt(d.timeS)
+		chunk := 1e-4
+		if p > 0 {
+			if est := need / p / 20; est > chunk {
+				chunk = est
+			}
+		} else {
+			chunk = 5e-3
+		}
+		if chunk > 0.05 {
+			chunk = 0.05
+		}
+		d.cap.Store(d.cfg.Harvester.EnergyOver(d.timeS, chunk))
+		d.timeS += chunk
+		if d.timeS-start > maxChargeS {
+			return fmt.Errorf("device: harvester cannot reach VOn=%g within %gs (stuck at %gV)",
+				d.cfg.VOn, maxChargeS, d.cap.Voltage())
+		}
+	}
+	d.chargeS = d.timeS - start
+	return nil
+}
+
+func (d *Device) beginPeriod() {
+	d.period = PeriodStats{
+		SupplyE:     d.cap.UsableEnergy(d.cap.Voltage(), d.cfg.VOff),
+		ChargeTimeS: d.chargeS,
+	}
+	d.sinceCommit = 0
+	d.pendingE = 0
+	d.execSinceBkup = 0
+}
+
+// endPeriod converts uncommitted execution into dead cycles and archives
+// the period.
+func (d *Device) endPeriod() {
+	d.period.DeadCycles += d.sinceCommit
+	d.period.DeadE += d.pendingE
+	d.sinceCommit = 0
+	d.pendingE = 0
+	d.result.Periods = append(d.result.Periods, d.period)
+}
+
+// boot powers the core up: restore the checkpoint if one exists,
+// otherwise cold-start from the program image. It reports whether the
+// device survived the restore cost.
+func (d *Device) boot() (alive bool, err error) {
+	d.core.Reset()
+	d.mem.LoseVolatile()
+	if d.cache != nil {
+		d.cache.Invalidate()
+	}
+	d.strat.Reset()
+
+	if d.ckpt.valid {
+		bytes := d.ckpt.payload.Bytes()
+		cyc := d.transferCycles(bytes, d.cfg.SigmaR)
+		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+		ok := d.consume(cyc, energy.ClassMem)
+		if ok {
+			ok = d.drawExtra(float64(bytes) * d.cfg.OmegaRExtra)
+		}
+		d.period.RestoreCycles += cyc
+		d.period.RestoreE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+		if !ok {
+			return false, nil // died restoring; retry next period
+		}
+		d.core.Restore(d.ckpt.core)
+		d.core.Halted = false
+		if d.ckpt.sram != nil {
+			if err := d.mem.RestoreSRAM(d.ckpt.sram); err != nil {
+				return false, err
+			}
+		}
+	} else {
+		*d.core = cpu.Core{}
+		if err := d.mem.WriteSRAMImage(d.cfg.Prog.SRAMImage); err != nil {
+			return false, err
+		}
+	}
+
+	if p := d.strat.Boot(d); p != nil {
+		if !d.backup(*p) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// previewAccess computes the memory access the instruction would make
+// with the current register state.
+func previewAccess(in isa.Instr, c *cpu.Core) AccessPreview {
+	if !in.Op.IsLoad() && !in.Op.IsStore() {
+		return AccessPreview{}
+	}
+	size := uint8(4)
+	if in.Op == isa.LB || in.Op == isa.LBU || in.Op == isa.SB {
+		size = 1
+	}
+	return AccessPreview{
+		Valid: true,
+		Addr:  c.Regs[in.Rs1] + uint32(in.Imm),
+		Size:  size,
+		Store: in.Op.IsStore(),
+	}
+}
+
+// activePhase executes instructions until power failure, completion, or
+// a cycle budget stop. A nil error covers all three; errors are
+// program/simulator bugs.
+func (d *Device) activePhase() error {
+	code := d.cfg.Prog.Code
+	for d.cycles < d.cfg.MaxCycles {
+		if int(d.core.PC) >= len(code) {
+			return fmt.Errorf("device: PC %d ran off the end of %q", d.core.PC, d.cfg.Prog.Name)
+		}
+		in := code[d.core.PC]
+
+		// Pre-instruction backup (idempotency violations etc.).
+		if p := d.strat.PreStep(d, in, previewAccess(in, d.core)); p != nil {
+			if !d.backup(*p) {
+				return nil // power failed during backup
+			}
+			if p.ThenSleep {
+				d.idleToDeath()
+				return nil
+			}
+		}
+
+		st, err := d.core.Step(code, d.mem)
+		if err != nil {
+			return err
+		}
+		cycles := st.Cycles
+		if d.cache != nil && st.Access != nil {
+			cycles += d.cachePenalty(st.Access)
+		}
+		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+		alive := d.consume(cycles, st.Class)
+		d.sinceCommit += cycles
+		d.execSinceBkup += cycles
+		d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+		if !alive {
+			return nil // power failure: pending work becomes dead
+		}
+
+		if st.HasSys && st.Sys == isa.SysHalt {
+			if d.backup(d.strat.FinalPayload(d)) {
+				d.halted = true
+			}
+			return nil // committed → done; failed → retry next period
+		}
+
+		// Post-instruction backup (timers, checkpoint sites, task ends).
+		if p := d.strat.PostStep(d, st); p != nil {
+			if !d.backup(*p) {
+				return nil
+			}
+			if p.ThenSleep {
+				d.idleToDeath()
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// cachePenalty simulates the access in the cache model and returns the
+// stall cycles it adds: a block fill from FRAM on a miss, plus a
+// writeback on a dirty eviction.
+func (d *Device) cachePenalty(acc *cpu.Access) uint64 {
+	hit, writeback := d.cache.Access(acc.Addr, acc.Store)
+	var extra uint64
+	if !hit {
+		extra += d.transferCycles(d.cache.BlockSize(), d.cfg.SigmaR)
+	}
+	if writeback {
+		extra += d.transferCycles(d.cache.BlockSize(), d.cfg.SigmaB)
+	}
+	return extra
+}
+
+// backup writes a checkpoint with the given payload. It returns false
+// if the supply died before the checkpoint committed; checkpoints are
+// atomic (double-buffered), so a failed backup leaves the previous one
+// intact.
+func (d *Device) backup(p Payload) bool {
+	cyc := d.transferCycles(p.Bytes(), d.cfg.SigmaB)
+	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+	ok := d.consume(cyc, energy.ClassMem)
+	if ok {
+		ok = d.drawExtra(float64(p.Bytes()) * d.cfg.OmegaBExtra)
+	}
+	d.period.BackupCycles += cyc
+	d.period.BackupE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+	if !ok {
+		return false
+	}
+
+	if p.FlushCache && d.cache != nil {
+		d.cache.FlushDirty()
+	}
+	// Commit: outputs reach the nonvolatile log exactly once.
+	d.committedOut = append(d.committedOut, d.core.OutBuf...)
+	d.core.OutBuf = nil
+	ck := checkpoint{valid: true, core: d.core.Snapshot(), payload: p}
+	if p.SaveSRAM {
+		ck.sram = d.mem.SnapshotSRAM()
+	}
+	d.ckpt = ck
+
+	// Uncommitted execution becomes forward progress.
+	d.period.ProgressCycles += d.sinceCommit
+	d.period.ProgressE += d.pendingE
+	d.sinceCommit = 0
+	d.pendingE = 0
+	d.period.Backups++
+	d.period.BackupIntervals = append(d.period.BackupIntervals, d.execSinceBkup)
+	d.period.AppBytes = append(d.period.AppBytes, p.AppBytes)
+	d.period.PayloadBytes = append(d.period.PayloadBytes, p.Bytes())
+	d.execSinceBkup = 0
+	return true
+}
+
+// idleToDeath burns idle cycles until the supply dies — the
+// single-backup sleep after a Hibernus-style checkpoint.
+func (d *Device) idleToDeath() {
+	const chunk = 64
+	for d.cycles < d.cfg.MaxCycles {
+		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+		alive := d.consume(chunk, energy.ClassIdle)
+		d.period.IdleCycles += chunk
+		d.period.IdleE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+		if !alive {
+			return
+		}
+	}
+}
+
+// RunContinuous executes prog on an uninterrupted supply and returns its
+// output stream and executed cycles — the oracle intermittent runs are
+// checked against. maxSteps bounds runaway programs.
+func RunContinuous(prog *asm.Program, sramSize, framSize int, maxSteps uint64) ([]uint32, uint64, error) {
+	if sramSize == 0 {
+		sramSize = 8 * 1024
+	}
+	if framSize == 0 {
+		framSize = 256 * 1024
+	}
+	ms, err := mem.NewSystem(sramSize, framSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ms.WriteSRAMImage(prog.SRAMImage); err != nil {
+		return nil, 0, err
+	}
+	if err := ms.WriteFRAMImage(prog.FRAMImage); err != nil {
+		return nil, 0, err
+	}
+	c := &cpu.Core{}
+	var cycles uint64
+	for steps := uint64(0); !c.Halted; steps++ {
+		if steps >= maxSteps {
+			return nil, 0, fmt.Errorf("device: %q did not halt within %d steps", prog.Name, maxSteps)
+		}
+		st, err := c.Step(prog.Code, ms)
+		if err != nil {
+			return nil, 0, err
+		}
+		cycles += st.Cycles
+	}
+	return append([]uint32(nil), c.OutBuf...), cycles, nil
+}

@@ -1,0 +1,50 @@
+package energy
+
+import "fmt"
+
+// VoltageSource supplies the ambient open-circuit voltage over time;
+// *trace.Trace satisfies it.
+type VoltageSource interface {
+	VoltageAt(ts float64) float64
+}
+
+// Harvester converts an ambient voltage source into charging power using
+// a simple resistive transducer model: the source can deliver
+// P = η·V_s²/R. This preserves the property the paper relies on —
+// charging power tracks the trace shape — without modelling impedance
+// matching.
+type Harvester struct {
+	Source VoltageSource
+	R      float64 // transducer series resistance (Ω), > 0
+	Eta    float64 // conversion efficiency in (0, 1]
+}
+
+// NewHarvester validates and builds a harvester.
+func NewHarvester(src VoltageSource, r, eta float64) (*Harvester, error) {
+	if src == nil {
+		return nil, fmt.Errorf("energy: harvester needs a voltage source")
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("energy: transducer resistance must be > 0, got %g", r)
+	}
+	if eta <= 0 || eta > 1 {
+		return nil, fmt.Errorf("energy: efficiency must be in (0,1], got %g", eta)
+	}
+	return &Harvester{Source: src, R: r, Eta: eta}, nil
+}
+
+// PowerAt returns the harvested power (W) at time ts seconds.
+func (h *Harvester) PowerAt(ts float64) float64 {
+	v := h.Source.VoltageAt(ts)
+	if v <= 0 {
+		return 0
+	}
+	return h.Eta * v * v / h.R
+}
+
+// EnergyOver integrates harvested energy over [t0, t0+dt] with a single
+// midpoint sample — adequate for the per-cycle and per-window steps the
+// simulator takes, which are far shorter than trace features.
+func (h *Harvester) EnergyOver(t0, dt float64) float64 {
+	return h.PowerAt(t0+dt/2) * dt
+}

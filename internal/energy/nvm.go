@@ -1,0 +1,67 @@
+package energy
+
+import "fmt"
+
+// NVMProfile captures a nonvolatile-memory technology's checkpoint
+// characteristics: the bandwidths and per-byte energy surcharges the
+// device charges for backups and restores. The presets follow the
+// technology discussion in the paper (§VI-A cites STT-RAM writes at
+// ~10× read latency; Mementos used Flash, whose writes are slower and
+// costlier still).
+type NVMProfile struct {
+	Name string
+	// SigmaB and SigmaR are backup/restore bandwidths in bytes/cycle.
+	SigmaB float64
+	SigmaR float64
+	// OmegaBExtra and OmegaRExtra are per-byte energy surcharges (J/B)
+	// beyond the memory-class cycle energy.
+	OmegaBExtra float64
+	OmegaRExtra float64
+}
+
+// FRAM is the MSP430FR5994's ferroelectric memory: symmetric word
+// access at two cycles per 4-byte word (§III), no surcharge.
+func FRAM() NVMProfile {
+	return NVMProfile{Name: "fram", SigmaB: 2, SigmaR: 2}
+}
+
+// STTRAM models spin-transfer-torque MRAM: reads as fast as FRAM,
+// writes ~10× slower (§VI-A), with a write-energy surcharge from the
+// switching current.
+func STTRAM() NVMProfile {
+	return NVMProfile{
+		Name:        "sttram",
+		SigmaB:      0.2,
+		SigmaR:      2,
+		OmegaBExtra: 50e-12, // ~50 pJ/B switching energy
+	}
+}
+
+// Flash models NOR-flash checkpointing à la Mementos: word-program
+// operations are two orders of magnitude slower than reads and
+// expensive per byte (erase amortized in).
+func Flash() NVMProfile {
+	return NVMProfile{
+		Name:        "flash",
+		SigmaB:      0.02,
+		SigmaR:      2,
+		OmegaBExtra: 500e-12,
+		OmegaRExtra: 5e-12,
+	}
+}
+
+// NVMProfiles returns the built-in technology presets.
+func NVMProfiles() []NVMProfile {
+	return []NVMProfile{FRAM(), STTRAM(), Flash()}
+}
+
+// Validate checks the profile is physical.
+func (n NVMProfile) Validate() error {
+	if n.SigmaB <= 0 || n.SigmaR <= 0 {
+		return fmt.Errorf("energy: nvm %q bandwidths must be positive", n.Name)
+	}
+	if n.OmegaBExtra < 0 || n.OmegaRExtra < 0 {
+		return fmt.Errorf("energy: nvm %q surcharges must be ≥ 0", n.Name)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package energy
+
+import "testing"
+
+func TestNVMPresets(t *testing.T) {
+	profiles := NVMProfiles()
+	if len(profiles) != 3 {
+		t.Fatalf("%d presets", len(profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// write-speed ordering: FRAM fastest, Flash slowest
+	if !(FRAM().SigmaB > STTRAM().SigmaB && STTRAM().SigmaB > Flash().SigmaB) {
+		t.Error("write bandwidth ordering wrong")
+	}
+	// asymmetry: STT-RAM and Flash read faster than they write
+	for _, p := range []NVMProfile{STTRAM(), Flash()} {
+		if p.SigmaR <= p.SigmaB {
+			t.Errorf("%s: expected read/write asymmetry", p.Name)
+		}
+	}
+}
+
+func TestNVMValidate(t *testing.T) {
+	bad := NVMProfile{Name: "x", SigmaB: 0, SigmaR: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = NVMProfile{Name: "x", SigmaB: 1, SigmaR: 1, OmegaBExtra: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative surcharge accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/trace"
+	"ehmodel/internal/workload"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: Clank's
+// tracking-buffer capacity and watchdog period, Hibernus's threshold
+// margin, and Mementos's checkpoint-site gating. Each returns a Figure
+// so ehfigs and the bench suite can regenerate them.
+
+// runAblationMaybe executes a prepared device with a bounded period
+// budget and returns the result whether or not the program completed —
+// some ablation corners (e.g. razor-thin Hibernus margins) legitimately
+// make no forward progress, which is the measurement.
+func runAblationMaybe(prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, maxPeriods int) (*device.Result, error) {
+	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	d, err := device.New(device.Config{
+		Prog: prog, Power: pm,
+		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+		MaxPeriods: maxPeriods, MaxCycles: 1 << 62,
+	}, s)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run()
+}
+
+// runAblation is runAblationMaybe with completion required.
+func runAblation(prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64) (*device.Result, error) {
+	res, err := runAblationMaybe(prog, s, pm, periodCycles, 100000)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Completed {
+		return nil, fmt.Errorf("experiments: ablation run of %s/%s incomplete", s.Name(), prog.Name)
+	}
+	return res, nil
+}
+
+// AblationClankBuffers sweeps the read-first/write-first buffer capacity
+// (the paper's configuration uses 8+8) on a load-heavy and a
+// violation-heavy kernel. Larger buffers eliminate overflow-forced
+// checkpoints, stretching τ_B until violations or the watchdog dominate.
+func AblationClankBuffers() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-clank-buffers",
+		Title:  "Clank tracking-buffer capacity ablation",
+		XLabel: "buffer entries (each of read-first/write-first)",
+		YLabel: "mean τ_B (cycles)",
+		XLog:   true,
+	}
+	pm := energy.CortexM0Power()
+	for _, bench := range []string{"susan", "lzfx"} {
+		w, ok := workload.Get(bench)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload %q missing", bench)
+		}
+		prog, err := w.Build(workload.Options{Seg: asm.FRAM, Scale: 2})
+		if err != nil {
+			return nil, err
+		}
+		tau := Series{Label: bench + " τ_B"}
+		for _, entries := range []int{1, 2, 4, 8, 16, 32, 64} {
+			cl := strategy.NewClank()
+			cl.ReadFirstEntries = entries
+			cl.WriteFirstEntries = entries
+			res, err := runAblation(prog, cl, pm, 30000)
+			if err != nil {
+				return nil, err
+			}
+			tau.Points = append(tau.Points, Point{X: float64(entries), Y: res.MeanTauB()})
+		}
+		fig.Series = append(fig.Series, tau)
+		first, last := tau.Points[0].Y, tau.Points[len(tau.Points)-1].Y
+		fig.AddNote("%s: τ_B %.0f → %.0f cycles from 1 to 64 entries (×%.1f)",
+			bench, first, last, last/first)
+	}
+	fig.AddNote("lzfx flattens early: per-iteration WAR violations dominate regardless of capacity")
+	return fig, nil
+}
+
+// AblationClankWatchdog sweeps the watchdog period on an ALU-dominated
+// kernel where the watchdog is the only checkpoint source, comparing
+// measured progress against the EH model across the sweep.
+func AblationClankWatchdog() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-clank-watchdog",
+		Title:  "Clank watchdog-period ablation (sha kernel)",
+		XLabel: "watchdog period (cycles)",
+		YLabel: "progress p",
+		XLog:   true,
+	}
+	pm := energy.CortexM0Power()
+	w, _ := workload.Get("sha")
+	// scale ≫ period so every configuration spans many power failures —
+	// otherwise dead cycles never occur and rare backups trivially win
+	prog, err := w.Build(workload.Options{Seg: asm.FRAM, Scale: 24})
+	if err != nil {
+		return nil, err
+	}
+	meas := Series{Label: "measured"}
+	for _, wd := range []uint64{500, 1000, 2000, 4000, 8000, 16000} {
+		cl := strategy.NewClank()
+		cl.WatchdogCycles = wd
+		cl.ReadFirstEntries = 4096 // watchdog-only checkpointing
+		cl.WriteFirstEntries = 4096
+		res, err := runAblation(prog, cl, pm, 20000)
+		if err != nil {
+			return nil, err
+		}
+		meas.Points = append(meas.Points, Point{X: float64(wd), Y: res.MeasuredProgress()})
+	}
+	fig.Series = append(fig.Series, meas)
+	best := meas.Points[0]
+	for _, p := range meas.Points {
+		if p.Y > best.Y {
+			best = p
+		}
+	}
+	fig.AddNote("measured best watchdog ≈ %.0f cycles (p = %.4f)", best.X, best.Y)
+	return fig, nil
+}
+
+// AblationHibernusMargin sweeps the voltage-threshold margin: tight
+// margins maximize pre-hibernation work but risk dying mid-backup
+// (§IV-B's inconsistent-state hazard, visible as periods whose backup
+// failed), while loose margins waste energy idling.
+func AblationHibernusMargin() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-hibernus-margin",
+		Title:  "Hibernus threshold-margin ablation (crc benchmark)",
+		XLabel: "margin (× backup cost)",
+		YLabel: "progress p / failed-backup fraction",
+	}
+	pm := energy.MSP430Power()
+	w, _ := workload.Get("crc")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 4})
+	if err != nil {
+		return nil, err
+	}
+	prg := Series{Label: "measured p"}
+	failed := Series{Label: "failed-backup fraction"}
+	for _, margin := range []float64{1.02, 1.1, 1.5, 2, 3, 5, 8} {
+		h := strategy.NewHibernus()
+		h.Margin = margin
+		// tight margins may never complete — dying mid-backup every
+		// period is §IV-B's hazard and exactly what this ablation shows
+		res, err := runAblationMaybe(prog, h, pm, 15000, 500)
+		if err != nil {
+			return nil, err
+		}
+		fails := 0
+		for _, p := range res.Periods {
+			if p.BackupCycles > 0 && p.Backups == 0 {
+				fails++
+			}
+		}
+		y := res.MeasuredProgress()
+		if !res.Completed && res.Backups() == 0 {
+			y = 0 // perpetual restart: no committed work at all
+		}
+		prg.Points = append(prg.Points, Point{X: margin, Y: y})
+		failed.Points = append(failed.Points, Point{X: margin, Y: float64(fails) / float64(len(res.Periods))})
+	}
+	fig.Series = append(fig.Series, prg, failed)
+	fig.AddNote("tight margins die mid-backup (§IV-B's inconsistency hazard); loose margins idle energy away")
+	return fig, nil
+}
+
+// AblationMementosGap sweeps the minimum spacing between checkpoint
+// commits once below threshold: no gating thrashes on every site; very
+// wide gating risks dying between checkpoints.
+func AblationMementosGap() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-mementos-gap",
+		Title:  "Mementos checkpoint-gating ablation (ds benchmark)",
+		XLabel: "minimum gap between checkpoints (cycles)",
+		YLabel: "progress p",
+		XLog:   true,
+	}
+	pm := energy.MSP430Power()
+	w, _ := workload.Get("ds")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 4})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Label: "measured p"}
+	for _, gap := range []uint64{32, 128, 512, 2048, 8192} {
+		m := strategy.NewMementos()
+		m.MinGapCycles = gap
+		res, err := runAblation(prog, m, pm, 15000)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{X: float64(gap), Y: res.MeasuredProgress()})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// VariabilityStudy measures the per-period progress distribution of a
+// fixed-interval system — the empirical counterpart of Fig. 4's
+// variability analysis. A bench supply would make every period
+// identical (the simulator is deterministic), so the study drives the
+// device from a multi-peak harvested trace: in-period charging varies
+// with trace phase, shifting where each period dies relative to the
+// backup schedule, exactly the supply-side non-determinism §IV-A2
+// describes.
+func VariabilityStudy(tauB uint64, periods int) (*Figure, error) {
+	if periods <= 0 {
+		periods = 40
+	}
+	pm := energy.MSP430Power()
+	w, _ := workload.Get("counter")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 400})
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 99)
+	h, err := energy.NewHarvester(tr, 40000, 0.7) // peak power below core draw
+	if err != nil {
+		return nil, err
+	}
+	e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	d, err := device.New(device.Config{
+		Prog: prog, Power: pm, Harvester: h,
+		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+		MaxPeriods: periods, MaxCycles: 1 << 62,
+	}, strategy.NewTimer(tauB, 0.1))
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "variability",
+		Title:  fmt.Sprintf("Per-period progress distribution at τ_B=%d (Fig. 4 empirics)", tauB),
+		XLabel: "active period",
+		YLabel: "progress p",
+	}
+	samples := Series{Label: "per-period p"}
+	for i, p := range res.Periods {
+		if res.Completed && i == len(res.Periods)-1 {
+			continue
+		}
+		supply := p.SupplyE + p.HarvestedE
+		samples.Points = append(samples.Points, Point{X: float64(i), Y: p.ProgressE / supply})
+	}
+	fig.Series = append(fig.Series, samples)
+	fig.AddNote("periods observed: %d", len(samples.Points))
+	return fig, nil
+}

@@ -1,0 +1,79 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Figs. 2–11) and per case study (§VI-A/B/C). Each
+// driver returns a Figure — labelled series of points — that the
+// ehfigs command renders and the root benchmark suite regenerates.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+	// Err is an optional symmetric error bar (SEM in the
+	// characterization figures); 0 means none.
+	Err float64
+}
+
+// Series is one labelled curve or bar group.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the reproduction of one paper figure.
+type Figure struct {
+	ID     string // e.g. "fig2"
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	Series []Series
+	// Notes carries derived scalars worth reporting alongside the plot
+	// (geomean error, correlation, crossover points).
+	Notes []string
+}
+
+// AddNote appends a formatted note.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteCSV emits the figure as series-labelled rows:
+// series,x,y,err.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y", "err"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+				strconv.FormatFloat(p.Err, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// find returns the series with the given label, or nil.
+func (f *Figure) find(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/core"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/stats"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/workload"
+)
+
+// Design-space explorations beyond the paper's figures, in the style of
+// the simulators its Related Work surveys (NVPsim's energy-buffer and
+// NVM-technology sweeps), each cross-checked against the EH model.
+
+// CapacitorSweep measures progress as the energy buffer grows — the
+// model's E axis made empirical. One-time costs (restore, dead
+// execution) amortize over larger buffers, so both the model and the
+// measurement should rise toward the backup-limited asymptote.
+func CapacitorSweep(bench string, periodCycles []float64) (*Figure, error) {
+	if periodCycles == nil {
+		periodCycles = []float64{3000, 6000, 12000, 24000, 48000, 96000}
+	}
+	w, ok := workload.Get(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", bench)
+	}
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "exploration-capacitor",
+		Title:  fmt.Sprintf("Energy-buffer sizing for %s under DINO", bench),
+		XLabel: "per-period supply E (ALU cycles)",
+		YLabel: "progress p",
+		XLog:   true,
+	}
+	meas := Series{Label: "measured"}
+	model := Series{Label: "EH model"}
+	for _, pc := range periodCycles {
+		res, dcfg, err := runFixed(prog, strategy.NewDINO(), pc)
+		if err != nil {
+			return nil, err
+		}
+		_, pred := PredictFromRun(res, dcfg, false)
+		meas.Points = append(meas.Points, Point{X: pc, Y: res.MeasuredProgress()})
+		model.Points = append(model.Points, Point{X: pc, Y: pred})
+	}
+	fig.Series = append(fig.Series, meas, model)
+	first, last := meas.Points[0].Y, meas.Points[len(meas.Points)-1].Y
+	fig.AddNote("p rises %.3f → %.3f as the buffer grows ×%g: one-time costs amortize",
+		first, last, periodCycles[len(periodCycles)-1]/periodCycles[0])
+	return fig, nil
+}
+
+// NVMComparisonPoint is one technology's measured and predicted
+// progress.
+type NVMComparisonPoint struct {
+	NVM       string
+	Measured  float64
+	Predicted float64
+}
+
+// NVMComparison runs the same workload and backup cadence over FRAM,
+// STT-RAM and Flash checkpoint memories, comparing measured progress
+// with the model evaluated at each technology's Ω_B/σ_B.
+func NVMComparison(bench string, tauB uint64) (*Figure, []NVMComparisonPoint, error) {
+	w, ok := workload.Get(bench)
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown workload %q", bench)
+	}
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &Figure{
+		ID:     "exploration-nvm",
+		Title:  fmt.Sprintf("Checkpoint NVM technology comparison (%s, timer τ_B=%d)", bench, tauB),
+		XLabel: "technology index",
+		YLabel: "progress p",
+	}
+	meas := Series{Label: "measured"}
+	model := Series{Label: "EH model"}
+	pm := energy.MSP430Power()
+	var pts []NVMComparisonPoint
+	for i, nvm := range energy.NVMProfiles() {
+		e := 30000 * pm.EnergyPerCycle(energy.ClassALU)
+		capC, vmax, von, voff := device.FixedSupplyConfig(e)
+		d, err := device.New(device.Config{
+			Prog: prog, Power: pm,
+			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+			SigmaB: nvm.SigmaB, SigmaR: nvm.SigmaR,
+			OmegaBExtra: nvm.OmegaBExtra, OmegaRExtra: nvm.OmegaRExtra,
+			MaxPeriods: 100000, MaxCycles: 1 << 62,
+		}, strategy.NewTimer(tauB, 0.1))
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := d.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !res.Completed {
+			return nil, nil, fmt.Errorf("experiments: %s on %s incomplete", bench, nvm.Name)
+		}
+		payload := stats.Mean(res.PayloadSamples())
+		params := core.Params{
+			E:       res.MeanSupply(),
+			Epsilon: res.MeasuredEpsilon(),
+			TauB:    float64(tauB),
+			SigmaB:  nvm.SigmaB,
+			OmegaB:  pm.EnergyPerCycle(energy.ClassMem)/nvm.SigmaB + nvm.OmegaBExtra,
+			AB:      payload,
+			SigmaR:  nvm.SigmaR,
+			OmegaR:  pm.EnergyPerCycle(energy.ClassMem)/nvm.SigmaR + nvm.OmegaRExtra,
+			AR:      payload,
+		}
+		pt := NVMComparisonPoint{
+			NVM:       nvm.Name,
+			Measured:  res.MeasuredProgress(),
+			Predicted: params.Progress(),
+		}
+		pts = append(pts, pt)
+		meas.Points = append(meas.Points, Point{X: float64(i), Y: pt.Measured})
+		model.Points = append(model.Points, Point{X: float64(i), Y: pt.Predicted})
+		fig.AddNote("x=%d: %s — measured %.4f, model %.4f", i, nvm.Name, pt.Measured, pt.Predicted)
+	}
+	fig.Series = append(fig.Series, meas, model)
+	return fig, pts, nil
+}

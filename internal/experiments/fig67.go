@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/core"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/stats"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/workload"
+)
+
+// Fig6Config parametrizes the three-systems validation (§V-A, Fig. 6).
+type Fig6Config struct {
+	// PeriodCycles is the per-period energy budget in ALU cycles
+	// (default 12000, small enough that the Table II benchmarks span
+	// multiple periods).
+	PeriodCycles float64
+	// Scale is the workload problem-size multiplier (default 4).
+	Scale int
+}
+
+func (c *Fig6Config) setDefaults() {
+	if c.PeriodCycles == 0 {
+		c.PeriodCycles = 12000
+	}
+	if c.Scale == 0 {
+		c.Scale = 4
+	}
+}
+
+// Fig6Point is one benchmark × system validation sample.
+type Fig6Point struct {
+	Bench     string
+	System    string
+	Measured  float64
+	Predicted float64
+	RelErr    float64
+}
+
+// fig6Systems returns the validated runtimes in paper order.
+func fig6Systems() []struct {
+	name   string
+	single bool
+	make   func() device.Strategy
+} {
+	return []struct {
+		name   string
+		single bool
+		make   func() device.Strategy
+	}{
+		{"hibernus", true, func() device.Strategy { return strategy.NewHibernus() }},
+		{"mementos", false, func() device.Strategy { return strategy.NewMementos() }},
+		{"dino", false, func() device.Strategy { return strategy.NewDINO() }},
+	}
+}
+
+// runFixed executes a workload program under a strategy with a fixed
+// per-period supply, requiring completion.
+func runFixed(prog *asm.Program, s device.Strategy, periodCycles float64) (*device.Result, device.Config, error) {
+	pm := energy.MSP430Power()
+	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	cfg := device.Config{
+		Prog:       prog,
+		Power:      pm,
+		CapC:       capC,
+		CapVMax:    vmax,
+		VOn:        von,
+		VOff:       voff,
+		MaxPeriods: 100000,
+		MaxCycles:  1 << 62,
+	}
+	d, err := device.New(cfg, s)
+	if err != nil {
+		return nil, cfg, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, d.Cfg(), err
+	}
+	if !res.Completed {
+		return nil, d.Cfg(), fmt.Errorf("experiments: %s/%s did not complete (%d periods)",
+			s.Name(), prog.Name, len(res.Periods))
+	}
+	return res, d.Cfg(), nil
+}
+
+// PredictFromRun builds EH-model parameters from a measured run and
+// returns the model's progress prediction — the workflow behind the
+// paper's second intro question ("can a programmer estimate how well
+// their application will perform under a specific architectural
+// configuration?"). The run supplies E, ε, τ_B and the checkpoint
+// payload; the device config supplies the NVM costs. A snapshotting
+// system's full checkpoint payload is a per-backup compulsory cost, so
+// it maps to A_B with α_B = 0. Set single for single-backup runtimes
+// (Eq. 12); otherwise Eq. 8 applies.
+func PredictFromRun(res *device.Result, cfg device.Config, single bool) (core.Params, float64) {
+	pm := cfg.Power
+	payload := stats.Mean(res.PayloadSamples())
+	params := core.Params{
+		E:        res.MeanSupply(),
+		Epsilon:  res.MeasuredEpsilon(),
+		EpsilonC: 0,
+		TauB:     math.Max(res.MeanTauB(), 1),
+		SigmaB:   cfg.SigmaB,
+		OmegaB:   pm.EnergyPerCycle(energy.ClassMem)/cfg.SigmaB + cfg.OmegaBExtra,
+		AB:       payload,
+		AlphaB:   0,
+		SigmaR:   cfg.SigmaR,
+		OmegaR:   pm.EnergyPerCycle(energy.ClassMem)/cfg.SigmaR + cfg.OmegaRExtra,
+		AR:       payload,
+		AlphaR:   0,
+	}
+	var p float64
+	if single {
+		p = params.ProgressSingleBackup()
+	} else {
+		p = params.Progress()
+	}
+	return params, math.Min(p, 1)
+}
+
+// Fig6 measures forward progress for Hibernus, Mementos and DINO across
+// the Table II benchmarks and compares against the EH model's
+// prediction, reporting per-system geometric-mean error as the paper
+// does.
+func Fig6(cfg Fig6Config) (*Figure, []Fig6Point, error) {
+	cfg.setDefaults()
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Measured vs EH-model-predicted progress (Fig. 6)",
+		XLabel: "measured p",
+		YLabel: "predicted p",
+	}
+	var pts []Fig6Point
+	perSystemErr := map[string][]float64{}
+	for _, sys := range fig6Systems() {
+		s := Series{Label: sys.name}
+		for _, w := range workload.TableII() {
+			prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
+			if err != nil {
+				return nil, nil, err
+			}
+			res, dcfg, err := runFixed(prog, sys.make(), cfg.PeriodCycles)
+			if err != nil {
+				return nil, nil, err
+			}
+			_, pred := PredictFromRun(res, dcfg, sys.single)
+			meas := res.MeasuredProgress()
+			pt := Fig6Point{
+				Bench:     w.Name,
+				System:    sys.name,
+				Measured:  meas,
+				Predicted: pred,
+				RelErr:    stats.RelErr(pred, meas),
+			}
+			pts = append(pts, pt)
+			perSystemErr[sys.name] = append(perSystemErr[sys.name], pt.RelErr)
+			s.Points = append(s.Points, Point{X: meas, Y: pred})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	var all []float64
+	for _, sys := range fig6Systems() {
+		errs := perSystemErr[sys.name]
+		fig.AddNote("%s: geomean |error| = %.2f%%", sys.name, 100*stats.GeoMean(errs))
+		all = append(all, errs...)
+	}
+	fig.AddNote("overall geomean |error| = %.2f%%", 100*stats.GeoMean(all))
+	return fig, pts, nil
+}
+
+// Fig7Point is one DINO benchmark's progress against how close its task
+// granularity sits to the model's optimal τ_B.
+type Fig7Point struct {
+	Bench      string
+	Measured   float64
+	TauB       float64
+	TauBOpt    float64
+	Similarity float64 // min(τ_B/τ_B,opt, τ_B,opt/τ_B) ∈ (0, 1]
+}
+
+// Fig7 reproduces the τ_B-optimality correlation: benchmarks whose DINO
+// task length lands near τ_B,opt make the most progress.
+func Fig7(cfg Fig6Config) (*Figure, []Fig7Point, error) {
+	cfg.setDefaults()
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Progress vs similarity of τ_B to τ_B,opt under DINO (Fig. 7)",
+		XLabel: "similarity min(τ_B/τ_B,opt, τ_B,opt/τ_B)",
+		YLabel: "measured p",
+	}
+	var pts []Fig7Point
+	s := Series{Label: "dino benchmarks"}
+	for _, w := range workload.TableII() {
+		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
+		if err != nil {
+			return nil, nil, err
+		}
+		res, dcfg, err := runFixed(prog, strategy.NewDINO(), cfg.PeriodCycles)
+		if err != nil {
+			return nil, nil, err
+		}
+		params, _ := PredictFromRun(res, dcfg, false)
+		opt := params.TauBOpt()
+		tauB := params.TauB
+		sim := tauB / opt
+		if sim > 1 {
+			sim = 1 / sim
+		}
+		pt := Fig7Point{
+			Bench:      w.Name,
+			Measured:   res.MeasuredProgress(),
+			TauB:       tauB,
+			TauBOpt:    opt,
+			Similarity: sim,
+		}
+		pts = append(pts, pt)
+		s.Points = append(s.Points, Point{X: pt.Similarity, Y: pt.Measured})
+	}
+	fig.Series = append(fig.Series, s)
+	var xs, ys []float64
+	for _, pt := range pts {
+		xs = append(xs, pt.Similarity)
+		ys = append(ys, pt.Measured)
+	}
+	if r, err := stats.Pearson(xs, ys); err == nil {
+		fig.AddNote("Pearson correlation(similarity, progress) = %.3f", r)
+	}
+	return fig, pts, nil
+}

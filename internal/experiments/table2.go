@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/workload"
+)
+
+// Table2Row is one benchmark's inventory entry: Table II of the paper
+// enriched with the measured characteristics the model consumes.
+type Table2Row struct {
+	Name          string
+	Desc          string
+	Instructions  uint64
+	Cycles        uint64
+	LoadFrac      float64 // loads per instruction
+	StoreFrac     float64 // stores per instruction
+	TauStore      float64 // mean cycles between stores
+	SRAMFootprint int
+}
+
+// Table2 profiles a benchmark set (Table II by default; pass names to
+// inventory other sets such as the MiBench kernels).
+func Table2(names []string) ([]Table2Row, error) {
+	var set []workload.Workload
+	if names == nil {
+		set = workload.TableII()
+	} else {
+		for _, n := range names {
+			w, ok := workload.Get(n)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown workload %q", n)
+			}
+			set = append(set, w)
+		}
+	}
+	var rows []Table2Row
+	for _, w := range set {
+		prog, err := w.Build(workload.Options{Seg: asm.SRAM})
+		if err != nil {
+			return nil, err
+		}
+		p, err := workload.ProfileProgram(prog, 100_000_000)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name:          w.Name,
+			Desc:          w.Desc,
+			Instructions:  p.Instructions,
+			Cycles:        p.Cycles,
+			LoadFrac:      float64(p.Loads) / float64(p.Instructions),
+			StoreFrac:     float64(p.Stores) / float64(p.Instructions),
+			TauStore:      p.StoreEveryCycles,
+			SRAMFootprint: p.SRAMFootprint,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestTable2Default(t *testing.T) {
+	rows, err := Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want the six Table II benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions == 0 || r.Cycles == 0 {
+			t.Errorf("%s: empty profile", r.Name)
+		}
+		if r.LoadFrac < 0 || r.LoadFrac > 1 || r.StoreFrac < 0 || r.StoreFrac > 1 {
+			t.Errorf("%s: fractions out of range", r.Name)
+		}
+		if r.Desc == "" {
+			t.Errorf("%s: missing description", r.Name)
+		}
+	}
+}
+
+func TestTable2Custom(t *testing.T) {
+	rows, err := Table2([]string{"lzfx", "sha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "lzfx" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// lzfx stores far more densely than sha (the Fig. 8 driver)
+	if rows[0].TauStore >= rows[1].TauStore {
+		t.Errorf("lzfx τ_store (%g) should undercut sha's (%g)",
+			rows[0].TauStore, rows[1].TauStore)
+	}
+	if _, err := Table2([]string{"nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,247 @@
+// Package isa defines EH32, the small 32-bit RISC instruction set the
+// intermittent-device simulator executes. EH32 is a clean substitute for
+// the MSP430/Cortex-M0+ binaries of the paper's evaluation: what the EH
+// model consumes is instruction mix, cycle counts and memory-access
+// streams, all of which EH32 exposes precisely.
+//
+// Architecture summary:
+//   - 16 general 32-bit registers; R0 is hardwired to zero.
+//   - Harvard layout: code lives outside the data address space, so
+//     checkpoints cover only registers and data memory.
+//   - Fixed 32-bit instruction encoding:
+//     [31:26] opcode | [25:22] rd | [21:18] rs1 | [17:0] imm18/rs2.
+//   - The PC counts instructions (not bytes). Branches are PC-relative
+//     in instructions; JAL/JALR are absolute.
+//   - SYS provides the hooks intermittent runtimes need: HALT, CHKPT
+//     (checkpoint site), TASK (task boundary), OUT (commit-buffered
+//     output) and SENSE (deterministic sensor read).
+package isa
+
+import "fmt"
+
+// Reg is a register index 0–15. R0 reads as zero and ignores writes.
+type Reg uint8
+
+// Register names. R13–R15 follow the conventional roles the assembler's
+// call helpers use, but nothing in the ISA enforces them.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13: stack pointer
+	LR // R14: link register
+	TR // R15: temporary for assembler pseudo-ops
+)
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case TR:
+		return "tr"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op enumerates EH32 opcodes.
+type Op uint8
+
+const (
+	SYS Op = iota
+	// R-type ALU.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	DIV
+	REM
+	// I-type ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI
+	// Memory.
+	LW
+	LB
+	LBU
+	SW
+	SB
+	// Control flow.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL
+	JALR
+	numOps
+)
+
+var opNames = [numOps]string{
+	SYS: "sys", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", DIV: "div", REM: "rem",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LUI: "lui",
+	LW: "lw", LB: "lb", LBU: "lbu", SW: "sw", SB: "sb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr",
+}
+
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsRType reports whether the instruction's third operand is rs2.
+func (o Op) IsRType() bool { return o >= ADD && o <= REM }
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool { return o >= BEQ && o <= BGEU }
+
+// IsLoad and IsStore classify memory operations.
+func (o Op) IsLoad() bool  { return o == LW || o == LB || o == LBU }
+func (o Op) IsStore() bool { return o == SW || o == SB }
+
+// Sys enumerates SYS immediate codes.
+type Sys uint32
+
+const (
+	// SysHalt stops execution; the runtime commits final state.
+	SysHalt Sys = iota
+	// SysChkpt marks a compiler/programmer checkpoint site (Mementos).
+	SysChkpt
+	// SysTaskBegin and SysTaskEnd delimit atomic tasks (DINO/Chain).
+	SysTaskBegin
+	SysTaskEnd
+	// SysOut appends rs1's value to the volatile output buffer; outputs
+	// commit to nonvolatile storage at the next backup.
+	SysOut
+	// SysSense loads a deterministic sensor sample into rd. The sample
+	// index is architectural state, so replay after a restore re-reads
+	// the same values.
+	SysSense
+	numSys
+)
+
+func (s Sys) String() string {
+	names := [numSys]string{"halt", "chkpt", "task_begin", "task_end", "out", "sense"}
+	if s < numSys {
+		return names[s]
+	}
+	return fmt.Sprintf("sys(%d)", uint32(s))
+}
+
+// Instr is one decoded EH32 instruction.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32 // 18-bit signed payload for I/B/J forms
+}
+
+// Encoding field layout.
+const (
+	immBits = 18
+	immMask = (1 << immBits) - 1
+	// ImmMax and ImmMin bound the signed 18-bit immediate.
+	ImmMax = 1<<(immBits-1) - 1
+	ImmMin = -(1 << (immBits - 1))
+)
+
+// FitsImm reports whether v is representable in the 18-bit immediate.
+func FitsImm(v int32) bool { return v >= ImmMin && v <= ImmMax }
+
+// Encode packs the instruction into its 32-bit binary form.
+func (in Instr) Encode() (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	w := uint32(in.Op)<<26 | uint32(in.Rd)<<22 | uint32(in.Rs1)<<18
+	if in.Op.IsRType() {
+		w |= uint32(in.Rs2) << 14
+		return w, nil
+	}
+	if !FitsImm(in.Imm) {
+		return 0, fmt.Errorf("isa: immediate %d out of 18-bit range in %v", in.Imm, in)
+	}
+	w |= uint32(in.Imm) & immMask
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word into an instruction.
+func Decode(w uint32) (Instr, error) {
+	in := Instr{
+		Op:  Op(w >> 26),
+		Rd:  Reg(w >> 22 & 0xF),
+		Rs1: Reg(w >> 18 & 0xF),
+	}
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", in.Op, w)
+	}
+	if in.Op.IsRType() {
+		in.Rs2 = Reg(w >> 14 & 0xF)
+		return in, nil
+	}
+	imm := int32(w & immMask)
+	if imm > ImmMax { // sign-extend
+		imm -= 1 << immBits
+	}
+	in.Imm = imm
+	return in, nil
+}
+
+// String renders the instruction in assembly-like syntax.
+func (in Instr) String() string {
+	switch {
+	case in.Op == SYS:
+		return fmt.Sprintf("sys %v rd=%v rs1=%v", Sys(in.Imm), in.Rd, in.Rs1)
+	case in.Op.IsRType():
+		return fmt.Sprintf("%v %v, %v, %v", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%v %v, %v, %+d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%v %v, %d(%v)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%v %v, %d(%v)", in.Op, in.Rd, in.Imm, in.Rs1)
+	default:
+		return fmt.Sprintf("%v %v, %v, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	}
+}

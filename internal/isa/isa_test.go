@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRType(t *testing.T) {
+	in := Instr{Op: ADD, Rd: R3, Rs1: R4, Rs2: R5}
+	w, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestEncodeDecodeImmediates(t *testing.T) {
+	for _, imm := range []int32{0, 1, -1, 1000, -1000, ImmMax, ImmMin} {
+		in := Instr{Op: ADDI, Rd: R1, Rs1: R2, Imm: imm}
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("imm %d: %v", imm, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("imm %d: %v", imm, err)
+		}
+		if out.Imm != imm {
+			t.Errorf("imm %d decoded as %d", imm, out.Imm)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	if _, err := (Instr{Op: ADDI, Imm: ImmMax + 1}).Encode(); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+	if _, err := (Instr{Op: ADDI, Imm: ImmMin - 1}).Encode(); err == nil {
+		t.Error("undersized immediate accepted")
+	}
+	if _, err := (Instr{Op: numOps}).Encode(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := (Instr{Op: ADD, Rd: 16}).Encode(); err == nil {
+		t.Error("register 16 accepted")
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Error("invalid opcode word accepted")
+	}
+}
+
+func TestFitsImm(t *testing.T) {
+	if !FitsImm(0) || !FitsImm(ImmMax) || !FitsImm(ImmMin) {
+		t.Error("in-range values rejected")
+	}
+	if FitsImm(ImmMax+1) || FitsImm(ImmMin-1) {
+		t.Error("out-of-range values accepted")
+	}
+}
+
+func TestOpClassifiers(t *testing.T) {
+	if !ADD.IsRType() || ADDI.IsRType() || SYS.IsRType() {
+		t.Error("IsRType misclassifies")
+	}
+	if !BEQ.IsBranch() || !BGEU.IsBranch() || JAL.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !LW.IsLoad() || !LBU.IsLoad() || SW.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !SW.IsStore() || !SB.IsStore() || LW.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !ADD.Valid() || Op(200).Valid() {
+		t.Error("Valid misclassifies")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if R0.String() != "r0" || SP.String() != "sp" || LR.String() != "lr" || TR.String() != "tr" {
+		t.Error("register names wrong")
+	}
+	if ADD.String() != "add" || Op(99).String() == "" {
+		t.Error("op names wrong")
+	}
+	if SysHalt.String() != "halt" || Sys(99).String() == "" {
+		t.Error("sys names wrong")
+	}
+	for _, in := range []Instr{
+		{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3},
+		{Op: ADDI, Rd: R1, Rs1: R2, Imm: -5},
+		{Op: BEQ, Rd: R1, Rs1: R2, Imm: 8},
+		{Op: LW, Rd: R1, Rs1: R2, Imm: 4},
+		{Op: SW, Rd: R1, Rs1: R2, Imm: 4},
+		{Op: SYS, Imm: int32(SysChkpt)},
+	} {
+		if s := in.String(); s == "" || strings.Contains(s, "%!") {
+			t.Errorf("bad render: %q", s)
+		}
+	}
+}
+
+// Property: every encodable instruction round-trips exactly.
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			in := Instr{
+				Op:  Op(r.Intn(int(numOps))),
+				Rd:  Reg(r.Intn(NumRegs)),
+				Rs1: Reg(r.Intn(NumRegs)),
+			}
+			if in.Op.IsRType() {
+				in.Rs2 = Reg(r.Intn(NumRegs))
+			} else {
+				in.Imm = int32(r.Intn(ImmMax-ImmMin+1)) + ImmMin
+			}
+			vals[0] = reflect.ValueOf(in)
+		},
+	}
+	f := func(in Instr) bool {
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct instructions encode to distinct words (the encoding
+// is injective over the canonical field ranges).
+func TestPropEncodingInjective(t *testing.T) {
+	seen := map[uint32]Instr{}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		in := Instr{
+			Op:  Op(r.Intn(int(numOps))),
+			Rd:  Reg(r.Intn(NumRegs)),
+			Rs1: Reg(r.Intn(NumRegs)),
+		}
+		if in.Op.IsRType() {
+			in.Rs2 = Reg(r.Intn(NumRegs))
+		} else {
+			in.Imm = int32(r.Intn(ImmMax-ImmMin+1)) + ImmMin
+		}
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[w]; ok && prev != in {
+			t.Fatalf("collision: %v and %v both encode to %#08x", prev, in, w)
+		}
+		seen[w] = in
+	}
+}

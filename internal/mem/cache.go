@@ -1,0 +1,157 @@
+package mem
+
+import "fmt"
+
+// Cache models the mixed-volatility cache of §VI-A: a volatile,
+// set-associative, writeback cache in front of nonvolatile memory. Its
+// distinguishing feature for intermittent computing is that every dirty
+// block must be written back to NVM when a backup is taken, and
+// dirtiness is tracked at block granularity — so store locality controls
+// backup traffic the way load locality controls miss traffic.
+type Cache struct {
+	blockSize int
+	sets      int
+	ways      int
+
+	tags  [][]uint64 // per set, per way: block number + 1 (0 = invalid)
+	dirty [][]bool
+	lru   [][]uint64 // per set, per way: last-touch tick
+	tick  uint64
+
+	stats CacheStats
+}
+
+// CacheStats counts accesses since construction or ResetStats.
+type CacheStats struct {
+	Loads       uint64
+	LoadMisses  uint64
+	Stores      uint64
+	StoreMisses uint64
+	Writebacks  uint64 // dirty blocks written back (evictions + flushes)
+}
+
+// NewCache builds a cache. blockSize must be a power of two ≥ 4; sets a
+// power of two ≥ 1; ways ≥ 1.
+func NewCache(blockSize, sets, ways int) (*Cache, error) {
+	if blockSize < 4 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("mem: block size %d must be a power of two ≥ 4", blockSize)
+	}
+	if sets < 1 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: set count %d must be a power of two ≥ 1", sets)
+	}
+	if ways < 1 {
+		return nil, fmt.Errorf("mem: ways %d must be ≥ 1", ways)
+	}
+	c := &Cache{blockSize: blockSize, sets: sets, ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// BlockSize returns the block size in bytes.
+func (c *Cache) BlockSize() int { return c.blockSize }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// Access simulates one load or store at addr. It returns whether the
+// access hit and whether a dirty block was evicted (a writeback to NVM).
+func (c *Cache) Access(addr uint32, isStore bool) (hit, writeback bool) {
+	c.tick++
+	block := uint64(addr) / uint64(c.blockSize)
+	set := int(block % uint64(c.sets))
+	key := block + 1
+
+	if isStore {
+		c.stats.Stores++
+	} else {
+		c.stats.Loads++
+	}
+
+	// Hit path.
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == key {
+			c.lru[set][w] = c.tick
+			if isStore {
+				c.dirty[set][w] = true
+			}
+			return true, false
+		}
+	}
+
+	// Miss: pick the LRU way (empty ways have tick 0 and win).
+	if isStore {
+		c.stats.StoreMisses++
+	} else {
+		c.stats.LoadMisses++
+	}
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	writeback = c.tags[set][victim] != 0 && c.dirty[set][victim]
+	if writeback {
+		c.stats.Writebacks++
+	}
+	c.tags[set][victim] = key
+	c.dirty[set][victim] = isStore
+	c.lru[set][victim] = c.tick
+	return false, writeback
+}
+
+// DirtyBlocks returns how many blocks are currently dirty — the backup
+// payload a mixed-volatility system must write to NVM at a checkpoint.
+func (c *Cache) DirtyBlocks() int {
+	n := 0
+	for s := range c.dirty {
+		for w := range c.dirty[s] {
+			if c.dirty[s][w] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyBytes returns the backup payload in bytes (dirty blocks ×
+// block size) — the α_B·τ_B quantity of Eq. 4 for cache-based systems.
+func (c *Cache) DirtyBytes() int { return c.DirtyBlocks() * c.blockSize }
+
+// FlushDirty marks all dirty blocks clean and returns how many were
+// flushed; the device calls it when a backup commits.
+func (c *Cache) FlushDirty() int {
+	n := 0
+	for s := range c.dirty {
+		for w := range c.dirty[s] {
+			if c.dirty[s][w] {
+				c.dirty[s][w] = false
+				n++
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return n
+}
+
+// Invalidate empties the cache (used on power loss for a volatile cache).
+func (c *Cache) Invalidate() {
+	c.tick = 0
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.dirty[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+}

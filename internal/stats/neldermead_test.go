@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	x, v, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+2) > 1e-4 {
+		t.Fatalf("minimum at %v", x)
+	}
+	if v > 1e-8 {
+		t.Fatalf("value %g", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, _, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("rosenbrock minimum at %v", x)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0] - 7) }
+	x, _, err := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-3 {
+		t.Fatalf("1-d minimum at %v", x)
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Error("empty start accepted")
+	}
+	nan := func([]float64) float64 { return math.NaN() }
+	if _, _, err := NelderMead(nan, []float64{1}, NelderMeadOptions{}); err == nil {
+		t.Error("NaN objective accepted")
+	}
+}

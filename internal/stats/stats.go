@@ -1,0 +1,163 @@
+// Package stats provides the small statistical toolkit the EH model
+// evaluation needs: means with standard error (the error bars of
+// Figs. 8–10), geometric means (the model-error metric of Fig. 6),
+// Pearson correlation (Fig. 7) and simple summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or 0
+// for fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SEM returns the standard error of the mean — the standard deviation
+// divided by √n — which the paper uses for the error bars of Figs. 8–10.
+func SEM(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative entries are skipped (matching how geomean error is reported
+// over strictly positive error magnitudes). Returns 0 when nothing
+// qualifies.
+func GeoMean(xs []float64) float64 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, or an error if the lengths differ, fewer than two points are
+// given, or either series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, have %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: constant series has no correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Percentile returns the p-th percentile (0–100) by linear interpolation
+// between order statistics. Input order is preserved (an internal copy is
+// sorted). Returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the descriptive statistics the characterization
+// experiments report per benchmark.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	SEM    float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.SEM = SEM(xs)
+	s.Median = Median(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// RelErr returns |got−want|/|want| as a fraction; it is the per-benchmark
+// model error aggregated by GeoMean in the Fig. 6 reproduction. A zero
+// want with nonzero got returns +Inf.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

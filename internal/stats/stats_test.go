@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !feq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !feq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %g, want 0", got)
+	}
+}
+
+func TestSEM(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := StdDev(xs) / 3
+	if got := SEM(xs); !feq(got, want, 1e-12) {
+		t.Errorf("SEM = %g, want %g", got, want)
+	}
+	if got := SEM(nil); got != 0 {
+		t.Errorf("SEM(nil) = %g", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 10, 100}); !feq(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %g, want 10", got)
+	}
+	// zeros and negatives skipped
+	if got := GeoMean([]float64{0, -5, 4, 9}); !feq(got, 6, 1e-9) {
+		t.Errorf("GeoMean with skips = %g, want 6", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of nothing positive = %g, want 0", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !feq(r, 1, 1e-12) {
+		t.Errorf("perfect correlation: r=%g err=%v", r, err)
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, inv)
+	if err != nil || !feq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation: r=%g err=%v", r, err)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Pearson([]float64{3, 3, 3}, ys[:3]); err == nil {
+		t.Error("constant series should error")
+	}
+}
+
+func TestPercentileMedian(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Median(xs); got != 35 {
+		t.Errorf("Median = %g, want 35", got)
+	}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("P0 = %g, want 15", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("P100 = %g, want 50", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("P25 = %g, want 20", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %g", got)
+	}
+	// input must not be reordered
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if !reflect.DeepEqual(orig, []float64{3, 1, 2}) {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 2, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 || s.Median != 4 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary: %+v", z)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(11, 10); !feq(got, 0.1, 1e-12) {
+		t.Errorf("RelErr = %g, want 0.1", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %g", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %g, want +Inf", got)
+	}
+}
+
+// Property: mean lies within [min, max]; SEM ≤ StdDev; shifting all data
+// by a constant shifts the mean by the same constant and leaves the
+// spread untouched.
+func TestPropSummaryInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 2 + r.Intn(50)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.NormFloat64() * 100
+			}
+			vals[0] = reflect.ValueOf(xs)
+		},
+	}
+	f := func(xs []float64) bool {
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.SEM > s.StdDev+1e-12 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 1000
+		}
+		s2 := Summarize(shifted)
+		return feq(s2.Mean, s.Mean+1000, 1e-6) && feq(s2.StdDev, s.StdDev, 1e-6)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pearson correlation is invariant under positive affine
+// transforms of either series and bounded by [−1, 1].
+func TestPropPearsonInvariance(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 3 + r.Intn(30)
+			xs, ys := make([]float64, n), make([]float64, n)
+			for i := range xs {
+				xs[i] = r.NormFloat64()
+				ys[i] = r.NormFloat64()
+			}
+			vals[0] = reflect.ValueOf(xs)
+			vals[1] = reflect.ValueOf(ys)
+		},
+	}
+	f := func(xs, ys []float64) bool {
+		r1, err := Pearson(xs, ys)
+		if err != nil {
+			return true // constant draws are legitimately rejected
+		}
+		if r1 < -1-1e-9 || r1 > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3*x + 7
+		}
+		r2, err := Pearson(scaled, ys)
+		return err == nil && feq(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

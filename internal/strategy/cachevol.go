@@ -1,0 +1,111 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// CacheVolatile is the checkpoint-aware hybrid-cache architecture of
+// §VI-A (after Li et al. and Xie et al.): a volatile writeback cache
+// sits in front of nonvolatile memory, and every checkpoint must write
+// the cache's dirty blocks back — so the backup payload is exactly the
+// application's dirty footprint at block granularity, the α_B·τ_B
+// quantity whose load/store-locality sensitivity the case study
+// analyzes.
+//
+// Correctness follows the Clank/Ratchet discipline: a store to a word
+// read since the last checkpoint cuts the region first, so re-executed
+// regions are idempotent. The device must be configured with a cache
+// (Config.CacheBlockSize > 0) and the workload's data must live in
+// FRAM.
+type CacheVolatile struct {
+	base
+	// WatchdogCycles bounds the region length (default 4000).
+	WatchdogCycles uint64
+	// ArchBytes per checkpoint (default cpu.ArchStateBytes).
+	ArchBytes int
+
+	readFirst  map[uint32]struct{}
+	writeFirst map[uint32]struct{}
+}
+
+// NewCacheVolatile returns the strategy with defaults.
+func NewCacheVolatile() *CacheVolatile {
+	c := &CacheVolatile{WatchdogCycles: 4000, ArchBytes: cpu.ArchStateBytes}
+	c.Reset()
+	return c
+}
+
+// Name implements device.Strategy.
+func (c *CacheVolatile) Name() string { return "cachevol" }
+
+// Reset drops the volatile tracking sets.
+func (c *CacheVolatile) Reset() {
+	c.readFirst = make(map[uint32]struct{})
+	c.writeFirst = make(map[uint32]struct{})
+}
+
+func (c *CacheVolatile) payload(d *device.Device) device.Payload {
+	app := 0
+	if cache := d.Cache(); cache != nil {
+		app = cache.DirtyBytes()
+	}
+	return device.Payload{
+		ArchBytes:  c.ArchBytes,
+		AppBytes:   app,
+		FlushCache: true,
+	}
+}
+
+// Boot anchors re-execution with an initial checkpoint on cold start.
+func (c *CacheVolatile) Boot(d *device.Device) *device.Payload {
+	if d.HasCheckpoint() {
+		return nil
+	}
+	p := c.payload(d)
+	return &p
+}
+
+// PreStep cuts the region before a write-after-read commits.
+func (c *CacheVolatile) PreStep(d *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+	if !acc.Valid {
+		return nil
+	}
+	word := acc.Addr &^ 3
+	if acc.Store {
+		if _, ok := c.writeFirst[word]; ok {
+			return nil
+		}
+		if _, ok := c.readFirst[word]; ok {
+			c.Reset()
+			c.writeFirst[word] = struct{}{}
+			p := c.payload(d)
+			return &p
+		}
+		c.writeFirst[word] = struct{}{}
+		return nil
+	}
+	if _, ok := c.writeFirst[word]; ok {
+		return nil
+	}
+	c.readFirst[word] = struct{}{}
+	return nil
+}
+
+// PostStep runs the watchdog.
+func (c *CacheVolatile) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
+	if c.WatchdogCycles == 0 || d.ExecSinceBackup() < c.WatchdogCycles {
+		return nil
+	}
+	c.Reset()
+	p := c.payload(d)
+	return &p
+}
+
+// FinalPayload commits the remaining dirty data.
+func (c *CacheVolatile) FinalPayload(d *device.Device) device.Payload {
+	return c.payload(d)
+}
+
+var _ device.Strategy = (*CacheVolatile)(nil)

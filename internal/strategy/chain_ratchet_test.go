@@ -1,0 +1,122 @@
+package strategy
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/stats"
+)
+
+// TestChainPayloadTracksTaskWrites: Chain's commit payload is the data
+// the task wrote, not the whole memory — its defining advantage over
+// DINO.
+func TestChainPayloadTracksTaskWrites(t *testing.T) {
+	prog := buildWorkload(t, "ds", asm.SRAM)
+	chain := NewChain()
+	resChain := run(t, prog, chain, 1e9)
+	if !resChain.Completed {
+		t.Fatal("chain incomplete")
+	}
+	dino := NewDINO()
+	resDino := run(t, prog, dino, 1e9)
+	if !resDino.Completed {
+		t.Fatal("dino incomplete")
+	}
+	chainPayload := stats.Mean(resChain.PayloadSamples())
+	dinoPayload := stats.Mean(resDino.PayloadSamples())
+	if chainPayload >= dinoPayload {
+		t.Fatalf("chain payload (%g B) should undercut DINO's full snapshot (%g B)",
+			chainPayload, dinoPayload)
+	}
+	// ds tasks write one histogram word: payload ≈ arch + 4 bytes
+	if chainPayload > 90 {
+		t.Errorf("chain payload %g B implausibly large for ds", chainPayload)
+	}
+}
+
+// TestChainProgressBeatsDINO: smaller commits mean more forward
+// progress on the same energy.
+func TestChainProgressBeatsDINO(t *testing.T) {
+	prog := buildWorkload(t, "sense", asm.SRAM)
+	resChain := run(t, prog, NewChain(), 20000)
+	resDino := run(t, prog, NewDINO(), 20000)
+	if !resChain.Completed || !resDino.Completed {
+		t.Fatal("incomplete")
+	}
+	if resChain.MeasuredProgress() <= resDino.MeasuredProgress() {
+		t.Fatalf("chain p=%g should beat dino p=%g",
+			resChain.MeasuredProgress(), resDino.MeasuredProgress())
+	}
+}
+
+// TestRatchetViolationDetection mirrors the Clank unit test without
+// buffer-capacity effects.
+func TestRatchetViolationDetection(t *testing.T) {
+	r := NewRatchet()
+	load := func(addr uint32) *device.Payload {
+		return r.PreStep(nil, isa.Instr{}, device.AccessPreview{Valid: true, Addr: addr, Size: 4})
+	}
+	store := func(addr uint32) *device.Payload {
+		return r.PreStep(nil, isa.Instr{}, device.AccessPreview{Valid: true, Addr: addr, Size: 4, Store: true})
+	}
+	// fill far past Clank's 8-entry capacity: no forced checkpoints
+	for i := 0; i < 100; i++ {
+		if p := load(uint32(0x1000 + i*4)); p != nil {
+			t.Fatalf("load %d checkpointed without a WAR", i)
+		}
+	}
+	if p := store(0x2000); p != nil {
+		t.Fatal("store to fresh word checkpointed")
+	}
+	if p := store(0x1000); p == nil {
+		t.Fatal("write-after-read must checkpoint")
+	}
+	if r.Violations() != 1 {
+		t.Fatalf("violations = %d", r.Violations())
+	}
+}
+
+// TestRatchetFewerCheckpointsThanClank: without buffer-capacity
+// overflows, Ratchet checkpoints no more often than Clank on a
+// load-heavy kernel.
+func TestRatchetFewerCheckpointsThanClank(t *testing.T) {
+	prog := buildWorkload(t, "susan", asm.FRAM)
+	resRatchet := run(t, prog, NewRatchet(), 1e9)
+	resClank := run(t, prog, NewClank(), 1e9)
+	if !resRatchet.Completed || !resClank.Completed {
+		t.Fatal("incomplete")
+	}
+	if resRatchet.Backups() > resClank.Backups() {
+		t.Fatalf("ratchet (%d backups) should not exceed clank (%d) on susan",
+			resRatchet.Backups(), resClank.Backups())
+	}
+}
+
+// TestRatchetRegionCap: ALU-only code checkpoints at the section cap.
+func TestRatchetRegionCap(t *testing.T) {
+	b := asm.New("aluonly")
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 30000)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Blt(isa.R1, isa.R2, "top")
+	b.Out(isa.R1)
+	b.Halt()
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRatchet()
+	res := run(t, prog, r, 1e9)
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if mean := res.MeanTauB(); mean > float64(r.MaxRegion)+10 {
+		t.Fatalf("mean τ_B %g exceeds region cap %d", mean, r.MaxRegion)
+	}
+	if r.Violations() != 0 {
+		t.Fatal("ALU-only code cannot violate idempotency")
+	}
+}

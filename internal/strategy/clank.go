@@ -1,0 +1,152 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// Clank is the idempotency-tracking architecture of Hicks (§V-B): main
+// memory is nonvolatile, and hardware buffers watch the address stream
+// for write-after-read violations. Storing to a word whose first access
+// since the last checkpoint was a read would break re-execution, so a
+// register checkpoint is taken just before such a store commits. A
+// watchdog forces a checkpoint if no violation occurs for WatchdogCycles.
+//
+// Workloads run under Clank must keep mutable data in FRAM.
+type Clank struct {
+	base
+	// ReadFirstEntries and WriteFirstEntries size the two tracking
+	// buffers; the paper's configuration uses 8 each.
+	ReadFirstEntries  int
+	WriteFirstEntries int
+	// WatchdogCycles forces a checkpoint after this many executed
+	// cycles without one; the paper uses 8000.
+	WatchdogCycles uint64
+	// ArchBytes is the checkpoint size; the paper's Cortex-M0+ target
+	// saves 20 32-bit registers (80 bytes).
+	ArchBytes int
+
+	readFirst  map[uint32]struct{}
+	writeFirst map[uint32]struct{}
+	stats      ClankStats
+}
+
+// ClankStats counts why checkpoints happened. The counters describe
+// the whole run (analysis-side bookkeeping), so they survive Reset.
+type ClankStats struct {
+	Violations    uint64 // write-after-read idempotency violations
+	BufferFulls   uint64 // tracking-buffer overflows
+	WatchdogFires uint64
+}
+
+// NewClank returns a Clank strategy with the paper's configuration:
+// 8-entry read-first and write-first buffers, an 8000-cycle watchdog and
+// an 80-byte register checkpoint.
+func NewClank() *Clank {
+	c := &Clank{
+		ReadFirstEntries:  8,
+		WriteFirstEntries: 8,
+		WatchdogCycles:    8000,
+		ArchBytes:         80,
+	}
+	c.Reset()
+	return c
+}
+
+// Name implements device.Strategy.
+func (c *Clank) Name() string { return "clank" }
+
+// Stats is exported for the characterization experiments.
+func (c *Clank) Stats() ClankStats { return c.stats }
+
+func (c *Clank) payload() device.Payload {
+	return device.Payload{ArchBytes: c.ArchBytes}
+}
+
+// Reset drops the volatile tracking buffers (lost at power failure and
+// cleared by every checkpoint).
+func (c *Clank) Reset() {
+	c.readFirst = make(map[uint32]struct{}, c.ReadFirstEntries)
+	c.writeFirst = make(map[uint32]struct{}, c.WriteFirstEntries)
+}
+
+// Boot takes the mandatory initial checkpoint on a cold start so that
+// re-execution never reaches back past the first instruction.
+func (c *Clank) Boot(d *device.Device) *device.Payload {
+	if d.HasCheckpoint() {
+		return nil
+	}
+	p := c.payload()
+	return &p
+}
+
+// PreStep detects idempotency violations before the access commits.
+func (c *Clank) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+	if !acc.Valid {
+		return nil
+	}
+	word := acc.Addr &^ 3
+	if acc.Store {
+		if _, ok := c.writeFirst[word]; ok {
+			return nil // writing our own data: idempotent
+		}
+		if _, ok := c.readFirst[word]; ok {
+			// Write-after-read violation: checkpoint, then track the
+			// store as write-first in the fresh region.
+			c.stats.Violations++
+			c.clearAndTrackWrite(word)
+			p := c.payload()
+			return &p
+		}
+		if len(c.writeFirst) >= c.WriteFirstEntries {
+			c.stats.BufferFulls++
+			c.clearAndTrackWrite(word)
+			p := c.payload()
+			return &p
+		}
+		c.writeFirst[word] = struct{}{}
+		return nil
+	}
+	// Load path.
+	if _, ok := c.writeFirst[word]; ok {
+		return nil
+	}
+	if _, ok := c.readFirst[word]; ok {
+		return nil
+	}
+	if len(c.readFirst) >= c.ReadFirstEntries {
+		c.stats.BufferFulls++
+		c.Reset()
+		c.readFirst[word] = struct{}{}
+		p := c.payload()
+		return &p
+	}
+	c.readFirst[word] = struct{}{}
+	return nil
+}
+
+// clearAndTrackWrite starts a fresh idempotent region whose first access
+// is the pending store.
+func (c *Clank) clearAndTrackWrite(word uint32) {
+	c.Reset()
+	c.writeFirst[word] = struct{}{}
+}
+
+// PostStep runs the watchdog.
+func (c *Clank) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
+	if c.WatchdogCycles == 0 || d.ExecSinceBackup() < c.WatchdogCycles {
+		return nil
+	}
+	c.stats.WatchdogFires++
+	c.Reset() // a checkpoint ends the region; tracking restarts
+	p := c.payload()
+	return &p
+}
+
+// FinalPayload commits the register state at halt.
+func (c *Clank) FinalPayload(*device.Device) device.Payload {
+	return device.Payload{ArchBytes: c.ArchBytes}
+}
+
+var _ device.Strategy = (*Clank)(nil)

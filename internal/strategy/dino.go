@@ -1,0 +1,37 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// DINO is the task-based system of Lucia & Ransford: programs are
+// decomposed into atomic tasks (SysTaskBegin/SysTaskEnd in EH32) and a
+// checkpoint of volatile state plus versioned data is taken at every
+// task boundary, guaranteeing each task executes effectively-once (§II).
+type DINO struct {
+	base
+}
+
+// NewDINO returns a DINO strategy.
+func NewDINO() *DINO { return &DINO{} }
+
+// Name implements device.Strategy.
+func (dn *DINO) Name() string { return "dino" }
+
+// PostStep checkpoints at every task end.
+func (dn *DINO) PostStep(d *device.Device, st cpu.Step) *device.Payload {
+	if !st.HasSys || st.Sys != isa.SysTaskEnd {
+		return nil
+	}
+	p := fullPayload(d)
+	return &p
+}
+
+// FinalPayload commits the completed program's state.
+func (dn *DINO) FinalPayload(d *device.Device) device.Payload {
+	return fullPayload(d)
+}
+
+var _ device.Strategy = (*DINO)(nil)

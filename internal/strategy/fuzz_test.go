@@ -1,0 +1,75 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/workload"
+)
+
+// TestFuzzEquivalence differentially tests the whole stack: random
+// terminating programs must produce identical committed output under
+// every runtime strategy and aggressive intermittency as under
+// continuous execution. This is the strongest correctness statement the
+// simulator makes — any bug in checkpoint contents, restore paths,
+// idempotency tracking or output commit logic shows up here.
+func TestFuzzEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing matrix is slow")
+	}
+	const seeds = 24
+	for _, c := range allCombos() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= seeds; seed++ {
+				prog, err := workload.Random(seed, c.seg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				want, _, err := device.RunContinuous(prog, 0, 0, 50_000_000)
+				if err != nil {
+					t.Fatalf("seed %d oracle: %v", seed, err)
+				}
+				d, err := device.New(fixedCfg(prog, 20000), c.make())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				res, err := d.Run()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.Completed {
+					t.Fatalf("seed %d: incomplete after %d periods", seed, len(res.Periods))
+				}
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Fatalf("seed %d: output diverged\n got %v\nwant %v", seed, res.Output, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomDeterministic: the generator must be reproducible — the
+// oracle property depends on it.
+func TestRandomDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		a, err := workload.Random(seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Random(seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Code, b.Code) || !reflect.DeepEqual(a.SRAMImage, b.SRAMImage) {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+	a, _ := workload.Random(1, 0)
+	b, _ := workload.Random(2, 0)
+	if reflect.DeepEqual(a.Code, b.Code) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

@@ -1,0 +1,155 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/trace"
+	"ehmodel/internal/workload"
+)
+
+// combo describes a strategy under test and the data placement its
+// memory model requires.
+type combo struct {
+	name string
+	seg  asm.Segment
+	make func() device.Strategy
+}
+
+func allCombos() []combo {
+	return []combo{
+		{"timer", asm.SRAM, func() device.Strategy { return NewTimer(1000, 0.1) }},
+		{"speculative", asm.SRAM, func() device.Strategy { return NewSpeculative(1000, 0.1) }},
+		{"hibernus", asm.SRAM, func() device.Strategy { return NewHibernus() }},
+		{"mementos", asm.SRAM, func() device.Strategy { return NewMementos() }},
+		{"dino", asm.SRAM, func() device.Strategy { return NewDINO() }},
+		{"mixvol", asm.SRAM, func() device.Strategy { return NewMixedVolatility(1000) }},
+		{"chain", asm.SRAM, func() device.Strategy { return NewChain() }},
+		{"clank", asm.FRAM, func() device.Strategy { return NewClank() }},
+		{"ratchet", asm.FRAM, func() device.Strategy { return NewRatchet() }},
+		{"nvp-everycycle", asm.FRAM, func() device.Strategy { return NewNVPEveryCycle() }},
+		{"nvp-threshold", asm.FRAM, func() device.Strategy { return NewNVPThreshold() }},
+	}
+}
+
+// fixedCfg builds a bench-supply device config with the given per-period
+// energy expressed in ALU cycles.
+func fixedCfg(prog *asm.Program, cyclesOfEnergy float64) device.Config {
+	pm := energy.MSP430Power()
+	e := cyclesOfEnergy * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	return device.Config{
+		Prog:       prog,
+		Power:      pm,
+		CapC:       capC,
+		CapVMax:    vmax,
+		VOn:        von,
+		VOff:       voff,
+		MaxPeriods: 20000,
+		MaxCycles:  2_000_000_000,
+	}
+}
+
+// TestEquivalenceAcrossStrategies is the central correctness theorem of
+// the simulator: for every workload × strategy, the committed output of
+// an aggressively intermittent run equals the continuous-run oracle.
+func TestEquivalenceAcrossStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix is slow")
+	}
+	for _, c := range allCombos() {
+		for _, w := range workload.All() {
+			c, w := c, w
+			t.Run(c.name+"/"+w.Name, func(t *testing.T) {
+				t.Parallel()
+				opts := workload.Options{Seg: c.seg}
+				prog, err := w.Build(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Periods must exceed Clank's 8000-cycle watchdog, or a
+				// workload forming one unbounded idempotent region (e.g.
+				// counter) can livelock — a real Clank deployment
+				// constraint, not a simulator artifact.
+				d, err := device.New(fixedCfg(prog, 20000), c.make())
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := d.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Completed {
+					t.Fatalf("did not complete: %d periods, %d cycles, %d backups",
+						len(res.Periods), res.TotalCycles, res.Backups())
+				}
+				want := w.Ref(opts)
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Fatalf("output mismatch after %d periods:\n got %v\nwant %v",
+						len(res.Periods), res.Output, want)
+				}
+				if p := res.MeasuredProgress(); p <= 0 || p > 1 {
+					t.Errorf("progress %g out of range", p)
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceUnderHarvestedPower repeats the equivalence check with
+// a real harvester driving the supply (the §V-B setup) for a workload
+// sample on Clank.
+func TestEquivalenceUnderHarvestedPower(t *testing.T) {
+	for _, kind := range trace.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			w, _ := workload.Get("counter")
+			opts := workload.Options{Seg: asm.FRAM}
+			prog, err := w.Build(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := trace.Generate(kind, 20, 1e-3, 42)
+			h, err := energy.NewHarvester(tr, 3000, 0.7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fixedCfg(prog, 6000)
+			cfg.Harvester = h
+			d, err := device.New(cfg, NewClank())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatalf("did not complete under %v trace: %d periods", kind, len(res.Periods))
+			}
+			if !reflect.DeepEqual(res.Output, w.Ref(opts)) {
+				t.Fatalf("output mismatch: %v", res.Output)
+			}
+			if res.TimeS <= 0 {
+				t.Error("no simulated time elapsed")
+			}
+		})
+	}
+}
+
+// TestStrategyNames ensures unique, stable names (results are keyed on
+// them).
+func TestStrategyNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range allCombos() {
+		n := c.make().Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate strategy name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,75 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// MixedVolatility is the hypothetical processor of §V-B used to
+// characterize application state (Fig. 10): a parametrized watchdog
+// timer decides when to back up, and an unbounded store queue tracks
+// which words were modified since the last backup — the backup payload
+// is exactly that modified data (α_B·τ_B of Eq. 4) plus architectural
+// state.
+type MixedVolatility struct {
+	base
+	// WatchdogCycles is the backup period (the paper sweeps 250–3000).
+	WatchdogCycles uint64
+
+	dirty map[uint32]struct{} // modified words since last backup
+}
+
+// NewMixedVolatility returns the strategy with the given watchdog
+// period.
+func NewMixedVolatility(watchdog uint64) *MixedVolatility {
+	m := &MixedVolatility{WatchdogCycles: watchdog}
+	m.Reset()
+	return m
+}
+
+// Name implements device.Strategy.
+func (m *MixedVolatility) Name() string { return "mixvol" }
+
+// Reset drops the volatile store queue.
+func (m *MixedVolatility) Reset() {
+	m.dirty = make(map[uint32]struct{})
+}
+
+// DirtyBytes is the current store-queue payload in bytes.
+func (m *MixedVolatility) DirtyBytes() int { return 4 * len(m.dirty) }
+
+// PreStep records stores into the queue.
+func (m *MixedVolatility) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+	if acc.Valid && acc.Store {
+		m.dirty[acc.Addr&^3] = struct{}{}
+	}
+	return nil
+}
+
+func (m *MixedVolatility) payload(d *device.Device) device.Payload {
+	return device.Payload{
+		ArchBytes: cpu.ArchStateBytes,
+		AppBytes:  m.DirtyBytes(),
+		SaveSRAM:  true,
+	}
+}
+
+// PostStep fires the watchdog backup.
+func (m *MixedVolatility) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
+	if m.WatchdogCycles == 0 || d.ExecSinceBackup() < m.WatchdogCycles {
+		return nil
+	}
+	p := m.payload(d)
+	m.Reset() // queue drains into the checkpoint
+	return &p
+}
+
+// FinalPayload commits the remaining modified data.
+func (m *MixedVolatility) FinalPayload(d *device.Device) device.Payload {
+	p := m.payload(d)
+	m.Reset()
+	return p
+}
+
+var _ device.Strategy = (*MixedVolatility)(nil)

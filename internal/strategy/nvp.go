@@ -1,0 +1,84 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+)
+
+// NVP models a nonvolatile processor (§II): all memory is nonvolatile
+// and a small amount of architectural state is flushed to nonvolatile
+// flip-flops either every cycle (multi-backup, the Ma et al. HPCA'15
+// design) or once per period at a voltage threshold (single-backup).
+//
+// Workloads run under NVP must keep mutable data in FRAM.
+type NVP struct {
+	base
+	// EveryCycle selects per-cycle flip-flop backup; otherwise the
+	// processor backs up once when the stored energy nears the backup
+	// cost (threshold mode).
+	EveryCycle bool
+	// ArchBytes is the state flushed per backup. Per-cycle designs with
+	// dirty-tracking save only the PC and modified registers (default 8
+	// bytes); threshold designs save the full register file.
+	ArchBytes int
+	// Margin is the threshold multiplier for single-backup mode.
+	Margin float64
+
+	armed bool
+}
+
+// NewNVPEveryCycle returns the per-cycle backup configuration.
+func NewNVPEveryCycle() *NVP {
+	return &NVP{EveryCycle: true, ArchBytes: 8, Margin: 2}
+}
+
+// NewNVPThreshold returns the single-backup configuration saving the
+// full register file.
+func NewNVPThreshold() *NVP {
+	return &NVP{ArchBytes: cpu.ArchStateBytes, Margin: 2}
+}
+
+// Name implements device.Strategy.
+func (n *NVP) Name() string {
+	if n.EveryCycle {
+		return "nvp-everycycle"
+	}
+	return "nvp-threshold"
+}
+
+// Boot arms the threshold comparator.
+func (n *NVP) Boot(d *device.Device) *device.Payload {
+	n.armed = true
+	if d.HasCheckpoint() {
+		return nil
+	}
+	p := device.Payload{ArchBytes: n.ArchBytes}
+	return &p
+}
+
+// Reset loses the comparator arm state.
+func (n *NVP) Reset() { n.armed = false }
+
+// PostStep backs up per the configured mode.
+func (n *NVP) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
+	p := device.Payload{ArchBytes: n.ArchBytes}
+	if n.EveryCycle {
+		return &p
+	}
+	if !n.armed {
+		return nil
+	}
+	if d.StoredEnergy() > n.Margin*d.BackupCost(p) {
+		return nil
+	}
+	n.armed = false
+	p.ThenSleep = true
+	return &p
+}
+
+// FinalPayload commits the final architectural state.
+func (n *NVP) FinalPayload(*device.Device) device.Payload {
+	return device.Payload{ArchBytes: n.ArchBytes}
+}
+
+var _ device.Strategy = (*NVP)(nil)

@@ -1,0 +1,107 @@
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// Ratchet models the compiler-only system of Van Der Woude & Hicks
+// (§II): the compiler decomposes the program into idempotent sections
+// and inserts a register checkpoint before every write-after-read
+// memory dependence, with a section-length cap so re-execution stays
+// bounded. Unlike Clank there is no tracking hardware — the compiler's
+// static analysis is conservative but unbounded, which the simulator
+// realizes as unbounded dynamic read/write sets (a static analysis
+// would checkpoint at least this often).
+//
+// Workloads run under Ratchet must keep mutable data in FRAM.
+type Ratchet struct {
+	base
+	// MaxRegion caps idempotent-section length in executed cycles
+	// (default 4000).
+	MaxRegion uint64
+	// ArchBytes is the register-checkpoint size (default
+	// cpu.ArchStateBytes).
+	ArchBytes int
+
+	readFirst  map[uint32]struct{}
+	writeFirst map[uint32]struct{}
+	violations uint64
+}
+
+// NewRatchet returns a Ratchet strategy with defaults.
+func NewRatchet() *Ratchet {
+	r := &Ratchet{MaxRegion: 4000, ArchBytes: cpu.ArchStateBytes}
+	r.Reset()
+	return r
+}
+
+// Name implements device.Strategy.
+func (r *Ratchet) Name() string { return "ratchet" }
+
+// Violations counts WAR-driven checkpoints across the run.
+func (r *Ratchet) Violations() uint64 { return r.violations }
+
+// Reset drops the section's access sets.
+func (r *Ratchet) Reset() {
+	r.readFirst = make(map[uint32]struct{})
+	r.writeFirst = make(map[uint32]struct{})
+}
+
+func (r *Ratchet) payload() device.Payload {
+	return device.Payload{ArchBytes: r.ArchBytes}
+}
+
+// Boot checkpoints once on a cold start so re-execution is anchored.
+func (r *Ratchet) Boot(d *device.Device) *device.Payload {
+	if d.HasCheckpoint() {
+		return nil
+	}
+	p := r.payload()
+	return &p
+}
+
+// PreStep cuts the section before a write-after-read commits.
+func (r *Ratchet) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+	if !acc.Valid {
+		return nil
+	}
+	word := acc.Addr &^ 3
+	if acc.Store {
+		if _, ok := r.writeFirst[word]; ok {
+			return nil
+		}
+		if _, ok := r.readFirst[word]; ok {
+			r.violations++
+			r.Reset()
+			r.writeFirst[word] = struct{}{}
+			p := r.payload()
+			return &p
+		}
+		r.writeFirst[word] = struct{}{}
+		return nil
+	}
+	if _, ok := r.writeFirst[word]; ok {
+		return nil
+	}
+	r.readFirst[word] = struct{}{}
+	return nil
+}
+
+// PostStep enforces the compiler's section-length cap.
+func (r *Ratchet) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
+	if r.MaxRegion == 0 || d.ExecSinceBackup() < r.MaxRegion {
+		return nil
+	}
+	r.Reset()
+	p := r.payload()
+	return &p
+}
+
+// FinalPayload commits the registers at halt.
+func (r *Ratchet) FinalPayload(*device.Device) device.Payload {
+	return r.payload()
+}
+
+var _ device.Strategy = (*Ratchet)(nil)

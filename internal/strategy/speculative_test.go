@@ -1,0 +1,111 @@
+package strategy
+
+import (
+	"testing"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/core"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/workload"
+)
+
+// TestSpeculativeBeatsTimer: converting dead tails into a cheap final
+// backup must raise progress over the plain timer at the same τ_B.
+func TestSpeculativeBeatsTimer(t *testing.T) {
+	// big enough that the run spans many periods at this supply
+	w, _ := workload.Get("counter")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tauB = 6000 // long intervals: plenty of dead energy to save
+	plain := run(t, prog, NewTimer(tauB, 0.1), 20000)
+	spec := run(t, prog, NewSpeculative(tauB, 0.1), 20000)
+	if !plain.Completed || !spec.Completed {
+		t.Fatal("incomplete")
+	}
+	if spec.MeasuredProgress() <= plain.MeasuredProgress() {
+		t.Fatalf("speculative %.4f should beat timer %.4f",
+			spec.MeasuredProgress(), plain.MeasuredProgress())
+	}
+	// and the saved energy shows up as vanished dead cycles
+	if spec.Breakdown().Dead >= plain.Breakdown().Dead {
+		t.Fatalf("speculative dead %.3g should undercut timer's %.3g",
+			spec.Breakdown().Dead, plain.Breakdown().Dead)
+	}
+}
+
+// TestSpeculativeApproachesBestCaseBound: measured progress must land
+// between the model's average-case estimate and its best-case (τ_D = 0)
+// ceiling — the Spendthrift bound of §IV-A2.
+func TestSpeculativeApproachesBestCaseBound(t *testing.T) {
+	w, _ := workload.Get("counter")
+	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tauB = 6000
+	res := run(t, prog, NewSpeculative(tauB, 0.1), 20000)
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	pm := energy.MSP430Power()
+	params := core.Params{
+		E:       res.MeanSupply(),
+		Epsilon: res.MeasuredEpsilon(),
+		TauB:    tauB,
+		SigmaB:  2,
+		OmegaB:  pm.EnergyPerCycle(energy.ClassMem) / 2,
+		AB:      float64(cpu.ArchStateBytes),
+		AlphaB:  0.1,
+		SigmaR:  2,
+		OmegaR:  pm.EnergyPerCycle(energy.ClassMem) / 2,
+		AR:      float64(cpu.ArchStateBytes) + 0.1*tauB,
+	}
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bound := params.SpendthriftBound()
+	meas := res.MeasuredProgress()
+	if meas > bound+0.02 {
+		t.Fatalf("measured %.4f exceeds the Spendthrift bound %.4f", meas, bound)
+	}
+	avg := params.Progress()
+	if meas < avg-0.02 {
+		t.Fatalf("measured %.4f below even the average-case estimate %.4f", meas, avg)
+	}
+}
+
+// TestSpeculativeEquivalence: correctness is untouched by speculation.
+func TestSpeculativeEquivalence(t *testing.T) {
+	for _, name := range []string{"ds", "crc", "midi"} {
+		w, _ := workload.Get(name)
+		opts := workload.Options{Seg: asm.SRAM}
+		prog, err := w.Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := device.New(fixedCfg(prog, 20000), NewSpeculative(1500, 0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s incomplete", name)
+		}
+		want := w.Ref(opts)
+		if len(res.Output) != len(want) {
+			t.Fatalf("%s: output length %d want %d", name, len(res.Output), len(want))
+		}
+		for i := range want {
+			if res.Output[i] != want[i] {
+				t.Fatalf("%s: output[%d] = %d want %d", name, i, res.Output[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package strategy implements the backup/restore runtimes the paper
+// validates and characterizes, as policies plugged into the device
+// simulator:
+//
+//   - Timer: fixed-interval multi-backup (the Fig. 5 validation setup).
+//   - Hibernus: single-backup at a low-voltage threshold [Balsamo'15].
+//   - Mementos: voltage-gated checkpoints at program sites [Ransford'11].
+//   - DINO: task-boundary backups [Lucia'15].
+//   - Clank: idempotency-violation checkpoints with read-first/
+//     write-first buffers and a watchdog [Hicks'17].
+//   - NVP: a nonvolatile processor backing up every cycle [Ma'15].
+//   - MixedVolatility: the hypothetical store-queue processor of §V-B
+//     used to characterize α_B (Fig. 10).
+//
+// Strategies that keep mutable data in volatile SRAM (Timer, Hibernus,
+// Mementos, DINO, MixedVolatility) snapshot SRAM in their checkpoints;
+// Clank and NVP assume nonvolatile main memory, so workloads run under
+// them must place their data in FRAM.
+package strategy
+
+import (
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
+)
+
+// base provides no-op hook implementations strategies embed.
+type base struct{}
+
+func (base) Attach(*device.Device)                                                   {}
+func (base) Boot(*device.Device) *device.Payload                                     { return nil }
+func (base) PreStep(*device.Device, isa.Instr, device.AccessPreview) *device.Payload { return nil }
+func (base) PostStep(*device.Device, cpu.Step) *device.Payload                       { return nil }
+func (base) Reset()                                                                  {}
+
+// fullPayload is the checkpoint of SRAM-resident systems: architectural
+// state plus the program's volatile data footprint.
+func fullPayload(d *device.Device) device.Payload {
+	return device.Payload{
+		ArchBytes: cpu.ArchStateBytes,
+		AppBytes:  d.SRAMFootprint(),
+		SaveSRAM:  true,
+	}
+}

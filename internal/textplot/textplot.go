@@ -1,0 +1,170 @@
+// Package textplot renders simple ASCII charts and tables for the
+// command-line tools: line/scatter charts for the figure reproductions
+// and horizontal bars for the characterization profiles.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled data set of a chart.
+type Series struct {
+	Label string
+	Xs    []float64
+	Ys    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders series onto a width×height character grid with axis
+// annotations. When xlog is true the x axis is logarithmic (all x must
+// be positive).
+func Chart(title string, series []Series, width, height int, xlog bool) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if xlog && x <= 0 {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return title + "\n(no data)\n"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	tx := func(x float64) float64 {
+		if xlog {
+			return math.Log(x)
+		}
+		return x
+	}
+	lo, hi := tx(xmin), tx(xmax)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if xlog && x <= 0 {
+				continue
+			}
+			col := int((tx(x) - lo) / (hi - lo) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.4g |%s|\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	scale := ""
+	if xlog {
+		scale = " (log)"
+	}
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g%s\n", "", width/2, xmin, width-width/2, xmax, scale)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart with optional ±err annotations.
+func Bars(title string, labels []string, values, errs []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels) > i && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := int(v / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		bar := strings.Repeat("=", n)
+		fmt.Fprintf(&b, "  %-*s |%-*s| %.4g", maxLabel, label, width, bar, v)
+		if errs != nil && i < len(errs) && errs[i] > 0 {
+			fmt.Fprintf(&b, " ±%.3g", errs[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	s := []Series{
+		{Label: "linear", Xs: []float64{1, 2, 3, 4}, Ys: []float64{1, 2, 3, 4}},
+		{Label: "flat", Xs: []float64{1, 2, 3, 4}, Ys: []float64{2, 2, 2, 2}},
+	}
+	out := Chart("demo", s, 40, 10, false)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "o flat") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing markers")
+	}
+}
+
+func TestChartLogAxis(t *testing.T) {
+	s := []Series{{Label: "d", Xs: []float64{1, 10, 100, 1000}, Ys: []float64{1, 2, 3, 4}}}
+	out := Chart("log", s, 40, 8, true)
+	if !strings.Contains(out, "(log)") {
+		t.Error("missing log annotation")
+	}
+	// log spacing: markers roughly evenly spread; the row containing Y=4
+	// should have a marker near the right edge
+	if !strings.Contains(out, "*") {
+		t.Error("no markers")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, 40, 8, false)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+	// degenerate: log axis with nonpositive x only
+	out = Chart("bad", []Series{{Xs: []float64{-1}, Ys: []float64{1}}}, 40, 8, true)
+	if !strings.Contains(out, "no data") {
+		t.Error("nonpositive log data should be dropped")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := []Series{{Label: "c", Xs: []float64{5}, Ys: []float64{3}}}
+	out := Chart("const", s, 40, 8, false)
+	if !strings.Contains(out, "*") {
+		t.Error("single point should render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("bars", []string{"aa", "b"}, []float64{10, 5}, []float64{1, 0}, 20)
+	if !strings.Contains(out, "aa") || !strings.Contains(out, "±1") {
+		t.Errorf("bad bars output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want title+2 bars, got %d lines", len(lines))
+	}
+	// longest bar belongs to the max value
+	if strings.Count(lines[1], "=") <= strings.Count(lines[2], "=") {
+		t.Error("bar lengths not proportional")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("z", []string{"x"}, []float64{0}, nil, 10)
+	if !strings.Contains(out, "x") {
+		t.Error("zero bars should still render labels")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	if !strings.Contains(out, "name") || !strings.Contains(out, "longer") {
+		t.Errorf("bad table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want header+sep+2 rows, got %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator misaligned with header")
+	}
+}

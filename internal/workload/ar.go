@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// AR parameters: windowed activity recognition over a 3-axis
+// accelerometer. Per window of arWindow samples per axis, the summed
+// deviation from mid-scale classifies the window as idle/walk/run.
+const (
+	arWindow = 8
+	arThIdle = 1500
+	arThWalk = 3000
+)
+
+// ar is Table II's activity-recognition benchmark. The class histogram
+// lives in memory and is read-modified-written once per window — the
+// DINO AR benchmark's store pattern.
+func init() {
+	register(Workload{
+		Name: "ar",
+		Desc: "Table II AR: activity recognition from 3-axis sensor windows",
+		Build: func(o Options) (*asm.Program, error) {
+			windows := 12 * o.scale()
+			b := asm.New("ar")
+			b.Seg(o.Seg)
+			b.Space("counts", 12) // three class counters
+
+			b.La(isa.R1, "counts")
+			b.Li(isa.R2, uint32(windows))
+			b.Li(isa.R9, 128) // mid-scale
+
+			b.Label("window")
+			b.TaskBegin()
+			b.Li(isa.R3, arWindow*3) // samples in window
+			b.Li(isa.R4, 0)          // deviation accumulator
+			b.Label("acc")
+			b.Sense(isa.R5)
+			b.Andi(isa.R5, isa.R5, 0xFF)
+			b.Sub(isa.R5, isa.R5, isa.R9) // signed deviation
+			b.Srai(isa.R6, isa.R5, 31)    // abs(): mask = sign
+			b.Xor(isa.R5, isa.R5, isa.R6)
+			b.Sub(isa.R5, isa.R5, isa.R6)
+			b.Add(isa.R4, isa.R4, isa.R5)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Bne(isa.R3, isa.R0, "acc")
+
+			// classify into R7 ∈ {0,1,2} → byte offset R7*4
+			b.Li(isa.R7, 0)
+			b.Slti(isa.R8, isa.R4, arThIdle)
+			b.Bne(isa.R8, isa.R0, "bump")
+			b.Li(isa.R7, 4)
+			b.Slti(isa.R8, isa.R4, arThWalk)
+			b.Bne(isa.R8, isa.R0, "bump")
+			b.Li(isa.R7, 8)
+			b.Label("bump")
+			b.Add(isa.R7, isa.R7, isa.R1)
+			b.Lw(isa.R8, isa.R7, 0)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Sw(isa.R8, isa.R7, 0)
+			b.TaskEnd()
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "window")
+
+			b.Lw(isa.R3, isa.R1, 0)
+			b.Out(isa.R3)
+			b.Lw(isa.R3, isa.R1, 4)
+			b.Out(isa.R3)
+			b.Lw(isa.R3, isa.R1, 8)
+			b.Out(isa.R3)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			windows := 12 * o.scale()
+			counts := [3]uint32{}
+			seq := uint32(0)
+			for w := 0; w < windows; w++ {
+				dev := int32(0)
+				for s := 0; s < arWindow*3; s++ {
+					v := int32(cpu.SenseValue(seq) & 0xFF)
+					seq++
+					d := v - 128
+					if d < 0 {
+						d = -d
+					}
+					dev += d
+				}
+				switch {
+				case dev < arThIdle:
+					counts[0]++
+				case dev < arThWalk:
+					counts[1]++
+				default:
+					counts[2]++
+				}
+			}
+			return counts[:]
+		},
+	})
+}

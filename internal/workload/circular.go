@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// CircularBuffer builds the Listing 2 kernel of §VI-B: an array of n
+// logical elements stored in a circular buffer of bufN ≥ n slots. Each
+// outer iteration applies f(x) = 3x+1 to every element, reading slot
+// (head+i) mod N and writing slot (head+n+i) mod N, then advances head
+// by n. With bufN = n this is the conventional in-place update — an
+// idempotency violation on every store under Clank; growing bufN
+// postpones violations by bufN − n + 1 stores.
+//
+// The program is not in the registry because its buffer size is an
+// experiment parameter rather than a workload property.
+func CircularBuffer(n, bufN, iters int, seg asm.Segment) (*asm.Program, error) {
+	if n <= 0 || bufN < n || iters <= 0 {
+		return nil, fmt.Errorf("workload: bad circular buffer shape n=%d N=%d iters=%d", n, bufN, iters)
+	}
+	init := make([]uint32, bufN)
+	for i := range init {
+		init[i] = uint32(i*7 + 3)
+	}
+	b := asm.New(fmt.Sprintf("circbuf-n%d-N%d", n, bufN))
+	b.Seg(seg)
+	b.Word("buf", init...)
+
+	b.La(isa.R1, "buf")
+	b.Li(isa.R2, 0)             // head (element index)
+	b.Li(isa.R3, uint32(iters)) // outer remaining
+	b.Li(isa.R10, uint32(bufN))
+	b.Li(isa.R11, uint32(n))
+
+	b.Label("outer")
+	b.TaskBegin()
+	b.Li(isa.R4, 0) // i
+	b.Label("inner")
+	// src = (head + i) % N
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Rem(isa.R5, isa.R5, isa.R10)
+	b.Slli(isa.R5, isa.R5, 2)
+	b.Add(isa.R5, isa.R5, isa.R1)
+	b.Lw(isa.R6, isa.R5, 0)
+	// f(x) = 3x + 1
+	b.Li(isa.TR, 3)
+	b.Mul(isa.R6, isa.R6, isa.TR)
+	b.Addi(isa.R6, isa.R6, 1)
+	// dst = (head + n + i) % N
+	b.Add(isa.R7, isa.R2, isa.R11)
+	b.Add(isa.R7, isa.R7, isa.R4)
+	b.Rem(isa.R7, isa.R7, isa.R10)
+	b.Slli(isa.R7, isa.R7, 2)
+	b.Add(isa.R7, isa.R7, isa.R1)
+	b.Sw(isa.R6, isa.R7, 0)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Blt(isa.R4, isa.R11, "inner")
+	// head = (head + n) % N
+	b.Add(isa.R2, isa.R2, isa.R11)
+	b.Rem(isa.R2, isa.R2, isa.R10)
+	b.TaskEnd()
+	b.Addi(isa.R3, isa.R3, -1)
+	b.Chkpt()
+	b.Bne(isa.R3, isa.R0, "outer")
+
+	// checksum over the whole buffer
+	b.Li(isa.R4, 0) // i
+	b.Li(isa.R5, 0) // chk
+	b.Label("chk")
+	b.Slli(isa.TR, isa.R4, 2)
+	b.Add(isa.TR, isa.TR, isa.R1)
+	b.Lw(isa.R6, isa.TR, 0)
+	b.Add(isa.R5, isa.R5, isa.R6)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Blt(isa.R4, isa.R10, "chk")
+	b.Out(isa.R5)
+	b.Halt()
+	return b.Assemble()
+}
+
+// CircularBufferRef mirrors CircularBuffer's committed output.
+func CircularBufferRef(n, bufN, iters int) []uint32 {
+	buf := make([]uint32, bufN)
+	for i := range buf {
+		buf[i] = uint32(i*7 + 3)
+	}
+	head := 0
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			src := (head + i) % bufN
+			dst := (head + n + i) % bufN
+			buf[dst] = buf[src]*3 + 1
+		}
+		head = (head + n) % bufN
+	}
+	var chk uint32
+	for _, v := range buf {
+		chk += v
+	}
+	return []uint32{chk}
+}
+
+// CircularBufferStoreCycles returns τ_store, the cycles between store
+// instructions in the kernel's inner loop (for Eq. 15 planning). The
+// inner loop body is fixed, so this is a constant of the kernel.
+func CircularBufferStoreCycles() float64 {
+	// inner loop: add(1) rem(8) slli(1) add(1) lw(2) li(1) mul(2)
+	// addi(1) add(1) add(1) rem(8) slli(1) add(1) sw(2) addi(1)
+	// blt(2) = 34 cycles per iteration, one store each
+	return 34
+}

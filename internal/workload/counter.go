@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// counter is the §V-A validation microbenchmark: increment a counter in
+// memory until done, backing up under whatever runtime hosts it. Each
+// iteration is a task and a checkpoint site. The read-modify-write of
+// the counter word is an idempotency violation per iteration under
+// Clank — the "conventional" case of Listing 2.
+func init() {
+	register(Workload{
+		Name: "counter",
+		Desc: "§V-A counter microbenchmark: N memory increments",
+		Build: func(o Options) (*asm.Program, error) {
+			n := int32(2000 * o.scale())
+			b := asm.New("counter")
+			b.Seg(o.Seg)
+			b.Word("count", 0)
+
+			b.La(isa.R1, "count")
+			b.Li(isa.R2, uint32(n))
+			b.Li(isa.R3, 0) // i
+			b.Label("loop")
+			b.TaskBegin()
+			b.Lw(isa.R4, isa.R1, 0)
+			b.Addi(isa.R4, isa.R4, 1)
+			b.Sw(isa.R4, isa.R1, 0)
+			b.TaskEnd()
+			b.Addi(isa.R3, isa.R3, 1)
+			b.Chkpt()
+			b.Blt(isa.R3, isa.R2, "loop")
+
+			b.Lw(isa.R4, isa.R1, 0)
+			b.Out(isa.R4)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return []uint32{uint32(2000 * o.scale())}
+		},
+	})
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// pat generates the deterministic input byte pattern shared by the
+// workloads and their oracles.
+func pat(i int) byte { return byte(i*31 + 7) }
+
+func patBytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = pat(i)
+	}
+	return out
+}
+
+const crcPoly = 0xEDB88320
+
+// crcRef is the bitwise CRC-32 the EH32 program computes.
+func crcRef(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ crcPoly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// crc is Table II's checksum benchmark: bitwise CRC-32 over a pattern
+// buffer, logging the running CRC to memory once per byte (the store
+// stream checkpointing systems must track).
+func init() {
+	register(Workload{
+		Name: "crc",
+		Desc: "Table II CRC: bitwise CRC-32 checksum over a buffer",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 96 * o.scale()
+			b := asm.New("crc")
+			// input is immutable: always FRAM
+			b.Seg(asm.FRAM)
+			b.Bytes("input", patBytes(n))
+			b.Seg(o.Seg)
+			b.Word("running", 0)
+
+			b.La(isa.R1, "input")
+			b.La(isa.R2, "running")
+			b.Li(isa.R3, uint32(n)) // remaining
+			b.Li(isa.R5, 0xFFFFFFFF)
+			b.Li(isa.R9, crcPoly)
+
+			b.Label("outer")
+			b.TaskBegin()
+			b.Lbu(isa.R6, isa.R1, 0)
+			b.Xor(isa.R5, isa.R5, isa.R6)
+			b.Li(isa.R7, 8)
+			b.Label("inner")
+			b.Andi(isa.R8, isa.R5, 1)
+			b.Srli(isa.R5, isa.R5, 1)
+			b.Beq(isa.R8, isa.R0, "skip")
+			b.Xor(isa.R5, isa.R5, isa.R9)
+			b.Label("skip")
+			b.Addi(isa.R7, isa.R7, -1)
+			b.Bne(isa.R7, isa.R0, "inner")
+			b.Sw(isa.R5, isa.R2, 0) // log running CRC
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 1)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "outer")
+
+			b.Xori(isa.R5, isa.R5, -1) // final inversion
+			b.Out(isa.R5)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return []uint32{crcRef(patBytes(96 * o.scale()))}
+		},
+	})
+}

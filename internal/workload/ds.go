@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// dsBuckets is the histogram size of the DS data logger.
+const dsBuckets = 16
+
+// ds is Table II's key-value histogram data logger: each sensor sample
+// hashes to a bucket whose counter is incremented in memory. The
+// per-sample read-modify-write of a histogram word is the classic
+// idempotency-violation pattern (like lzfx, DS backs up frequently
+// under Clank).
+func init() {
+	register(Workload{
+		Name: "ds",
+		Desc: "Table II DS: key-value histogram data logger",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 160 * o.scale()
+			b := asm.New("ds")
+			b.Seg(o.Seg)
+			b.Space("hist", 4*dsBuckets)
+
+			b.La(isa.R1, "hist")
+			b.Li(isa.R2, uint32(n))
+			b.Li(isa.R9, 2654435761) // Knuth multiplicative hash
+
+			b.Label("sample")
+			b.TaskBegin()
+			b.Sense(isa.R3)
+			b.Mul(isa.R4, isa.R3, isa.R9)
+			b.Srli(isa.R4, isa.R4, 28) // top 4 bits → bucket 0..15
+			b.Slli(isa.R4, isa.R4, 2)
+			b.Add(isa.R4, isa.R4, isa.R1)
+			b.Lw(isa.R5, isa.R4, 0)
+			b.Addi(isa.R5, isa.R5, 1)
+			b.Sw(isa.R5, isa.R4, 0)
+			b.TaskEnd()
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "sample")
+
+			// dump histogram
+			b.Li(isa.R2, dsBuckets)
+			b.Label("dump")
+			b.Lw(isa.R3, isa.R1, 0)
+			b.Out(isa.R3)
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Bne(isa.R2, isa.R0, "dump")
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			n := 160 * o.scale()
+			hist := make([]uint32, dsBuckets)
+			for i := 0; i < n; i++ {
+				s := cpu.SenseValue(uint32(i))
+				hist[s*2654435761>>28]++
+			}
+			return hist
+		},
+	})
+}

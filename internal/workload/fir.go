@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// firTaps is the 8-tap integer filter kernel used by the fir workload.
+var firTaps = [8]uint32{1, 3, 7, 12, 12, 7, 3, 1}
+
+// fir is a sensing-pipeline kernel beyond the paper's suites: an 8-tap
+// integer FIR filter over a sliding window of ADC samples, the
+// archetypal duty of an energy-harvesting sensor node. The sample
+// window lives in memory as a shift register — store-then-load traffic
+// between taps with moderate WAR density.
+func init() {
+	register(Workload{
+		Name: "fir",
+		Desc: "8-tap integer FIR filter over streaming ADC samples",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 80 * o.scale()
+			b := asm.New("fir")
+			b.Seg(asm.FRAM)
+			b.Word("taps", firTaps[:]...)
+			b.Seg(o.Seg)
+			b.Space("window", 4*8)
+			b.Word("acc", 0)
+
+			b.La(isa.R1, "window")
+			b.La(isa.R2, "taps")
+			b.La(isa.R3, "acc")
+			b.Li(isa.R4, uint32(n)) // remaining samples
+			b.Li(isa.R5, 0)         // checksum of filter outputs
+
+			b.Label("sample")
+			b.TaskBegin()
+			// shift the window up: w[7]←w[6]…w[1]←w[0] (read-then-write
+			// WAR pattern per slot)
+			for i := 7; i >= 1; i-- {
+				b.Lw(isa.R6, isa.R1, int32(4*(i-1)))
+				b.Sw(isa.R6, isa.R1, int32(4*i))
+			}
+			b.Sense(isa.R6)
+			b.Andi(isa.R6, isa.R6, 0x3FF)
+			b.Sw(isa.R6, isa.R1, 0)
+			// dot product window · taps
+			b.Li(isa.R7, 0)
+			for i := 0; i < 8; i++ {
+				b.Lw(isa.R8, isa.R1, int32(4*i))
+				b.Lw(isa.R9, isa.R2, int32(4*i))
+				b.Mul(isa.R8, isa.R8, isa.R9)
+				b.Add(isa.R7, isa.R7, isa.R8)
+			}
+			b.Srli(isa.R7, isa.R7, 5) // scale by the tap gain (Σtaps ≈ 2⁵·1.4)
+			b.Sw(isa.R7, isa.R3, 0)   // log the filtered value
+			// fold into checksum
+			b.Li(isa.TR, 31)
+			b.Mul(isa.R5, isa.R5, isa.TR)
+			b.Add(isa.R5, isa.R5, isa.R7)
+			b.TaskEnd()
+			b.Addi(isa.R4, isa.R4, -1)
+			b.Chkpt()
+			b.Bne(isa.R4, isa.R0, "sample")
+
+			b.Out(isa.R5)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			n := 80 * o.scale()
+			var window [8]uint32
+			var chk uint32
+			for i := 0; i < n; i++ {
+				copy(window[1:], window[:7])
+				window[0] = cpu.SenseValue(uint32(i)) & 0x3FF
+				var acc uint32
+				for k := 0; k < 8; k++ {
+					acc += window[k] * firTaps[k]
+				}
+				acc >>= 5
+				chk = chk*31 + acc
+			}
+			return []uint32{chk}
+		},
+	})
+}

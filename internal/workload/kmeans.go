@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// k-means parameters: 1-D sensor samples clustered into kmK centroids
+// over kmIters Lloyd iterations.
+const (
+	kmK     = 4
+	kmN     = 48
+	kmIters = 5
+)
+
+// kmeansSamples mirrors the program's fill loop: the live SysSense
+// stream starts at sequence zero.
+func kmeansSamples(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cpu.SenseValue(uint32(i)) & 0x3FF
+	}
+	return out
+}
+
+// kmeansRef mirrors the kernel: integer Lloyd iterations with absolute
+// distance, ties to the lower centroid index, empty clusters keeping
+// their centroid.
+func kmeansRef(n, iters int) []uint32 {
+	samples := kmeansSamples(n)
+	centroids := [kmK]uint32{128, 384, 640, 896}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		var sum, cnt [kmK]uint32
+		for i, s := range samples {
+			best, bestD := 0, uint32(1<<31)
+			for c := 0; c < kmK; c++ {
+				d := s - centroids[c]
+				if int32(d) < 0 {
+					d = -d
+				}
+				if d < bestD {
+					bestD, best = d, c
+				}
+			}
+			assign[i] = best
+			sum[best] += s
+			cnt[best]++
+		}
+		for c := 0; c < kmK; c++ {
+			if cnt[c] > 0 {
+				centroids[c] = sum[c] / cnt[c]
+			}
+		}
+	}
+	var chk uint32
+	for _, a := range assign {
+		chk = chk*5 + uint32(a)
+	}
+	out := make([]uint32, 0, kmK+1)
+	out = append(out, centroids[:]...)
+	return append(out, chk)
+}
+
+// kmeans is a sensing-analytics kernel: Lloyd's algorithm on 1-D ADC
+// samples. Each iteration re-reads the sample buffer and
+// read-modifies-writes per-cluster accumulators — a WAR-dense profile
+// between ds and sense.
+func init() {
+	register(Workload{
+		Name: "kmeans",
+		Desc: "k-means clustering of ADC samples (integer Lloyd iterations)",
+		Build: func(o Options) (*asm.Program, error) {
+			n := kmN * o.scale()
+			b := asm.New("kmeans")
+			b.Seg(o.Seg)
+			b.Space("samples", 4*n)
+			b.Space("assign", 4*n)
+			b.Word("centroids", 128, 384, 640, 896)
+			b.Space("sum", 4*kmK)
+			b.Space("cnt", 4*kmK)
+
+			// sample once into the buffer
+			b.La(isa.R1, "samples")
+			b.Li(isa.R2, uint32(n))
+			b.Label("fill")
+			b.Sense(isa.R3)
+			b.Andi(isa.R3, isa.R3, 0x3FF)
+			b.Sw(isa.R3, isa.R1, 0)
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "fill")
+
+			b.Li(isa.R12, kmIters)
+			b.Label("iter")
+			// zero accumulators
+			b.La(isa.R1, "sum")
+			b.La(isa.R2, "cnt")
+			for c := 0; c < kmK; c++ {
+				b.Sw(isa.R0, isa.R1, int32(4*c))
+				b.Sw(isa.R0, isa.R2, int32(4*c))
+			}
+			// assignment pass
+			b.La(isa.R1, "samples")
+			b.La(isa.R2, "assign")
+			b.Li(isa.R3, uint32(n)) // remaining
+			b.Label("assignLoop")
+			b.TaskBegin()
+			b.Lw(isa.R4, isa.R1, 0) // s
+			b.Li(isa.R5, 0)         // best index
+			b.Li(isa.R6, 0x7FFFFFFF)
+			b.Li(isa.R7, 0) // candidate c
+			b.Label("dist")
+			b.La(isa.TR, "centroids")
+			b.Slli(isa.R8, isa.R7, 2)
+			b.Add(isa.R8, isa.R8, isa.TR)
+			b.Lw(isa.R8, isa.R8, 0)
+			b.Sub(isa.R8, isa.R4, isa.R8)
+			b.Srai(isa.R9, isa.R8, 31) // abs
+			b.Xor(isa.R8, isa.R8, isa.R9)
+			b.Sub(isa.R8, isa.R8, isa.R9)
+			b.Bge(isa.R8, isa.R6, "noBest")
+			b.Mv(isa.R6, isa.R8)
+			b.Mv(isa.R5, isa.R7)
+			b.Label("noBest")
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Li(isa.TR, kmK)
+			b.Blt(isa.R7, isa.TR, "dist")
+			// record assignment; bump sum/cnt (RMW)
+			b.Sw(isa.R5, isa.R2, 0)
+			b.La(isa.TR, "sum")
+			b.Slli(isa.R7, isa.R5, 2)
+			b.Add(isa.R7, isa.R7, isa.TR)
+			b.Lw(isa.R8, isa.R7, 0)
+			b.Add(isa.R8, isa.R8, isa.R4)
+			b.Sw(isa.R8, isa.R7, 0)
+			b.La(isa.TR, "cnt")
+			b.Slli(isa.R7, isa.R5, 2)
+			b.Add(isa.R7, isa.R7, isa.TR)
+			b.Lw(isa.R8, isa.R7, 0)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Sw(isa.R8, isa.R7, 0)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, 4)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "assignLoop")
+			// update pass
+			b.La(isa.R1, "centroids")
+			b.La(isa.R2, "sum")
+			b.La(isa.R3, "cnt")
+			b.Li(isa.R7, 0)
+			b.Label("update")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.R8, isa.TR, isa.R3)
+			b.Lw(isa.R8, isa.R8, 0) // cnt
+			b.Beq(isa.R8, isa.R0, "skipC")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.R9, isa.TR, isa.R2)
+			b.Lw(isa.R9, isa.R9, 0) // sum
+			b.Div(isa.R9, isa.R9, isa.R8)
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.R8, isa.TR, isa.R1)
+			b.Sw(isa.R9, isa.R8, 0)
+			b.Label("skipC")
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Li(isa.TR, kmK)
+			b.Blt(isa.R7, isa.TR, "update")
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Chkpt()
+			b.Bne(isa.R12, isa.R0, "iter")
+
+			// emit centroids and an assignment checksum
+			b.La(isa.R1, "centroids")
+			for c := 0; c < kmK; c++ {
+				b.Lw(isa.R2, isa.R1, int32(4*c))
+				b.Out(isa.R2)
+			}
+			b.La(isa.R1, "assign")
+			b.Li(isa.R2, uint32(n))
+			b.Li(isa.R3, 0)
+			b.Label("chk")
+			b.Lw(isa.R4, isa.R1, 0)
+			b.Li(isa.TR, 5)
+			b.Mul(isa.R3, isa.R3, isa.TR)
+			b.Add(isa.R3, isa.R3, isa.R4)
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Bne(isa.R2, isa.R0, "chk")
+			b.Out(isa.R3)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return kmeansRef(kmN*o.scale(), kmIters)
+		},
+	})
+}

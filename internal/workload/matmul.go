@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+const mmN = 12 // matrix dimension
+
+func matmulInput(which int) []uint32 {
+	out := make([]uint32, mmN*mmN)
+	for i := range out {
+		out[i] = uint32(i*31+which*17+5) & 0xFF
+	}
+	return out
+}
+
+// matmulRef computes C = A×B with wrapping 32-bit arithmetic and folds
+// C into a checksum.
+func matmulRef() []uint32 {
+	a, b := matmulInput(1), matmulInput(2)
+	var chk uint32
+	for i := 0; i < mmN; i++ {
+		for j := 0; j < mmN; j++ {
+			var acc uint32
+			for k := 0; k < mmN; k++ {
+				acc += a[i*mmN+k] * b[k*mmN+j]
+			}
+			chk = chk*31 + acc
+		}
+	}
+	return []uint32{chk}
+}
+
+// matmul is a dense integer matrix multiply: long read-only streaming
+// with one store per output element — the read-dominant profile at the
+// opposite end of the spectrum from ds/lzfx.
+func init() {
+	register(Workload{
+		Name: "matmul",
+		Desc: "dense integer matrix multiply with output checksum",
+		Build: func(o Options) (*asm.Program, error) {
+			reps := o.scale()
+			b := asm.New("matmul")
+			b.Seg(asm.FRAM)
+			b.Word("A", matmulInput(1)...)
+			b.Word("B", matmulInput(2)...)
+			b.Seg(o.Seg)
+			b.Space("C", 4*mmN*mmN)
+
+			b.La(isa.R1, "A")
+			b.La(isa.R2, "B")
+			b.La(isa.R3, "C")
+			b.Li(isa.R12, uint32(reps))
+
+			b.Label("rep")
+			b.Li(isa.R11, 0) // checksum
+			b.Li(isa.R4, 0)  // i
+			b.Label("rows")
+			b.Li(isa.R5, 0) // j
+			b.Label("cols")
+			b.TaskBegin()
+			b.Li(isa.R6, 0) // k
+			b.Li(isa.R7, 0) // acc
+			b.Label("dot")
+			// a[i*N+k]
+			b.Li(isa.TR, mmN)
+			b.Mul(isa.R8, isa.R4, isa.TR)
+			b.Add(isa.R8, isa.R8, isa.R6)
+			b.Slli(isa.R8, isa.R8, 2)
+			b.Add(isa.R8, isa.R8, isa.R1)
+			b.Lw(isa.R8, isa.R8, 0)
+			// b[k*N+j]
+			b.Li(isa.TR, mmN)
+			b.Mul(isa.R9, isa.R6, isa.TR)
+			b.Add(isa.R9, isa.R9, isa.R5)
+			b.Slli(isa.R9, isa.R9, 2)
+			b.Add(isa.R9, isa.R9, isa.R2)
+			b.Lw(isa.R9, isa.R9, 0)
+			b.Mul(isa.R8, isa.R8, isa.R9)
+			b.Add(isa.R7, isa.R7, isa.R8)
+			b.Addi(isa.R6, isa.R6, 1)
+			b.Li(isa.TR, mmN)
+			b.Blt(isa.R6, isa.TR, "dot")
+			// C[i*N+j] = acc; chk = chk*31 + acc
+			b.Li(isa.TR, mmN)
+			b.Mul(isa.R8, isa.R4, isa.TR)
+			b.Add(isa.R8, isa.R8, isa.R5)
+			b.Slli(isa.R8, isa.R8, 2)
+			b.Add(isa.R8, isa.R8, isa.R3)
+			b.Sw(isa.R7, isa.R8, 0)
+			b.Li(isa.TR, 31)
+			b.Mul(isa.R11, isa.R11, isa.TR)
+			b.Add(isa.R11, isa.R11, isa.R7)
+			b.TaskEnd()
+			b.Addi(isa.R5, isa.R5, 1)
+			b.Li(isa.TR, mmN)
+			b.Blt(isa.R5, isa.TR, "cols")
+			b.Chkpt()
+			b.Addi(isa.R4, isa.R4, 1)
+			b.Li(isa.TR, mmN)
+			b.Blt(isa.R4, isa.TR, "rows")
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Bne(isa.R12, isa.R0, "rep")
+
+			b.Out(isa.R11)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return matmulRef() // every rep recomputes the same product
+		},
+	})
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// Dijkstra graph parameters. Edges and weights are computed on the fly
+// from the vertex pair: an edge (u,v) exists when (u+v)%3 == 0, with
+// weight ((u*7+v*13)%9)+1. Vertex 0 is the source.
+const (
+	djV   = 12
+	djInf = 0x3FFFFFFF
+)
+
+func djEdge(u, v int) (weight uint32, ok bool) {
+	if u == v || (u+v)%3 != 0 {
+		return 0, false
+	}
+	return uint32((u*7+v*13)%9) + 1, true
+}
+
+// dijkstraRef computes the reference distance vector using the same
+// O(V²) scan the EH32 kernel performs.
+func dijkstraRef() []uint32 {
+	dist := make([]uint32, djV)
+	visited := make([]bool, djV)
+	for i := range dist {
+		dist[i] = djInf
+	}
+	dist[0] = 0
+	for iter := 0; iter < djV; iter++ {
+		u, best := -1, uint32(djInf+1)
+		for v := 0; v < djV; v++ {
+			if !visited[v] && dist[v] < best {
+				best, u = dist[v], v
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for v := 0; v < djV; v++ {
+			if w, ok := djEdge(u, v); ok && best+w < dist[v] {
+				dist[v] = best + w
+			}
+		}
+	}
+	return dist[1:]
+}
+
+// dijkstra is the MiBench shortest-path kernel. The relaxation step's
+// load-then-conditional-store of dist[v] produces data-dependent
+// idempotency violations — the mid-frequency Clank profile.
+func init() {
+	register(Workload{
+		Name: "dijkstra",
+		Desc: "MiBench dijkstra: single-source shortest paths, O(V²) scan",
+		Build: func(o Options) (*asm.Program, error) {
+			// Scale repeats the whole computation (re-initializing state).
+			reps := o.scale()
+			b := asm.New("dijkstra")
+			b.Seg(o.Seg)
+			b.Space("dist", 4*djV)
+			b.Space("vis", 4*djV)
+
+			b.La(isa.R1, "dist")
+			b.La(isa.R2, "vis")
+			b.Li(isa.R12, uint32(reps))
+
+			b.Label("rep")
+			// init: dist[i] = INF, vis[i] = 0, dist[0] = 0
+			b.Li(isa.R7, 0)
+			b.Li(isa.R8, djInf)
+			b.Label("init")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Sw(isa.R8, isa.TR, 0)
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R2)
+			b.Sw(isa.R0, isa.TR, 0)
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Slti(isa.TR, isa.R7, djV)
+			b.Bne(isa.TR, isa.R0, "init")
+			b.Sw(isa.R0, isa.R1, 0) // dist[0] = 0
+
+			b.Li(isa.R4, djV) // outer iterations
+			b.Label("outer")
+			b.TaskBegin()
+			// find min unvisited: R5 = u (−1 none), R6 = best
+			b.Li(isa.R5, 0xFFFFFFFF)
+			b.Li(isa.R6, djInf+1)
+			b.Li(isa.R7, 0) // v
+			b.Label("scan")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R2)
+			b.Lw(isa.R8, isa.TR, 0) // visited?
+			b.Bne(isa.R8, isa.R0, "scanNext")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R9, isa.TR, 0)
+			b.Bge(isa.R9, isa.R6, "scanNext")
+			b.Mv(isa.R6, isa.R9)
+			b.Mv(isa.R5, isa.R7)
+			b.Label("scanNext")
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Slti(isa.TR, isa.R7, djV)
+			b.Bne(isa.TR, isa.R0, "scan")
+			b.Blt(isa.R5, isa.R0, "done") // no unvisited vertex left
+
+			// visited[u] = 1
+			b.Slli(isa.TR, isa.R5, 2)
+			b.Add(isa.TR, isa.TR, isa.R2)
+			b.Li(isa.R8, 1)
+			b.Sw(isa.R8, isa.TR, 0)
+
+			// relax neighbours
+			b.Li(isa.R7, 0) // v
+			b.Label("relax")
+			b.Beq(isa.R7, isa.R5, "relaxNext")
+			b.Add(isa.R8, isa.R5, isa.R7)
+			b.Li(isa.TR, 3)
+			b.Rem(isa.R8, isa.R8, isa.TR)
+			b.Bne(isa.R8, isa.R0, "relaxNext")
+			// w = ((u*7 + v*13) % 9) + 1
+			b.Li(isa.TR, 7)
+			b.Mul(isa.R8, isa.R5, isa.TR)
+			b.Li(isa.TR, 13)
+			b.Mul(isa.R9, isa.R7, isa.TR)
+			b.Add(isa.R8, isa.R8, isa.R9)
+			b.Li(isa.TR, 9)
+			b.Rem(isa.R8, isa.R8, isa.TR)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Add(isa.R8, isa.R8, isa.R6) // cand = best + w
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R9, isa.TR, 0)
+			b.Bge(isa.R8, isa.R9, "relaxNext")
+			b.Sw(isa.R8, isa.TR, 0)
+			b.Label("relaxNext")
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Slti(isa.TR, isa.R7, djV)
+			b.Bne(isa.TR, isa.R0, "relax")
+
+			b.TaskEnd()
+			b.Chkpt()
+			b.Addi(isa.R4, isa.R4, -1)
+			b.Bne(isa.R4, isa.R0, "outer")
+			b.Label("done")
+
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Bne(isa.R12, isa.R0, "rep")
+
+			// dump dist[1..V-1]
+			b.Li(isa.R7, 1)
+			b.Label("dump")
+			b.Slli(isa.TR, isa.R7, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R8, isa.TR, 0)
+			b.Out(isa.R8)
+			b.Addi(isa.R7, isa.R7, 1)
+			b.Slti(isa.TR, isa.R7, djV)
+			b.Bne(isa.TR, isa.R0, "dump")
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return dijkstraRef() // repetitions recompute identical state
+		},
+	})
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+const (
+	lzfxHashBuckets = 64
+	lzfxHashMul     = 2654435761
+)
+
+// lzfxInput builds compressible input: a repeating phrase with a little
+// positional perturbation so both matches and literals occur.
+func lzfxInput(n int) []byte {
+	phrase := []byte("the quick brown fox jumps over the lazy dog. ")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = phrase[i%len(phrase)]
+		if i%97 == 0 {
+			out[i] ^= 1 // occasional mutation breaks runs of matches
+		}
+	}
+	return out
+}
+
+func lzfxHash(b0, b1, b2 uint32) uint32 {
+	return ((b0*33+b1)*33 + b2) * lzfxHashMul >> 26 // 6 bits → 64 buckets
+}
+
+// lzfxRef mirrors the EH32 kernel: greedy LZ with a 64-entry hash table
+// of last positions and fixed-length-3 matches, emitting a token stream
+// folded into a checksum.
+func lzfxRef(n int) []uint32 {
+	in := lzfxInput(n)
+	htab := make([]uint32, lzfxHashBuckets)
+	var chk, count uint32
+	i := uint32(0)
+	limit := uint32(n - 2)
+	for i < limit {
+		h := lzfxHash(uint32(in[i]), uint32(in[i+1]), uint32(in[i+2]))
+		ref := htab[h]
+		htab[h] = i + 1
+		var token uint32
+		if ref != 0 && ref-1 < i &&
+			in[ref-1] == in[i] && in[ref] == in[i+1] && in[ref+1] == in[i+2] {
+			token = 0x8000 | (i - (ref - 1))
+			i += 3
+		} else {
+			token = uint32(in[i])
+			i++
+		}
+		chk = chk*31 + token
+		count++
+	}
+	return []uint32{count, chk}
+}
+
+// lzfx is the MiBench compression kernel: every iteration reads and then
+// rewrites a hash-table word — a guaranteed idempotency violation —
+// which is why the paper observes lzfx backing up most frequently under
+// Clank (Fig. 8).
+func init() {
+	register(Workload{
+		Name: "lzfx",
+		Desc: "MiBench lzfx: greedy LZ compression with a position hash table",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 256 * o.scale()
+			b := asm.New("lzfx")
+			b.Seg(asm.FRAM)
+			b.Bytes("input", lzfxInput(n))
+			b.Seg(o.Seg)
+			b.Space("htab", 4*lzfxHashBuckets)
+
+			b.La(isa.R1, "input")
+			b.La(isa.R2, "htab")
+			b.Li(isa.R3, 0)           // i
+			b.Li(isa.R4, uint32(n-2)) // limit
+			b.Li(isa.R5, 0)           // chk
+			b.Li(isa.R6, 0)           // count
+
+			b.Label("loop")
+			b.TaskBegin()
+			b.Add(isa.R7, isa.R1, isa.R3)
+			b.Lbu(isa.R8, isa.R7, 0)
+			b.Lbu(isa.R9, isa.R7, 1)
+			b.Lbu(isa.R10, isa.R7, 2)
+			// h = ((b0*33+b1)*33+b2)*K >> 26
+			b.Li(isa.TR, 33)
+			b.Mul(isa.R11, isa.R8, isa.TR)
+			b.Add(isa.R11, isa.R11, isa.R9)
+			b.Mul(isa.R11, isa.R11, isa.TR)
+			b.Add(isa.R11, isa.R11, isa.R10)
+			b.Li(isa.TR, lzfxHashMul)
+			b.Mul(isa.R11, isa.R11, isa.TR)
+			b.Srli(isa.R11, isa.R11, 26)
+			b.Slli(isa.R11, isa.R11, 2)
+			b.Add(isa.R11, isa.R11, isa.R2) // &htab[h]
+			b.Lw(isa.R12, isa.R11, 0)       // ref
+			b.Addi(isa.TR, isa.R3, 1)
+			b.Sw(isa.TR, isa.R11, 0) // htab[h] = i+1 — WAR violation
+			b.Beq(isa.R12, isa.R0, "lit")
+			b.Addi(isa.R12, isa.R12, -1) // ref-1
+			b.Bge(isa.R12, isa.R3, "lit")
+			b.Add(isa.TR, isa.R1, isa.R12)
+			b.Lbu(isa.R7, isa.TR, 0)
+			b.Bne(isa.R7, isa.R8, "lit")
+			b.Lbu(isa.R7, isa.TR, 1)
+			b.Bne(isa.R7, isa.R9, "lit")
+			b.Lbu(isa.R7, isa.TR, 2)
+			b.Bne(isa.R7, isa.R10, "lit")
+			// match token: 0x8000 | (i − (ref−1))
+			b.Sub(isa.R7, isa.R3, isa.R12)
+			b.Li(isa.TR, 0x8000)
+			b.Or(isa.R7, isa.R7, isa.TR)
+			b.Addi(isa.R3, isa.R3, 3)
+			b.Jump("emit")
+			b.Label("lit")
+			b.Mv(isa.R7, isa.R8)
+			b.Addi(isa.R3, isa.R3, 1)
+			b.Label("emit")
+			b.Li(isa.TR, 31)
+			b.Mul(isa.R5, isa.R5, isa.TR)
+			b.Add(isa.R5, isa.R5, isa.R7)
+			b.Addi(isa.R6, isa.R6, 1)
+			b.TaskEnd()
+			b.Chkpt()
+			b.Blt(isa.R3, isa.R4, "loop")
+
+			b.Out(isa.R6)
+			b.Out(isa.R5)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return lzfxRef(256 * o.scale())
+		},
+	})
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// shaWords derives the deterministic message schedule.
+func shaWords(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cpu.SenseValue(uint32(i + 1000)) // distinct from SysSense stream
+	}
+	return out
+}
+
+func rotl(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// shaRef mirrors the ARX mixing rounds of the kernel.
+func shaRef(n int) []uint32 {
+	a, b, c, d := uint32(0x67452301), uint32(0xEFCDAB89), uint32(0x98BADCFE), uint32(0x10325476)
+	for _, w := range shaWords(n) {
+		a += w
+		d ^= a
+		d = rotl(d, 16)
+		c += d
+		b ^= c
+		b = rotl(b, 12)
+		a += b
+		a = rotl(a, 7)
+	}
+	return []uint32{a, b, c, d}
+}
+
+// sha is the MiBench hashing kernel: ARX (add-rotate-xor) rounds over a
+// word stream, state held entirely in registers — minimal store traffic
+// means long idempotent regions (watchdog-dominated τ_B under Clank).
+func init() {
+	register(Workload{
+		Name: "sha",
+		Desc: "MiBench sha: ARX hash rounds over a message word stream",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 128 * o.scale()
+			b := asm.New("sha")
+			b.Seg(asm.FRAM)
+			b.Word("msg", shaWords(n)...)
+			b.Seg(o.Seg)
+			b.Space("digest", 16)
+
+			// rotl emits rd = rotl(rs, k) via TR.
+			rot := func(rd isa.Reg, k int32) {
+				b.Srli(isa.TR, rd, 32-k)
+				b.Slli(rd, rd, k)
+				b.Or(rd, rd, isa.TR)
+			}
+
+			b.La(isa.R1, "msg")
+			b.Li(isa.R2, uint32(n))
+			b.Li(isa.R5, 0x67452301)
+			b.Li(isa.R6, 0xEFCDAB89)
+			b.Li(isa.R7, 0x98BADCFE)
+			b.Li(isa.R8, 0x10325476)
+
+			b.Label("round")
+			b.TaskBegin()
+			b.Lw(isa.R9, isa.R1, 0)
+			b.Add(isa.R5, isa.R5, isa.R9) // a += w
+			b.Xor(isa.R8, isa.R8, isa.R5) // d ^= a
+			rot(isa.R8, 16)
+			b.Add(isa.R7, isa.R7, isa.R8) // c += d
+			b.Xor(isa.R6, isa.R6, isa.R7) // b ^= c
+			rot(isa.R6, 12)
+			b.Add(isa.R5, isa.R5, isa.R6) // a += b
+			rot(isa.R5, 7)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "round")
+
+			// persist digest, then emit it
+			b.La(isa.R3, "digest")
+			b.Sw(isa.R5, isa.R3, 0)
+			b.Sw(isa.R6, isa.R3, 4)
+			b.Sw(isa.R7, isa.R3, 8)
+			b.Sw(isa.R8, isa.R3, 12)
+			b.Out(isa.R5)
+			b.Out(isa.R6)
+			b.Out(isa.R7)
+			b.Out(isa.R8)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return shaRef(128 * o.scale())
+		},
+	})
+}

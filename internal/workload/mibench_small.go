@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// bitcountWords derives the popcount input set.
+func bitcountWords(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cpu.SenseValue(uint32(i + 2000))
+	}
+	return out
+}
+
+// bitcount is the MiBench popcount kernel (Kernighan's loop), almost
+// entirely ALU work over a read-only table.
+func init() {
+	register(Workload{
+		Name: "bitcount",
+		Desc: "MiBench bitcount: Kernighan popcount over a word table",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 96 * o.scale()
+			b := asm.New("bitcount")
+			b.Seg(asm.FRAM)
+			b.Word("tab", bitcountWords(n)...)
+			b.Seg(o.Seg)
+			b.Word("total", 0)
+
+			b.La(isa.R1, "tab")
+			b.La(isa.R2, "total")
+			b.Li(isa.R3, uint32(n))
+			b.Li(isa.R4, 0) // total
+
+			b.Label("word")
+			b.TaskBegin()
+			b.Lw(isa.R5, isa.R1, 0)
+			b.Label("kern")
+			b.Beq(isa.R5, isa.R0, "donebits")
+			b.Addi(isa.R6, isa.R5, -1)
+			b.And(isa.R5, isa.R5, isa.R6) // clear lowest set bit
+			b.Addi(isa.R4, isa.R4, 1)
+			b.Jump("kern")
+			b.Label("donebits")
+			b.Sw(isa.R4, isa.R2, 0)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "word")
+
+			b.Out(isa.R4)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			var total uint32
+			for _, w := range bitcountWords(96 * o.scale()) {
+				for w != 0 {
+					w &= w - 1
+					total++
+				}
+			}
+			return []uint32{total}
+		},
+	})
+}
+
+// basicmathPairs derives (a, b) operand pairs bounded to 16 bits so the
+// integer square-root loop stays short.
+func basicmathPairs(n int) [][2]uint32 {
+	out := make([][2]uint32, n)
+	for i := range out {
+		out[i][0] = cpu.SenseValue(uint32(i+3000))&0xFFFF + 1
+		out[i][1] = cpu.SenseValue(uint32(i+4000))&0xFFFF + 1
+	}
+	return out
+}
+
+// basicmathRef mirrors the kernel: sum of gcd(a,b) and isqrt(a) over the
+// pair set.
+func basicmathRef(n int) []uint32 {
+	var sum uint32
+	for _, p := range basicmathPairs(n) {
+		a, b := p[0], p[1]
+		for b != 0 {
+			a, b = b, a%b
+		}
+		sum += a // gcd
+		x := p[0]
+		r := uint32(0)
+		for (r+1)*(r+1) <= x {
+			r++
+		}
+		sum += r // isqrt
+	}
+	return []uint32{sum}
+}
+
+// basicmath is the MiBench math kernel: Euclid's gcd and an integer
+// square root per operand pair — register-resident compute with almost
+// no stores.
+func init() {
+	register(Workload{
+		Name: "basicmath",
+		Desc: "MiBench basicmath: gcd and integer sqrt over operand pairs",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 24 * o.scale()
+			pairs := basicmathPairs(n)
+			flat := make([]uint32, 0, 2*n)
+			for _, p := range pairs {
+				flat = append(flat, p[0], p[1])
+			}
+			b := asm.New("basicmath")
+			b.Seg(asm.FRAM)
+			b.Word("pairs", flat...)
+			b.Seg(o.Seg)
+			b.Word("sum", 0)
+
+			b.La(isa.R1, "pairs")
+			b.La(isa.R2, "sum")
+			b.Li(isa.R3, uint32(n))
+			b.Li(isa.R4, 0) // sum
+
+			b.Label("pair")
+			b.TaskBegin()
+			b.Lw(isa.R5, isa.R1, 0) // a
+			b.Lw(isa.R6, isa.R1, 4) // b
+			b.Mv(isa.R9, isa.R5)    // keep a for isqrt
+			// gcd
+			b.Label("gcd")
+			b.Beq(isa.R6, isa.R0, "gcdDone")
+			b.Rem(isa.R7, isa.R5, isa.R6)
+			b.Mv(isa.R5, isa.R6)
+			b.Mv(isa.R6, isa.R7)
+			b.Jump("gcd")
+			b.Label("gcdDone")
+			b.Add(isa.R4, isa.R4, isa.R5)
+			// isqrt: r=0; while (r+1)² ≤ x: r++
+			b.Li(isa.R7, 0)
+			b.Label("sqrt")
+			b.Addi(isa.R8, isa.R7, 1)
+			b.Mul(isa.R10, isa.R8, isa.R8)
+			b.Blt(isa.R9, isa.R10, "sqrtDone") // x < (r+1)² → stop
+			b.Mv(isa.R7, isa.R8)
+			b.Jump("sqrt")
+			b.Label("sqrtDone")
+			b.Add(isa.R4, isa.R4, isa.R7)
+			b.Sw(isa.R4, isa.R2, 0)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 8)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "pair")
+
+			b.Out(isa.R4)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return basicmathRef(24 * o.scale())
+		},
+	})
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// qsortInput derives the unsorted array (values kept below 2³¹ so
+// signed compares work).
+func qsortInput(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cpu.SenseValue(uint32(i+5000)) & 0x7FFFFFFF
+	}
+	return out
+}
+
+// qsortRef sorts and folds a position-weighted checksum.
+func qsortRef(n int) []uint32 {
+	a := qsortInput(n)
+	// insertion sort, mirroring the kernel exactly
+	for i := 1; i < n; i++ {
+		key := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > key {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = key
+	}
+	var chk uint32
+	for i, v := range a {
+		chk += v * uint32(i+1)
+	}
+	return []uint32{chk}
+}
+
+// qsort is the MiBench in-place sort kernel (insertion sort at this
+// problem size). The shift loop's load-from-a[j], store-to-a[j+1]
+// pattern generates dense write-after-read violations under Clank.
+func init() {
+	register(Workload{
+		Name: "qsort",
+		Desc: "MiBench qsort: in-place sort (insertion kernel) with checksum",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 48 * o.scale()
+			b := asm.New("qsort")
+			b.Seg(o.Seg)
+			b.Word("arr", qsortInput(n)...)
+
+			b.La(isa.R1, "arr")
+			b.Li(isa.R2, uint32(n))
+			b.Li(isa.R3, 1) // i
+
+			b.Label("outer")
+			b.TaskBegin()
+			b.Slli(isa.TR, isa.R3, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R4, isa.TR, 0)    // key = a[i]
+			b.Addi(isa.R5, isa.R3, -1) // j
+			b.Label("shift")
+			b.Blt(isa.R5, isa.R0, "place")
+			b.Slli(isa.TR, isa.R5, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R6, isa.TR, 0) // a[j]
+			b.Bge(isa.R4, isa.R6, "place")
+			b.Sw(isa.R6, isa.TR, 4) // a[j+1] = a[j]
+			b.Addi(isa.R5, isa.R5, -1)
+			b.Jump("shift")
+			b.Label("place")
+			b.Addi(isa.R5, isa.R5, 1)
+			b.Slli(isa.TR, isa.R5, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Sw(isa.R4, isa.TR, 0) // a[j+1] = key
+			b.TaskEnd()
+			b.Addi(isa.R3, isa.R3, 1)
+			b.Chkpt()
+			b.Blt(isa.R3, isa.R2, "outer")
+
+			// checksum pass
+			b.Li(isa.R3, 0) // i
+			b.Li(isa.R4, 0) // chk
+			b.Label("chk")
+			b.Slli(isa.TR, isa.R3, 2)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(isa.R5, isa.TR, 0)
+			b.Addi(isa.R6, isa.R3, 1)
+			b.Mul(isa.R5, isa.R5, isa.R6)
+			b.Add(isa.R4, isa.R4, isa.R5)
+			b.Addi(isa.R3, isa.R3, 1)
+			b.Blt(isa.R3, isa.R2, "chk")
+			b.Out(isa.R4)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return qsortRef(48 * o.scale())
+		},
+	})
+}

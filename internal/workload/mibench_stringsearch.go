@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+const ssNeedle = "sensor"
+
+// ssText builds the haystack: filler prose with the needle planted at a
+// known cadence.
+func ssText(n int) []byte {
+	filler := []byte("energy harvesting devices compute intermittently when the sensor charge allows forward progress and the sensor sleeps otherwise. ")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = filler[i%len(filler)]
+	}
+	return out
+}
+
+// ssRef mirrors the naive scan: match count and a position checksum.
+func ssRef(n int) []uint32 {
+	text := ssText(n)
+	needle := []byte(ssNeedle)
+	var count, chk uint32
+	for i := 0; i+len(needle) <= len(text); i++ {
+		match := true
+		for k := range needle {
+			if text[i+k] != needle[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+			chk = chk*17 + uint32(i)
+		}
+	}
+	return []uint32{count, chk}
+}
+
+// stringsearch is the MiBench substring-search kernel: a naive scan
+// whose inner comparison loop is pure loads — long idempotent regions
+// punctuated by rare match logging.
+func init() {
+	register(Workload{
+		Name: "stringsearch",
+		Desc: "MiBench stringsearch: naive substring scan with match log",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 512 * o.scale()
+			needle := []byte(ssNeedle)
+			b := asm.New("stringsearch")
+			b.Seg(asm.FRAM)
+			b.Bytes("text", ssText(n))
+			b.Bytes("needle", needle)
+			b.Seg(o.Seg)
+			b.Word("matches", 0)
+
+			b.La(isa.R1, "text")
+			b.La(isa.R2, "needle")
+			b.La(isa.R3, "matches")
+			b.Li(isa.R4, uint32(n-len(needle))) // last start index
+			b.Li(isa.R5, 0)                     // i
+			b.Li(isa.R6, 0)                     // count
+			b.Li(isa.R7, 0)                     // chk
+			b.Li(isa.R12, uint32(len(needle)))
+
+			b.Label("scan")
+			b.TaskBegin()
+			b.Li(isa.R8, 0) // k
+			b.Label("cmp")
+			b.Add(isa.TR, isa.R1, isa.R5)
+			b.Add(isa.TR, isa.TR, isa.R8)
+			b.Lbu(isa.R9, isa.TR, 0)
+			b.Add(isa.TR, isa.R2, isa.R8)
+			b.Lbu(isa.R10, isa.TR, 0)
+			b.Bne(isa.R9, isa.R10, "miss")
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Blt(isa.R8, isa.R12, "cmp")
+			// match
+			b.Addi(isa.R6, isa.R6, 1)
+			b.Li(isa.TR, 17)
+			b.Mul(isa.R7, isa.R7, isa.TR)
+			b.Add(isa.R7, isa.R7, isa.R5)
+			b.Sw(isa.R6, isa.R3, 0) // log running count
+			b.Label("miss")
+			b.TaskEnd()
+			b.Addi(isa.R5, isa.R5, 1)
+			b.Chkpt()
+			b.Bge(isa.R4, isa.R5, "scan") // while i ≤ last
+
+			b.Out(isa.R6)
+			b.Out(isa.R7)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return ssRef(512 * o.scale())
+		},
+	})
+}

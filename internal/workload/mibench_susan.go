@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// susan image dimensions (fixed; Scale repeats the smoothing pass).
+const (
+	susanW = 16
+	susanH = 16
+)
+
+func susanInput() []byte {
+	img := make([]byte, susanW*susanH)
+	for i := range img {
+		img[i] = pat(i)
+	}
+	return img
+}
+
+// susanRef runs the 3×3 mean smoothing the kernel computes and returns
+// the accumulated checksum over all passes.
+func susanRef(passes int) uint32 {
+	in := susanInput()
+	var chk uint32
+	for p := 0; p < passes; p++ {
+		for y := 1; y < susanH-1; y++ {
+			for x := 1; x < susanW-1; x++ {
+				sum := uint32(0)
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						sum += uint32(in[(y+dy)*susanW+(x+dx)])
+					}
+				}
+				chk += sum / 9
+			}
+		}
+	}
+	return chk
+}
+
+// susan is the MiBench image-smoothing kernel: a 3×3 mean filter over a
+// grayscale image, writing the smoothed image to a separate buffer.
+// Loads dominate stores 9:1, so idempotent regions are long (§V-B shows
+// susan's τ_B among the largest).
+func init() {
+	register(Workload{
+		Name: "susan",
+		Desc: "MiBench susan: 3×3 mean smoothing over a grayscale image",
+		Build: func(o Options) (*asm.Program, error) {
+			passes := o.scale()
+			b := asm.New("susan")
+			b.Seg(asm.FRAM)
+			b.Bytes("img", susanInput())
+			b.Seg(o.Seg)
+			b.Space("out", susanW*susanH)
+
+			b.La(isa.R1, "img")
+			b.La(isa.R2, "out")
+			b.Li(isa.R9, 0) // checksum
+			b.Li(isa.R12, uint32(passes))
+
+			b.Label("pass")
+			b.Li(isa.R3, 1) // y
+			b.Label("row")
+			b.Li(isa.R4, 1) // x
+			b.Label("col")
+			b.TaskBegin()
+			// R5 = &img[y*W+x]
+			b.Slli(isa.R5, isa.R3, 4) // y*16
+			b.Add(isa.R5, isa.R5, isa.R4)
+			b.Add(isa.R6, isa.R5, isa.R2) // &out[...], before clobbering index
+			b.Add(isa.R5, isa.R5, isa.R1)
+			// 3×3 sum into R7
+			b.Li(isa.R7, 0)
+			for _, off := range []int32{-17, -16, -15, -1, 0, 1, 15, 16, 17} {
+				b.Lbu(isa.R8, isa.R5, off)
+				b.Add(isa.R7, isa.R7, isa.R8)
+			}
+			b.Li(isa.R8, 9)
+			b.Div(isa.R7, isa.R7, isa.R8)
+			b.Sb(isa.R7, isa.R6, 0)
+			b.Add(isa.R9, isa.R9, isa.R7) // checksum accumulator
+			b.TaskEnd()
+			b.Addi(isa.R4, isa.R4, 1)
+			b.Li(isa.R10, susanW-1)
+			b.Blt(isa.R4, isa.R10, "col")
+			b.Chkpt()
+			b.Addi(isa.R3, isa.R3, 1)
+			b.Li(isa.R10, susanH-1)
+			b.Blt(isa.R3, isa.R10, "row")
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Bne(isa.R12, isa.R0, "pass")
+
+			b.Out(isa.R9)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			return []uint32{susanRef(o.scale())}
+		},
+	})
+}

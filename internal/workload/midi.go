@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// midi is Table II's audio-based data logger: sensor samples are turned
+// into note/velocity events; an event is logged (to memory and to the
+// committed output stream) whenever the note changes. The "last note"
+// word in memory is read and conditionally rewritten per sample.
+func init() {
+	register(Workload{
+		Name: "midi",
+		Desc: "Table II MIDI: audio event data logging",
+		Build: func(o Options) (*asm.Program, error) {
+			n := 100 * o.scale()
+			b := asm.New("midi")
+			b.Seg(o.Seg)
+			b.Word("last", 0xFFFFFFFF)
+			b.Space("log", 4*n)
+
+			b.La(isa.R1, "last")
+			b.La(isa.R2, "log")
+			b.Li(isa.R3, uint32(n)) // remaining
+			b.Li(isa.R4, 0)         // event index
+
+			b.Label("sample")
+			b.TaskBegin()
+			b.Sense(isa.R5)
+			b.Andi(isa.R6, isa.R5, 0x7F) // note
+			b.Srli(isa.R7, isa.R5, 7)
+			b.Andi(isa.R7, isa.R7, 0x7F) // velocity
+			b.Lw(isa.R8, isa.R1, 0)      // last note
+			b.Beq(isa.R6, isa.R8, "same")
+			// event: (index<<16) | (note<<8) | velocity
+			b.Slli(isa.R9, isa.R4, 16)
+			b.Slli(isa.R10, isa.R6, 8)
+			b.Or(isa.R9, isa.R9, isa.R10)
+			b.Or(isa.R9, isa.R9, isa.R7)
+			b.Sw(isa.R9, isa.R2, 0)
+			b.Addi(isa.R2, isa.R2, 4)
+			b.Out(isa.R9)
+			b.Sw(isa.R6, isa.R1, 0) // update last note
+			b.Addi(isa.R4, isa.R4, 1)
+			b.Label("same")
+			b.TaskEnd()
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "sample")
+
+			b.Out(isa.R4) // event count trailer
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			n := 100 * o.scale()
+			var out []uint32
+			last := uint32(0xFFFFFFFF)
+			idx := uint32(0)
+			for i := 0; i < n; i++ {
+				s := cpu.SenseValue(uint32(i))
+				note := s & 0x7F
+				vel := (s >> 7) & 0x7F
+				if note != last {
+					out = append(out, idx<<16|note<<8|vel)
+					last = note
+					idx++
+				}
+			}
+			return append(out, idx)
+		},
+	})
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// Random generates a random but deterministic, always-terminating EH32
+// program for differential testing: a counted loop whose body is a
+// random mix of ALU operations, bounded array loads/stores, sensor
+// reads, outputs and runtime markers, followed by an array checksum.
+// Programs generated with the same seed are identical, so the
+// continuous run is a precise oracle for any intermittent run.
+func Random(seed int64, seg asm.Segment) (*asm.Program, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := asm.New(fmt.Sprintf("random-%d", seed))
+
+	const arrWords = 32
+	init := make([]uint32, arrWords)
+	for i := range init {
+		init[i] = rng.Uint32()
+	}
+	b.Seg(seg)
+	b.Word("arr", init...)
+
+	// R1 = array base, R2 = loop counter; R4–R11 are working registers.
+	work := []isa.Reg{isa.R4, isa.R5, isa.R6, isa.R7, isa.R8, isa.R9, isa.R10, isa.R11}
+	b.La(isa.R1, "arr")
+	for _, r := range work {
+		b.Li(r, rng.Uint32())
+	}
+	iters := 100 + rng.Intn(200)
+	b.Li(isa.R2, uint32(iters))
+
+	pick := func() isa.Reg { return work[rng.Intn(len(work))] }
+
+	b.Label("loop")
+	b.TaskBegin()
+	for n := 4 + rng.Intn(12); n > 0; n-- {
+		switch rng.Intn(12) {
+		case 0, 1, 2: // three-register ALU
+			ops := []func(rd, a, c isa.Reg){b.Add, b.Sub, b.Xor, b.And, b.Or, b.Mul}
+			ops[rng.Intn(len(ops))](pick(), pick(), pick())
+		case 3: // division family (edge semantics are defined)
+			if rng.Intn(2) == 0 {
+				b.Div(pick(), pick(), pick())
+			} else {
+				b.Rem(pick(), pick(), pick())
+			}
+		case 4: // immediate ALU
+			b.Addi(pick(), pick(), int32(rng.Intn(8191)-4096))
+		case 5: // shifts
+			sh := []func(rd, a isa.Reg, imm int32){b.Slli, b.Srli, b.Srai}
+			sh[rng.Intn(len(sh))](pick(), pick(), int32(rng.Intn(32)))
+		case 6, 7: // bounded array load: mask keeps the offset word-aligned
+			idx, dst := pick(), pick()
+			b.Andi(isa.TR, idx, (arrWords-1)*4)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Lw(dst, isa.TR, 0)
+		case 8, 9: // bounded array store
+			idx, src := pick(), pick()
+			b.Andi(isa.TR, idx, (arrWords-1)*4)
+			b.Add(isa.TR, isa.TR, isa.R1)
+			b.Sw(src, isa.TR, 0)
+		case 10: // sensor read
+			b.Sense(pick())
+		case 11: // checkpoint site
+			b.Chkpt()
+		}
+	}
+	// occasional mid-loop output keeps the committed stream interesting
+	// without exploding it
+	if rng.Intn(3) == 0 {
+		b.Andi(isa.TR, isa.R2, 63)
+		b.Bne(isa.TR, isa.R0, "noout")
+		b.Out(pick())
+		b.Label("noout")
+	}
+	b.TaskEnd()
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+
+	// checksum the array and the working registers
+	b.Li(isa.R2, arrWords)
+	b.Li(isa.R3, 0)
+	b.Mv(isa.R12, isa.R1)
+	b.Label("sum")
+	b.Lw(isa.TR, isa.R12, 0)
+	b.Add(isa.R3, isa.R3, isa.TR)
+	b.Addi(isa.R12, isa.R12, 4)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "sum")
+	b.Out(isa.R3)
+	for _, r := range work {
+		b.Xor(isa.R3, isa.R3, r)
+	}
+	b.Out(isa.R3)
+	b.Halt()
+	return b.Assemble()
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// RSA parameters: a toy keypair small enough that every intermediate of
+// square-and-multiply fits 32 bits (n² < 2³¹).
+const (
+	rsaN = 33227 // 149 × 223
+	rsaE = 65537 // 2^16 + 1
+)
+
+// modExpRef computes m^e mod n with 32-bit arithmetic exactly as the
+// EH32 kernel does.
+func modExpRef(m, e, n uint32) uint32 {
+	result := uint32(1)
+	base := m % n
+	for e > 0 {
+		if e&1 != 0 {
+			result = result * base % n
+		}
+		base = base * base % n
+		e >>= 1
+	}
+	return result
+}
+
+// rsaMessages derives the deterministic plaintext block sequence.
+func rsaMessages(count int) []uint32 {
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = uint32(i*2654435761+12345) % rsaN
+	}
+	return out
+}
+
+// rsa is Table II's encryption benchmark: square-and-multiply modular
+// exponentiation of a message sequence. Each message is one task;
+// ciphertexts are logged to a memory buffer and the output stream.
+func init() {
+	register(Workload{
+		Name: "rsa",
+		Desc: "Table II RSA: modular exponentiation data encryption",
+		Build: func(o Options) (*asm.Program, error) {
+			count := 6 * o.scale()
+			msgs := rsaMessages(count)
+			b := asm.New("rsa")
+			b.Seg(asm.FRAM)
+			b.Word("msgs", msgs...)
+			b.Seg(o.Seg)
+			b.Space("cipher", 4*count)
+
+			b.La(isa.R1, "msgs")
+			b.La(isa.R2, "cipher")
+			b.Li(isa.R3, uint32(count))
+			b.Li(isa.R10, rsaN)
+
+			b.Label("msg")
+			b.TaskBegin()
+			b.Lw(isa.R4, isa.R1, 0) // m
+			// modexp: R5=result, R6=base, R7=e
+			b.Li(isa.R5, 1)
+			b.Rem(isa.R6, isa.R4, isa.R10)
+			b.Li(isa.R7, rsaE)
+			b.Label("expo")
+			b.Andi(isa.R8, isa.R7, 1)
+			b.Beq(isa.R8, isa.R0, "noMul")
+			b.Mul(isa.R5, isa.R5, isa.R6)
+			b.Rem(isa.R5, isa.R5, isa.R10)
+			b.Label("noMul")
+			b.Mul(isa.R6, isa.R6, isa.R6)
+			b.Rem(isa.R6, isa.R6, isa.R10)
+			b.Srli(isa.R7, isa.R7, 1)
+			b.Bne(isa.R7, isa.R0, "expo")
+			// log ciphertext
+			b.Sw(isa.R5, isa.R2, 0)
+			b.Out(isa.R5)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, 4)
+			b.Addi(isa.R3, isa.R3, -1)
+			b.Chkpt()
+			b.Bne(isa.R3, isa.R0, "msg")
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			msgs := rsaMessages(6 * o.scale())
+			out := make([]uint32, len(msgs))
+			for i, m := range msgs {
+				out[i] = modExpRef(m, rsaE, rsaN)
+			}
+			return out
+		},
+	})
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/isa"
+)
+
+// sense is Table II's sensor-statistics benchmark: sample the ADC K
+// times into a buffer, then compute the integer mean and variance in a
+// second pass. The first pass is store-heavy (write-first friendly);
+// the second pass re-reads the buffer.
+func init() {
+	register(Workload{
+		Name: "sense",
+		Desc: "Table II SENSE: mean/variance statistics over ADC samples",
+		Build: func(o Options) (*asm.Program, error) {
+			k := 64 * o.scale()
+			b := asm.New("sense")
+			b.Seg(o.Seg)
+			b.Space("buf", 4*k)
+
+			// Pass 1: sample.
+			b.La(isa.R1, "buf")
+			b.Li(isa.R2, uint32(k)) // remaining
+			b.Li(isa.R3, 0)         // sum
+			b.Label("sample")
+			b.TaskBegin()
+			b.Sense(isa.R4)
+			b.Andi(isa.R4, isa.R4, 0x3FF) // 10-bit ADC
+			b.Sw(isa.R4, isa.R1, 0)
+			b.Add(isa.R3, isa.R3, isa.R4)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "sample")
+
+			// mean = sum / k
+			b.Li(isa.R5, uint32(k))
+			b.Div(isa.R6, isa.R3, isa.R5) // mean
+
+			// Pass 2: accumulate squared deviations.
+			b.La(isa.R1, "buf")
+			b.Li(isa.R2, uint32(k))
+			b.Li(isa.R7, 0) // acc
+			b.Label("dev")
+			b.TaskBegin()
+			b.Lw(isa.R4, isa.R1, 0)
+			b.Sub(isa.R8, isa.R4, isa.R6)
+			b.Mul(isa.R8, isa.R8, isa.R8)
+			b.Add(isa.R7, isa.R7, isa.R8)
+			b.TaskEnd()
+			b.Addi(isa.R1, isa.R1, 4)
+			b.Addi(isa.R2, isa.R2, -1)
+			b.Chkpt()
+			b.Bne(isa.R2, isa.R0, "dev")
+
+			b.Div(isa.R9, isa.R7, isa.R5) // variance
+			b.Out(isa.R6)
+			b.Out(isa.R9)
+			b.Halt()
+			return b.Assemble()
+		},
+		Ref: func(o Options) []uint32 {
+			k := 64 * o.scale()
+			var sum uint32
+			samples := make([]uint32, k)
+			for i := 0; i < k; i++ {
+				samples[i] = cpu.SenseValue(uint32(i)) & 0x3FF
+				sum += samples[i]
+			}
+			mean := sum / uint32(k)
+			var acc uint32
+			for _, s := range samples {
+				d := s - mean // wraps like the 32-bit hardware
+				acc += d * d
+			}
+			return []uint32{mean, acc / uint32(k)}
+		},
+	})
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// TransposeOrder selects the loop nest order of Listing 1 (§VI-A).
+type TransposeOrder int
+
+const (
+	// LoadMajor is the conventional order: the inner loop walks the
+	// source array contiguously, scattering stores across destination
+	// blocks.
+	LoadMajor TransposeOrder = iota
+	// StoreMajor walks the destination contiguously, scattering loads.
+	StoreMajor
+)
+
+func (o TransposeOrder) String() string {
+	if o == StoreMajor {
+		return "store-major"
+	}
+	return "load-major"
+}
+
+// Transpose builds the Listing 1 matrix-transpose kernel,
+// B[j][i] = A[i][j], over an n×n word matrix in the given order,
+// repeated reps times (re-transposing in place alternating buffers).
+// Data always lives in FRAM: the kernel exists to exercise the
+// mixed-volatility cache of §VI-A. The committed output is a checksum
+// of B.
+func Transpose(order TransposeOrder, n, reps int) (*asm.Program, error) {
+	if n <= 0 || n&(n-1) != 0 || n > 64 {
+		return nil, fmt.Errorf("workload: transpose n=%d must be a power of two ≤ 64", n)
+	}
+	if reps <= 0 {
+		return nil, fmt.Errorf("workload: transpose reps=%d must be positive", reps)
+	}
+	shift := 0
+	for 1<<shift < n {
+		shift++
+	}
+	src := make([]uint32, n*n)
+	for i := range src {
+		src[i] = uint32(i*2654435761 + 17)
+	}
+	b := asm.New("transpose-" + order.String())
+	b.Seg(asm.FRAM)
+	b.Word("A", src...)
+	b.Space("B", 4*n*n)
+
+	b.La(isa.R1, "A")
+	b.La(isa.R2, "B")
+	b.Li(isa.R12, uint32(reps))
+
+	b.Label("rep")
+	b.Li(isa.R3, 0) // i
+	b.Label("rows")
+	b.Li(isa.R4, 0) // j
+	b.Label("cols")
+	b.TaskBegin()
+	// load-major: read A[i][j] (contiguous in j), write B[j][i]
+	// store-major: read A[j][i], write B[i][j] (contiguous in j)
+	if order == LoadMajor {
+		b.Slli(isa.R5, isa.R3, int32(shift)) // i*n
+		b.Add(isa.R5, isa.R5, isa.R4)        // +j
+		b.Slli(isa.R6, isa.R4, int32(shift)) // j*n
+		b.Add(isa.R6, isa.R6, isa.R3)        // +i
+	} else {
+		b.Slli(isa.R5, isa.R4, int32(shift)) // j*n
+		b.Add(isa.R5, isa.R5, isa.R3)        // +i
+		b.Slli(isa.R6, isa.R3, int32(shift)) // i*n
+		b.Add(isa.R6, isa.R6, isa.R4)        // +j
+	}
+	b.Slli(isa.R5, isa.R5, 2)
+	b.Add(isa.R5, isa.R5, isa.R1)
+	b.Lw(isa.R7, isa.R5, 0)
+	b.Slli(isa.R6, isa.R6, 2)
+	b.Add(isa.R6, isa.R6, isa.R2)
+	b.Sw(isa.R7, isa.R6, 0)
+	b.TaskEnd()
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Li(isa.TR, uint32(n))
+	b.Blt(isa.R4, isa.TR, "cols")
+	b.Chkpt()
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Li(isa.TR, uint32(n))
+	b.Blt(isa.R3, isa.TR, "rows")
+	b.Addi(isa.R12, isa.R12, -1)
+	b.Bne(isa.R12, isa.R0, "rep")
+
+	// checksum B
+	b.Li(isa.R3, uint32(n*n))
+	b.Li(isa.R4, 0)
+	b.Mv(isa.R5, isa.R2)
+	b.Label("chk")
+	b.Lw(isa.TR, isa.R5, 0)
+	b.Add(isa.R4, isa.R4, isa.TR)
+	b.Addi(isa.R5, isa.R5, 4)
+	b.Addi(isa.R3, isa.R3, -1)
+	b.Bne(isa.R3, isa.R0, "chk")
+	b.Out(isa.R4)
+	b.Halt()
+	return b.Assemble()
+}
+
+// TransposeRef returns the committed output both orders must produce
+// (the transpose itself is order-independent).
+func TransposeRef(n int) []uint32 {
+	src := make([]uint32, n*n)
+	for i := range src {
+		src[i] = uint32(i*2654435761 + 17)
+	}
+	var chk uint32
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			chk += src[i*n+j] // B[j][i] = A[i][j]
+		}
+	}
+	return []uint32{chk}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"ehmodel/internal/device"
+)
+
+func TestTransposeBothOrdersMatchRef(t *testing.T) {
+	want := TransposeRef(16)
+	for _, order := range []TransposeOrder{LoadMajor, StoreMajor} {
+		prog, err := Transpose(order, 16, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, cycles, err := device.RunContinuous(prog, 0, 0, 10_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if cycles == 0 {
+			t.Fatalf("%v: no work", order)
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("%v: output %v, want %v", order, out, want)
+		}
+	}
+}
+
+func TestTransposeOrdersDifferOnlyInAccessPattern(t *testing.T) {
+	lm, err := Transpose(LoadMajor, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := Transpose(StoreMajor, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Code) != len(sm.Code) {
+		t.Fatalf("orders should have identical instruction counts: %d vs %d",
+			len(lm.Code), len(sm.Code))
+	}
+	// same work, same cycles — only the addresses differ
+	_, c1, err := device.RunContinuous(lm, 0, 0, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := device.RunContinuous(sm, 0, 0, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("cycle counts differ without a cache: %d vs %d", c1, c2)
+	}
+}

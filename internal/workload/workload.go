@@ -1,0 +1,113 @@
+// Package workload provides the benchmark programs of the paper's
+// evaluation, written for EH32: the six hardware-validation benchmarks
+// of Table II (RSA, CRC, SENSE, AR, MIDI, DS), the counter
+// microbenchmark of §V-A, and a MiBench-like kernel set for the Clank
+// characterization of §V-B (susan, lzfx, sha, dijkstra, qsort,
+// stringsearch, bitcount, basicmath).
+//
+// Every workload carries a pure-Go reference oracle computing the exact
+// committed output the program must produce, which the test suite uses
+// to prove that intermittent execution under every strategy is
+// equivalent to continuous execution.
+//
+// Programs mark Mementos checkpoint sites (Chkpt) at loop latches and
+// DINO task boundaries (TaskBegin/TaskEnd) around natural atomic units,
+// so the same binary serves every runtime. Data placement is selectable:
+// SRAM for checkpointing systems, FRAM for Clank/NVP-style nonvolatile
+// main memory.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"ehmodel/internal/asm"
+)
+
+// Options configure a workload build.
+type Options struct {
+	// Seg places mutable data in SRAM (checkpointing runtimes) or FRAM
+	// (nonvolatile-memory runtimes).
+	Seg asm.Segment
+	// Scale multiplies the problem size; 0 means 1.
+	Scale int
+}
+
+func (o Options) scale() int {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Workload is one benchmark: an EH32 program builder plus its oracle.
+type Workload struct {
+	Name string
+	Desc string
+	// Build assembles the program for the given options.
+	Build func(Options) (*asm.Program, error)
+	// Ref computes the committed output a correct run must produce.
+	Ref func(Options) []uint32
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// All returns every workload sorted by name.
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted workload names.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// TableII returns the six hardware-validation benchmarks in the paper's
+// order.
+func TableII() []Workload {
+	var out []Workload
+	for _, n := range []string{"rsa", "crc", "sense", "ar", "midi", "ds"} {
+		w, ok := Get(n)
+		if !ok {
+			panic("workload: Table II benchmark missing: " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// MiBench returns the characterization kernel set of §V-B.
+func MiBench() []Workload {
+	var out []Workload
+	for _, n := range []string{"susan", "lzfx", "sha", "dijkstra", "qsort", "stringsearch", "bitcount", "basicmath"} {
+		w, ok := Get(n)
+		if !ok {
+			panic("workload: MiBench kernel missing: " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
