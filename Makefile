@@ -1,0 +1,38 @@
+# Tier-1 gate (see ROADMAP.md): everything `make check` runs must pass
+# before a change lands.
+
+GO ?= go
+
+.PHONY: check fmt vet build test test-race test-short audit clean
+
+check: fmt vet build test-race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# quick loop while developing: skips the fuzz matrix and the full
+# 100-schedule audit sweep
+test-short:
+	$(GO) test -short ./...
+
+# the crash-consistency audit sweep on its own
+audit:
+	$(GO) test -run 'TestAudit' -v ./internal/faults/
+
+clean:
+	$(GO) clean ./...

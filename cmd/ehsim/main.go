@@ -6,9 +6,15 @@
 // Example:
 //
 //	ehsim -workload ds -strategy clank -period 20000 -trace multipeak
+//
+// Fault injection (two-phase checkpoint commit under attack):
+//
+//	ehsim -workload crc -strategy hibernus -fault-schedule random:mean=7000 \
+//	      -torn-writes 1e-3 -bitflip-rate 1e-3 -fault-seed 7
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/faults"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/textplot"
 	"ehmodel/internal/trace"
@@ -25,34 +32,26 @@ import (
 )
 
 // strategyFor builds the named runtime and reports the data placement
-// its memory model requires.
+// its memory model requires. Strategies with a tunable backup period
+// are built here; everything else comes from the shared catalog, so the
+// CLI runs exactly the configurations the integration tests and the
+// crash-consistency auditor cover.
 func strategyFor(name string, tauB uint64) (device.Strategy, asm.Segment, error) {
 	switch name {
 	case "timer":
 		return strategy.NewTimer(tauB, 0.1), asm.SRAM, nil
 	case "speculative":
 		return strategy.NewSpeculative(tauB, 0.1), asm.SRAM, nil
-	case "hibernus":
-		return strategy.NewHibernus(), asm.SRAM, nil
-	case "mementos":
-		return strategy.NewMementos(), asm.SRAM, nil
-	case "dino":
-		return strategy.NewDINO(), asm.SRAM, nil
-	case "chain":
-		return strategy.NewChain(), asm.SRAM, nil
 	case "mixvol":
 		return strategy.NewMixedVolatility(tauB), asm.SRAM, nil
-	case "clank":
-		return strategy.NewClank(), asm.FRAM, nil
-	case "ratchet":
-		return strategy.NewRatchet(), asm.FRAM, nil
 	case "nvp":
-		return strategy.NewNVPEveryCycle(), asm.FRAM, nil
-	case "nvp-threshold":
-		return strategy.NewNVPThreshold(), asm.FRAM, nil
-	default:
+		name = "nvp-everycycle"
+	}
+	spec, ok := strategy.Lookup(name)
+	if !ok {
 		return nil, 0, fmt.Errorf("unknown strategy %q", name)
 	}
+	return spec.New(), spec.Seg, nil
 }
 
 func traceFor(name string, seconds float64) (trace.Kind, bool, error) {
@@ -70,8 +69,19 @@ func traceFor(name string, seconds float64) (trace.Kind, bool, error) {
 	}
 }
 
-// periodsOut, when set, receives per-period CSV statistics after a run.
-var periodsOut string
+// runOpts collects one simulation's configuration.
+type runOpts struct {
+	workload string
+	strategy string
+	period   float64
+	tauB     uint64
+	scale    int
+	trace    string
+	// plan, when non-nil, attaches a fault injector built from it.
+	plan *faults.Plan
+	// periodsCSV, when set, receives per-period CSV statistics.
+	periodsCSV string
+}
 
 func main() {
 	wname := flag.String("workload", "counter", "workload: "+strings.Join(workload.Names(), ", "))
@@ -82,8 +92,35 @@ func main() {
 	traceName := flag.String("trace", "none", "supply trace: none (bench supply), spikes, ramp, multipeak")
 	list := flag.Bool("list", false, "print the workload's disassembly and exit")
 	periodsCSV := flag.String("periods", "", "write per-period statistics to this CSV file")
+
+	faultSchedule := flag.String("fault-schedule", "none", "power-cut schedule: none, cycles:N,N,..., random:mean=N")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for every randomized fault decision")
+	tornWrites := flag.Float64("torn-writes", 0, "per-word probability of tearing a checkpoint write")
+	bitflipRate := flag.Float64("bitflip-rate", 0, "per-stored-word probability of a bit flip at each restore")
+	staleProb := flag.Float64("stale-prob", 0, "per-restore probability of forcing the stale checkpoint slot")
+	naive := flag.Bool("naive-commit", false, "downgrade to the broken single-slot commit (fault-model validation)")
 	flag.Parse()
-	periodsOut = *periodsCSV
+
+	opts := runOpts{
+		workload: *wname, strategy: *sname,
+		period: *period, tauB: *tauB, scale: *scale,
+		trace: *traceName, periodsCSV: *periodsCSV,
+	}
+
+	plan := faults.Plan{
+		Seed:             *faultSeed,
+		TornWriteProb:    *tornWrites,
+		BitFlipRate:      *bitflipRate,
+		StaleRestoreProb: *staleProb,
+		NaiveCommit:      *naive,
+	}
+	if err := plan.ParseSchedule(*faultSchedule); err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(1)
+	}
+	if !reflect.DeepEqual(plan, faults.Plan{Seed: *faultSeed}) {
+		opts.plan = &plan
+	}
 
 	if *list {
 		if err := listProgram(*wname, *sname, *tauB, *scale); err != nil {
@@ -92,7 +129,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*wname, *sname, *period, *tauB, *scale, *traceName); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
 		os.Exit(1)
 	}
@@ -116,30 +153,30 @@ func listProgram(wname, sname string, tauB uint64, scale int) error {
 	return nil
 }
 
-func run(wname, sname string, period float64, tauB uint64, scale int, traceName string) error {
-	w, ok := workload.Get(wname)
+func run(o runOpts) error {
+	w, ok := workload.Get(o.workload)
 	if !ok {
-		return fmt.Errorf("unknown workload %q (have: %s)", wname, strings.Join(workload.Names(), ", "))
+		return fmt.Errorf("unknown workload %q (have: %s)", o.workload, strings.Join(workload.Names(), ", "))
 	}
-	strat, seg, err := strategyFor(sname, tauB)
+	strat, seg, err := strategyFor(o.strategy, o.tauB)
 	if err != nil {
 		return err
 	}
-	opts := workload.Options{Seg: seg, Scale: scale}
-	prog, err := w.Build(opts)
+	wopts := workload.Options{Seg: seg, Scale: o.scale}
+	prog, err := w.Build(wopts)
 	if err != nil {
 		return err
 	}
 
 	pm := energy.MSP430Power()
-	e := period * pm.EnergyPerCycle(energy.ClassALU)
+	e := o.period * pm.EnergyPerCycle(energy.ClassALU)
 	capC, vmax, von, voff := device.FixedSupplyConfig(e)
 	cfg := device.Config{
 		Prog: prog, Power: pm,
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: 200000, MaxCycles: 1 << 62,
 	}
-	kind, hasTrace, err := traceFor(traceName, 10)
+	kind, hasTrace, err := traceFor(o.trace, 10)
 	if err != nil {
 		return err
 	}
@@ -151,17 +188,32 @@ func run(wname, sname string, period float64, tauB uint64, scale int, traceName 
 		}
 		cfg.Harvester = h
 	}
+	if o.plan != nil {
+		inj, err := faults.New(*o.plan)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = inj
+	}
 
 	d, err := device.New(cfg, strat)
 	if err != nil {
 		return err
 	}
 	res, err := d.Run()
+	if errors.Is(err, device.ErrUnrecoverable) {
+		fmt.Printf("%s under %s (%s data): FAIL-STOP\n\n", o.workload, strat.Name(), seg)
+		fmt.Println("the device detected that its nonvolatile state cannot be recovered")
+		fmt.Println("crash-consistently and refused to restore — the honest outcome when")
+		fmt.Println("injected corruption outruns what checkpoint rollback can undo:")
+		fmt.Printf("  %v\n", err)
+		return fmt.Errorf("run fail-stopped: %w", err)
+	}
 	if err != nil {
 		return err
 	}
-	if periodsOut != "" {
-		f, err := os.Create(periodsOut)
+	if o.periodsCSV != "" {
+		f, err := os.Create(o.periodsCSV)
 		if err != nil {
 			return err
 		}
@@ -172,10 +224,10 @@ func run(wname, sname string, period float64, tauB uint64, scale int, traceName 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote per-period statistics to %s\n", periodsOut)
+		fmt.Printf("wrote per-period statistics to %s\n", o.periodsCSV)
 	}
 
-	fmt.Printf("%s under %s (%s data), E = %.3g J/period\n\n", wname, strat.Name(), seg, e)
+	fmt.Printf("%s under %s (%s data), E = %.3g J/period\n\n", o.workload, strat.Name(), seg, e)
 	bd := res.Breakdown()
 	total := bd.Supply + bd.Harvested
 	pct := func(v float64) string { return fmt.Sprintf("%.4g J  (%.1f%%)", v, 100*v/total) }
@@ -199,8 +251,25 @@ func run(wname, sname string, period float64, tauB uint64, scale int, traceName 
 			{"idle energy", pct(bd.Idle)},
 		}))
 
+	if o.plan != nil {
+		f := res.Faults
+		fmt.Printf("\nfault injection (seed %d):\n", o.plan.Seed)
+		fmt.Print(textplot.Table(
+			[]string{"fault", "count"},
+			[][]string{
+				{"scheduled power cuts", fmt.Sprint(f.PowerCuts)},
+				{"injected tears", fmt.Sprint(f.InjectedTears)},
+				{"torn backups (all causes)", fmt.Sprint(f.TornBackups)},
+				{"bit flips in stored state", fmt.Sprint(f.BitFlips)},
+				{"CRC-rejected checkpoints", fmt.Sprint(f.CRCRejections)},
+				{"stale-slot restores", fmt.Sprint(f.StaleRestores)},
+				{"forced stale restores", fmt.Sprint(f.ForcedStale)},
+				{"cold restarts", fmt.Sprint(f.ColdRestarts)},
+			}))
+	}
+
 	if res.Completed {
-		want := w.Ref(opts)
+		want := w.Ref(wopts)
 		if reflect.DeepEqual(res.Output, want) {
 			fmt.Printf("\noutput: %d words, matches the continuous-execution oracle ✓\n", len(res.Output))
 		} else {

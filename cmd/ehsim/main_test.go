@@ -4,21 +4,23 @@ import (
 	"testing"
 
 	"ehmodel/internal/asm"
+	"ehmodel/internal/faults"
 )
 
 func TestStrategyForAll(t *testing.T) {
 	cases := map[string]asm.Segment{
-		"timer":         asm.SRAM,
-		"speculative":   asm.SRAM,
-		"hibernus":      asm.SRAM,
-		"mementos":      asm.SRAM,
-		"dino":          asm.SRAM,
-		"chain":         asm.SRAM,
-		"mixvol":        asm.SRAM,
-		"clank":         asm.FRAM,
-		"ratchet":       asm.FRAM,
-		"nvp":           asm.FRAM,
-		"nvp-threshold": asm.FRAM,
+		"timer":          asm.SRAM,
+		"speculative":    asm.SRAM,
+		"hibernus":       asm.SRAM,
+		"mementos":       asm.SRAM,
+		"dino":           asm.SRAM,
+		"chain":          asm.SRAM,
+		"mixvol":         asm.SRAM,
+		"clank":          asm.FRAM,
+		"ratchet":        asm.FRAM,
+		"nvp":            asm.FRAM,
+		"nvp-everycycle": asm.FRAM,
+		"nvp-threshold":  asm.FRAM,
 	}
 	for name, wantSeg := range cases {
 		s, seg, err := strategyFor(name, 1000)
@@ -51,25 +53,58 @@ func TestTraceFor(t *testing.T) {
 	}
 }
 
+func baseOpts(w, s string) runOpts {
+	return runOpts{workload: w, strategy: s, period: 20000, tauB: 1000, scale: 1, trace: "none"}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	// bench supply
-	if err := run("counter", "timer", 20000, 1000, 1, "none"); err != nil {
+	if err := run(baseOpts("counter", "timer")); err != nil {
 		t.Fatalf("bench supply: %v", err)
 	}
 	// harvested supply on a nonvolatile-memory runtime
-	if err := run("ds", "clank", 20000, 1000, 1, "multipeak"); err != nil {
+	o := baseOpts("ds", "clank")
+	o.trace = "multipeak"
+	if err := run(o); err != nil {
 		t.Fatalf("harvested: %v", err)
 	}
 }
 
+// TestRunWithFaults drives the CLI path under the default audit attack:
+// the run must survive and match the oracle, or fail-stop with the
+// typed unrecoverable-state error — never silently diverge.
+func TestRunWithFaults(t *testing.T) {
+	o := baseOpts("counter", "hibernus")
+	o.plan = &faults.Plan{
+		Seed:                3,
+		RandomCutMeanCycles: 7000,
+		TornWriteProb:       1e-3,
+		BitFlipRate:         1e-3,
+		StaleRestoreProb:    0.05,
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+}
+
+func TestRunRejectsBadPlan(t *testing.T) {
+	o := baseOpts("counter", "timer")
+	o.plan = &faults.Plan{TornWriteProb: 2}
+	if err := run(o); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "timer", 20000, 1000, 1, "none"); err == nil {
+	if err := run(baseOpts("nope", "timer")); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("counter", "nope", 20000, 1000, 1, "none"); err == nil {
+	if err := run(baseOpts("counter", "nope")); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := run("counter", "timer", 20000, 1000, 1, "nope"); err == nil {
+	o := baseOpts("counter", "timer")
+	o.trace = "nope"
+	if err := run(o); err == nil {
 		t.Error("unknown trace accepted")
 	}
 }

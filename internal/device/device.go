@@ -75,6 +75,17 @@ type Strategy interface {
 	// FinalPayload is the backup taken when the program halts, which
 	// commits the remaining output.
 	FinalPayload(d *Device) Payload
+	// ReplaySafe reports whether the runtime guarantees that re-executing
+	// from its last committed checkpoint stays crash-consistent even when
+	// stores to nonvolatile data happened since — via idempotency
+	// tracking (Clank, Ratchet) or a one-instruction replay window
+	// (every-cycle NVP). Just-in-time runtimes that rely on a voltage
+	// warning before death (threshold NVP) must return false: an unwarned
+	// failure after uncheckpointed FRAM stores leaves no consistent state
+	// to recover, and the restore path fail-stops with ErrUnrecoverable
+	// instead of silently replaying. Runtimes that keep all mutable data
+	// in checkpointed SRAM are unaffected either way.
+	ReplaySafe() bool
 	// Reset is called on power failure: all volatile tracking state
 	// (buffers, timers) is lost.
 	Reset()
@@ -122,6 +133,14 @@ type Config struct {
 	// Run limits.
 	MaxCycles  uint64 // total consumed cycles; default 500M
 	MaxPeriods int    // default 100k
+
+	// Faults, when non-nil, attacks the run: scheduled supply cuts, torn
+	// checkpoint writes, bit flips in stored checkpoints and forced
+	// stale restores (see internal/faults). Attaching an injector also
+	// switches backup/restore to word-granular accounting that charges
+	// the commit-record transfers to τ_B/τ_R; with a nil injector the
+	// accounting is bit-identical to the assumed-atomic simulator.
+	Faults FaultInjector
 }
 
 func (c *Config) setDefaults() {
@@ -179,14 +198,6 @@ func FixedSupplyConfig(eJoules float64) (capC, vMax, vOn, vOff float64) {
 	return capC, vOn, vOn, vOff
 }
 
-// checkpoint is the nonvolatile copy of execution state.
-type checkpoint struct {
-	valid   bool
-	core    cpu.Core
-	sram    []byte // nil when the strategy does not snapshot SRAM
-	payload Payload
-}
-
 // Device is one simulated intermittent platform.
 type Device struct {
 	cfg   Config
@@ -197,8 +208,30 @@ type Device struct {
 	cap   *energy.Capacitor
 	cache *mem.Cache // nil when not configured
 
-	ckpt         checkpoint
+	// store is the FRAM checkpoint area the two-phase commit protocol
+	// writes to (see ckpt.go); inj is the attached fault injector, nil
+	// for honest power.
+	store *energy.CheckpointArea
+	inj   FaultInjector
+
+	// Volatile mirrors of nonvolatile state, resynced from the store at
+	// every boot: the committed output stream, which slot holds the live
+	// checkpoint (-1 none), and whether a restorable checkpoint exists.
 	committedOut []uint32
+	activeSlot   int
+	hasCkpt      bool
+	// everCommitted distinguishes a cold start that lost a checkpoint
+	// (counted as a recovery event) from one that never had any.
+	everCommitted bool
+	// framWrites counts data stores to nonvolatile memory since the run
+	// began; each checkpoint records the count at its commit. Rolling
+	// execution back past a commit cannot roll these stores back, so a
+	// restore older than the newest commit is only crash-consistent when
+	// the two counts match (see the unrecoverability guard in ckpt.go).
+	framWrites uint64
+	// maxSeq is the newest commit sequence number that ever landed — the
+	// ground truth the staleness guard compares restore targets against.
+	maxSeq uint64
 
 	timeS  float64
 	cycles uint64 // total consumed cycles (exec+backup+restore+idle)
@@ -232,11 +265,14 @@ func New(cfg Config, s Strategy) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		cfg:   cfg,
-		strat: s,
-		core:  &cpu.Core{},
-		mem:   ms,
-		cap:   cap_,
+		cfg:        cfg,
+		strat:      s,
+		core:       &cpu.Core{},
+		mem:        ms,
+		cap:        cap_,
+		store:      energy.NewCheckpointArea(),
+		inj:        cfg.Faults,
+		activeSlot: -1,
 	}
 	if cfg.CacheBlockSize > 0 {
 		sets, ways := cfg.CacheSets, cfg.CacheWays
@@ -310,8 +346,10 @@ func (d *Device) BackupCost(p Payload) float64 {
 		float64(p.Bytes())*d.cfg.OmegaBExtra
 }
 
-// HasCheckpoint reports whether a committed checkpoint exists.
-func (d *Device) HasCheckpoint() bool { return d.ckpt.valid }
+// HasCheckpoint reports whether a restorable committed checkpoint
+// exists. Under fault injection this can revert to false when both
+// checkpoint slots are corrupted and the device cold-restarts.
+func (d *Device) HasCheckpoint() bool { return d.hasCkpt }
 
 func (d *Device) transferCycles(bytes int, sigma float64) uint64 {
 	if bytes <= 0 {
@@ -336,7 +374,15 @@ func (d *Device) consume(n uint64, class energy.InstrClass) bool {
 	d.cycles += n
 	e := float64(n) * d.cfg.Power.EnergyPerCycle(class)
 	ok := d.cap.Draw(e)
-	return ok && d.cap.Voltage() >= d.cfg.VOff
+	alive := ok && d.cap.Voltage() >= d.cfg.VOff
+	// Scheduled supply faults fire independent of the capacitor model:
+	// the injector empties the store mid-flight, wherever execution is.
+	if alive && d.inj != nil && d.inj.PowerCutDue(d.cycles) {
+		d.cap.SetVoltage(0)
+		d.result.Faults.PowerCuts++
+		return false
+	}
+	return alive
 }
 
 // drawExtra draws flat energy (per-byte NVM surcharges) with no time

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/trace"
 )
 
 // nullStrategy never backs up except at halt; used to exercise the
@@ -20,6 +22,7 @@ func (nullStrategy) Boot(*Device) *Payload                              { return
 func (nullStrategy) PreStep(*Device, isa.Instr, AccessPreview) *Payload { return nil }
 func (nullStrategy) PostStep(*Device, cpu.Step) *Payload                { return nil }
 func (nullStrategy) FinalPayload(*Device) Payload                       { return Payload{ArchBytes: cpu.ArchStateBytes} }
+func (nullStrategy) ReplaySafe() bool                                   { return true }
 func (nullStrategy) Reset()                                             {}
 
 // intervalStrategy backs up (registers only) every k executed cycles.
@@ -329,5 +332,40 @@ func TestFRAMPersistsAcrossPeriods(t *testing.T) {
 	// exceed N here; what must hold is that it is at least N.
 	if res.Output[0] < 3000 {
 		t.Fatalf("FRAM counter %d lost increments", res.Output[0])
+	}
+}
+
+// TestNoProgressTypedError: a harvester that can never refill the
+// capacitor to VOn must end the run with the typed ErrNoProgress, not an
+// endless charge loop — and the error must carry the stall evidence.
+func TestNoProgressTypedError(t *testing.T) {
+	prog := loopProgram(t, 100000, asm.SRAM)
+	e := 2000 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+	cfg := fixedConfig(t, prog, e)
+	h, err := energy.NewHarvester(trace.Constant(0, 1, 1e-3), 1000, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Harvester = h
+	d, err := New(cfg, intervalStrategy{k: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Run()
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("Run() = %v, want ErrNoProgress", err)
+	}
+	var np *NoProgressError
+	if !errors.As(err, &np) {
+		t.Fatalf("error %T does not carry NoProgressError", err)
+	}
+	if np.TargetV != cfg.VOn {
+		t.Errorf("TargetV = %g, want VOn %g", np.TargetV, cfg.VOn)
+	}
+	if np.StuckV >= cfg.VOn {
+		t.Errorf("StuckV %g should sit below VOn %g", np.StuckV, cfg.VOn)
+	}
+	if np.Periods != 0 {
+		t.Errorf("Periods = %d, want 0 for a supply dead from the start", np.Periods)
 	}
 }

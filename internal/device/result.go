@@ -35,6 +35,36 @@ type PeriodStats struct {
 	ChargeTimeS float64
 }
 
+// FaultReport counts injected faults and the checkpoint protocol's
+// recovery actions across one run. All fields are zero when no fault
+// injector was attached.
+type FaultReport struct {
+	// PowerCuts is the number of scheduled supply faults delivered.
+	PowerCuts int
+	// InjectedTears counts backups the injector deliberately cut at a
+	// chosen word; TornBackups additionally includes backups torn by a
+	// supply failure (scheduled or organic) mid-write.
+	InjectedTears int
+	TornBackups   int
+	// BitFlips is the total bits flipped in stored checkpoint words.
+	BitFlips int
+	// CRCRejections counts checkpoint slots the restore path rejected
+	// after CRC validation failed.
+	CRCRejections int
+	// StaleRestores counts restores that fell back to the older slot;
+	// ForcedStale counts the subset demanded by the injector rather
+	// than caused by a rejected newest slot.
+	StaleRestores int
+	ForcedStale   int
+	// ColdRestarts counts boots where both slots were unusable and the
+	// device restarted from the program image despite having committed
+	// checkpoints before.
+	ColdRestarts int
+}
+
+// Any reports whether any fault or recovery event occurred.
+func (f FaultReport) Any() bool { return f != FaultReport{} }
+
 // Result aggregates a full intermittent run.
 type Result struct {
 	Strategy  string
@@ -48,6 +78,8 @@ type Result struct {
 	TotalCycles uint64
 	// TimeS is total simulated wall-clock time including recharging.
 	TimeS float64
+	// Faults reports injected faults and checkpoint recoveries.
+	Faults FaultReport
 }
 
 // sum folds a per-period field.

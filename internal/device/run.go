@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 
 	"ehmodel/internal/asm"
@@ -14,6 +15,31 @@ import (
 // to refill the capacitor before declaring the source dead.
 const maxChargeS = 3600.0
 
+// ErrNoProgress is the sentinel a Run error matches (errors.Is) when the
+// harvested supply cannot recharge the capacitor to the restore
+// threshold, so the device can never execute again.
+var ErrNoProgress = errors.New("device: no forward progress")
+
+// NoProgressError reports a run terminated because the supply stalled
+// below the power-on threshold. It wraps ErrNoProgress for errors.Is and
+// carries the period count reached before the stall.
+type NoProgressError struct {
+	// Periods is the number of active periods completed before the
+	// supply stalled.
+	Periods int
+	// StuckV is the capacitor voltage the charge phase plateaued at;
+	// TargetV is the VOn it needed to reach.
+	StuckV, TargetV float64
+}
+
+func (e *NoProgressError) Error() string {
+	return fmt.Sprintf("device: no forward progress after %d periods: harvester cannot reach VOn=%g within %gs (stuck at %gV)",
+		e.Periods, e.TargetV, maxChargeS, e.StuckV)
+}
+
+// Is reports ErrNoProgress as the sentinel this error wraps.
+func (e *NoProgressError) Is(target error) bool { return target == ErrNoProgress }
+
 // Run executes the program under the configured strategy until it halts
 // and commits, or a run limit is reached. The returned Result is valid
 // in both cases (Completed distinguishes them); errors indicate program
@@ -22,6 +48,9 @@ func (d *Device) Run() (*Result, error) {
 	d.result = Result{Strategy: d.strat.Name(), Program: d.cfg.Prog.Name}
 	if err := d.mem.WriteFRAMImage(d.cfg.Prog.FRAMImage); err != nil {
 		return nil, err
+	}
+	if d.inj != nil {
+		d.inj.BeginRun()
 	}
 	for len(d.result.Periods) < d.cfg.MaxPeriods && d.cycles < d.cfg.MaxCycles && !d.halted {
 		if err := d.chargePhase(); err != nil {
@@ -75,8 +104,11 @@ func (d *Device) chargePhase() error {
 		d.cap.Store(d.cfg.Harvester.EnergyOver(d.timeS, chunk))
 		d.timeS += chunk
 		if d.timeS-start > maxChargeS {
-			return fmt.Errorf("device: harvester cannot reach VOn=%g within %gs (stuck at %gV)",
-				d.cfg.VOn, maxChargeS, d.cap.Voltage())
+			return &NoProgressError{
+				Periods: len(d.result.Periods),
+				StuckV:  d.cap.Voltage(),
+				TargetV: d.cfg.VOn,
+			}
 		}
 	}
 	d.chargeS = d.timeS - start
@@ -103,9 +135,10 @@ func (d *Device) endPeriod() {
 	d.result.Periods = append(d.result.Periods, d.period)
 }
 
-// boot powers the core up: restore the checkpoint if one exists,
-// otherwise cold-start from the program image. It reports whether the
-// device survived the restore cost.
+// boot powers the core up: restore the newest valid checkpoint from the
+// two-slot area (falling back across slots on CRC failure), otherwise
+// cold-start from the program image. It reports whether the device
+// survived the restore cost.
 func (d *Device) boot() (alive bool, err error) {
 	d.core.Reset()
 	d.mem.LoseVolatile()
@@ -114,27 +147,18 @@ func (d *Device) boot() (alive bool, err error) {
 	}
 	d.strat.Reset()
 
-	if d.ckpt.valid {
-		bytes := d.ckpt.payload.Bytes()
-		cyc := d.transferCycles(bytes, d.cfg.SigmaR)
-		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
-		ok := d.consume(cyc, energy.ClassMem)
-		if ok {
-			ok = d.drawExtra(float64(bytes) * d.cfg.OmegaRExtra)
-		}
-		d.period.RestoreCycles += cyc
-		d.period.RestoreE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
-		if !ok {
-			return false, nil // died restoring; retry next period
-		}
-		d.core.Restore(d.ckpt.core)
-		d.core.Halted = false
-		if d.ckpt.sram != nil {
-			if err := d.mem.RestoreSRAM(d.ckpt.sram); err != nil {
-				return false, err
-			}
-		}
-	} else {
+	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+	cycBefore := d.cycles
+	restored, alive, err := d.restoreCheckpoint()
+	d.period.RestoreCycles += d.cycles - cycBefore
+	d.period.RestoreE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+	if err != nil {
+		return false, err
+	}
+	if !alive {
+		return false, nil // died restoring; retry next period
+	}
+	if !restored {
 		*d.core = cpu.Core{}
 		if err := d.mem.WriteSRAMImage(d.cfg.Prog.SRAMImage); err != nil {
 			return false, err
@@ -193,6 +217,9 @@ func (d *Device) activePhase() error {
 		if err != nil {
 			return err
 		}
+		if st.Access != nil && st.Access.Store && d.mem.Region(st.Access.Addr) == mem.RegionFRAM {
+			d.framWrites++
+		}
 		cycles := st.Cycles
 		if d.cache != nil && st.Access != nil {
 			cycles += d.cachePenalty(st.Access)
@@ -242,18 +269,16 @@ func (d *Device) cachePenalty(acc *cpu.Access) uint64 {
 	return extra
 }
 
-// backup writes a checkpoint with the given payload. It returns false
-// if the supply died before the checkpoint committed; checkpoints are
-// atomic (double-buffered), so a failed backup leaves the previous one
-// intact.
+// backup writes a checkpoint with the given payload through the
+// two-phase commit protocol (ckpt.go). It returns false if the supply
+// died before the commit record landed; a torn or incomplete write
+// leaves the previous checkpoint's slot intact, so a failed backup is
+// recoverable by construction rather than by fiat.
 func (d *Device) backup(p Payload) bool {
-	cyc := d.transferCycles(p.Bytes(), d.cfg.SigmaB)
 	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
-	ok := d.consume(cyc, energy.ClassMem)
-	if ok {
-		ok = d.drawExtra(float64(p.Bytes()) * d.cfg.OmegaBExtra)
-	}
-	d.period.BackupCycles += cyc
+	cycBefore := d.cycles
+	ok := d.writeCheckpoint(p)
+	d.period.BackupCycles += d.cycles - cycBefore
 	d.period.BackupE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
 	if !ok {
 		return false
@@ -262,14 +287,6 @@ func (d *Device) backup(p Payload) bool {
 	if p.FlushCache && d.cache != nil {
 		d.cache.FlushDirty()
 	}
-	// Commit: outputs reach the nonvolatile log exactly once.
-	d.committedOut = append(d.committedOut, d.core.OutBuf...)
-	d.core.OutBuf = nil
-	ck := checkpoint{valid: true, core: d.core.Snapshot(), payload: p}
-	if p.SaveSRAM {
-		ck.sram = d.mem.SnapshotSRAM()
-	}
-	d.ckpt = ck
 
 	// Uncommitted execution becomes forward progress.
 	d.period.ProgressCycles += d.sinceCommit

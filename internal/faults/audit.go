@@ -1,0 +1,256 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/workload"
+)
+
+// The differential crash-consistency auditor: run strategy × workload
+// matrices under randomized failure schedules and assert that the
+// committed output of every faulted intermittent run equals the
+// continuous-power oracle. Any divergence — wrong output, a simulator
+// error raised by restoring corrupt state, or a run that starves — is a
+// Violation carrying the exact seed that reproduces it.
+//
+// Correctness under attack is fail-stop, not fail-silent: a run either
+// commits output identical to the oracle, or detects that its
+// nonvolatile state cannot be recovered consistently and aborts with
+// device.ErrUnrecoverable (counted in Report.Unrecoverable). The latter
+// arises for runtimes that keep mutable data in FRAM (Clank, Ratchet,
+// NVP) when corruption or a forced stale restore would roll execution
+// back past a commit whose FRAM stores are already permanent — no
+// checkpoint protocol can undo those, so detecting the hazard is the
+// honest outcome. Silently diverging instead is exactly what the naive
+// single-slot mode does, and what the auditor exists to catch.
+
+// Case identifies one audited run.
+type Case struct {
+	Strategy string
+	Workload string
+	// Seed is the injector seed of this schedule; it fully reproduces
+	// the run.
+	Seed int64
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s/%s seed=%d", c.Strategy, c.Workload, c.Seed)
+}
+
+// Violation is one crash-consistency failure the auditor caught.
+type Violation struct {
+	Case Case
+	// Err is non-nil when the run aborted (e.g. the device restored a
+	// corrupt checkpoint); otherwise Got/Want carry the diverging
+	// committed output.
+	Err       error
+	Got, Want []uint32
+	// Incomplete marks a run that hit its period/cycle limits without
+	// halting.
+	Incomplete bool
+}
+
+func (v Violation) String() string {
+	switch {
+	case v.Err != nil:
+		return fmt.Sprintf("%s: %v", v.Case, v.Err)
+	case v.Incomplete:
+		return fmt.Sprintf("%s: run did not complete", v.Case)
+	default:
+		return fmt.Sprintf("%s: committed output diverged from oracle\n got %v\nwant %v", v.Case, v.Got, v.Want)
+	}
+}
+
+// Options configures an audit sweep.
+type Options struct {
+	// Strategies to audit; nil means the full strategy catalog.
+	Strategies []strategy.Spec
+	// Workloads to audit by name; nil means the default set
+	// {counter, ds, crc, qsort}.
+	Workloads []string
+	// Schedules is the number of seeded failure schedules per
+	// strategy × workload cell (default 8).
+	Schedules int
+	// BaseSeed derives each cell's schedule seeds; equal base seeds
+	// reproduce the whole sweep.
+	BaseSeed int64
+	// Plan is the fault mix template. Its Seed field is overwritten per
+	// schedule. A zero plan gets a default attack: random supply cuts,
+	// torn writes, bit flips and forced stale restores all enabled.
+	Plan Plan
+	// PeriodCycles is the per-period energy budget in ALU cycles
+	// (default 20000, matching the strategy integration tests).
+	PeriodCycles float64
+	// MaxPeriods bounds each run (default 20000).
+	MaxPeriods int
+}
+
+// DefaultWorkloads is the audit's standard workload set: a WAR-free
+// counter, a pointer-chasing data structure, a table-driven CRC and a
+// recursive sort — four distinct store/restore behaviour classes.
+var DefaultWorkloads = []string{"counter", "ds", "crc", "qsort"}
+
+// DefaultPlan is the standard attack mix: seeded-random supply cuts at a
+// mean interval well under a period, torn checkpoint writes, bit flips
+// in stored checkpoints and occasional forced stale restores. Tear and
+// flip rates are per word, so exposure scales with checkpoint image
+// size; at ~40-word footprint images the rates land a tear every few
+// hundred backups and roughly one flip per run — enough to exercise CRC
+// rejection, slot fallback, fail-stop detection and cold restarts
+// across a sweep without starving high-frequency checkpointers.
+func DefaultPlan() Plan {
+	return Plan{
+		RandomCutMeanCycles: 7000,
+		TornWriteProb:       1e-3,
+		BitFlipRate:         1e-3,
+		StaleRestoreProb:    0.05,
+	}
+}
+
+// Report aggregates an audit sweep.
+type Report struct {
+	Runs       int
+	Violations []Violation
+	// Unrecoverable counts runs that fail-stopped with
+	// device.ErrUnrecoverable: the device detected that no
+	// crash-consistent recovery existed. These are successful
+	// detections, not violations.
+	Unrecoverable int
+	// Faults sums the per-run fault reports — evidence the attack
+	// surface was actually exercised.
+	Faults device.FaultReport
+}
+
+// Ok reports whether every audited run matched the oracle.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (o *Options) setDefaults() {
+	if o.Strategies == nil {
+		o.Strategies = strategy.Catalog()
+	}
+	if o.Workloads == nil {
+		o.Workloads = DefaultWorkloads
+	}
+	if o.Schedules == 0 {
+		o.Schedules = 8
+	}
+	if reflect.DeepEqual(o.Plan, Plan{}) {
+		o.Plan = DefaultPlan()
+	}
+	if o.PeriodCycles == 0 {
+		o.PeriodCycles = 20000
+	}
+	if o.MaxPeriods == 0 {
+		o.MaxPeriods = 20000
+	}
+}
+
+// caseSeed derives a per-cell, per-schedule seed from the base seed.
+// splitmix-style mixing keeps neighbouring cells decorrelated while
+// staying reproducible.
+func caseSeed(base int64, strat, wl string, k int) int64 {
+	h := uint64(base)*0x9e3779b97f4a7c15 + uint64(k+1)
+	for _, s := range []string{strat, wl} {
+		for _, c := range s {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+	}
+	h ^= h >> 33
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// Audit runs the sweep and returns the report. Setup errors (unknown
+// workload, bad plan) abort with an error; crash-consistency failures
+// are collected as violations instead.
+func Audit(o Options) (*Report, error) {
+	o.setDefaults()
+	if err := o.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for _, spec := range o.Strategies {
+		for _, wname := range o.Workloads {
+			w, ok := workload.Get(wname)
+			if !ok {
+				return nil, fmt.Errorf("faults: unknown workload %q", wname)
+			}
+			opts := workload.Options{Seg: spec.Seg}
+			prog, err := w.Build(opts)
+			if err != nil {
+				return nil, fmt.Errorf("faults: building %s for %s: %w", wname, spec.Name, err)
+			}
+			want := w.Ref(opts)
+			for k := 0; k < o.Schedules; k++ {
+				c := Case{Strategy: spec.Name, Workload: wname, Seed: caseSeed(o.BaseSeed, spec.Name, wname, k)}
+				v, faults, err := auditOne(o, spec, prog, want, c, rep)
+				if err != nil {
+					return nil, err
+				}
+				rep.Runs++
+				accumulate(&rep.Faults, faults)
+				if v != nil {
+					rep.Violations = append(rep.Violations, *v)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// auditOne runs a single faulted case against the oracle, tallying
+// detected-unrecoverable fail-stops on rep.
+func auditOne(o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c Case, rep *Report) (*Violation, device.FaultReport, error) {
+	plan := o.Plan
+	plan.Seed = c.Seed
+	inj, err := New(plan)
+	if err != nil {
+		return nil, device.FaultReport{}, err
+	}
+	pm := energy.MSP430Power()
+	e := o.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	cfg := device.Config{
+		Prog: prog, Power: pm,
+		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+		MaxPeriods: o.MaxPeriods, MaxCycles: 2_000_000_000,
+		Faults: inj,
+	}
+	d, err := device.New(cfg, spec.New())
+	if err != nil {
+		return nil, device.FaultReport{}, fmt.Errorf("faults: configuring %s: %w", c, err)
+	}
+	res, err := d.Run()
+	if errors.Is(err, device.ErrUnrecoverable) {
+		// Honest fail-stop: the device detected unrecoverable NVM state
+		// instead of silently diverging.
+		rep.Unrecoverable++
+		return nil, device.FaultReport{}, nil
+	}
+	if err != nil {
+		return &Violation{Case: c, Err: err}, device.FaultReport{}, nil
+	}
+	if !res.Completed {
+		return &Violation{Case: c, Incomplete: true}, res.Faults, nil
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		return &Violation{Case: c, Got: res.Output, Want: want}, res.Faults, nil
+	}
+	return nil, res.Faults, nil
+}
+
+func accumulate(total *device.FaultReport, r device.FaultReport) {
+	total.PowerCuts += r.PowerCuts
+	total.InjectedTears += r.InjectedTears
+	total.TornBackups += r.TornBackups
+	total.BitFlips += r.BitFlips
+	total.CRCRejections += r.CRCRejections
+	total.StaleRestores += r.StaleRestores
+	total.ForcedStale += r.ForcedStale
+	total.ColdRestarts += r.ColdRestarts
+}

@@ -1,0 +1,225 @@
+// Package faults attacks the intermittent-device simulator. An Injector
+// plugs into the device loop (device.Config.Faults) and can kill power
+// mid-backup at word granularity (torn multi-word FRAM checkpoint
+// writes), flip bits in stored checkpoints, drop the supply on a
+// deterministic or seeded-random cycle schedule independent of the
+// capacitor model, and force restores from a stale checkpoint slot. Its
+// validation mode (NaiveCommit) downgrades the device to a single-slot,
+// unvalidated commit — the broken protocol the crash-consistency auditor
+// (audit.go) must provably catch.
+//
+// Everything is deterministic for a given Plan.Seed, so any failing
+// schedule is reproducible from a logged seed.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ehmodel/internal/device"
+)
+
+// Plan configures an Injector.
+type Plan struct {
+	// Seed drives every randomized decision. Runs with equal plans are
+	// identical.
+	Seed int64
+
+	// CutCycles are absolute consumed-cycle counts at which the supply
+	// is dropped, independent of the capacitor model.
+	CutCycles []uint64
+	// RandomCutMeanCycles, when positive, additionally drops the supply
+	// at seeded-random intervals with this mean (exponential spacing).
+	RandomCutMeanCycles float64
+
+	// TornWriteProb is the per-word probability that the supply dies
+	// immediately after that word of a checkpoint write lands — a torn
+	// multi-word FRAM write. Scaling with image size is what makes one
+	// rate fair across runtimes: a full-SRAM snapshot (~2k words) is
+	// exposed to failure far longer than a register-only record.
+	TornWriteProb float64
+	// BitFlipRate is the per-stored-word probability, applied at every
+	// restore, of flipping one random bit — FRAM corruption while
+	// dormant.
+	BitFlipRate float64
+	// StaleRestoreProb is the per-restore probability of distrusting the
+	// newest valid checkpoint and recovering from the older slot.
+	StaleRestoreProb float64
+
+	// NaiveCommit selects the single-slot, no-CRC validation mode.
+	NaiveCommit bool
+}
+
+// Validate checks the plan's parameters.
+func (p Plan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"torn-write probability", p.TornWriteProb},
+		{"bit-flip rate", p.BitFlipRate},
+		{"stale-restore probability", p.StaleRestoreProb},
+	} {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return fmt.Errorf("faults: %s %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.RandomCutMeanCycles < 0 || math.IsNaN(p.RandomCutMeanCycles) || math.IsInf(p.RandomCutMeanCycles, 0) {
+		return fmt.Errorf("faults: random cut mean %g must be ≥ 0 and finite", p.RandomCutMeanCycles)
+	}
+	return nil
+}
+
+// Injector implements device.FaultInjector. Create one per device run
+// configuration; BeginRun resets it, so a single injector may be reused
+// across sequential runs.
+type Injector struct {
+	plan Plan
+
+	rng     *rand.Rand
+	cuts    []uint64 // sorted deterministic schedule
+	cutIdx  int
+	nextRnd uint64 // next random cut, cycle count; 0 = disabled
+}
+
+// New builds an injector from the plan.
+func New(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{plan: p}
+	inj.BeginRun()
+	return inj, nil
+}
+
+// Plan returns the injector's configuration.
+func (i *Injector) Plan() Plan { return i.plan }
+
+// BeginRun implements device.FaultInjector: rewind the schedule and
+// reseed the generator so repeated runs are identical.
+func (i *Injector) BeginRun() {
+	i.rng = rand.New(rand.NewSource(i.plan.Seed))
+	i.cuts = append(i.cuts[:0], i.plan.CutCycles...)
+	sort.Slice(i.cuts, func(a, b int) bool { return i.cuts[a] < i.cuts[b] })
+	i.cutIdx = 0
+	i.nextRnd = 0
+	if i.plan.RandomCutMeanCycles > 0 {
+		i.nextRnd = i.drawInterval()
+	}
+}
+
+// drawInterval samples the next random inter-cut gap (≥ 1 cycle).
+func (i *Injector) drawInterval() uint64 {
+	gap := i.rng.ExpFloat64() * i.plan.RandomCutMeanCycles
+	if gap < 1 {
+		gap = 1
+	}
+	return uint64(gap)
+}
+
+// PowerCutDue implements device.FaultInjector.
+func (i *Injector) PowerCutDue(cycles uint64) bool {
+	due := false
+	for i.cutIdx < len(i.cuts) && i.cuts[i.cutIdx] <= cycles {
+		i.cutIdx++
+		due = true
+	}
+	if i.nextRnd > 0 && cycles >= i.nextRnd {
+		for i.nextRnd <= cycles {
+			i.nextRnd += i.drawInterval()
+		}
+		due = true
+	}
+	return due
+}
+
+// TearBackup implements device.FaultInjector. The tear point is sampled
+// geometrically: each word write independently survives with probability
+// 1-p, and the first failure inside the image tears the backup there.
+func (i *Injector) TearBackup(nWords int) int {
+	p := i.plan.TornWriteProb
+	if nWords <= 0 || p == 0 {
+		return -1
+	}
+	u := i.rng.Float64()
+	if u == 0 {
+		u = 0.5
+	}
+	k := math.Log(u) / math.Log(1-p) // +Inf when p == 1 divides to 0
+	if !(k < float64(nWords)) {
+		return -1
+	}
+	return int(k)
+}
+
+// FlipBits implements device.FaultInjector.
+func (i *Injector) FlipBits(words []uint32) int {
+	if i.plan.BitFlipRate == 0 {
+		return 0
+	}
+	flips := 0
+	for idx := range words {
+		if i.rng.Float64() < i.plan.BitFlipRate {
+			words[idx] ^= 1 << uint(i.rng.Intn(32))
+			flips++
+		}
+	}
+	return flips
+}
+
+// ForceStale implements device.FaultInjector.
+func (i *Injector) ForceStale() bool {
+	return i.plan.StaleRestoreProb > 0 && i.rng.Float64() < i.plan.StaleRestoreProb
+}
+
+// NaiveCommit implements device.FaultInjector.
+func (i *Injector) NaiveCommit() bool { return i.plan.NaiveCommit }
+
+var _ device.FaultInjector = (*Injector)(nil)
+
+// ParseSchedule parses a power-cut schedule specification into the
+// plan's cut fields:
+//
+//	"none" or ""          no scheduled cuts
+//	"cycles:N,N,..."      deterministic cuts at absolute cycle counts
+//	"random:mean=N"       seeded-random cuts with mean interval N cycles
+func (p *Plan) ParseSchedule(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil
+	}
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("faults: schedule %q needs the form kind:args", spec)
+	}
+	switch kind {
+	case "cycles":
+		for _, f := range strings.Split(arg, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: schedule cycle %q: %w", f, err)
+			}
+			p.CutCycles = append(p.CutCycles, v)
+		}
+	case "random":
+		val, found := strings.CutPrefix(arg, "mean=")
+		if !found {
+			return fmt.Errorf("faults: random schedule %q needs mean=N", arg)
+		}
+		mean, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("faults: random schedule mean %q: %w", val, err)
+		}
+		if mean <= 0 {
+			return fmt.Errorf("faults: random schedule mean %g must be > 0", mean)
+		}
+		p.RandomCutMeanCycles = mean
+	default:
+		return fmt.Errorf("faults: unknown schedule kind %q (want cycles: or random:)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero plan", Plan{}, true},
+		{"full valid", Plan{TornWriteProb: 0.5, BitFlipRate: 1e-3, StaleRestoreProb: 1, RandomCutMeanCycles: 5000}, true},
+		{"torn prob negative", Plan{TornWriteProb: -0.1}, false},
+		{"torn prob above one", Plan{TornWriteProb: 1.5}, false},
+		{"bitflip rate nan", Plan{BitFlipRate: nan()}, false},
+		{"stale prob above one", Plan{StaleRestoreProb: 2}, false},
+		{"cut mean negative", Plan{RandomCutMeanCycles: -1}, false},
+		{"cut mean inf", Plan{RandomCutMeanCycles: inf()}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func nan() float64 { f := 0.0; return f / f }
+func inf() float64 { f := 1.0; return f / (f - 1) }
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Plan
+		ok   bool
+	}{
+		{"", Plan{}, true},
+		{"none", Plan{}, true},
+		{"  none  ", Plan{}, true},
+		{"cycles:100", Plan{CutCycles: []uint64{100}}, true},
+		{"cycles:100,2500, 90000", Plan{CutCycles: []uint64{100, 2500, 90000}}, true},
+		{"random:mean=5000", Plan{RandomCutMeanCycles: 5000}, true},
+		{"random:mean=0.5", Plan{RandomCutMeanCycles: 0.5}, true},
+		{"bogus", Plan{}, false},
+		{"cycles:abc", Plan{}, false},
+		{"cycles:-5", Plan{}, false},
+		{"random:5000", Plan{}, false},
+		{"random:mean=zero", Plan{}, false},
+		{"random:mean=0", Plan{}, false},
+		{"random:mean=-10", Plan{}, false},
+		{"laser:beam", Plan{}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			var p Plan
+			err := p.ParseSchedule(c.spec)
+			if (err == nil) != c.ok {
+				t.Fatalf("ParseSchedule(%q) = %v, want ok=%v", c.spec, err, c.ok)
+			}
+			if err == nil && !reflect.DeepEqual(p, c.want) {
+				t.Fatalf("ParseSchedule(%q) plan = %+v, want %+v", c.spec, p, c.want)
+			}
+		})
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:                42,
+		RandomCutMeanCycles: 3000,
+		TornWriteProb:       0.01,
+		BitFlipRate:         0.1,
+		StaleRestoreProb:    0.3,
+	}
+	record := func() ([]bool, []int, [][]uint32, []bool) {
+		inj, err := New(plan)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var cuts []bool
+		var tears []int
+		var flipped [][]uint32
+		var stale []bool
+		for step := 0; step < 200; step++ {
+			cuts = append(cuts, inj.PowerCutDue(uint64(step)*500))
+			tears = append(tears, inj.TearBackup(64))
+			words := []uint32{0xdeadbeef, 0x12345678, 0, 0xffffffff}
+			inj.FlipBits(words)
+			flipped = append(flipped, words)
+			stale = append(stale, inj.ForceStale())
+		}
+		return cuts, tears, flipped, stale
+	}
+	c1, t1, f1, s1 := record()
+	c2, t2, f2, s2 := record()
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(t1, t2) ||
+		!reflect.DeepEqual(f1, f2) || !reflect.DeepEqual(s1, s2) {
+		t.Fatal("two injectors with the same plan made different decisions")
+	}
+}
+
+func TestBeginRunResets(t *testing.T) {
+	plan := Plan{Seed: 7, RandomCutMeanCycles: 1000, TornWriteProb: 0.05, BitFlipRate: 0.2}
+	inj, err := New(plan)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	trace := func() []int {
+		var out []int
+		for step := 0; step < 100; step++ {
+			if inj.PowerCutDue(uint64(step) * 300) {
+				out = append(out, -1000-step)
+			}
+			out = append(out, inj.TearBackup(128))
+		}
+		return out
+	}
+	first := trace()
+	inj.BeginRun()
+	second := trace()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("BeginRun did not rewind the injector to its initial state")
+	}
+}
+
+func TestDeterministicCutsFireOnce(t *testing.T) {
+	inj, err := New(Plan{CutCycles: []uint64{500, 200, 200, 900}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Each scheduled cut fires at the first poll at-or-after its cycle
+	// count, and never again.
+	if inj.PowerCutDue(100) {
+		t.Fatal("cut before any scheduled cycle")
+	}
+	if !inj.PowerCutDue(250) {
+		t.Fatal("missed cuts at 200")
+	}
+	if inj.PowerCutDue(250) {
+		t.Fatal("cut at 200 fired twice")
+	}
+	if !inj.PowerCutDue(1000) {
+		t.Fatal("missed cuts at 500/900")
+	}
+	if inj.PowerCutDue(5_000_000) {
+		t.Fatal("exhausted schedule kept firing")
+	}
+}
+
+func TestRandomCutsHaveSensibleSpacing(t *testing.T) {
+	const mean = 2000.0
+	inj, err := New(Plan{Seed: 11, RandomCutMeanCycles: mean})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cuts := 0
+	const horizon = 4_000_000
+	for cyc := uint64(0); cyc < horizon; cyc += 100 {
+		if inj.PowerCutDue(cyc) {
+			cuts++
+		}
+	}
+	// Expected ~horizon/mean = 2000 cuts; allow wide slack, but the rate
+	// must be in the right ballpark for the schedule to mean anything.
+	want := horizon / mean
+	if float64(cuts) < want/2 || float64(cuts) > want*2 {
+		t.Fatalf("random schedule produced %d cuts over %d cycles, want ≈%g", cuts, horizon, want)
+	}
+}
+
+func TestTearBackup(t *testing.T) {
+	inj, err := New(Plan{Seed: 3, TornWriteProb: 0.02})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := inj.TearBackup(0); got != -1 {
+		t.Fatalf("TearBackup(0) = %d, want -1", got)
+	}
+	tears := 0
+	for trial := 0; trial < 5000; trial++ {
+		k := inj.TearBackup(50)
+		if k < -1 || k >= 50 {
+			t.Fatalf("tear index %d outside [-1,50)", k)
+		}
+		if k >= 0 {
+			tears++
+		}
+	}
+	// P(tear within 50 words at p=0.02) = 1-0.98^50 ≈ 0.636.
+	if tears < 2000 || tears > 4500 {
+		t.Fatalf("%d/5000 backups torn, want roughly 64%%", tears)
+	}
+
+	// p = 0: never tears.
+	off, err := New(Plan{Seed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		if off.TearBackup(1<<20) != -1 {
+			t.Fatal("tear with zero probability")
+		}
+	}
+
+	// p = 1: always tears at word 0 — no word ever survives.
+	always, err := New(Plan{Seed: 3, TornWriteProb: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		if got := always.TearBackup(16); got != 0 {
+			t.Fatalf("TearBackup at p=1 = %d, want 0", got)
+		}
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	// Rate 0: untouched.
+	off, err := New(Plan{Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	words := []uint32{1, 2, 3, 4}
+	orig := append([]uint32(nil), words...)
+	if n := off.FlipBits(words); n != 0 || !reflect.DeepEqual(words, orig) {
+		t.Fatalf("FlipBits at rate 0 flipped %d words: %v", n, words)
+	}
+
+	// Rate 1: every word changed by exactly one bit.
+	on, err := New(Plan{Seed: 5, BitFlipRate: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	words = make([]uint32, 64)
+	n := on.FlipBits(words)
+	if n != len(words) {
+		t.Fatalf("FlipBits at rate 1 reported %d flips, want %d", n, len(words))
+	}
+	for i, w := range words {
+		if popcount(w) != 1 {
+			t.Fatalf("word %d = %#x changed by %d bits, want exactly 1", i, w, popcount(w))
+		}
+	}
+}
+
+func popcount(w uint32) int {
+	n := 0
+	for w != 0 {
+		n += int(w & 1)
+		w >>= 1
+	}
+	return n
+}

@@ -176,6 +176,18 @@ func (s *System) RestoreSRAM(snap []byte) error {
 	return nil
 }
 
+// RestoreSRAMPrefix reinstates a partial snapshot covering the first
+// len(snap) bytes of SRAM — the footprint-sized checkpoint images of
+// full-memory strategies. Memory beyond the prefix keeps its power-loss
+// corruption pattern, as on real hardware.
+func (s *System) RestoreSRAMPrefix(snap []byte) error {
+	if len(snap) > len(s.sram) {
+		return fmt.Errorf("mem: snapshot size %d exceeds sram size %d", len(snap), len(s.sram))
+	}
+	copy(s.sram, snap)
+	return nil
+}
+
 // SnapshotFRAM copies nonvolatile memory; tests use it to compare
 // committed state across runs.
 func (s *System) SnapshotFRAM() []byte {

@@ -11,29 +11,9 @@ import (
 	"ehmodel/internal/workload"
 )
 
-// combo describes a strategy under test and the data placement its
-// memory model requires.
-type combo struct {
-	name string
-	seg  asm.Segment
-	make func() device.Strategy
-}
-
-func allCombos() []combo {
-	return []combo{
-		{"timer", asm.SRAM, func() device.Strategy { return NewTimer(1000, 0.1) }},
-		{"speculative", asm.SRAM, func() device.Strategy { return NewSpeculative(1000, 0.1) }},
-		{"hibernus", asm.SRAM, func() device.Strategy { return NewHibernus() }},
-		{"mementos", asm.SRAM, func() device.Strategy { return NewMementos() }},
-		{"dino", asm.SRAM, func() device.Strategy { return NewDINO() }},
-		{"mixvol", asm.SRAM, func() device.Strategy { return NewMixedVolatility(1000) }},
-		{"chain", asm.SRAM, func() device.Strategy { return NewChain() }},
-		{"clank", asm.FRAM, func() device.Strategy { return NewClank() }},
-		{"ratchet", asm.FRAM, func() device.Strategy { return NewRatchet() }},
-		{"nvp-everycycle", asm.FRAM, func() device.Strategy { return NewNVPEveryCycle() }},
-		{"nvp-threshold", asm.FRAM, func() device.Strategy { return NewNVPThreshold() }},
-	}
-}
+// allCombos exercises the shared catalog: every strategy under its
+// default parameters with the data placement its memory model requires.
+func allCombos() []Spec { return Catalog() }
 
 // fixedCfg builds a bench-supply device config with the given per-period
 // energy expressed in ALU cycles.
@@ -63,9 +43,9 @@ func TestEquivalenceAcrossStrategies(t *testing.T) {
 	for _, c := range allCombos() {
 		for _, w := range workload.All() {
 			c, w := c, w
-			t.Run(c.name+"/"+w.Name, func(t *testing.T) {
+			t.Run(c.Name+"/"+w.Name, func(t *testing.T) {
 				t.Parallel()
-				opts := workload.Options{Seg: c.seg}
+				opts := workload.Options{Seg: c.Seg}
 				prog, err := w.Build(opts)
 				if err != nil {
 					t.Fatal(err)
@@ -74,7 +54,7 @@ func TestEquivalenceAcrossStrategies(t *testing.T) {
 				// workload forming one unbounded idempotent region (e.g.
 				// counter) can livelock — a real Clank deployment
 				// constraint, not a simulator artifact.
-				d, err := device.New(fixedCfg(prog, 20000), c.make())
+				d, err := device.New(fixedCfg(prog, 20000), c.New())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -146,7 +126,7 @@ func TestEquivalenceUnderHarvestedPower(t *testing.T) {
 func TestStrategyNames(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range allCombos() {
-		n := c.make().Name()
+		n := c.New().Name()
 		if n == "" || seen[n] {
 			t.Errorf("bad or duplicate strategy name %q", n)
 		}

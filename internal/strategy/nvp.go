@@ -81,4 +81,12 @@ func (n *NVP) FinalPayload(*device.Device) device.Payload {
 	return device.Payload{ArchBytes: n.ArchBytes}
 }
 
+// ReplaySafe distinguishes the two NVP designs: the every-cycle
+// processor's replay window is a single instruction whose inputs the
+// checkpoint restores, so re-execution is idempotent; the threshold
+// design checkpoints just-in-time on a voltage warning and guarantees
+// nothing about stores it has not yet saved — an unwarned reset (or a
+// torn threshold backup) after nonvolatile stores is unrecoverable.
+func (n *NVP) ReplaySafe() bool { return n.EveryCycle }
+
 var _ device.Strategy = (*NVP)(nil)

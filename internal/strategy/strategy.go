@@ -19,10 +19,49 @@
 package strategy
 
 import (
+	"ehmodel/internal/asm"
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
 )
+
+// Spec names a runnable strategy configuration: a constructor with
+// default parameters and the data segment its memory model requires.
+// The catalog is shared by the integration tests, the crash-consistency
+// auditor and the CLI so every runtime's restore path is exercised by
+// all of them.
+type Spec struct {
+	Name string
+	Seg  asm.Segment
+	New  func() device.Strategy
+}
+
+// Catalog lists every strategy with its default parameters.
+func Catalog() []Spec {
+	return []Spec{
+		{"timer", asm.SRAM, func() device.Strategy { return NewTimer(1000, 0.1) }},
+		{"speculative", asm.SRAM, func() device.Strategy { return NewSpeculative(1000, 0.1) }},
+		{"hibernus", asm.SRAM, func() device.Strategy { return NewHibernus() }},
+		{"mementos", asm.SRAM, func() device.Strategy { return NewMementos() }},
+		{"dino", asm.SRAM, func() device.Strategy { return NewDINO() }},
+		{"mixvol", asm.SRAM, func() device.Strategy { return NewMixedVolatility(1000) }},
+		{"chain", asm.SRAM, func() device.Strategy { return NewChain() }},
+		{"clank", asm.FRAM, func() device.Strategy { return NewClank() }},
+		{"ratchet", asm.FRAM, func() device.Strategy { return NewRatchet() }},
+		{"nvp-everycycle", asm.FRAM, func() device.Strategy { return NewNVPEveryCycle() }},
+		{"nvp-threshold", asm.FRAM, func() device.Strategy { return NewNVPThreshold() }},
+	}
+}
+
+// Lookup finds a catalog entry by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
 
 // base provides no-op hook implementations strategies embed.
 type base struct{}
@@ -31,6 +70,7 @@ func (base) Attach(*device.Device)                                              
 func (base) Boot(*device.Device) *device.Payload                                     { return nil }
 func (base) PreStep(*device.Device, isa.Instr, device.AccessPreview) *device.Payload { return nil }
 func (base) PostStep(*device.Device, cpu.Step) *device.Payload                       { return nil }
+func (base) ReplaySafe() bool                                                        { return true }
 func (base) Reset()                                                                  {}
 
 // fullPayload is the checkpoint of SRAM-resident systems: architectural

@@ -227,10 +227,32 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ParseError reports an invalid trace CSV, naming the offending line.
+// Line is 1-based and counts the header, matching editor line numbers.
+type ParseError struct {
+	Line int
+	Msg  string
+	Err  error // underlying cause, when any
+}
+
+func (e *ParseError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("trace: csv line %d: %s: %v", e.Line, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("trace: csv line %d: %s", e.Line, e.Msg)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // ReadCSV parses a trace written by WriteCSV. The sample period is
-// inferred from the first two timestamps.
+// inferred from the first two timestamps. Malformed input — ragged
+// rows, unparsable numbers, non-finite or negative voltages, non-finite
+// or non-increasing timestamps — yields a *ParseError naming the line,
+// so a bad recording fails loudly instead of driving the harvester with
+// garbage.
 func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // report ragged rows ourselves, with line numbers
 	recs, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading csv: %w", err)
@@ -242,14 +264,27 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	samples := make([]float64, len(recs))
 	times := make([]float64, len(recs))
 	for i, rec := range recs {
+		line := i + 2
 		if len(rec) != 2 {
-			return nil, fmt.Errorf("trace: row %d has %d fields, want 2", i+2, len(rec))
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want 2", len(rec))}
 		}
 		if times[i], err = strconv.ParseFloat(rec[0], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d time: %w", i+2, err)
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("time %q", rec[0]), Err: err}
+		}
+		if math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("time %q is not finite", rec[0])}
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("time %g does not increase past %g", times[i], times[i-1])}
 		}
 		if samples[i], err = strconv.ParseFloat(rec[1], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d voltage: %w", i+2, err)
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("voltage %q", rec[1]), Err: err}
+		}
+		if math.IsNaN(samples[i]) || math.IsInf(samples[i], 0) {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("voltage %q is not finite", rec[1])}
+		}
+		if samples[i] < 0 {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("voltage %g is negative — a harvested open-circuit voltage cannot be", samples[i])}
 		}
 	}
 	return &Trace{Name: name, SamplesV: samples, PeriodS: times[1] - times[0]}, nil

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -153,15 +155,53 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
-	cases := map[string]string{
-		"too short":   "time_s,voltage_v\n0,1\n",
-		"bad time":    "time_s,voltage_v\nx,1\n0.1,2\n",
-		"bad voltage": "time_s,voltage_v\n0,x\n0.1,2\n",
+	cases := []struct {
+		name string
+		data string
+		// line is the 1-based CSV line a *ParseError must name; 0 means
+		// any error type is acceptable (structural, not row-level).
+		line int
+	}{
+		{"too short", "time_s,voltage_v\n0,1\n", 0},
+		{"bad time", "time_s,voltage_v\nx,1\n0.1,2\n", 2},
+		{"bad voltage", "time_s,voltage_v\n0,x\n0.1,2\n", 2},
+		{"ragged row", "time_s,voltage_v\n0,1\n0.1,2,3\n", 3},
+		{"missing field", "time_s,voltage_v\n0,1\n0.1\n", 3},
+		{"nan voltage", "time_s,voltage_v\n0,1\n0.1,NaN\n", 3},
+		{"inf voltage", "time_s,voltage_v\n0,1\n0.1,+Inf\n", 3},
+		{"negative voltage", "time_s,voltage_v\n0,1\n0.1,-0.5\n", 3},
+		{"nan time", "time_s,voltage_v\n0,1\nNaN,2\n", 3},
+		{"inf time", "time_s,voltage_v\n0,1\nInf,2\n", 3},
+		{"repeated time", "time_s,voltage_v\n0,1\n0,2\n0.1,3\n", 3},
+		{"backwards time", "time_s,voltage_v\n0,1\n0.2,2\n0.1,3\n", 4},
 	}
-	for name, data := range cases {
-		if _, err := ReadCSV(strings.NewReader(data), "t"); err == nil {
-			t.Errorf("%s: expected error", name)
-		}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.data), "t")
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if c.line == 0 {
+				return
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != c.line {
+				t.Fatalf("error names line %d, want %d: %v", pe.Line, c.line, pe)
+			}
+		})
+	}
+}
+
+// TestParseErrorUnwrap: the strconv cause stays reachable for callers
+// that want to distinguish syntax from semantics.
+func TestParseErrorUnwrap(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("time_s,voltage_v\nbogus,1\n0.1,2\n"), "t")
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Fatalf("parse cause lost: %v", err)
 	}
 }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate (see ROADMAP.md). Equivalent to `make check`; kept as a
+# plain shell script for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
