@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race test-short audit clean
+.PHONY: check fmt vet build test test-race test-short audit audit-quick clean
 
 check: fmt vet build test-race
 
@@ -33,6 +33,12 @@ test-short:
 # the crash-consistency audit sweep on its own
 audit:
 	$(GO) test -run 'TestAudit' -v ./internal/faults/
+
+# a 10-schedule audit sweep through the parallel sweep engine — the
+# CLI path (panic isolation, -workers, partial results), not the test
+# harness
+audit-quick:
+	$(GO) run ./cmd/ehsim -audit -audit-schedules 10
 
 clean:
 	$(GO) clean ./...

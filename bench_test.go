@@ -12,6 +12,7 @@
 package ehmodel
 
 import (
+	"context"
 	"testing"
 
 	"ehmodel/internal/asm"
@@ -19,6 +20,7 @@ import (
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/experiments"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
@@ -110,7 +112,7 @@ func BenchmarkFig5(b *testing.B) {
 	var pts []experiments.Fig5Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.Fig5(experiments.QuickFig5Config())
+		_, pts, err = experiments.Fig5(context.Background(), experiments.QuickFig5Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +130,7 @@ func BenchmarkFig6(b *testing.B) {
 	var pts []experiments.Fig6Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.Fig6(experiments.Fig6Config{})
+		_, pts, err = experiments.Fig6(context.Background(), experiments.Fig6Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +146,7 @@ func BenchmarkFig7(b *testing.B) {
 	var pts []experiments.Fig7Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.Fig7(experiments.Fig6Config{})
+		_, pts, err = experiments.Fig7(context.Background(), experiments.Fig6Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +166,7 @@ func BenchmarkFig8And9(b *testing.B) {
 	var f8 *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f8, _, _, err = experiments.Fig8And9(cfg)
+		f8, _, _, err = experiments.Fig8And9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func BenchmarkFig10(b *testing.B) {
 	cfg := experiments.QuickCharacterizationConfig()
 	var runsMean float64
 	for i := 0; i < b.N; i++ {
-		_, runs, err := experiments.Fig10(cfg)
+		_, runs, err := experiments.Fig10(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +262,7 @@ func BenchmarkAblationClankBuffers(b *testing.B) {
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.AblationClankBuffers()
+		f, err = experiments.AblationClankBuffers(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +275,7 @@ func BenchmarkAblationClankWatchdog(b *testing.B) {
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.AblationClankWatchdog()
+		f, err = experiments.AblationClankWatchdog(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,7 +293,7 @@ func BenchmarkAblationHibernusMargin(b *testing.B) {
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.AblationHibernusMargin()
+		f, err = experiments.AblationHibernusMargin(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,7 +309,7 @@ func BenchmarkAblationHibernusMargin(b *testing.B) {
 
 func BenchmarkAblationMementosGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationMementosGap(); err != nil {
+		if _, err := experiments.AblationMementosGap(context.Background(), runner.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,7 +319,7 @@ func BenchmarkVariabilityStudy(b *testing.B) {
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.VariabilityStudy(4000, 40)
+		f, err = experiments.VariabilityStudy(context.Background(), 4000, 40, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -340,7 +342,7 @@ func BenchmarkCapacitorSweep(b *testing.B) {
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.CapacitorSweep("crc", nil)
+		f, err = experiments.CapacitorSweep(context.Background(), "crc", nil, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -353,7 +355,7 @@ func BenchmarkNVMComparison(b *testing.B) {
 	var pts []experiments.NVMComparisonPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.NVMComparison("crc", 2000)
+		_, pts, err = experiments.NVMComparison(context.Background(), "crc", 2000, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,7 +385,7 @@ func BenchmarkChargingStudy(b *testing.B) {
 	var pts []experiments.ChargingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.ChargingStudy()
+		_, pts, err = experiments.ChargingStudy(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -407,7 +409,7 @@ func BenchmarkBreakdownComparison(b *testing.B) {
 	var rows []experiments.BreakdownRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rows, err = experiments.BreakdownComparison("crc", 0)
+		_, rows, err = experiments.BreakdownComparison(context.Background(), "crc", 0, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

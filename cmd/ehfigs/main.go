@@ -2,19 +2,30 @@
 // evaluation (Figs. 2–11 and the §VI case studies), rendering ASCII
 // charts with the derived scalars and optionally dumping CSVs.
 //
+// Simulation sweeps run through the parallel sweep engine: -workers
+// bounds the pool, -run-timeout caps each simulation, and SIGINT or
+// SIGTERM cancels the sweep while still rendering and flushing the
+// points that finished. A failing figure no longer aborts the rest of
+// an `-fig all` run — survivors render, failures are summarized, and
+// the exit status is non-zero only if something failed.
+//
 // Example:
 //
 //	ehfigs -fig all -quick -csv out/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"ehmodel/internal/experiments"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/textplot"
 )
 
@@ -22,19 +33,45 @@ func main() {
 	fig := flag.String("fig", "all", "which figure: all, 2–11, table2, storemajor, storemajor-device, circular, bitprecision, clank-buffers, clank-watchdog, hibernus-margin, mementos-gap, variability, capacitor, nvm, breakdown, breakeven, charging, tail")
 	quick := flag.Bool("quick", false, "scaled-down simulation sweeps (same shapes, ~100× faster)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 	flag.Parse()
 
-	if err := run(*fig, *quick, *csvDir); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ropts := runner.Options{Workers: *workers, RunTimeout: *runTimeout}
+	if err := run(ctx, *fig, *quick, *csvDir, ropts); err != nil {
 		fmt.Fprintln(os.Stderr, "ehfigs:", err)
 		os.Exit(1)
 	}
 }
 
-// generate builds the requested figures.
-func generate(which string, quick bool) ([]*experiments.Figure, error) {
+// figFailure records one figure that could not be (fully) generated.
+type figFailure struct {
+	id  string
+	err error
+}
+
+// generate builds the requested figures. Figures that fail are recorded
+// rather than aborting the batch; a driver that returns a partial
+// figure alongside its error contributes both — the survivors render,
+// the error lands in the failure report.
+func generate(ctx context.Context, which string, quick bool, run runner.Options) ([]*experiments.Figure, []figFailure) {
 	want := func(id string) bool { return which == "all" || which == id }
 	var figs []*experiments.Figure
+	var failures []figFailure
 	add := func(f *experiments.Figure) { figs = append(figs, f) }
+	// collect appends the figure (possibly partial) and the error —
+	// whichever the generator produced.
+	collect := func(id string, f *experiments.Figure, err error) {
+		if f != nil {
+			figs = append(figs, f)
+		}
+		if err != nil {
+			failures = append(failures, figFailure{id: id, err: err})
+		}
+	}
 
 	if want("2") {
 		add(experiments.Fig2())
@@ -50,40 +87,39 @@ func generate(which string, quick bool) ([]*experiments.Figure, error) {
 		if quick {
 			cfg = experiments.QuickFig5Config()
 		}
-		f, _, err := experiments.Fig5(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		cfg.Run = run
+		f, _, err := experiments.Fig5(ctx, cfg)
+		collect("5", f, err)
 	}
 	if want("6") {
-		f, _, err := experiments.Fig6(experiments.Fig6Config{})
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, _, err := experiments.Fig6(ctx, experiments.Fig6Config{Run: run})
+		collect("6", f, err)
 	}
 	if want("7") {
-		f, _, err := experiments.Fig7(experiments.Fig6Config{})
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, _, err := experiments.Fig7(ctx, experiments.Fig6Config{Run: run})
+		collect("7", f, err)
 	}
 	if want("8") || want("9") {
 		cfg := experiments.CharacterizationConfig{}
 		if quick {
 			cfg = experiments.QuickCharacterizationConfig()
 		}
-		f8, f9, _, err := experiments.Fig8And9(cfg)
-		if err != nil {
-			return nil, err
+		cfg.Run = run
+		f8, f9, _, err := experiments.Fig8And9(ctx, cfg)
+		if !want("8") {
+			f8 = nil
 		}
-		if want("8") {
+		if !want("9") {
+			f9 = nil
+		}
+		if f8 != nil {
 			add(f8)
 		}
-		if want("9") {
+		if f9 != nil {
 			add(f9)
+		}
+		if err != nil {
+			failures = append(failures, figFailure{id: "8/9", err: err})
 		}
 	}
 	if want("10") {
@@ -91,11 +127,9 @@ func generate(which string, quick bool) ([]*experiments.Figure, error) {
 		if quick {
 			cfg = experiments.QuickCharacterizationConfig()
 		}
-		f, _, err := experiments.Fig10(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		cfg.Run = run
+		f, _, err := experiments.Fig10(ctx, cfg)
+		collect("10", f, err)
 	}
 	if want("11") {
 		add(experiments.Fig11(experiments.Fig11Config{Base: experiments.DefaultFig11Base()}))
@@ -103,98 +137,66 @@ func generate(which string, quick bool) ([]*experiments.Figure, error) {
 	if want("table2") {
 		rows, err := experiments.Table2(nil)
 		if err != nil {
-			return nil, err
+			failures = append(failures, figFailure{id: "table2", err: err})
+		} else {
+			f := &experiments.Figure{ID: "table2", Title: "Table II benchmark inventory (measured characteristics)"}
+			for _, r := range rows {
+				f.AddNote("%-6s %s — %d instrs, %d cycles, %.1f%% loads, %.1f%% stores, τ_store %.0f, %d B sram",
+					r.Name, r.Desc, r.Instructions, r.Cycles, 100*r.LoadFrac, 100*r.StoreFrac, r.TauStore, r.SRAMFootprint)
+			}
+			add(f)
 		}
-		f := &experiments.Figure{ID: "table2", Title: "Table II benchmark inventory (measured characteristics)"}
-		for _, r := range rows {
-			f.AddNote("%-6s %s — %d instrs, %d cycles, %.1f%% loads, %.1f%% stores, τ_store %.0f, %d B sram",
-				r.Name, r.Desc, r.Instructions, r.Cycles, 100*r.LoadFrac, 100*r.StoreFrac, r.TauStore, r.SRAMFootprint)
-		}
-		add(f)
 	}
 	if want("storemajor") {
 		f, _, err := experiments.CaseStoreMajor()
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		collect("storemajor", f, err)
 	}
 	if want("storemajor-device") {
 		f, _, err := experiments.CaseStoreMajorDevice()
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		collect("storemajor-device", f, err)
 	}
 	if want("circular") {
 		f, _, _, err := experiments.CaseCircularBuffer(experiments.CircularConfig{})
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		collect("circular", f, err)
 	}
-	for id, gen := range map[string]func() (*experiments.Figure, error){
+	for id, gen := range map[string]func(context.Context, runner.Options) (*experiments.Figure, error){
 		"clank-buffers":   experiments.AblationClankBuffers,
 		"clank-watchdog":  experiments.AblationClankWatchdog,
 		"hibernus-margin": experiments.AblationHibernusMargin,
 		"mementos-gap":    experiments.AblationMementosGap,
 	} {
 		if which == "all" || which == id {
-			f, err := gen()
-			if err != nil {
-				return nil, err
-			}
-			add(f)
+			f, err := gen(ctx, run)
+			collect(id, f, err)
 		}
 	}
 	if want("tail") {
 		f, _, err := experiments.TailLatencyStudy(0)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		collect("tail", f, err)
 	}
 	if want("charging") {
-		f, _, err := experiments.ChargingStudy()
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, _, err := experiments.ChargingStudy(ctx, run)
+		collect("charging", f, err)
 	}
 	if want("breakeven") {
 		f, _, _, err := experiments.BreakEvenStudy()
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		collect("breakeven", f, err)
 	}
 	if want("breakdown") {
-		f, _, err := experiments.BreakdownComparison("crc", 0)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, _, err := experiments.BreakdownComparison(ctx, "crc", 0, run)
+		collect("breakdown", f, err)
 	}
 	if want("capacitor") {
-		f, err := experiments.CapacitorSweep("crc", nil)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, err := experiments.CapacitorSweep(ctx, "crc", nil, run)
+		collect("capacitor", f, err)
 	}
 	if want("nvm") {
-		f, _, err := experiments.NVMComparison("crc", 2000)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, _, err := experiments.NVMComparison(ctx, "crc", 2000, run)
+		collect("nvm", f, err)
 	}
 	if want("variability") {
-		f, err := experiments.VariabilityStudy(4000, 40)
-		if err != nil {
-			return nil, err
-		}
-		add(f)
+		f, err := experiments.VariabilityStudy(ctx, 4000, 40, run)
+		collect("variability", f, err)
 	}
 	if want("bitprecision") {
 		base := experiments.DefaultFig11Base()
@@ -205,24 +207,32 @@ func generate(which string, quick bool) ([]*experiments.Figure, error) {
 		f.AddNote("Δp for the same cut at τ_B,opt: %.4f", r.GainAtOpt)
 		add(f)
 	}
-	if len(figs) == 0 {
-		return nil, fmt.Errorf("unknown figure %q", which)
+	if len(figs) == 0 && len(failures) == 0 {
+		failures = append(failures, figFailure{id: which, err: fmt.Errorf("unknown figure %q", which)})
 	}
-	return figs, nil
+	return figs, failures
 }
 
-func run(which string, quick bool, csvDir string) error {
-	figs, err := generate(which, quick)
-	if err != nil {
-		return err
-	}
+// run generates, renders and dumps the requested figures. Every figure
+// that produced data — including partial sweeps interrupted by a
+// signal or a deadline — is rendered and written to CSV before the
+// failure summary decides the exit status.
+func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options) error {
+	figs, failures := generate(ctx, which, quick, ropts)
 	for _, f := range figs {
 		render(f)
 		if csvDir != "" {
 			if err := writeCSV(f, csvDir); err != nil {
-				return err
+				failures = append(failures, figFailure{id: f.ID, err: err})
 			}
 		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "ehfigs: %d figure(s) failed:\n", len(failures))
+		for _, fl := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", fl.id, fl.err)
+		}
+		return fmt.Errorf("%d of %d figure(s) incomplete", len(failures), len(figs)+len(failures))
 	}
 	return nil
 }

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ehmodel/internal/runner"
 )
 
 func TestGenerateAnalyticFigures(t *testing.T) {
 	for _, id := range []string{"2", "3", "4", "11", "storemajor", "bitprecision"} {
-		figs, err := generate(id, true)
-		if err != nil {
-			t.Errorf("%s: %v", id, err)
+		figs, failures := generate(context.Background(), id, true, runner.Options{})
+		if len(failures) != 0 {
+			t.Errorf("%s: %v", id, failures[0].err)
 			continue
 		}
 		if len(figs) != 1 {
@@ -25,9 +28,9 @@ func TestGenerateSimulatedFiguresQuick(t *testing.T) {
 		t.Skip("simulated figures are slow")
 	}
 	for _, id := range []string{"5", "6", "7", "8", "10", "circular", "variability"} {
-		figs, err := generate(id, true)
-		if err != nil {
-			t.Errorf("%s: %v", id, err)
+		figs, failures := generate(context.Background(), id, true, runner.Options{})
+		if len(failures) != 0 {
+			t.Errorf("%s: %v", id, failures[0].err)
 			continue
 		}
 		if len(figs) != 1 {
@@ -37,14 +40,34 @@ func TestGenerateSimulatedFiguresQuick(t *testing.T) {
 }
 
 func TestGenerateUnknown(t *testing.T) {
-	if _, err := generate("nope", true); err == nil {
+	figs, failures := generate(context.Background(), "nope", true, runner.Options{})
+	if len(failures) == 0 {
 		t.Fatal("unknown figure accepted")
+	}
+	if len(figs) != 0 {
+		t.Fatalf("unknown figure produced %d figures", len(figs))
+	}
+}
+
+// TestGenerateCanceledStillDegrades: a pre-canceled context must not
+// turn a sweep-backed figure into a hard failure with nothing to show —
+// the driver still returns its (empty-series) figure plus the error, so
+// ehfigs can render what exists and report the rest.
+func TestGenerateCanceledStillDegrades(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	figs, failures := generate(ctx, "5", true, runner.Options{})
+	if len(failures) == 0 {
+		t.Fatal("canceled sweep reported no failure")
+	}
+	if len(figs) != 1 {
+		t.Fatalf("canceled sweep yielded %d figures, want the partial one", len(figs))
 	}
 }
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("3", true, dir); err != nil {
+	if err := run(context.Background(), "3", true, dir, runner.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))

@@ -11,20 +11,32 @@
 //
 //	ehsim -workload crc -strategy hibernus -fault-schedule random:mean=7000 \
 //	      -torn-writes 1e-3 -bitflip-rate 1e-3 -fault-seed 7
+//
+// Crash-consistency audit sweep (parallel, through the sweep engine):
+//
+//	ehsim -audit -audit-schedules 10 -workers 4 -run-timeout 30s
+//
+// SIGINT/SIGTERM cancels a run or sweep; an interrupted audit still
+// prints the partial report before exiting non-zero.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"reflect"
 	"strings"
+	"syscall"
+	"time"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/faults"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/textplot"
 	"ehmodel/internal/trace"
@@ -81,6 +93,8 @@ type runOpts struct {
 	plan *faults.Plan
 	// periodsCSV, when set, receives per-period CSV statistics.
 	periodsCSV string
+	// runTimeout caps the simulation's wall-clock time (0 = none).
+	runTimeout time.Duration
 }
 
 func main() {
@@ -92,6 +106,8 @@ func main() {
 	traceName := flag.String("trace", "none", "supply trace: none (bench supply), spikes, ramp, multipeak")
 	list := flag.Bool("list", false, "print the workload's disassembly and exit")
 	periodsCSV := flag.String("periods", "", "write per-period statistics to this CSV file")
+	workers := flag.Int("workers", 0, "parallel sweep workers for -audit (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 
 	faultSchedule := flag.String("fault-schedule", "none", "power-cut schedule: none, cycles:N,N,..., random:mean=N")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for every randomized fault decision")
@@ -99,12 +115,32 @@ func main() {
 	bitflipRate := flag.Float64("bitflip-rate", 0, "per-stored-word probability of a bit flip at each restore")
 	staleProb := flag.Float64("stale-prob", 0, "per-restore probability of forcing the stale checkpoint slot")
 	naive := flag.Bool("naive-commit", false, "downgrade to the broken single-slot commit (fault-model validation)")
+
+	audit := flag.Bool("audit", false, "run the crash-consistency audit sweep (strategy × workload × schedules) instead of a single simulation")
+	auditSchedules := flag.Int("audit-schedules", 10, "failure schedules per strategy × workload cell in -audit mode")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *audit {
+		o := faults.Options{
+			Schedules: *auditSchedules,
+			BaseSeed:  *faultSeed,
+			Run:       runner.Options{Workers: *workers, RunTimeout: *runTimeout},
+		}
+		if err := runAudit(ctx, o); err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := runOpts{
 		workload: *wname, strategy: *sname,
 		period: *period, tauB: *tauB, scale: *scale,
 		trace: *traceName, periodsCSV: *periodsCSV,
+		runTimeout: *runTimeout,
 	}
 
 	plan := faults.Plan{
@@ -129,10 +165,54 @@ func main() {
 		}
 		return
 	}
-	if err := run(opts); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runAudit executes the parallel crash-consistency audit and prints its
+// report. An interrupted or partially failed sweep still prints what
+// completed before returning the error.
+func runAudit(ctx context.Context, o faults.Options) error {
+	rep, err := faults.Audit(ctx, o)
+	if rep == nil {
+		return err
+	}
+	fmt.Printf("crash-consistency audit: %d run(s)\n\n", rep.Runs)
+	f := rep.Faults
+	fmt.Print(textplot.Table(
+		[]string{"fault", "count"},
+		[][]string{
+			{"scheduled power cuts", fmt.Sprint(f.PowerCuts)},
+			{"injected tears", fmt.Sprint(f.InjectedTears)},
+			{"torn backups (all causes)", fmt.Sprint(f.TornBackups)},
+			{"bit flips in stored state", fmt.Sprint(f.BitFlips)},
+			{"CRC-rejected checkpoints", fmt.Sprint(f.CRCRejections)},
+			{"stale-slot restores", fmt.Sprint(f.StaleRestores)},
+			{"forced stale restores", fmt.Sprint(f.ForcedStale)},
+			{"cold restarts", fmt.Sprint(f.ColdRestarts)},
+		}))
+	fmt.Printf("\ndetected-unrecoverable fail-stops: %d (honest detections, not violations)\n", rep.Unrecoverable)
+	if len(rep.Violations) > 0 {
+		fmt.Printf("\n%d VIOLATION(S):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Println(" ", v)
+		}
+	} else {
+		fmt.Println("no crash-consistency violations ✓")
+	}
+	var rerrs runner.Errors
+	if errors.As(err, &rerrs) {
+		fmt.Printf("\n%s\n", rerrs.Summary(rep.Runs+len(rerrs)))
+	}
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d crash-consistency violation(s)", len(rep.Violations))
+	}
+	return nil
 }
 
 // listProgram prints the disassembly the selected strategy would run.
@@ -153,7 +233,7 @@ func listProgram(wname, sname string, tauB uint64, scale int) error {
 	return nil
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) error {
 	w, ok := workload.Get(o.workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q (have: %s)", o.workload, strings.Join(workload.Names(), ", "))
@@ -175,6 +255,8 @@ func run(o runOpts) error {
 		Prog: prog, Power: pm,
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: 200000, MaxCycles: 1 << 62,
+		RunTimeout: o.runTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}
 	kind, hasTrace, err := traceFor(o.trace, 10)
 	if err != nil {
@@ -201,6 +283,9 @@ func run(o runOpts) error {
 		return err
 	}
 	res, err := d.Run()
+	if errors.Is(err, device.ErrDeadlineExceeded) {
+		return fmt.Errorf("run exceeded its -run-timeout of %v: %w", o.runTimeout, err)
+	}
 	if errors.Is(err, device.ErrUnrecoverable) {
 		fmt.Printf("%s under %s (%s data): FAIL-STOP\n\n", o.workload, strat.Name(), seg)
 		fmt.Println("the device detected that its nonvolatile state cannot be recovered")

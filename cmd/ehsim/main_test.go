@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"ehmodel/internal/asm"
@@ -59,13 +60,13 @@ func baseOpts(w, s string) runOpts {
 
 func TestRunEndToEnd(t *testing.T) {
 	// bench supply
-	if err := run(baseOpts("counter", "timer")); err != nil {
+	if err := run(context.Background(), baseOpts("counter", "timer")); err != nil {
 		t.Fatalf("bench supply: %v", err)
 	}
 	// harvested supply on a nonvolatile-memory runtime
 	o := baseOpts("ds", "clank")
 	o.trace = "multipeak"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("harvested: %v", err)
 	}
 }
@@ -82,7 +83,7 @@ func TestRunWithFaults(t *testing.T) {
 		BitFlipRate:         1e-3,
 		StaleRestoreProb:    0.05,
 	}
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("faulted run: %v", err)
 	}
 }
@@ -90,21 +91,21 @@ func TestRunWithFaults(t *testing.T) {
 func TestRunRejectsBadPlan(t *testing.T) {
 	o := baseOpts("counter", "timer")
 	o.plan = &faults.Plan{TornWriteProb: 2}
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Error("invalid fault plan accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(baseOpts("nope", "timer")); err == nil {
+	if err := run(context.Background(), baseOpts("nope", "timer")); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(baseOpts("counter", "nope")); err == nil {
+	if err := run(context.Background(), baseOpts("counter", "nope")); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 	o := baseOpts("counter", "timer")
 	o.trace = "nope"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Error("unknown trace accepted")
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	fig, pts, err := experiments.Fig7(experiments.Fig6Config{})
+	fig, pts, err := experiments.Fig7(context.Background(), experiments.Fig6Config{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

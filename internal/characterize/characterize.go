@@ -7,11 +7,13 @@
 package characterize
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/trace"
@@ -36,6 +38,9 @@ type ClankConfig struct {
 	// can sustain the device indefinitely during trace peaks.
 	HarvestR   float64
 	HarvestEta float64
+	// Run configures the parallel sweep engine for the profile sweeps
+	// (worker count, per-run deadline).
+	Run runner.Options
 }
 
 func (c *ClankConfig) setDefaults() {
@@ -68,7 +73,7 @@ type ClankRun struct {
 
 // RunClank executes one benchmark under Clank powered by the given
 // trace kind and returns its τ_B/τ_D profile.
-func RunClank(bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error) {
+func RunClank(ctx context.Context, bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error) {
 	cfg.setDefaults()
 	w, ok := workload.Get(bench)
 	if !ok {
@@ -88,13 +93,15 @@ func RunClank(bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error)
 	}
 	cl := strategy.NewClank()
 	d, err := device.New(device.Config{
-		Prog:      prog,
-		Power:     pm,
-		CapC:      capC,
-		CapVMax:   vmax,
-		VOn:       von,
-		VOff:      voff,
-		Harvester: h,
+		Prog:       prog,
+		Power:      pm,
+		CapC:       capC,
+		CapVMax:    vmax,
+		VOn:        von,
+		VOff:       voff,
+		Harvester:  h,
+		RunTimeout: cfg.Run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}, cl)
 	if err != nil {
 		return nil, err
@@ -116,20 +123,49 @@ func RunClank(bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error)
 	}, nil
 }
 
-// TauBProfile runs every benchmark across every trace kind — the data
-// behind Figs. 8 and 9. Rows are ordered benchmark-major, trace-minor.
-func TauBProfile(benches []string, cfg ClankConfig) ([]*ClankRun, error) {
-	var out []*ClankRun
+// TauBProfile runs every benchmark across every trace kind in parallel
+// — the data behind Figs. 8 and 9. Surviving rows are returned ordered
+// benchmark-major, trace-minor regardless of completion order; failed
+// runs are dropped and reported in errs.
+func TauBProfile(ctx context.Context, benches []string, cfg ClankConfig) (out []*ClankRun, errs runner.Errors, err error) {
+	if err := knownBenches(benches); err != nil {
+		return nil, nil, err
+	}
+	kinds := trace.Kinds()
+	type job struct {
+		bench string
+		kind  trace.Kind
+	}
+	var jobs []job
 	for _, bench := range benches {
-		for _, kind := range trace.Kinds() {
-			r, err := RunClank(bench, kind, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for _, kind := range kinds {
+			jobs = append(jobs, job{bench: bench, kind: kind})
+		}
+	}
+	o := cfg.Run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("clank %s under %v trace", jobs[i].bench, jobs[i].kind)
+	}
+	runs, errs := runner.Map(ctx, len(jobs), o, func(i int) (*ClankRun, error) {
+		return RunClank(ctx, jobs[i].bench, jobs[i].kind, cfg)
+	})
+	for _, r := range runs {
+		if r != nil {
 			out = append(out, r)
 		}
 	}
-	return out, nil
+	return out, errs, nil
+}
+
+// knownBenches rejects unknown benchmark names up front, so a typo is
+// a setup error rather than a silently dropped sweep point.
+func knownBenches(benches []string) error {
+	for _, b := range benches {
+		if _, ok := workload.Get(b); !ok {
+			return fmt.Errorf("characterize: unknown workload %q", b)
+		}
+	}
+	return nil
 }
 
 // AlphaBRun is one benchmark's α_B profile across watchdog settings
@@ -155,13 +191,21 @@ func DefaultWatchdogs() []uint64 {
 }
 
 // AlphaBProfile characterizes application state per cycle on the
-// mixed-volatility store-queue processor across watchdog periods.
-func AlphaBProfile(benches []string, watchdogs []uint64, scale int) ([]*AlphaBRun, error) {
+// mixed-volatility store-queue processor across watchdog periods. One
+// sweep point is a whole benchmark (its watchdog sweep runs serially
+// inside the point, since the bar is the mean over watchdogs); failed
+// benchmarks are dropped and reported in errs.
+func AlphaBProfile(ctx context.Context, benches []string, watchdogs []uint64, scale int, run runner.Options) (out []*AlphaBRun, errs runner.Errors, err error) {
 	if scale <= 0 {
 		scale = 1
 	}
-	var out []*AlphaBRun
-	for _, bench := range benches {
+	if err := knownBenches(benches); err != nil {
+		return nil, nil, err
+	}
+	o := run
+	o.Label = func(i int) string { return "mixed-volatility α_B profile of " + benches[i] }
+	runs, errs := runner.Map(ctx, len(benches), o, func(i int) (*AlphaBRun, error) {
+		bench := benches[i]
 		w, ok := workload.Get(bench)
 		if !ok {
 			return nil, fmt.Errorf("characterize: unknown workload %q", bench)
@@ -170,19 +214,21 @@ func AlphaBProfile(benches []string, watchdogs []uint64, scale int) ([]*AlphaBRu
 		if err != nil {
 			return nil, err
 		}
-		run := &AlphaBRun{Bench: bench}
+		ar := &AlphaBRun{Bench: bench}
 		for _, wd := range watchdogs {
 			pm := energy.MSP430Power()
 			// ample fixed supply: α_B is a workload property, not a
 			// power property
 			capC, vmax, von, voff := device.FixedSupplyConfig(1.0)
 			d, err := device.New(device.Config{
-				Prog:    prog,
-				Power:   pm,
-				CapC:    capC,
-				CapVMax: vmax,
-				VOn:     von,
-				VOff:    voff,
+				Prog:       prog,
+				Power:      pm,
+				CapC:       capC,
+				CapVMax:    vmax,
+				VOn:        von,
+				VOff:       voff,
+				RunTimeout: run.RunTimeout,
+				Interrupt:  runner.Interrupt(ctx),
 			}, strategy.NewMixedVolatility(wd))
 			if err != nil {
 				return nil, err
@@ -194,10 +240,15 @@ func AlphaBProfile(benches []string, watchdogs []uint64, scale int) ([]*AlphaBRu
 			if !res.Completed {
 				return nil, fmt.Errorf("characterize: %s watchdog %d did not complete", bench, wd)
 			}
-			run.PerWatchdog = append(run.PerWatchdog, stats.Mean(res.AlphaBSamples()))
+			ar.PerWatchdog = append(ar.PerWatchdog, stats.Mean(res.AlphaBSamples()))
 		}
-		run.AlphaB = stats.Summarize(run.PerWatchdog)
-		out = append(out, run)
+		ar.AlphaB = stats.Summarize(ar.PerWatchdog)
+		return ar, nil
+	})
+	for _, r := range runs {
+		if r != nil {
+			out = append(out, r)
+		}
 	}
-	return out, nil
+	return out, errs, nil
 }

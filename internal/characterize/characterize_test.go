@@ -1,13 +1,15 @@
 package characterize
 
 import (
+	"context"
 	"testing"
 
+	"ehmodel/internal/runner"
 	"ehmodel/internal/trace"
 )
 
 func TestRunClankProducesProfile(t *testing.T) {
-	r, err := RunClank("ds", trace.MultiPeak, ClankConfig{})
+	r, err := RunClank(context.Background(), "ds", trace.MultiPeak, ClankConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestRunClankProducesProfile(t *testing.T) {
 }
 
 func TestRunClankUnknownBench(t *testing.T) {
-	if _, err := RunClank("nope", trace.Ramp, ClankConfig{}); err == nil {
+	if _, err := RunClank(context.Background(), "nope", trace.Ramp, ClankConfig{}); err == nil {
 		t.Fatal("unknown bench accepted")
 	}
 }
@@ -45,7 +47,7 @@ func TestRunClankUnknownBench(t *testing.T) {
 // the prevailing backup cadence by much (τ_D ≤ τ_B in the model; the
 // measured analogue allows the in-flight interval).
 func TestTauDBoundedByTauB(t *testing.T) {
-	r, err := RunClank("counter", trace.Spikes, ClankConfig{})
+	r, err := RunClank(context.Background(), "counter", trace.Spikes, ClankConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,9 +66,12 @@ func TestTraceInsensitivity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-trace characterization is slow")
 	}
-	runs, err := TauBProfile([]string{"lzfx"}, ClankConfig{})
+	runs, errs, err := TauBProfile(context.Background(), []string{"lzfx"}, ClankConfig{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("dropped runs: %v", errs)
 	}
 	if len(runs) != 3 {
 		t.Fatalf("expected 3 trace runs, got %d", len(runs))
@@ -92,9 +97,12 @@ func TestAlphaBProfile(t *testing.T) {
 	if testing.Short() {
 		t.Skip("α_B sweep is slow")
 	}
-	runs, err := AlphaBProfile([]string{"ds", "sha"}, []uint64{250, 500, 1000}, 1)
+	runs, errs, err := AlphaBProfile(context.Background(), []string{"ds", "sha"}, []uint64{250, 500, 1000}, 1, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("dropped runs: %v", errs)
 	}
 	if len(runs) != 2 {
 		t.Fatalf("got %d runs", len(runs))
@@ -119,7 +127,7 @@ func TestAlphaBProfile(t *testing.T) {
 }
 
 func TestAlphaBUnknownBench(t *testing.T) {
-	if _, err := AlphaBProfile([]string{"nope"}, []uint64{250}, 1); err == nil {
+	if _, _, err := AlphaBProfile(context.Background(), []string{"nope"}, []uint64{250}, 1, runner.Options{}); err == nil {
 		t.Fatal("unknown bench accepted")
 	}
 }

@@ -12,6 +12,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/cpu"
@@ -141,6 +142,20 @@ type Config struct {
 	// the commit-record transfers to τ_B/τ_R; with a nil injector the
 	// accounting is bit-identical to the assumed-atomic simulator.
 	Faults FaultInjector
+
+	// RunTimeout is a wall-clock budget for one Run call, enforced by a
+	// coarse cycle-batch check so a runaway kernel or pathological
+	// harvester configuration cannot wedge a sweep. Expiry aborts the
+	// run with a *DeadlineError wrapping ErrDeadlineExceeded. Zero
+	// means no deadline. The check never touches simulation state, so
+	// results are unaffected unless the deadline actually fires.
+	RunTimeout time.Duration
+
+	// Interrupt, when non-nil, is polled on the same coarse batch
+	// schedule as RunTimeout; a non-nil return aborts the run with that
+	// error. The parallel sweep engine (internal/runner) wires context
+	// cancellation through this hook.
+	Interrupt func() error
 }
 
 func (c *Config) setDefaults() {
@@ -183,6 +198,9 @@ func (c *Config) Validate() error {
 	}
 	if c.OmegaBExtra < 0 || c.OmegaRExtra < 0 {
 		return fmt.Errorf("device: Ω extras must be ≥ 0")
+	}
+	if c.RunTimeout < 0 {
+		return fmt.Errorf("device: RunTimeout %v must be ≥ 0", c.RunTimeout)
 	}
 	return nil
 }
@@ -235,6 +253,11 @@ type Device struct {
 
 	timeS  float64
 	cycles uint64 // total consumed cycles (exec+backup+restore+idle)
+
+	// Interrupt/deadline polling (run.go): wall-clock start of the
+	// current Run and the simulated work since the last real check.
+	runStart  time.Time
+	sincePoll uint64
 
 	// per-period running counters
 	period        PeriodStats

@@ -1,0 +1,117 @@
+package device
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// spinProgram never halts — the workload the RunTimeout deadline exists
+// to cut off.
+func spinProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	b := asm.New("spin")
+	b.Label("loop")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Jump("loop")
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDeadlineAbortsNonHaltingRun: a program that never halts is cut
+// off by Config.RunTimeout with the typed deadline error instead of
+// spinning until MaxCycles.
+func TestDeadlineAbortsNonHaltingRun(t *testing.T) {
+	cfg := fixedConfig(t, spinProgram(t), 1e-6)
+	cfg.RunTimeout = 20 * time.Millisecond
+	d, err := New(cfg, nullStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = d.Run()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Run returned %v, want ErrDeadlineExceeded", err)
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *DeadlineError: %v", err)
+	}
+	if de.Timeout != cfg.RunTimeout || de.Cycles == 0 {
+		t.Fatalf("deadline detail: %+v", de)
+	}
+	// Coarse is fine; wedged-for-seconds is not.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+}
+
+// TestInterruptHookAborts: a firing Interrupt hook (the runner wires
+// context cancellation through it) aborts the run with the hook's error.
+func TestInterruptHookAborts(t *testing.T) {
+	stop := errors.New("sweep canceled")
+	polls := 0
+	cfg := fixedConfig(t, spinProgram(t), 1e-6)
+	cfg.Interrupt = func() error {
+		polls++
+		if polls >= 3 {
+			return stop
+		}
+		return nil
+	}
+	d, err := New(cfg, nullStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); !errors.Is(err, stop) {
+		t.Fatalf("Run returned %v, want the hook's error", err)
+	}
+	if polls < 3 {
+		t.Fatalf("hook polled %d times", polls)
+	}
+}
+
+// TestPollingDoesNotPerturbResults: enabling a (non-firing) deadline and
+// interrupt hook must leave the simulation bit-identical — the poll is
+// a wall-clock check only, never simulation state.
+func TestPollingDoesNotPerturbResults(t *testing.T) {
+	prog := loopProgram(t, 2000, asm.SRAM)
+	base := fixedConfig(t, prog, 1e-6)
+
+	run := func(cfg Config) *Result {
+		t.Helper()
+		d, err := New(cfg, intervalStrategy{k: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(base)
+	guarded := base
+	guarded.RunTimeout = time.Hour
+	guarded.Interrupt = func() error { return nil }
+	if got := run(guarded); !reflect.DeepEqual(plain, got) {
+		t.Fatalf("polling changed the result:\n%+v\n%+v", plain, got)
+	}
+}
+
+// TestRunTimeoutValidation: negative budgets are config errors.
+func TestRunTimeoutValidation(t *testing.T) {
+	cfg := fixedConfig(t, loopProgram(t, 10, asm.SRAM), 1e-6)
+	cfg.RunTimeout = -time.Second
+	if _, err := New(cfg, nullStrategy{}); err == nil {
+		t.Fatal("negative RunTimeout accepted")
+	}
+}

@@ -3,6 +3,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/cpu"
@@ -40,12 +41,74 @@ func (e *NoProgressError) Error() string {
 // Is reports ErrNoProgress as the sentinel this error wraps.
 func (e *NoProgressError) Is(target error) bool { return target == ErrNoProgress }
 
+// ErrDeadlineExceeded is the sentinel a Run error matches (errors.Is)
+// when the run blew its Config.RunTimeout wall-clock budget.
+var ErrDeadlineExceeded = errors.New("device: run deadline exceeded")
+
+// DeadlineError reports a run aborted by the coarse cycle-batch
+// deadline check. It wraps ErrDeadlineExceeded for errors.Is and
+// records how far the simulation got, so a sweep's failure report can
+// distinguish a near miss from a wedged run.
+type DeadlineError struct {
+	// Timeout is the configured wall-clock budget.
+	Timeout time.Duration
+	// Cycles and Periods are the simulation position at expiry.
+	Cycles  uint64
+	Periods int
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("device: run exceeded its %v deadline (at %d cycles, %d periods)",
+		e.Timeout, e.Cycles, e.Periods)
+}
+
+// Is reports ErrDeadlineExceeded as the sentinel this error wraps.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadlineExceeded }
+
+// pollBatchCycles amortizes the interrupt/deadline check: the wall
+// clock is read only once per this many simulated cycles (or charge
+// iterations), so polling costs nothing measurable and — critically —
+// never perturbs simulation state. Coarse is the point: a deadline is
+// a guard against wedged sweeps, not a precision timer.
+const pollBatchCycles = 1 << 16
+
+// pollInterrupt credits n simulated work units and, once a batch has
+// accumulated, runs the real check: the Interrupt hook first (context
+// cancellation), then the RunTimeout deadline.
+func (d *Device) pollInterrupt(n uint64) error {
+	if d.cfg.Interrupt == nil && d.cfg.RunTimeout == 0 {
+		return nil
+	}
+	d.sincePoll += n
+	if d.sincePoll < pollBatchCycles {
+		return nil
+	}
+	d.sincePoll = 0
+	if d.cfg.Interrupt != nil {
+		if err := d.cfg.Interrupt(); err != nil {
+			return err
+		}
+	}
+	if d.cfg.RunTimeout > 0 && time.Since(d.runStart) > d.cfg.RunTimeout {
+		return &DeadlineError{
+			Timeout: d.cfg.RunTimeout,
+			Cycles:  d.cycles,
+			Periods: len(d.result.Periods),
+		}
+	}
+	return nil
+}
+
 // Run executes the program under the configured strategy until it halts
 // and commits, or a run limit is reached. The returned Result is valid
 // in both cases (Completed distinguishes them); errors indicate program
-// or configuration bugs, not power failures.
+// or configuration bugs, not power failures — except the sweep-engine
+// aborts: a RunTimeout expiry returns a *DeadlineError (errors.Is
+// ErrDeadlineExceeded) and a firing Interrupt hook returns its error.
 func (d *Device) Run() (*Result, error) {
 	d.result = Result{Strategy: d.strat.Name(), Program: d.cfg.Prog.Name}
+	d.runStart = time.Now()
+	d.sincePoll = 0
 	if err := d.mem.WriteFRAMImage(d.cfg.Prog.FRAMImage); err != nil {
 		return nil, err
 	}
@@ -53,6 +116,11 @@ func (d *Device) Run() (*Result, error) {
 		d.inj.BeginRun()
 	}
 	for len(d.result.Periods) < d.cfg.MaxPeriods && d.cycles < d.cfg.MaxCycles && !d.halted {
+		// Credit a nominal batch per period so strategies that thrash
+		// through thousands of near-empty periods still hit the check.
+		if err := d.pollInterrupt(1024); err != nil {
+			return nil, err
+		}
 		if err := d.chargePhase(); err != nil {
 			return nil, err
 		}
@@ -88,6 +156,11 @@ func (d *Device) chargePhase() error {
 	// near the target, coarse when the source is nearly dead (spike
 	// traces spend most of their time at microwatts).
 	for d.cap.Voltage() < d.cfg.VOn {
+		// The charge loop can spin for up to maxChargeS of simulated
+		// time on a dying source; poll so a deadline can cut it short.
+		if err := d.pollInterrupt(256); err != nil {
+			return err
+		}
 		need := d.cap.UsableEnergy(d.cfg.VOn, d.cap.Voltage())
 		p := d.cfg.Harvester.PowerAt(d.timeS)
 		chunk := 1e-4
@@ -208,8 +281,7 @@ func (d *Device) activePhase() error {
 				return nil // power failed during backup
 			}
 			if p.ThenSleep {
-				d.idleToDeath()
-				return nil
+				return d.idleToDeath()
 			}
 		}
 
@@ -229,6 +301,9 @@ func (d *Device) activePhase() error {
 		d.sinceCommit += cycles
 		d.execSinceBkup += cycles
 		d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+		if err := d.pollInterrupt(cycles); err != nil {
+			return err
+		}
 		if !alive {
 			return nil // power failure: pending work becomes dead
 		}
@@ -246,8 +321,7 @@ func (d *Device) activePhase() error {
 				return nil
 			}
 			if p.ThenSleep {
-				d.idleToDeath()
-				return nil
+				return d.idleToDeath()
 			}
 		}
 	}
@@ -302,18 +376,24 @@ func (d *Device) backup(p Payload) bool {
 }
 
 // idleToDeath burns idle cycles until the supply dies — the
-// single-backup sleep after a Hibernus-style checkpoint.
-func (d *Device) idleToDeath() {
+// single-backup sleep after a Hibernus-style checkpoint. A harvester
+// that sustains the idle draw would otherwise spin to MaxCycles, so
+// the sleep polls the interrupt/deadline check too.
+func (d *Device) idleToDeath() error {
 	const chunk = 64
 	for d.cycles < d.cfg.MaxCycles {
+		if err := d.pollInterrupt(chunk); err != nil {
+			return err
+		}
 		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
 		alive := d.consume(chunk, energy.ClassIdle)
 		d.period.IdleCycles += chunk
 		d.period.IdleE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
 		if !alive {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // RunContinuous executes prog on an uninterrupted supply and returns its

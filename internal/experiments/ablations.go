@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
@@ -14,19 +16,24 @@ import (
 // Ablations probe the design choices DESIGN.md calls out: Clank's
 // tracking-buffer capacity and watchdog period, Hibernus's threshold
 // margin, and Mementos's checkpoint-site gating. Each returns a Figure
-// so ehfigs and the bench suite can regenerate them.
+// so ehfigs and the bench suite can regenerate them. Every sweep runs
+// through the parallel sweep engine: failed points are dropped from the
+// figure with a note, survivors still render, and the merged order is
+// the input order so output is identical at any worker count.
 
 // runAblationMaybe executes a prepared device with a bounded period
 // budget and returns the result whether or not the program completed —
 // some ablation corners (e.g. razor-thin Hibernus margins) legitimately
 // make no forward progress, which is the measurement.
-func runAblationMaybe(prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, maxPeriods int) (*device.Result, error) {
+func runAblationMaybe(ctx context.Context, prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, maxPeriods int, run runner.Options) (*device.Result, error) {
 	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
 	capC, vmax, von, voff := device.FixedSupplyConfig(e)
 	d, err := device.New(device.Config{
 		Prog: prog, Power: pm,
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: maxPeriods, MaxCycles: 1 << 62,
+		RunTimeout: run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}, s)
 	if err != nil {
 		return nil, err
@@ -35,8 +42,8 @@ func runAblationMaybe(prog *asm.Program, s device.Strategy, pm energy.PowerModel
 }
 
 // runAblation is runAblationMaybe with completion required.
-func runAblation(prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64) (*device.Result, error) {
-	res, err := runAblationMaybe(prog, s, pm, periodCycles, 100000)
+func runAblation(ctx context.Context, prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, run runner.Options) (*device.Result, error) {
+	res, err := runAblationMaybe(ctx, prog, s, pm, periodCycles, 100000, run)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +57,7 @@ func runAblation(prog *asm.Program, s device.Strategy, pm energy.PowerModel, per
 // (the paper's configuration uses 8+8) on a load-heavy and a
 // violation-heavy kernel. Larger buffers eliminate overflow-forced
 // checkpoints, stretching τ_B until violations or the watchdog dominate.
-func AblationClankBuffers() (*Figure, error) {
+func AblationClankBuffers(ctx context.Context, run runner.Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "ablation-clank-buffers",
 		Title:  "Clank tracking-buffer capacity ablation",
@@ -59,7 +66,10 @@ func AblationClankBuffers() (*Figure, error) {
 		XLog:   true,
 	}
 	pm := energy.CortexM0Power()
-	for _, bench := range []string{"susan", "lzfx"} {
+	benches := []string{"susan", "lzfx"}
+	capacities := []int{1, 2, 4, 8, 16, 32, 64}
+	progs := make([]*asm.Program, len(benches))
+	for bi, bench := range benches {
 		w, ok := workload.Get(bench)
 		if !ok {
 			return nil, fmt.Errorf("experiments: workload %q missing", bench)
@@ -68,30 +78,60 @@ func AblationClankBuffers() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		progs[bi] = prog
+	}
+	type job struct{ bench, cap int }
+	var jobs []job
+	for bi := range benches {
+		for ci := range capacities {
+			jobs = append(jobs, job{bench: bi, cap: ci})
+		}
+	}
+	o := run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("clank-buffers %s entries=%d", benches[jobs[i].bench], capacities[jobs[i].cap])
+	}
+	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (float64, error) {
+		j := jobs[i]
+		cl := strategy.NewClank()
+		cl.ReadFirstEntries = capacities[j.cap]
+		cl.WriteFirstEntries = capacities[j.cap]
+		res, err := runAblation(ctx, progs[j.bench], cl, pm, 30000, run)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanTauB(), nil
+	})
+	failed := errs.FailedSet()
+
+	for bi, bench := range benches {
 		tau := Series{Label: bench + " τ_B"}
-		for _, entries := range []int{1, 2, 4, 8, 16, 32, 64} {
-			cl := strategy.NewClank()
-			cl.ReadFirstEntries = entries
-			cl.WriteFirstEntries = entries
-			res, err := runAblation(prog, cl, pm, 30000)
-			if err != nil {
-				return nil, err
+		for ci, entries := range capacities {
+			i := bi*len(capacities) + ci
+			if failed[i] {
+				continue
 			}
-			tau.Points = append(tau.Points, Point{X: float64(entries), Y: res.MeanTauB()})
+			tau.Points = append(tau.Points, Point{X: float64(entries), Y: all[i]})
 		}
 		fig.Series = append(fig.Series, tau)
-		first, last := tau.Points[0].Y, tau.Points[len(tau.Points)-1].Y
-		fig.AddNote("%s: τ_B %.0f → %.0f cycles from 1 to 64 entries (×%.1f)",
-			bench, first, last, last/first)
+		if len(tau.Points) > 0 {
+			first, last := tau.Points[0], tau.Points[len(tau.Points)-1]
+			fig.AddNote("%s: τ_B %.0f → %.0f cycles from %.0f to %.0f entries (×%.1f)",
+				bench, first.Y, last.Y, first.X, last.X, last.Y/first.Y)
+		}
 	}
 	fig.AddNote("lzfx flattens early: per-iteration WAR violations dominate regardless of capacity")
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(jobs)))
+		return fig, errs
+	}
 	return fig, nil
 }
 
 // AblationClankWatchdog sweeps the watchdog period on an ALU-dominated
 // kernel where the watchdog is the only checkpoint source, comparing
 // measured progress against the EH model across the sweep.
-func AblationClankWatchdog() (*Figure, error) {
+func AblationClankWatchdog(ctx context.Context, run runner.Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "ablation-clank-watchdog",
 		Title:  "Clank watchdog-period ablation (sha kernel)",
@@ -107,26 +147,45 @@ func AblationClankWatchdog() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	meas := Series{Label: "measured"}
-	for _, wd := range []uint64{500, 1000, 2000, 4000, 8000, 16000} {
+	watchdogs := []uint64{500, 1000, 2000, 4000, 8000, 16000}
+	o := run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("clank-watchdog sha wd=%d cycles", watchdogs[i])
+	}
+	all, errs := runner.Map(ctx, len(watchdogs), o, func(i int) (float64, error) {
 		cl := strategy.NewClank()
-		cl.WatchdogCycles = wd
+		cl.WatchdogCycles = watchdogs[i]
 		cl.ReadFirstEntries = 4096 // watchdog-only checkpointing
 		cl.WriteFirstEntries = 4096
-		res, err := runAblation(prog, cl, pm, 20000)
+		res, err := runAblation(ctx, prog, cl, pm, 20000, run)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		meas.Points = append(meas.Points, Point{X: float64(wd), Y: res.MeasuredProgress()})
+		return res.MeasuredProgress(), nil
+	})
+	failed := errs.FailedSet()
+
+	meas := Series{Label: "measured"}
+	for i, wd := range watchdogs {
+		if failed[i] {
+			continue
+		}
+		meas.Points = append(meas.Points, Point{X: float64(wd), Y: all[i]})
 	}
 	fig.Series = append(fig.Series, meas)
-	best := meas.Points[0]
-	for _, p := range meas.Points {
-		if p.Y > best.Y {
-			best = p
+	if len(meas.Points) > 0 {
+		best := meas.Points[0]
+		for _, p := range meas.Points {
+			if p.Y > best.Y {
+				best = p
+			}
 		}
+		fig.AddNote("measured best watchdog ≈ %.0f cycles (p = %.4f)", best.X, best.Y)
 	}
-	fig.AddNote("measured best watchdog ≈ %.0f cycles (p = %.4f)", best.X, best.Y)
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(watchdogs)))
+		return fig, errs
+	}
 	return fig, nil
 }
 
@@ -134,7 +193,7 @@ func AblationClankWatchdog() (*Figure, error) {
 // margins maximize pre-hibernation work but risk dying mid-backup
 // (§IV-B's inconsistent-state hazard, visible as periods whose backup
 // failed), while loose margins waste energy idling.
-func AblationHibernusMargin() (*Figure, error) {
+func AblationHibernusMargin(ctx context.Context, run runner.Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "ablation-hibernus-margin",
 		Title:  "Hibernus threshold-margin ablation (crc benchmark)",
@@ -147,16 +206,20 @@ func AblationHibernusMargin() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	prg := Series{Label: "measured p"}
-	failed := Series{Label: "failed-backup fraction"}
-	for _, margin := range []float64{1.02, 1.1, 1.5, 2, 3, 5, 8} {
+	margins := []float64{1.02, 1.1, 1.5, 2, 3, 5, 8}
+	type marginPoint struct{ p, failFrac float64 }
+	o := run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("hibernus-margin crc margin=%g", margins[i])
+	}
+	all, errs := runner.Map(ctx, len(margins), o, func(i int) (marginPoint, error) {
 		h := strategy.NewHibernus()
-		h.Margin = margin
+		h.Margin = margins[i]
 		// tight margins may never complete — dying mid-backup every
 		// period is §IV-B's hazard and exactly what this ablation shows
-		res, err := runAblationMaybe(prog, h, pm, 15000, 500)
+		res, err := runAblationMaybe(ctx, prog, h, pm, 15000, 500, run)
 		if err != nil {
-			return nil, err
+			return marginPoint{}, err
 		}
 		fails := 0
 		for _, p := range res.Periods {
@@ -168,18 +231,32 @@ func AblationHibernusMargin() (*Figure, error) {
 		if !res.Completed && res.Backups() == 0 {
 			y = 0 // perpetual restart: no committed work at all
 		}
-		prg.Points = append(prg.Points, Point{X: margin, Y: y})
-		failed.Points = append(failed.Points, Point{X: margin, Y: float64(fails) / float64(len(res.Periods))})
+		return marginPoint{p: y, failFrac: float64(fails) / float64(len(res.Periods))}, nil
+	})
+	failed := errs.FailedSet()
+
+	prg := Series{Label: "measured p"}
+	failedS := Series{Label: "failed-backup fraction"}
+	for i, margin := range margins {
+		if failed[i] {
+			continue
+		}
+		prg.Points = append(prg.Points, Point{X: margin, Y: all[i].p})
+		failedS.Points = append(failedS.Points, Point{X: margin, Y: all[i].failFrac})
 	}
-	fig.Series = append(fig.Series, prg, failed)
+	fig.Series = append(fig.Series, prg, failedS)
 	fig.AddNote("tight margins die mid-backup (§IV-B's inconsistency hazard); loose margins idle energy away")
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(margins)))
+		return fig, errs
+	}
 	return fig, nil
 }
 
 // AblationMementosGap sweeps the minimum spacing between checkpoint
 // commits once below threshold: no gating thrashes on every site; very
 // wide gating risks dying between checkpoints.
-func AblationMementosGap() (*Figure, error) {
+func AblationMementosGap(ctx context.Context, run runner.Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "ablation-mementos-gap",
 		Title:  "Mementos checkpoint-gating ablation (ds benchmark)",
@@ -193,17 +270,34 @@ func AblationMementosGap() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Label: "measured p"}
-	for _, gap := range []uint64{32, 128, 512, 2048, 8192} {
+	gaps := []uint64{32, 128, 512, 2048, 8192}
+	o := run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("mementos-gap ds gap=%d cycles", gaps[i])
+	}
+	all, errs := runner.Map(ctx, len(gaps), o, func(i int) (float64, error) {
 		m := strategy.NewMementos()
-		m.MinGapCycles = gap
-		res, err := runAblation(prog, m, pm, 15000)
+		m.MinGapCycles = gaps[i]
+		res, err := runAblation(ctx, prog, m, pm, 15000, run)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s.Points = append(s.Points, Point{X: float64(gap), Y: res.MeasuredProgress()})
+		return res.MeasuredProgress(), nil
+	})
+	failed := errs.FailedSet()
+
+	s := Series{Label: "measured p"}
+	for i, gap := range gaps {
+		if failed[i] {
+			continue
+		}
+		s.Points = append(s.Points, Point{X: float64(gap), Y: all[i]})
 	}
 	fig.Series = append(fig.Series, s)
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(gaps)))
+		return fig, errs
+	}
 	return fig, nil
 }
 
@@ -214,8 +308,9 @@ func AblationMementosGap() (*Figure, error) {
 // device from a multi-peak harvested trace: in-period charging varies
 // with trace phase, shifting where each period dies relative to the
 // backup schedule, exactly the supply-side non-determinism §IV-A2
-// describes.
-func VariabilityStudy(tauB uint64, periods int) (*Figure, error) {
+// describes. It is a single run, not a sweep, so the runner options
+// only supply the per-run deadline and cancellation hook.
+func VariabilityStudy(ctx context.Context, tauB uint64, periods int, run runner.Options) (*Figure, error) {
 	if periods <= 0 {
 		periods = 40
 	}
@@ -236,6 +331,8 @@ func VariabilityStudy(tauB uint64, periods int) (*Figure, error) {
 		Prog: prog, Power: pm, Harvester: h,
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: periods, MaxCycles: 1 << 62,
+		RunTimeout: run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}, strategy.NewTimer(tauB, 0.1))
 	if err != nil {
 		return nil, err

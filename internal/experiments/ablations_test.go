@@ -1,9 +1,14 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+)
 
 func TestAblationClankBuffers(t *testing.T) {
-	fig, err := AblationClankBuffers()
+	fig, err := AblationClankBuffers(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +35,7 @@ func TestAblationClankBuffers(t *testing.T) {
 }
 
 func TestAblationClankWatchdog(t *testing.T) {
-	fig, err := AblationClankWatchdog()
+	fig, err := AblationClankWatchdog(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +66,7 @@ func TestAblationClankWatchdog(t *testing.T) {
 }
 
 func TestAblationHibernusMargin(t *testing.T) {
-	fig, err := AblationHibernusMargin()
+	fig, err := AblationHibernusMargin(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +91,7 @@ func TestAblationHibernusMargin(t *testing.T) {
 }
 
 func TestAblationMementosGap(t *testing.T) {
-	fig, err := AblationMementosGap()
+	fig, err := AblationMementosGap(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +107,7 @@ func TestAblationMementosGap(t *testing.T) {
 }
 
 func TestVariabilityStudy(t *testing.T) {
-	fig, err := VariabilityStudy(4000, 30)
+	fig, err := VariabilityStudy(context.Background(), 4000, 30, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +135,7 @@ func TestVariabilityStudy(t *testing.T) {
 }
 
 func TestVariabilityStudyDefaults(t *testing.T) {
-	fig, err := VariabilityStudy(2000, 0)
+	fig, err := VariabilityStudy(context.Background(), 2000, 0, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

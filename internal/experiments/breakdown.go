@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
 )
@@ -27,8 +29,9 @@ type BreakdownRow struct {
 // budget and returns each one's measured energy split. The rows expose
 // *why* a runtime wins: Hibernus trades idle for zero dead energy, DINO
 // converts supply into backup traffic, Clank's register-only
-// checkpoints barely register, and so on.
-func BreakdownComparison(bench string, periodCycles float64) (*Figure, []BreakdownRow, error) {
+// checkpoints barely register, and so on. Runtimes run in parallel
+// through the sweep engine; a failed runtime leaves a gap at its index.
+func BreakdownComparison(ctx context.Context, bench string, periodCycles float64, run runner.Options) (*Figure, []BreakdownRow, error) {
 	if periodCycles == 0 {
 		periodCycles = 20000
 	}
@@ -55,20 +58,17 @@ func BreakdownComparison(bench string, periodCycles float64) (*Figure, []Breakdo
 		XLabel: "runtime index",
 		YLabel: "fraction of supplied energy",
 	}
-	cats := []string{"progress", "dead", "backup", "restore", "idle"}
-	series := make([]Series, len(cats))
-	for i, c := range cats {
-		series[i] = Series{Label: c}
-	}
-	var rows []BreakdownRow
-	for i, en := range entries {
+	o := run
+	o.Label = func(i int) string { return "breakdown " + entries[i].name + "/" + bench }
+	all, errs := runner.Map(ctx, len(entries), o, func(i int) (BreakdownRow, error) {
+		en := entries[i]
 		prog, err := w.Build(workload.Options{Seg: en.seg, Scale: 4})
 		if err != nil {
-			return nil, nil, err
+			return BreakdownRow{}, err
 		}
-		res, _, err := runFixed(prog, en.make(), periodCycles)
+		res, _, err := runFixed(ctx, prog, en.make(), periodCycles, run)
 		if err != nil {
-			return nil, nil, err
+			return BreakdownRow{}, err
 		}
 		bd := res.Breakdown()
 		total := bd.Supply + bd.Harvested
@@ -81,13 +81,32 @@ func BreakdownComparison(bench string, periodCycles float64) (*Figure, []Breakdo
 			Idle:     bd.Idle / total,
 		}
 		row.Residual = 1 - row.Progress - row.Dead - row.Backup - row.Restore - row.Idle
+		return row, nil
+	})
+	failed := errs.FailedSet()
+
+	cats := []string{"progress", "dead", "backup", "restore", "idle"}
+	series := make([]Series, len(cats))
+	for i, c := range cats {
+		series[i] = Series{Label: c}
+	}
+	var rows []BreakdownRow
+	for i := range entries {
+		if failed[i] {
+			continue
+		}
+		row := all[i]
 		rows = append(rows, row)
 		for j, v := range []float64{row.Progress, row.Dead, row.Backup, row.Restore, row.Idle} {
 			series[j].Points = append(series[j].Points, Point{X: float64(i), Y: v})
 		}
 		fig.AddNote("x=%d: %-9s progress %.3f, dead %.3f, backup %.3f, restore %.3f, idle %.3f",
-			i, en.name, row.Progress, row.Dead, row.Backup, row.Restore, row.Idle)
+			i, row.System, row.Progress, row.Dead, row.Backup, row.Restore, row.Idle)
 	}
 	fig.Series = series
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(entries)))
+		return fig, rows, errs
+	}
 	return fig, rows, nil
 }

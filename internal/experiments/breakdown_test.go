@@ -1,9 +1,14 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+)
 
 func TestBreakdownComparison(t *testing.T) {
-	_, rows, err := BreakdownComparison("crc", 0)
+	_, rows, err := BreakdownComparison(context.Background(), "crc", 0, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +47,7 @@ func TestBreakdownComparison(t *testing.T) {
 }
 
 func TestBreakdownUnknown(t *testing.T) {
-	if _, _, err := BreakdownComparison("nope", 0); err == nil {
+	if _, _, err := BreakdownComparison(context.Background(), "nope", 0, runner.Options{}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
@@ -8,6 +9,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
@@ -27,7 +29,7 @@ type ChargingPoint struct {
 // normalized to the capacitor supply E grows toward (and past) 1 as
 // ε_C/ε rises — the divergence §III derives. Each point compares the
 // measurement with Eq. 8 evaluated at the measured ε_C.
-func ChargingStudy() (*Figure, []ChargingPoint, error) {
+func ChargingStudy(ctx context.Context, run runner.Options) (*Figure, []ChargingPoint, error) {
 	pm := energy.MSP430Power()
 	w, _ := workload.Get("counter")
 	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 120})
@@ -47,31 +49,34 @@ func ChargingStudy() (*Figure, []ChargingPoint, error) {
 		XLabel: "ε_C/ε",
 		YLabel: "progress p = ε·τ_P/E",
 	}
-	meas := Series{Label: "measured"}
-	model := Series{Label: "EH model"}
-	var pts []ChargingPoint
 	// resistance sweep: ∞ (no harvester) down to near the sustain point
-	for _, r := range []float64{0, 400e3, 150e3, 80e3, 50e3, 35e3} {
+	rs := []float64{0, 400e3, 150e3, 80e3, 50e3, 35e3}
+	o := run
+	o.Label = func(i int) string { return fmt.Sprintf("charging r=%g Ω", rs[i]) }
+	all, errs := runner.Map(ctx, len(rs), o, func(i int) (ChargingPoint, error) {
+		r := rs[i]
 		cfg := device.Config{
 			Prog: prog, Power: pm,
 			MaxPeriods: 12, MaxCycles: 1 << 62,
+			RunTimeout: run.RunTimeout,
+			Interrupt:  runner.Interrupt(ctx),
 		}
 		cfg.CapC, cfg.CapVMax, cfg.VOn, cfg.VOff = device.FixedSupplyConfig(e)
 		if r > 0 {
 			src := trace.Constant(3.0, 1, 0.01)
 			h, err := energy.NewHarvester(src, r, 0.7)
 			if err != nil {
-				return nil, nil, err
+				return ChargingPoint{}, err
 			}
 			cfg.Harvester = h
 		}
 		d, err := device.New(cfg, strategy.NewTimer(tauB, alphaB))
 		if err != nil {
-			return nil, nil, err
+			return ChargingPoint{}, err
 		}
 		res, err := d.Run()
 		if err != nil {
-			return nil, nil, err
+			return ChargingPoint{}, err
 		}
 
 		// aggregate over failure-terminated periods only: full budgets
@@ -88,7 +93,7 @@ func ChargingStudy() (*Figure, []ChargingPoint, error) {
 			activeCycles += p.ProgressCycles + p.DeadCycles + p.BackupCycles + p.RestoreCycles + p.IdleCycles
 		}
 		if supply == 0 || activeCycles == 0 {
-			return nil, nil, fmt.Errorf("experiments: charging run too short (r=%g)", r)
+			return ChargingPoint{}, fmt.Errorf("experiments: charging run too short (r=%g)", r)
 		}
 		epsC := harvested / float64(activeCycles)
 		eps := res.MeasuredEpsilon()
@@ -107,21 +112,38 @@ func ChargingStudy() (*Figure, []ChargingPoint, error) {
 			AR:       float64(cpu.ArchStateBytes) + alphaB*tauB,
 		}
 		if err := params.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("experiments: charging params (r=%g): %w", r, err)
+			return ChargingPoint{}, fmt.Errorf("experiments: charging params (r=%g): %w", r, err)
 		}
-		pt := ChargingPoint{
+		return ChargingPoint{
 			EpsilonCOverEps: epsC / eps,
 			Measured:        progressE / supply,
 			Predicted:       params.Progress(),
+		}, nil
+	})
+	failed := errs.FailedSet()
+
+	meas := Series{Label: "measured"}
+	model := Series{Label: "EH model"}
+	var pts []ChargingPoint
+	for i := range rs {
+		if failed[i] {
+			continue
 		}
+		pt := all[i]
 		pts = append(pts, pt)
 		meas.Points = append(meas.Points, Point{X: pt.EpsilonCOverEps, Y: pt.Measured})
 		model.Points = append(model.Points, Point{X: pt.EpsilonCOverEps, Y: pt.Predicted})
 	}
 	fig.Series = append(fig.Series, meas, model)
-	last := pts[len(pts)-1]
-	fig.AddNote("at ε_C/ε = %.2f, p = %.3f measured vs %.3f model — charging extends every period's work",
-		last.EpsilonCOverEps, last.Measured, last.Predicted)
+	if len(pts) > 0 {
+		last := pts[len(pts)-1]
+		fig.AddNote("at ε_C/ε = %.2f, p = %.3f measured vs %.3f model — charging extends every period's work",
+			last.EpsilonCOverEps, last.Measured, last.Predicted)
+	}
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(rs)))
+		return fig, pts, errs
+	}
 	return fig, pts, nil
 }
 

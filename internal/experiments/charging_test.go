@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
+
+	"ehmodel/internal/runner"
 )
 
 // TestChargingStudy validates the model's ε_C terms: measured progress
@@ -10,7 +13,7 @@ import (
 // harvesting grows, and crosses p = 1 where the model says extra
 // harvested work exceeds the capacitor budget.
 func TestChargingStudy(t *testing.T) {
-	_, pts, err := ChargingStudy()
+	_, pts, err := ChargingStudy(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

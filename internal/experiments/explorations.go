@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/core"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
@@ -20,7 +22,7 @@ import (
 // model's E axis made empirical. One-time costs (restore, dead
 // execution) amortize over larger buffers, so both the model and the
 // measurement should rise toward the backup-limited asymptote.
-func CapacitorSweep(bench string, periodCycles []float64) (*Figure, error) {
+func CapacitorSweep(ctx context.Context, bench string, periodCycles []float64, run runner.Options) (*Figure, error) {
 	if periodCycles == nil {
 		periodCycles = []float64{3000, 6000, 12000, 24000, 48000, 96000}
 	}
@@ -41,19 +43,36 @@ func CapacitorSweep(bench string, periodCycles []float64) (*Figure, error) {
 	}
 	meas := Series{Label: "measured"}
 	model := Series{Label: "EH model"}
-	for _, pc := range periodCycles {
-		res, dcfg, err := runFixed(prog, strategy.NewDINO(), pc)
+	type capPoint struct{ measured, predicted float64 }
+	o := run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("capacitor %s E=%g cycles", bench, periodCycles[i])
+	}
+	all, errs := runner.Map(ctx, len(periodCycles), o, func(i int) (capPoint, error) {
+		res, dcfg, err := runFixed(ctx, prog, strategy.NewDINO(), periodCycles[i], run)
 		if err != nil {
-			return nil, err
+			return capPoint{}, err
 		}
 		_, pred := PredictFromRun(res, dcfg, false)
-		meas.Points = append(meas.Points, Point{X: pc, Y: res.MeasuredProgress()})
-		model.Points = append(model.Points, Point{X: pc, Y: pred})
+		return capPoint{measured: res.MeasuredProgress(), predicted: pred}, nil
+	})
+	failed := errs.FailedSet()
+	for i, pc := range periodCycles {
+		if failed[i] {
+			continue
+		}
+		meas.Points = append(meas.Points, Point{X: pc, Y: all[i].measured})
+		model.Points = append(model.Points, Point{X: pc, Y: all[i].predicted})
 	}
 	fig.Series = append(fig.Series, meas, model)
-	first, last := meas.Points[0].Y, meas.Points[len(meas.Points)-1].Y
-	fig.AddNote("p rises %.3f → %.3f as the buffer grows ×%g: one-time costs amortize",
-		first, last, periodCycles[len(periodCycles)-1]/periodCycles[0])
+	if n := len(meas.Points); n > 1 {
+		fig.AddNote("p rises %.3f → %.3f as the buffer grows ×%g: one-time costs amortize",
+			meas.Points[0].Y, meas.Points[n-1].Y, meas.Points[n-1].X/meas.Points[0].X)
+	}
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(periodCycles)))
+		return fig, errs
+	}
 	return fig, nil
 }
 
@@ -68,7 +87,7 @@ type NVMComparisonPoint struct {
 // NVMComparison runs the same workload and backup cadence over FRAM,
 // STT-RAM and Flash checkpoint memories, comparing measured progress
 // with the model evaluated at each technology's Ω_B/σ_B.
-func NVMComparison(bench string, tauB uint64) (*Figure, []NVMComparisonPoint, error) {
+func NVMComparison(ctx context.Context, bench string, tauB uint64, run runner.Options) (*Figure, []NVMComparisonPoint, error) {
 	w, ok := workload.Get(bench)
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: unknown workload %q", bench)
@@ -86,8 +105,11 @@ func NVMComparison(bench string, tauB uint64) (*Figure, []NVMComparisonPoint, er
 	meas := Series{Label: "measured"}
 	model := Series{Label: "EH model"}
 	pm := energy.MSP430Power()
-	var pts []NVMComparisonPoint
-	for i, nvm := range energy.NVMProfiles() {
+	nvms := energy.NVMProfiles()
+	o := run
+	o.Label = func(i int) string { return "nvm " + nvms[i].Name + "/" + bench }
+	all, errs := runner.Map(ctx, len(nvms), o, func(i int) (NVMComparisonPoint, error) {
+		nvm := nvms[i]
 		e := 30000 * pm.EnergyPerCycle(energy.ClassALU)
 		capC, vmax, von, voff := device.FixedSupplyConfig(e)
 		d, err := device.New(device.Config{
@@ -96,16 +118,18 @@ func NVMComparison(bench string, tauB uint64) (*Figure, []NVMComparisonPoint, er
 			SigmaB: nvm.SigmaB, SigmaR: nvm.SigmaR,
 			OmegaBExtra: nvm.OmegaBExtra, OmegaRExtra: nvm.OmegaRExtra,
 			MaxPeriods: 100000, MaxCycles: 1 << 62,
+			RunTimeout: run.RunTimeout,
+			Interrupt:  runner.Interrupt(ctx),
 		}, strategy.NewTimer(tauB, 0.1))
 		if err != nil {
-			return nil, nil, err
+			return NVMComparisonPoint{}, err
 		}
 		res, err := d.Run()
 		if err != nil {
-			return nil, nil, err
+			return NVMComparisonPoint{}, err
 		}
 		if !res.Completed {
-			return nil, nil, fmt.Errorf("experiments: %s on %s incomplete", bench, nvm.Name)
+			return NVMComparisonPoint{}, fmt.Errorf("experiments: %s on %s incomplete", bench, nvm.Name)
 		}
 		payload := stats.Mean(res.PayloadSamples())
 		params := core.Params{
@@ -119,16 +143,28 @@ func NVMComparison(bench string, tauB uint64) (*Figure, []NVMComparisonPoint, er
 			OmegaR:  pm.EnergyPerCycle(energy.ClassMem)/nvm.SigmaR + nvm.OmegaRExtra,
 			AR:      payload,
 		}
-		pt := NVMComparisonPoint{
+		return NVMComparisonPoint{
 			NVM:       nvm.Name,
 			Measured:  res.MeasuredProgress(),
 			Predicted: params.Progress(),
+		}, nil
+	})
+	failed := errs.FailedSet()
+	var pts []NVMComparisonPoint
+	for i := range nvms {
+		if failed[i] {
+			continue
 		}
+		pt := all[i]
 		pts = append(pts, pt)
 		meas.Points = append(meas.Points, Point{X: float64(i), Y: pt.Measured})
 		model.Points = append(model.Points, Point{X: float64(i), Y: pt.Predicted})
-		fig.AddNote("x=%d: %s — measured %.4f, model %.4f", i, nvm.Name, pt.Measured, pt.Predicted)
+		fig.AddNote("x=%d: %s — measured %.4f, model %.4f", i, pt.NVM, pt.Measured, pt.Predicted)
 	}
 	fig.Series = append(fig.Series, meas, model)
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(nvms)))
+		return fig, pts, errs
+	}
 	return fig, pts, nil
 }

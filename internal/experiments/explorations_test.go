@@ -1,9 +1,14 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+)
 
 func TestCapacitorSweep(t *testing.T) {
-	fig, err := CapacitorSweep("crc", nil)
+	fig, err := CapacitorSweep(context.Background(), "crc", nil, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,13 +32,13 @@ func TestCapacitorSweep(t *testing.T) {
 }
 
 func TestCapacitorSweepUnknown(t *testing.T) {
-	if _, err := CapacitorSweep("nope", nil); err == nil {
+	if _, err := CapacitorSweep(context.Background(), "nope", nil, runner.Options{}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestNVMComparison(t *testing.T) {
-	_, pts, err := NVMComparison("crc", 2000)
+	_, pts, err := NVMComparison(context.Background(), "crc", 2000, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +66,7 @@ func TestNVMComparison(t *testing.T) {
 }
 
 func TestNVMComparisonUnknown(t *testing.T) {
-	if _, _, err := NVMComparison("nope", 2000); err == nil {
+	if _, _, err := NVMComparison(context.Background(), "nope", 2000, runner.Options{}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
@@ -8,6 +9,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
 )
@@ -28,6 +30,9 @@ type Fig5Config struct {
 	// PeriodsPerRun is how many full active periods each configuration
 	// measures (default 4).
 	PeriodsPerRun int
+	// Run configures the parallel sweep engine (workers, per-run
+	// deadline).
+	Run runner.Options
 }
 
 func (c *Fig5Config) setDefaults() {
@@ -65,9 +70,13 @@ type Fig5Point struct {
 	Within     bool
 }
 
-// Fig5 runs the sweep on the device simulator and evaluates the model
-// bounds for each point.
-func Fig5(cfg Fig5Config) (*Figure, []Fig5Point, error) {
+// Fig5 runs the sweep on the device simulator via the parallel sweep
+// engine and evaluates the model bounds for each point. Failed points
+// (deadline, panic, cancellation) are dropped from the figure with a
+// note and reported through the returned error; the surviving points
+// still populate the figure, merged in input order so the output is
+// byte-identical at any worker count.
+func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 	cfg.setDefaults()
 	pm := energy.MSP430Power()
 	fig := &Figure{
@@ -76,19 +85,37 @@ func Fig5(cfg Fig5Config) (*Figure, []Fig5Point, error) {
 		XLabel: "τ_B (cycles)",
 		YLabel: "progress p",
 	}
-	var pts []Fig5Point
-	within := 0
+	type job struct{ dur, eSupply, tauB float64 }
+	var jobs []job
 	for _, dur := range cfg.DurationsS {
 		eSupply := dur * pm.PowerW[energy.ClassALU] // period energy at ~1.05 mW
+		for _, ms := range cfg.TauBsMS {
+			jobs = append(jobs, job{dur: dur, eSupply: eSupply, tauB: ms * 1e-3 * pm.FreqHz})
+		}
+	}
+	o := cfg.Run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("fig5 duration=%gs τ_B=%g cycles", jobs[i].dur, jobs[i].tauB)
+	}
+	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (Fig5Point, error) {
+		j := jobs[i]
+		return fig5Point(ctx, cfg, pm, j.eSupply, j.dur, j.tauB)
+	})
+	failed := errs.FailedSet()
+
+	var pts []Fig5Point
+	within, idx := 0, 0
+	for _, dur := range cfg.DurationsS {
 		meas := Series{Label: fmt.Sprintf("measured %gs", dur)}
 		lo := Series{Label: fmt.Sprintf("lower bound %gs", dur)}
 		hi := Series{Label: fmt.Sprintf("upper bound %gs", dur)}
-		for _, ms := range cfg.TauBsMS {
-			tauB := ms * 1e-3 * pm.FreqHz
-			pt, err := fig5Point(cfg, pm, eSupply, dur, tauB)
-			if err != nil {
-				return nil, nil, err
+		for range cfg.TauBsMS {
+			i := idx
+			idx++
+			if failed[i] {
+				continue
 			}
+			pt := all[i]
 			pts = append(pts, pt)
 			if pt.Within {
 				within++
@@ -100,10 +127,14 @@ func Fig5(cfg Fig5Config) (*Figure, []Fig5Point, error) {
 		fig.Series = append(fig.Series, meas, lo, hi)
 	}
 	fig.AddNote("%d/%d measured points fall within the EH-model bounds", within, len(pts))
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(jobs)))
+		return fig, pts, errs
+	}
 	return fig, pts, nil
 }
 
-func fig5Point(cfg Fig5Config, pm energy.PowerModel, eSupply, dur, tauB float64) (Fig5Point, error) {
+func fig5Point(ctx context.Context, cfg Fig5Config, pm energy.PowerModel, eSupply, dur, tauB float64) (Fig5Point, error) {
 	// Size the counter workload so it cannot finish before the
 	// requested number of periods elapses.
 	totalCycles := float64(cfg.PeriodsPerRun+1) * eSupply / pm.EnergyPerCycle(energy.ClassALU)
@@ -123,6 +154,8 @@ func fig5Point(cfg Fig5Config, pm energy.PowerModel, eSupply, dur, tauB float64)
 		VOff:       voff,
 		MaxPeriods: cfg.PeriodsPerRun,
 		MaxCycles:  1 << 62,
+		RunTimeout: cfg.Run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}, strategy.NewTimer(uint64(tauB), cfg.AlphaB))
 	if err != nil {
 		return Fig5Point{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"ehmodel/internal/core"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
@@ -21,6 +23,8 @@ type Fig6Config struct {
 	PeriodCycles float64
 	// Scale is the workload problem-size multiplier (default 4).
 	Scale int
+	// Run configures the parallel sweep engine.
+	Run runner.Options
 }
 
 func (c *Fig6Config) setDefaults() {
@@ -60,7 +64,7 @@ func fig6Systems() []struct {
 
 // runFixed executes a workload program under a strategy with a fixed
 // per-period supply, requiring completion.
-func runFixed(prog *asm.Program, s device.Strategy, periodCycles float64) (*device.Result, device.Config, error) {
+func runFixed(ctx context.Context, prog *asm.Program, s device.Strategy, periodCycles float64, run runner.Options) (*device.Result, device.Config, error) {
 	pm := energy.MSP430Power()
 	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
 	capC, vmax, von, voff := device.FixedSupplyConfig(e)
@@ -73,6 +77,8 @@ func runFixed(prog *asm.Program, s device.Strategy, periodCycles float64) (*devi
 		VOff:       voff,
 		MaxPeriods: 100000,
 		MaxCycles:  1 << 62,
+		RunTimeout: run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}
 	d, err := device.New(cfg, s)
 	if err != nil {
@@ -128,7 +134,7 @@ func PredictFromRun(res *device.Result, cfg device.Config, single bool) (core.Pa
 // the Table II benchmarks and compares against the EH model's
 // prediction, reporting per-system geometric-mean error as the paper
 // does.
-func Fig6(cfg Fig6Config) (*Figure, []Fig6Point, error) {
+func Fig6(ctx context.Context, cfg Fig6Config) (*Figure, []Fig6Point, error) {
 	cfg.setDefaults()
 	fig := &Figure{
 		ID:     "fig6",
@@ -136,41 +142,73 @@ func Fig6(cfg Fig6Config) (*Figure, []Fig6Point, error) {
 		XLabel: "measured p",
 		YLabel: "predicted p",
 	}
+	systems := fig6Systems()
+	benches := workload.TableII()
+	type job struct{ sys, bench int }
+	var jobs []job
+	for si := range systems {
+		for bi := range benches {
+			jobs = append(jobs, job{sys: si, bench: bi})
+		}
+	}
+	o := cfg.Run
+	o.Label = func(i int) string {
+		return fmt.Sprintf("fig6 %s/%s", systems[jobs[i].sys].name, benches[jobs[i].bench].Name)
+	}
+	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (Fig6Point, error) {
+		sys, w := systems[jobs[i].sys], benches[jobs[i].bench]
+		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
+		if err != nil {
+			return Fig6Point{}, err
+		}
+		res, dcfg, err := runFixed(ctx, prog, sys.make(), cfg.PeriodCycles, cfg.Run)
+		if err != nil {
+			return Fig6Point{}, err
+		}
+		_, pred := PredictFromRun(res, dcfg, sys.single)
+		meas := res.MeasuredProgress()
+		return Fig6Point{
+			Bench:     w.Name,
+			System:    sys.name,
+			Measured:  meas,
+			Predicted: pred,
+			RelErr:    stats.RelErr(pred, meas),
+		}, nil
+	})
+	failed := errs.FailedSet()
+
 	var pts []Fig6Point
 	perSystemErr := map[string][]float64{}
-	for _, sys := range fig6Systems() {
-		s := Series{Label: sys.name}
-		for _, w := range workload.TableII() {
-			prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
-			if err != nil {
-				return nil, nil, err
-			}
-			res, dcfg, err := runFixed(prog, sys.make(), cfg.PeriodCycles)
-			if err != nil {
-				return nil, nil, err
-			}
-			_, pred := PredictFromRun(res, dcfg, sys.single)
-			meas := res.MeasuredProgress()
-			pt := Fig6Point{
-				Bench:     w.Name,
-				System:    sys.name,
-				Measured:  meas,
-				Predicted: pred,
-				RelErr:    stats.RelErr(pred, meas),
-			}
-			pts = append(pts, pt)
-			perSystemErr[sys.name] = append(perSystemErr[sys.name], pt.RelErr)
-			s.Points = append(s.Points, Point{X: meas, Y: pred})
+	series := make([]Series, len(systems))
+	for si, sys := range systems {
+		series[si] = Series{Label: sys.name}
+	}
+	for i, j := range jobs {
+		if failed[i] {
+			continue
 		}
-		fig.Series = append(fig.Series, s)
+		pt := all[i]
+		pts = append(pts, pt)
+		perSystemErr[pt.System] = append(perSystemErr[pt.System], pt.RelErr)
+		series[j.sys].Points = append(series[j.sys].Points, Point{X: pt.Measured, Y: pt.Predicted})
 	}
-	var all []float64
-	for _, sys := range fig6Systems() {
-		errs := perSystemErr[sys.name]
-		fig.AddNote("%s: geomean |error| = %.2f%%", sys.name, 100*stats.GeoMean(errs))
-		all = append(all, errs...)
+	fig.Series = append(fig.Series, series...)
+	var allErrs []float64
+	for _, sys := range systems {
+		es := perSystemErr[sys.name]
+		if len(es) == 0 {
+			continue
+		}
+		fig.AddNote("%s: geomean |error| = %.2f%%", sys.name, 100*stats.GeoMean(es))
+		allErrs = append(allErrs, es...)
 	}
-	fig.AddNote("overall geomean |error| = %.2f%%", 100*stats.GeoMean(all))
+	if len(allErrs) > 0 {
+		fig.AddNote("overall geomean |error| = %.2f%%", 100*stats.GeoMean(allErrs))
+	}
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(jobs)))
+		return fig, pts, errs
+	}
 	return fig, pts, nil
 }
 
@@ -186,7 +224,7 @@ type Fig7Point struct {
 
 // Fig7 reproduces the τ_B-optimality correlation: benchmarks whose DINO
 // task length lands near τ_B,opt make the most progress.
-func Fig7(cfg Fig6Config) (*Figure, []Fig7Point, error) {
+func Fig7(ctx context.Context, cfg Fig6Config) (*Figure, []Fig7Point, error) {
 	cfg.setDefaults()
 	fig := &Figure{
 		ID:     "fig7",
@@ -194,16 +232,18 @@ func Fig7(cfg Fig6Config) (*Figure, []Fig7Point, error) {
 		XLabel: "similarity min(τ_B/τ_B,opt, τ_B,opt/τ_B)",
 		YLabel: "measured p",
 	}
-	var pts []Fig7Point
-	s := Series{Label: "dino benchmarks"}
-	for _, w := range workload.TableII() {
+	benches := workload.TableII()
+	o := cfg.Run
+	o.Label = func(i int) string { return "fig7 dino/" + benches[i].Name }
+	all, errs := runner.Map(ctx, len(benches), o, func(i int) (Fig7Point, error) {
+		w := benches[i]
 		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
 		if err != nil {
-			return nil, nil, err
+			return Fig7Point{}, err
 		}
-		res, dcfg, err := runFixed(prog, strategy.NewDINO(), cfg.PeriodCycles)
+		res, dcfg, err := runFixed(ctx, prog, strategy.NewDINO(), cfg.PeriodCycles, cfg.Run)
 		if err != nil {
-			return nil, nil, err
+			return Fig7Point{}, err
 		}
 		params, _ := PredictFromRun(res, dcfg, false)
 		opt := params.TauBOpt()
@@ -212,13 +252,23 @@ func Fig7(cfg Fig6Config) (*Figure, []Fig7Point, error) {
 		if sim > 1 {
 			sim = 1 / sim
 		}
-		pt := Fig7Point{
+		return Fig7Point{
 			Bench:      w.Name,
 			Measured:   res.MeasuredProgress(),
 			TauB:       tauB,
 			TauBOpt:    opt,
 			Similarity: sim,
+		}, nil
+	})
+	failed := errs.FailedSet()
+
+	var pts []Fig7Point
+	s := Series{Label: "dino benchmarks"}
+	for i := range benches {
+		if failed[i] {
+			continue
 		}
+		pt := all[i]
 		pts = append(pts, pt)
 		s.Points = append(s.Points, Point{X: pt.Similarity, Y: pt.Measured})
 	}
@@ -230,6 +280,10 @@ func Fig7(cfg Fig6Config) (*Figure, []Fig7Point, error) {
 	}
 	if r, err := stats.Pearson(xs, ys); err == nil {
 		fig.AddNote("Pearson correlation(similarity, progress) = %.3f", r)
+	}
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(benches)))
+		return fig, pts, errs
 	}
 	return fig, pts, nil
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"ehmodel/internal/characterize"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
 )
@@ -15,6 +18,9 @@ type CharacterizationConfig struct {
 	Clank characterize.ClankConfig
 	// Watchdogs is the Fig. 10 sweep (defaults to 250–3000 step 250).
 	Watchdogs []uint64
+	// Run configures the parallel sweep engine; it is copied into the
+	// Clank configuration for the profile sweeps.
+	Run runner.Options
 }
 
 func (c *CharacterizationConfig) setDefaults() {
@@ -41,9 +47,10 @@ func QuickCharacterizationConfig() CharacterizationConfig {
 // traces and returns the average τ_B (Fig. 8) and τ_D (Fig. 9) figures,
 // each with SEM error bars. Bars are indexed by benchmark on the x axis
 // (one series per trace).
-func Fig8And9(cfg CharacterizationConfig) (fig8, fig9 *Figure, runs []*characterize.ClankRun, err error) {
+func Fig8And9(ctx context.Context, cfg CharacterizationConfig) (fig8, fig9 *Figure, runs []*characterize.ClankRun, err error) {
 	cfg.setDefaults()
-	runs, err = characterize.TauBProfile(cfg.Benches, cfg.Clank)
+	cfg.Clank.Run = cfg.Run
+	runs, errs, err := characterize.TauBProfile(ctx, cfg.Benches, cfg.Clank)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -77,6 +84,12 @@ func Fig8And9(cfg CharacterizationConfig) (fig8, fig9 *Figure, runs []*character
 		fig8.AddNote("x=%d: %s", i, b)
 		fig9.AddNote("x=%d: %s", i, b)
 	}
+	if len(errs) > 0 {
+		total := len(cfg.Benches) * len(trace.Kinds())
+		fig8.AddNote("%s", errs.Summary(total))
+		fig9.AddNote("%s", errs.Summary(total))
+		return fig8, fig9, runs, errs
+	}
 	return fig8, fig9, runs, nil
 }
 
@@ -91,9 +104,9 @@ func benchIndex(benches []string, name string) int {
 
 // Fig10 runs the mixed-volatility store-queue characterization of
 // application state α_B across watchdog periods.
-func Fig10(cfg CharacterizationConfig) (*Figure, []*characterize.AlphaBRun, error) {
+func Fig10(ctx context.Context, cfg CharacterizationConfig) (*Figure, []*characterize.AlphaBRun, error) {
 	cfg.setDefaults()
-	runs, err := characterize.AlphaBProfile(cfg.Benches, cfg.Watchdogs, cfg.Clank.Scale)
+	runs, errs, err := characterize.AlphaBProfile(ctx, cfg.Benches, cfg.Watchdogs, cfg.Clank.Scale, cfg.Run)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -105,15 +118,22 @@ func Fig10(cfg CharacterizationConfig) (*Figure, []*characterize.AlphaBRun, erro
 	}
 	s := Series{Label: "α_B"}
 	var weighted float64
-	for i, r := range runs {
-		s.Points = append(s.Points, Point{X: float64(i), Y: r.AlphaB.Mean, Err: r.AlphaB.SEM})
-		fig.AddNote("x=%d: %s (α_B = %.3f B/cycle)", i, r.Bench, r.AlphaB.Mean)
+	for _, r := range runs {
+		// x is the benchmark's input index, so dropped benchmarks leave
+		// a gap instead of shifting every bar after them.
+		x := float64(benchIndex(cfg.Benches, r.Bench))
+		s.Points = append(s.Points, Point{X: x, Y: r.AlphaB.Mean, Err: r.AlphaB.SEM})
+		fig.AddNote("x=%.0f: %s (α_B = %.3f B/cycle)", x, r.Bench, r.AlphaB.Mean)
 		weighted += r.AlphaB.Mean
 	}
 	fig.Series = append(fig.Series, s)
 	if len(runs) > 0 {
 		fig.AddNote("mean α_B across benchmarks = %.3f B/cycle (paper reports ≈0.16)",
 			weighted/float64(len(runs)))
+	}
+	if len(errs) > 0 {
+		fig.AddNote("%s", errs.Summary(len(cfg.Benches)))
+		return fig, runs, errs
 	}
 	return fig, runs, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // within the EH model's τ_D ∈ [0, τ_B] bounds across backup intervals
 // and active-period lengths.
 func TestFig5PointsWithinBounds(t *testing.T) {
-	fig, pts, err := Fig5(QuickFig5Config())
+	fig, pts, err := Fig5(context.Background(), QuickFig5Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFig5PointsWithinBounds(t *testing.T) {
 // error (the paper reports 1.60% overall and ~7% for Mementos, whose
 // dead-cycle behaviour deviates from the τ_B/2 assumption).
 func TestFig6ModelAccuracy(t *testing.T) {
-	fig, pts, err := Fig6(Fig6Config{})
+	fig, pts, err := Fig6(context.Background(), Fig6Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func collect(pts []Fig6Point) []float64 {
 // whose DINO task length lands closer to τ_B,opt achieve more progress
 // (the paper highlights AR as both the closest and the fastest).
 func TestFig7Correlation(t *testing.T) {
-	fig, pts, err := Fig7(Fig6Config{})
+	fig, pts, err := Fig7(context.Background(), Fig6Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestFig8And9Characterization(t *testing.T) {
 		t.Skip("characterization sweep is slow")
 	}
 	cfg := QuickCharacterizationConfig()
-	fig8, fig9, runs, err := Fig8And9(cfg)
+	fig8, fig9, runs, err := Fig8And9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig10AlphaBScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("α_B sweep is slow")
 	}
-	fig, runs, err := Fig10(QuickCharacterizationConfig())
+	fig, runs, err := Fig10(context.Background(), QuickCharacterizationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
 )
@@ -89,6 +91,10 @@ type Options struct {
 	PeriodCycles float64
 	// MaxPeriods bounds each run (default 20000).
 	MaxPeriods int
+	// Run configures the parallel sweep engine (worker count, per-run
+	// deadline). The report is assembled in input order, so it is
+	// identical at any worker count.
+	Run runner.Options
 }
 
 // DefaultWorkloads is the audit's standard workload set: a WAR-free
@@ -165,15 +171,25 @@ func caseSeed(base int64, strat, wl string, k int) int64 {
 	return int64(h & 0x7fffffffffffffff)
 }
 
-// Audit runs the sweep and returns the report. Setup errors (unknown
-// workload, bad plan) abort with an error; crash-consistency failures
-// are collected as violations instead.
-func Audit(o Options) (*Report, error) {
+// Audit runs the sweep through the parallel sweep engine and returns
+// the report. Setup errors (unknown workload, bad plan, a benchmark
+// that fails to build) abort with an error before any schedule runs;
+// crash-consistency failures are collected as violations instead. Runs
+// that the engine drops (cancellation, per-run deadline, panic) are
+// excluded from the report, which is returned partially populated
+// alongside the runner errors.
+func Audit(ctx context.Context, o Options) (*Report, error) {
 	o.setDefaults()
 	if err := o.Plan.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{}
+	type cell struct {
+		spec strategy.Spec
+		prog *asm.Program
+		want []uint32
+		c    Case
+	}
+	var cells []cell
 	for _, spec := range o.Strategies {
 		for _, wname := range o.Workloads {
 			w, ok := workload.Get(wname)
@@ -188,29 +204,58 @@ func Audit(o Options) (*Report, error) {
 			want := w.Ref(opts)
 			for k := 0; k < o.Schedules; k++ {
 				c := Case{Strategy: spec.Name, Workload: wname, Seed: caseSeed(o.BaseSeed, spec.Name, wname, k)}
-				v, faults, err := auditOne(o, spec, prog, want, c, rep)
-				if err != nil {
-					return nil, err
-				}
-				rep.Runs++
-				accumulate(&rep.Faults, faults)
-				if v != nil {
-					rep.Violations = append(rep.Violations, *v)
-				}
+				cells = append(cells, cell{spec: spec, prog: prog, want: want, c: c})
 			}
 		}
+	}
+	type cellResult struct {
+		v             *Violation
+		faults        device.FaultReport
+		unrecoverable bool
+	}
+	ro := o.Run
+	ro.Label = func(i int) string { return "audit " + cells[i].c.String() }
+	results, errs := runner.Map(ctx, len(cells), ro, func(i int) (cellResult, error) {
+		cl := cells[i]
+		v, faults, unrec, err := auditOne(ctx, o, cl.spec, cl.prog, cl.want, cl.c)
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{v: v, faults: faults, unrecoverable: unrec}, nil
+	})
+	failed := errs.FailedSet()
+
+	rep := &Report{}
+	for i := range cells {
+		if failed[i] {
+			continue
+		}
+		r := results[i]
+		rep.Runs++
+		accumulate(&rep.Faults, r.faults)
+		if r.unrecoverable {
+			rep.Unrecoverable++
+		}
+		if r.v != nil {
+			rep.Violations = append(rep.Violations, *r.v)
+		}
+	}
+	if len(errs) > 0 {
+		return rep, errs
 	}
 	return rep, nil
 }
 
-// auditOne runs a single faulted case against the oracle, tallying
-// detected-unrecoverable fail-stops on rep.
-func auditOne(o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c Case, rep *Report) (*Violation, device.FaultReport, error) {
+// auditOne runs a single faulted case against the oracle. The
+// unrecoverable return marks an honest fail-stop (the device detected
+// that no crash-consistent recovery existed) — a successful detection,
+// not a violation.
+func auditOne(ctx context.Context, o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c Case) (*Violation, device.FaultReport, bool, error) {
 	plan := o.Plan
 	plan.Seed = c.Seed
 	inj, err := New(plan)
 	if err != nil {
-		return nil, device.FaultReport{}, err
+		return nil, device.FaultReport{}, false, err
 	}
 	pm := energy.MSP430Power()
 	e := o.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
@@ -219,29 +264,36 @@ func auditOne(o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c
 		Prog: prog, Power: pm,
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: o.MaxPeriods, MaxCycles: 2_000_000_000,
-		Faults: inj,
+		Faults:     inj,
+		RunTimeout: o.Run.RunTimeout,
+		Interrupt:  runner.Interrupt(ctx),
 	}
 	d, err := device.New(cfg, spec.New())
 	if err != nil {
-		return nil, device.FaultReport{}, fmt.Errorf("faults: configuring %s: %w", c, err)
+		return nil, device.FaultReport{}, false, fmt.Errorf("faults: configuring %s: %w", c, err)
 	}
 	res, err := d.Run()
 	if errors.Is(err, device.ErrUnrecoverable) {
 		// Honest fail-stop: the device detected unrecoverable NVM state
 		// instead of silently diverging.
-		rep.Unrecoverable++
-		return nil, device.FaultReport{}, nil
+		return nil, device.FaultReport{}, true, nil
+	}
+	if errors.Is(err, device.ErrDeadlineExceeded) || ctx.Err() != nil {
+		// Resource exhaustion, not a consistency verdict: let the sweep
+		// engine record this cell as dropped rather than misreporting it
+		// as a violation.
+		return nil, device.FaultReport{}, false, err
 	}
 	if err != nil {
-		return &Violation{Case: c, Err: err}, device.FaultReport{}, nil
+		return &Violation{Case: c, Err: err}, device.FaultReport{}, false, nil
 	}
 	if !res.Completed {
-		return &Violation{Case: c, Incomplete: true}, res.Faults, nil
+		return &Violation{Case: c, Incomplete: true}, res.Faults, false, nil
 	}
 	if !reflect.DeepEqual(res.Output, want) {
-		return &Violation{Case: c, Got: res.Output, Want: want}, res.Faults, nil
+		return &Violation{Case: c, Got: res.Output, Want: want}, res.Faults, false, nil
 	}
-	return nil, res.Faults, nil
+	return nil, res.Faults, false, nil
 }
 
 func accumulate(total *device.FaultReport, r device.FaultReport) {

@@ -1,16 +1,18 @@
 package faults
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 )
 
 // TestAuditQuick is the always-on smoke sweep: every strategy × every
 // default workload under a couple of seeded attack schedules.
 func TestAuditQuick(t *testing.T) {
-	rep, err := Audit(Options{Schedules: 2, BaseSeed: 1})
+	rep, err := Audit(context.Background(), Options{Schedules: 2, BaseSeed: 1})
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}
@@ -36,7 +38,7 @@ func TestAuditAllStrategies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 100-schedule audit sweep skipped in -short")
 	}
-	rep, err := Audit(Options{Schedules: 100, BaseSeed: 2026})
+	rep, err := Audit(context.Background(), Options{Schedules: 100, BaseSeed: 2026})
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}
@@ -77,7 +79,7 @@ func TestNaiveCommitCaught(t *testing.T) {
 	// short sweep reliably corrupts at least one mid-write image.
 	plan.TornWriteProb = 0.01
 	plan.BitFlipRate = 0.01
-	rep, err := Audit(Options{
+	rep, err := Audit(context.Background(), Options{
 		Workloads: []string{"counter", "ds"},
 		Schedules: 6,
 		BaseSeed:  7,
@@ -101,25 +103,39 @@ func TestAuditDeterministic(t *testing.T) {
 		Schedules:  3,
 		BaseSeed:   99,
 	}
-	r1, err := Audit(opts)
+	r1, err := Audit(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}
-	r2, err := Audit(opts)
+	r2, err := Audit(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}
 	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("same options produced different reports:\n%+v\n%+v", r1, r2)
 	}
+	// The worker count must not change the report: the sweep engine
+	// merges in input order, so the parallel audit is byte-identical to
+	// the serial one.
+	for _, workers := range []int{1, 8} {
+		o := opts
+		o.Run = runner.Options{Workers: workers}
+		r, err := Audit(context.Background(), o)
+		if err != nil {
+			t.Fatalf("Audit(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(r1, r) {
+			t.Fatalf("workers=%d changed the report:\n%+v\n%+v", workers, r1, r)
+		}
+	}
 }
 
 // TestAuditRejectsBadSetup: setup failures are errors, not violations.
 func TestAuditRejectsBadSetup(t *testing.T) {
-	if _, err := Audit(Options{Workloads: []string{"no-such-workload"}, Schedules: 1}); err == nil {
+	if _, err := Audit(context.Background(), Options{Workloads: []string{"no-such-workload"}, Schedules: 1}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if _, err := Audit(Options{Schedules: 1, Plan: Plan{TornWriteProb: 2}}); err == nil {
+	if _, err := Audit(context.Background(), Options{Schedules: 1, Plan: Plan{TornWriteProb: 2}}); err == nil {
 		t.Fatal("invalid plan accepted")
 	}
 }

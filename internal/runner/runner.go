@@ -1,0 +1,232 @@
+// Package runner is the resilient parallel sweep engine every
+// multi-run evaluation driver routes through: a bounded worker pool
+// with panic isolation, per-run deadlines (enforced inside device.Run
+// via Config.RunTimeout/Interrupt), cancellation, and ordered merging
+// of results.
+//
+// The engine's load-bearing property is the determinism invariant:
+// because every sweep point is an independent, seeded simulation and
+// results are merged in input order regardless of completion order, a
+// sweep produces byte-identical figures and CSVs at any worker count.
+// That is what makes parallelism safe for a reproduction repo — speed
+// never changes the science.
+//
+// Failure is per-point, not per-sweep. A panicking simulation is
+// recovered into a typed *RunError (wrapping a *PanicError that carries
+// the stack); a run that blows its wall-clock budget surfaces the
+// device's typed ErrDeadlineExceeded; a cancelled context marks the
+// points that never started. Surviving points are always returned, so
+// drivers can degrade gracefully: drop the failed points, note the
+// failures on the figure, and keep the sweep's output usable.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configures a sweep execution. The zero value runs with
+// GOMAXPROCS workers and no per-run deadline.
+type Options struct {
+	// Workers bounds concurrent sweep points; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// RunTimeout is the wall-clock budget of one sweep point. Drivers
+	// pass it into device.Config.RunTimeout, where a coarse cycle-batch
+	// check aborts a runaway simulation with ErrDeadlineExceeded. Zero
+	// means no deadline.
+	RunTimeout time.Duration
+	// Label names sweep point i in error reports (e.g. "fig5 τ_B=360").
+	// Nil falls back to "point i".
+	Label func(i int) string
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) label(i int) string {
+	if o.Label != nil {
+		return o.Label(i)
+	}
+	return fmt.Sprintf("point %d", i)
+}
+
+// RunError is one failed sweep point, carrying enough context (index
+// and the driver-supplied label, which should name the point's
+// seed/config) to replay the run in isolation.
+type RunError struct {
+	// Index is the point's input-order position in the sweep.
+	Index int
+	// Label identifies the point's configuration for replay.
+	Label string
+	// Err is the underlying failure: a *PanicError, the device's
+	// ErrDeadlineExceeded, a context cancellation, or the simulation's
+	// own error.
+	Err error
+}
+
+func (e *RunError) Error() string { return fmt.Sprintf("%s: %v", e.Label, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// PanicError is a panicking simulation converted into a value: the
+// recovered payload plus the goroutine stack at the panic site. The
+// sweep engine guarantees a panic in one point never kills the process
+// or the rest of the sweep.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Errors aggregates a sweep's failed points in input order. A nil
+// Errors means every point succeeded.
+type Errors []*RunError
+
+func (e Errors) Error() string {
+	switch len(e) {
+	case 0:
+		return "runner: no failed points"
+	case 1:
+		return "runner: " + e[0].Error()
+	default:
+		return fmt.Sprintf("runner: %d sweep points failed; first: %s", len(e), e[0].Error())
+	}
+}
+
+// Unwrap exposes the individual point failures, so errors.Is/As on the
+// aggregate reach the typed errors inside (ErrDeadlineExceeded,
+// *PanicError, a cancellation cause, ...).
+func (e Errors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i, re := range e {
+		out[i] = re
+	}
+	return out
+}
+
+// FailedSet returns the failed input indices as a set, for dropping
+// those points while assembling figures.
+func (e Errors) FailedSet() map[int]bool {
+	if len(e) == 0 {
+		return nil
+	}
+	s := make(map[int]bool, len(e))
+	for _, re := range e {
+		s[re.Index] = true
+	}
+	return s
+}
+
+// Summary is a one-line account of the failures sized for a figure
+// note: how many of the sweep's points failed and why the first did.
+func (e Errors) Summary(total int) string {
+	if len(e) == 0 {
+		return fmt.Sprintf("all %d points ok", total)
+	}
+	return fmt.Sprintf("%d/%d points failed and were dropped; first: %s", len(e), total, e[0].Error())
+}
+
+// Interrupt adapts a context into the poll function device.Config
+// expects: non-blocking, nil while the context lives, and the
+// cancellation cause once it is done. Pass a nil context to disable.
+func Interrupt(ctx context.Context) func() error {
+	if ctx == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		default:
+			return nil
+		}
+	}
+}
+
+// Map runs fn for every index in [0, n) on a bounded worker pool and
+// returns the results merged in input order. results[i] holds fn(i)'s
+// value for every succeeded point and the zero value for failed ones;
+// errs lists the failures in input order (nil when the sweep is clean).
+//
+// Each invocation is isolated: a panic inside fn(i) is recovered into a
+// *PanicError and recorded against point i only. When ctx is cancelled,
+// points already running finish (or abort via the Interrupt hook the
+// driver wired into the device) and points not yet started are marked
+// failed with the cancellation cause — the partial results that did
+// complete are still returned, in order.
+func Map[T any](ctx context.Context, n int, o Options, fn func(i int) (T, error)) ([]T, Errors) {
+	results := make([]T, n)
+	if n <= 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	perPoint := make([]*RunError, n)
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := runOne(i, fn)
+				if err != nil {
+					perPoint[i] = &RunError{Index: i, Label: o.label(i), Err: err}
+				} else {
+					results[i] = v
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			cause := context.Cause(ctx)
+			for j := i; j < n; j++ {
+				perPoint[j] = &RunError{Index: j, Label: o.label(j), Err: cause}
+			}
+			break feed
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs Errors
+	for _, e := range perPoint {
+		if e != nil {
+			errs = append(errs, e)
+		}
+	}
+	return results, errs
+}
+
+// runOne invokes fn(i) with panic isolation.
+func runOne[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,335 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/strategy"
+)
+
+// TestMapOrdered: results land at their input index regardless of the
+// worker count or completion order.
+func TestMapOrdered(t *testing.T) {
+	const n = 37
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		res, errs := Map(context.Background(), n, Options{Workers: workers}, func(i int) (int, error) {
+			// Stagger completion so late indices often finish first.
+			time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
+			return i * i, nil
+		})
+		if errs != nil {
+			t.Fatalf("workers=%d: unexpected errors: %v", workers, errs)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: res[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapEmpty: a zero-length sweep returns immediately and cleanly.
+func TestMapEmpty(t *testing.T) {
+	res, errs := Map(context.Background(), 0, Options{}, func(i int) (int, error) { return i, nil })
+	if len(res) != 0 || errs != nil {
+		t.Fatalf("empty sweep: res=%v errs=%v", res, errs)
+	}
+}
+
+// TestMapPanicIsolation: a panic in one point becomes a typed *RunError
+// wrapping a *PanicError for that index only; every other point's result
+// survives and the process does not die.
+func TestMapPanicIsolation(t *testing.T) {
+	const n = 9
+	res, errs := Map(context.Background(), n, Options{Workers: 4}, func(i int) (int, error) {
+		if i == 3 {
+			panic("injected simulation bug")
+		}
+		return i + 100, nil
+	})
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	var re *RunError
+	if !errors.As(errs, &re) || re.Index != 3 {
+		t.Fatalf("not a *RunError for index 3: %v", errs)
+	}
+	var pe *PanicError
+	if !errors.As(re, &pe) {
+		t.Fatalf("RunError does not wrap *PanicError: %v", re)
+	}
+	if pe.Value != "injected simulation bug" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload/stack missing: value=%v stackLen=%d", pe.Value, len(pe.Stack))
+	}
+	failed := errs.FailedSet()
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 3:
+			if !failed[i] {
+				t.Fatalf("index 3 not in FailedSet")
+			}
+		case failed[i]:
+			t.Fatalf("index %d wrongly failed", i)
+		default:
+			if res[i] != i+100 {
+				t.Fatalf("res[%d] = %d, want %d", i, res[i], i+100)
+			}
+		}
+	}
+	if s := errs.Summary(n); !strings.Contains(s, "1/9") || !strings.Contains(s, "panic") {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+// TestMapErrorCarriesLabel: the driver-supplied label (the replay
+// handle) is attached to the failing point's error.
+func TestMapErrorCarriesLabel(t *testing.T) {
+	boom := errors.New("boom")
+	_, errs := Map(context.Background(), 3, Options{
+		Workers: 1,
+		Label:   func(i int) string { return fmt.Sprintf("seed=%d", 1000+i) },
+	}, func(i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if len(errs) != 1 || !errors.Is(errs, boom) {
+		t.Fatalf("errs = %v", errs)
+	}
+	if got := errs[0].Error(); got != "seed=1001: boom" {
+		t.Fatalf("error string = %q", got)
+	}
+}
+
+// TestMapPreCanceled: a sweep started under a dead context fails every
+// point with the cancellation cause without running any of them.
+func TestMapPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	const n = 6
+	res, errs := Map(ctx, n, Options{Workers: 2}, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if len(res) != n {
+		t.Fatalf("len(res) = %d", len(res))
+	}
+	if len(errs) != n {
+		t.Fatalf("got %d errors, want %d: %v", len(errs), n, errs)
+	}
+	for _, re := range errs {
+		if !errors.Is(re, context.Canceled) {
+			t.Fatalf("point %d failed with %v, want context.Canceled", re.Index, re.Err)
+		}
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d points ran under a pre-canceled context", got)
+	}
+}
+
+// TestMapMidSweepCancel: cancellation during the sweep does not hang;
+// every point either completed or carries a cancellation error, and the
+// completed prefix is returned.
+func TestMapMidSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 20
+	res, errs := Map(ctx, n, Options{Workers: 4}, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 42, nil
+		}
+		<-ctx.Done() // a long run that only aborts via cancellation
+		return 0, ctx.Err()
+	})
+	failed := errs.FailedSet()
+	if failed[0] || res[0] != 42 {
+		t.Fatalf("point 0 should have completed: res[0]=%d failed=%v", res[0], failed[0])
+	}
+	for i := 1; i < n; i++ {
+		if !failed[i] {
+			t.Fatalf("point %d neither failed nor blocked on cancellation", i)
+		}
+	}
+	for _, re := range errs {
+		if !errors.Is(re, context.Canceled) {
+			t.Fatalf("point %d failed with %v, want context.Canceled", re.Index, re.Err)
+		}
+	}
+}
+
+// TestOptionsWorkersClamp: worker-count resolution — ≤0 means
+// GOMAXPROCS, and the pool never exceeds the point count.
+func TestOptionsWorkersClamp(t *testing.T) {
+	if got := (Options{Workers: 5}).workers(3); got != 3 {
+		t.Errorf("5 workers for 3 points resolved to %d", got)
+	}
+	if got := (Options{Workers: 2}).workers(100); got != 2 {
+		t.Errorf("explicit 2 workers resolved to %d", got)
+	}
+	if got := (Options{Workers: -1}).workers(1); got != 1 {
+		t.Errorf("negative workers for 1 point resolved to %d", got)
+	}
+	if got := (Options{}).workers(10_000); got < 1 {
+		t.Errorf("default workers resolved to %d", got)
+	}
+}
+
+// TestInterruptAdapter: the context→poll-function adapter is nil-safe,
+// quiet while the context lives, and reports the cause once canceled.
+func TestInterruptAdapter(t *testing.T) {
+	if Interrupt(nil) != nil {
+		t.Fatal("nil context should disable the hook")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	poll := Interrupt(ctx)
+	if err := poll(); err != nil {
+		t.Fatalf("live context polled as %v", err)
+	}
+	cancel()
+	if err := poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context polled as %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Integration: a real device sweep where one point's strategy panics
+// and another point runs a program that never halts. The sweep must
+// degrade exactly those two points — typed errors, replayable labels —
+// while the healthy point completes.
+
+// panicStrategy is a Timer whose PostStep blows up partway through the
+// run, modeling a buggy runtime policy.
+type panicStrategy struct {
+	*strategy.Timer
+	steps int
+}
+
+func (s *panicStrategy) PostStep(d *device.Device, st cpu.Step) *device.Payload {
+	s.steps++
+	if s.steps > 100 {
+		panic("strategy bug after 100 steps")
+	}
+	return s.Timer.PostStep(d, st)
+}
+
+func counterProgram(t *testing.T, n uint32) *asm.Program {
+	t.Helper()
+	b := asm.New("counter")
+	b.Word("count", 0)
+	b.La(isa.R1, "count")
+	b.Li(isa.R2, n)
+	b.Li(isa.R3, 0)
+	b.Label("top")
+	b.Lw(isa.R4, isa.R1, 0)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Sw(isa.R4, isa.R1, 0)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R2, "top")
+	b.Lw(isa.R4, isa.R1, 0)
+	b.Out(isa.R4)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func spinProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	b := asm.New("spin")
+	b.Label("loop")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Jump("loop")
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSweepDegradesPanicAndDeadline(t *testing.T) {
+	ctx := context.Background()
+	good := counterProgram(t, 500)
+	spin := spinProgram(t)
+
+	type point struct {
+		prog    *asm.Program
+		strat   device.Strategy
+		timeout time.Duration
+	}
+	points := []point{
+		{good, strategy.NewTimer(4000, 0.1), 0},
+		{good, &panicStrategy{Timer: strategy.NewTimer(4000, 0.1)}, 0},
+		{spin, strategy.NewTimer(4000, 0.1), 50 * time.Millisecond},
+	}
+	o := Options{
+		Workers: len(points),
+		Label:   func(i int) string { return []string{"healthy", "panicking", "spinning"}[i] },
+	}
+	res, errs := Map(ctx, len(points), o, func(i int) (*device.Result, error) {
+		p := points[i]
+		capC, vmax, von, voff := device.FixedSupplyConfig(1e-6)
+		d, err := device.New(device.Config{
+			Prog:       p.prog,
+			Power:      energy.MSP430Power(),
+			CapC:       capC,
+			CapVMax:    vmax,
+			VOn:        von,
+			VOff:       voff,
+			RunTimeout: p.timeout,
+			Interrupt:  Interrupt(ctx),
+		}, p.strat)
+		if err != nil {
+			return nil, err
+		}
+		return d.Run()
+	})
+
+	if len(errs) != 2 {
+		t.Fatalf("got %d failed points, want 2: %v", len(errs), errs)
+	}
+	failed := errs.FailedSet()
+	if failed[0] || !failed[1] || !failed[2] {
+		t.Fatalf("wrong failure set: %v", failed)
+	}
+
+	// The healthy point completed and produced the expected output.
+	if res[0] == nil || !res[0].Completed {
+		t.Fatalf("healthy point did not complete: %+v", res[0])
+	}
+	if len(res[0].Output) != 1 || res[0].Output[0] != 500 {
+		t.Fatalf("healthy point output = %v", res[0].Output)
+	}
+
+	// The panicking strategy surfaced as a typed, labeled panic error.
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) {
+		t.Fatalf("point 1 error is not a *PanicError: %v", errs[0])
+	}
+	if errs[0].Label != "panicking" {
+		t.Fatalf("point 1 label = %q", errs[0].Label)
+	}
+
+	// The non-halting run was cut off by the device's deadline check.
+	if !errors.Is(errs[1], device.ErrDeadlineExceeded) {
+		t.Fatalf("point 2 error is not ErrDeadlineExceeded: %v", errs[1])
+	}
+	var de *device.DeadlineError
+	if !errors.As(errs[1], &de) || de.Cycles == 0 {
+		t.Fatalf("point 2 deadline detail missing: %v", errs[1])
+	}
+}
