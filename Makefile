@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race test-short audit audit-quick clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads clean
 
-check: fmt vet build test-race
+check: fmt vet staticcheck build test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,6 +15,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when installed (CI installs it); local environments
+# without it skip with a note rather than fail, so `make check` needs no
+# network access.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -39,6 +49,14 @@ audit:
 # harness
 audit-quick:
 	$(GO) run ./cmd/ehsim -audit -audit-schedules 10
+
+# regenerate the golden static-analysis findings for every built-in
+# workload (both data placements). cmd/ehlint's golden test fails on any
+# drift from results/ehlint_workloads.golden, so new hazards must be
+# reviewed and committed here deliberately.
+lint-workloads:
+	$(GO) run ./cmd/ehlint -golden > results/ehlint_workloads.golden
+	@git diff --stat -- results/ehlint_workloads.golden
 
 clean:
 	$(GO) clean ./...

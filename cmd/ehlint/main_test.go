@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenWorkloadFindings pins the lint findings for every built-in
+// workload (both data placements) to results/ehlint_workloads.golden.
+// A diff means a workload changed its hazard surface or the analyzer
+// changed its verdicts; regenerate deliberately with
+//
+//	make lint-workloads
+//
+// after reviewing the new findings.
+func TestGoldenWorkloadFindings(t *testing.T) {
+	var got bytes.Buffer
+	if err := lintAllText(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "results", "ehlint_workloads.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with `make lint-workloads`)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("lint findings drifted from %s; regenerate with `make lint-workloads` after reviewing.\n%s",
+			path, diffHint(string(want), got.String()))
+	}
+}
+
+// TestNoBootWindowHazards asserts the satellite invariant directly: no
+// workload may reach a WAR store before its first checkpoint site.
+func TestNoBootWindowHazards(t *testing.T) {
+	var got bytes.Buffer
+	if err := lintAllText(&got); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(got.String(), "\n") {
+		if strings.Contains(line, "war-before-first-checkpoint") {
+			t.Errorf("boot-window hazard: %s", strings.TrimSpace(line))
+		}
+	}
+}
+
+// diffHint shows the first diverging lines — enough to locate the drift
+// without a full diff implementation.
+func diffHint(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		wl, gl := "", ""
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("first difference at line %d:\n want: %s\n  got: %s", i+1, wl, gl)
+		}
+	}
+	return "outputs differ only in length"
+}

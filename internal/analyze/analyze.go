@@ -1,0 +1,126 @@
+// Package analyze is the static analysis companion to the simulator:
+// it builds a control-flow graph over an assembled EH32 program, runs
+// an interval dataflow to resolve load/store addresses, and derives the
+// facts an intermittent-computing port needs before a cycle runs —
+// write-after-read idempotency hazards (both Clank-sound and per
+// checkpoint region), tracking-buffer size bounds, the static τ_store
+// Eq. 15 consumes, and a set of lints (uninitialised registers after
+// cold boot, dead stores, unreachable code, checkpoint-free store
+// loops, calling-convention misuse, guaranteed runtime faults).
+//
+// The central soundness contract, exercised by the test suite against
+// the dynamic fault auditor: every word a strategy.Clank run reports as
+// an idempotency violation satisfies Report.HazardWord, at any buffer
+// size, watchdog setting or power schedule.
+package analyze
+
+import (
+	"fmt"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// DefaultBoundaries are the SYS codes treated as checkpoint sites for
+// the region-scoped analyses: explicit checkpoints (Mementos) and task
+// ends (DINO/Chain commit points).
+func DefaultBoundaries() []isa.Sys { return []isa.Sys{isa.SysChkpt, isa.SysTaskEnd} }
+
+// Options configures an analysis run. The zero value picks the device
+// defaults.
+type Options struct {
+	// Boundaries are the SYS codes that delimit checkpoint regions;
+	// nil means DefaultBoundaries.
+	Boundaries []isa.Sys
+	// SRAMSize and FRAMSize give the device memory geometry in bytes;
+	// zero means the device defaults (8 KiB SRAM, 256 KiB FRAM).
+	SRAMSize int
+	FRAMSize int
+}
+
+// Device memory defaults, matching device.New.
+const (
+	defaultSRAMSize = 8 << 10
+	defaultFRAMSize = 256 << 10
+)
+
+// Analyze runs the full static analysis over prog.
+func Analyze(prog *asm.Program, o Options) (*Report, error) {
+	if prog == nil || len(prog.Code) == 0 {
+		return nil, fmt.Errorf("analyze: empty program")
+	}
+	bounds := o.Boundaries
+	if bounds == nil {
+		bounds = DefaultBoundaries()
+	}
+	boundarySet := make(map[isa.Sys]bool, len(bounds))
+	for _, s := range bounds {
+		boundarySet[s] = true
+	}
+	lay := memLayout{sramSize: uint32(defaultSRAMSize), framSize: uint32(defaultFRAMSize)}
+	if o.SRAMSize > 0 {
+		lay.sramSize = uint32(o.SRAMSize)
+	}
+	if o.FRAMSize > 0 {
+		lay.framSize = uint32(o.FRAMSize)
+	}
+
+	g := buildCFG(prog.Code)
+	fr := runFlow(g)
+
+	// Resolve every reachable memory access once.
+	acc := make([]*accessInfo, len(prog.Code))
+	for id, b := range g.blocks {
+		if !fr.reach[id] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := prog.Code[pc]
+			if in.Op.IsLoad() || in.Op.IsStore() {
+				acc[pc] = resolveAccess(pc, in, fr.stateAt[pc], lay)
+			}
+		}
+	}
+
+	r := &Report{
+		Prog: prog.Name,
+		prog: prog,
+		syms: buildSymtab(prog),
+	}
+
+	// Global (Clank-sound) pass: no clearing at programmer boundaries,
+	// because Clank checkpoints at dynamically chosen points.
+	global := runWAR(g, acc, nil, false, lay)
+	r.Hazards = global.hazards
+
+	// Region-scoped pass for software checkpointing runtimes.
+	region := runWAR(g, acc, boundarySet, true, lay)
+	r.RegionHazards = region.hazards
+	r.Region = RegionStats{
+		Hazards:        len(region.hazards),
+		PeakReadWords:  region.peakRead,
+		PeakWriteWords: region.peakWrite,
+	}
+
+	readFoot, storeFoot := footprints(g, fr, acc, lay)
+	r.Clank = ClankBound{
+		ReadFirstEntries:  readFoot.size(),
+		WriteFirstEntries: storeFoot.size(),
+	}
+
+	// Membership index for HazardWord.
+	r.hazSet = make(map[uint32]struct{})
+	for _, h := range r.Hazards {
+		if h.Top {
+			r.hazTop = true
+			break
+		}
+		for _, w := range h.Words {
+			r.hazSet[w] = struct{}{}
+		}
+	}
+
+	r.Loops = analyzeLoops(g, boundarySet)
+	r.lintPass(g, fr, acc, readFoot, noBoundaryBefore(g, boundarySet))
+	return r, nil
+}

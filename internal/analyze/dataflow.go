@@ -1,0 +1,448 @@
+package analyze
+
+// Forward interval dataflow over the CFG. Each register holds an ival;
+// the fixpoint widens after a few visits per block and branch edges
+// refine the compared registers, which is what bounds array-index
+// registers tightly enough to resolve store addresses to symbols.
+//
+// Soundness invariant: every register's interval contains the exact
+// mathematical (unwrapped) result of the operations along every path.
+// Wherever 32-bit wraparound could change the machine value, the
+// interval necessarily leaves [0, 2³²), so address resolution (which
+// demands bounded()) falls back to "unknown address" rather than
+// resolving to the wrong symbol.
+
+import (
+	"sort"
+
+	"ehmodel/internal/isa"
+)
+
+// widenAfter is the number of visits to a block before joins switch to
+// widening.
+const widenAfter = 3
+
+// regState is the abstract machine state at a program point: one
+// interval per register plus a may-be-uninitialized bit per register
+// (set when some path reaches the point without writing the register
+// since cold boot).
+type regState struct {
+	r      [isa.NumRegs]ival
+	uninit uint16
+}
+
+// entryState is the cold-boot state: registers hold the corruption
+// pattern (or a restored checkpoint's values — top covers both) and
+// everything but the hardwired zero may be uninitialized.
+func entryState() regState {
+	var s regState
+	for i := range s.r {
+		s.r[i] = topIval
+	}
+	s.r[isa.R0] = cval(0)
+	s.uninit = 0xFFFE
+	return s
+}
+
+func (s regState) mayUninit(r isa.Reg) bool { return s.uninit&(1<<r) != 0 }
+
+func (s *regState) write(r isa.Reg, v ival) {
+	if r == isa.R0 {
+		return
+	}
+	s.r[r] = v
+	s.uninit &^= 1 << r
+}
+
+func (s regState) join(o regState) regState {
+	out := s
+	for i := range out.r {
+		out.r[i] = s.r[i].join(o.r[i])
+	}
+	out.uninit = s.uninit | o.uninit
+	return out
+}
+
+func (s regState) widen(next regState, ts []int64) regState {
+	out := next
+	for i := range out.r {
+		out.r[i] = s.r[i].widen(next.r[i], ts)
+	}
+	out.uninit = s.uninit | next.uninit
+	return out
+}
+
+func (s regState) eq(o regState) bool { return s == o }
+
+// transfer applies one instruction to the state. pc is the instruction
+// index (JAL/JALR write pc+1 into rd).
+func transfer(s regState, pc int, in isa.Instr) regState {
+	a := s.r[in.Rs1]
+	b := s.r[in.Rs2]
+	imm := in.Imm
+
+	switch in.Op {
+	case isa.ADD:
+		s.write(in.Rd, a.add(b))
+	case isa.SUB:
+		s.write(in.Rd, a.sub(b))
+	case isa.AND:
+		s.write(in.Rd, andIval(a, b))
+	case isa.OR, isa.XOR:
+		s.write(in.Rd, orBound(a, b))
+	case isa.SLL:
+		if sh, ok := b.isConst(); ok {
+			s.write(in.Rd, a.shl(sh))
+		} else {
+			s.write(in.Rd, topIval)
+		}
+	case isa.SRL:
+		if sh, ok := b.isConst(); ok {
+			s.write(in.Rd, a.shr(sh))
+		} else {
+			s.write(in.Rd, ival{0, maxU32})
+		}
+	case isa.SRA:
+		s.write(in.Rd, sraIval(a, b))
+	case isa.SLT, isa.SLTU:
+		s.write(in.Rd, ival{0, 1})
+	case isa.MUL:
+		s.write(in.Rd, a.mul(b))
+	case isa.DIV:
+		s.write(in.Rd, signedDiv(a, b))
+	case isa.REM:
+		s.write(in.Rd, signedRem(a, b))
+
+	case isa.ADDI:
+		s.write(in.Rd, a.addImm(imm))
+	case isa.ANDI:
+		s.write(in.Rd, andIval(a, immIval(imm)))
+	case isa.ORI, isa.XORI:
+		s.write(in.Rd, orBound(a, immIval(imm)))
+	case isa.SLLI:
+		s.write(in.Rd, a.shl(uint32(imm)))
+	case isa.SRLI:
+		s.write(in.Rd, a.shr(uint32(imm)))
+	case isa.SRAI:
+		s.write(in.Rd, sraIval(a, cval(uint32(imm)&31)))
+	case isa.SLTI:
+		s.write(in.Rd, ival{0, 1})
+	case isa.LUI:
+		s.write(in.Rd, cval(uint32(imm)<<14))
+
+	case isa.LW, isa.LB, isa.LBU:
+		s.write(in.Rd, topIval)
+
+	case isa.SW, isa.SB:
+		// no register effect
+
+	case isa.JAL, isa.JALR:
+		s.write(in.Rd, cval(uint32(pc+1)))
+
+	case isa.SYS:
+		if isa.Sys(in.Imm) == isa.SysSense {
+			s.write(in.Rd, topIval)
+		}
+	}
+	return s
+}
+
+// immIval is the machine value of a sign-extended immediate: negative
+// immediates wrap to large uint32 values, represented as the exact
+// canonical constant.
+func immIval(imm int32) ival { return cval(uint32(imm)) }
+
+// andIval bounds a bitwise AND. x&y ≤ min(x, y) for values read as
+// unsigned, so two bounded operands bound the result; an AND with a
+// sign-extended mask (negative immediate, e.g. alignment masks) keeps
+// the other operand's upper bound.
+func andIval(a, b ival) ival {
+	if ca, ok := a.isConst(); ok {
+		if cb, ok := b.isConst(); ok {
+			return cval(ca & cb)
+		}
+	}
+	switch {
+	case a.bounded() && b.bounded():
+		return ival{0, min64(a.hi, b.hi)}
+	case a.bounded():
+		return ival{0, a.hi}
+	case b.bounded():
+		return ival{0, b.hi}
+	default:
+		return topIval
+	}
+}
+
+// sraIval handles arithmetic right shift: exact for constants; equal to
+// a logical shift when the value is a non-negative int32.
+func sraIval(a, b ival) ival {
+	sh, ok := b.isConst()
+	if !ok {
+		return topIval
+	}
+	if ca, ok := a.isConst(); ok {
+		return cval(uint32(int32(ca) >> (sh & 31)))
+	}
+	if a.lo >= 0 && a.hi <= maxS32 {
+		return a.shr(sh)
+	}
+	return topIval
+}
+
+// signedDiv and signedRem apply the cpu's signed semantics. The interval
+// shortcuts are only valid when both operands are non-negative int32
+// values (where signed and unsigned agree) and the divisor is a known
+// positive constant; anything else is top.
+func signedDiv(a, b ival) ival {
+	c, ok := b.isConst()
+	if !ok || c == 0 || int64(c) > maxS32 || a.lo < 0 || a.hi > maxS32 {
+		return topIval
+	}
+	return a.divPos(c)
+}
+
+func signedRem(a, b ival) ival {
+	c, ok := b.isConst()
+	if !ok || c == 0 || int64(c) > maxS32 || a.lo < 0 || a.hi > maxS32 {
+		return topIval
+	}
+	return a.remPos(c)
+}
+
+// refineEdge narrows the compared registers of a conditional branch
+// along one outgoing edge. Branches compare Regs[rd] against Regs[rs1].
+// Signed refinement is valid only when both intervals lie in the
+// non-negative int32 range (where the signed and unsigned orders
+// coincide with the interval order); unsigned refinement when both are
+// bounded. An empty refinement means the edge is infeasible under the
+// current approximation — the state passes through unrefined, which is
+// sound (never bottom).
+func refineEdge(s regState, in isa.Instr, kind edgeKind) regState {
+	if !in.Op.IsBranch() {
+		return s
+	}
+	a, b := s.r[in.Rd], s.r[in.Rs1]
+
+	// Map the op+edge to one of: eq, ne, lt (a<b), ge (a≥b).
+	type rel int
+	const (
+		relEQ rel = iota
+		relNE
+		relLT
+		relGE
+	)
+	var r rel
+	signed := false
+	switch in.Op {
+	case isa.BEQ:
+		r = relEQ
+	case isa.BNE:
+		r = relNE
+	case isa.BLT:
+		r, signed = relLT, true
+	case isa.BGE:
+		r, signed = relGE, true
+	case isa.BLTU:
+		r = relLT
+	case isa.BGEU:
+		r = relGE
+	}
+	if kind == edgeFall { // the branch was NOT taken: negate
+		switch r {
+		case relEQ:
+			r = relNE
+		case relNE:
+			r = relEQ
+		case relLT:
+			r = relGE
+		case relGE:
+			r = relLT
+		}
+	}
+
+	orderValid := a.bounded() && b.bounded()
+	if signed {
+		orderValid = a.lo >= 0 && a.hi <= maxS32 && b.lo >= 0 && b.hi <= maxS32
+	}
+
+	// Meet-based equality refinement is only machine-faithful when the
+	// refined side is bounded (its math and machine values coincide) or
+	// top (the meet is just the other side); a partially-wrapped interval
+	// could alias a machine value into the meet window that the math
+	// interval excludes.
+	eqOK := func(self, other ival) bool {
+		return other.bounded() && (self.bounded() || self.isTop())
+	}
+
+	na, nb := a, b
+	okA, okB := true, true
+	switch r {
+	case relEQ:
+		if eqOK(a, b) {
+			na, okA = a.meet(b)
+		}
+		if eqOK(b, a) {
+			nb, okB = b.meet(a)
+		}
+	case relNE:
+		// Only useful when one side is a constant at an endpoint of the
+		// other.
+		if c, ok := b.isConst(); ok {
+			na = trimNE(a, int64(c))
+		}
+		if c, ok := a.isConst(); ok {
+			nb = trimNE(b, int64(c))
+		}
+	case relLT:
+		if !orderValid {
+			return s
+		}
+		na, okA = a.meet(ival{negInf, b.hi - 1})
+		nb, okB = b.meet(ival{a.lo + 1, posInf})
+	case relGE:
+		if !orderValid {
+			return s
+		}
+		na, okA = a.meet(ival{b.lo, posInf})
+		nb, okB = b.meet(ival{negInf, a.hi})
+	}
+	if okA {
+		s.setRefined(in.Rd, na)
+	}
+	if okB {
+		s.setRefined(in.Rs1, nb)
+	}
+	return s
+}
+
+// setRefined narrows a register without touching the uninit bit (a
+// comparison is not an initialization).
+func (s *regState) setRefined(r isa.Reg, v ival) {
+	if r != isa.R0 {
+		s.r[r] = v
+	}
+}
+
+// trimNE removes constant c from interval a when c sits at an endpoint.
+func trimNE(a ival, c int64) ival {
+	if a.lo == c && a.lo < a.hi {
+		return ival{a.lo + 1, a.hi}
+	}
+	if a.hi == c && a.lo < a.hi {
+		return ival{a.lo, a.hi - 1}
+	}
+	return a
+}
+
+// flowResult is the fixpoint output: the abstract state immediately
+// before each reachable instruction.
+type flowResult struct {
+	stateAt []regState
+	reach   []bool // per block
+}
+
+// collectThresholds gathers the widening landing points: every
+// immediate constant in the program (±1, since strict comparisons
+// refine to c−1 or c+1), both sign-extended and in its wrapped uint32
+// machine reading, plus each LUI result. Loop bounds and buffer sizes
+// always enter programs through immediates, so widened induction
+// variables stabilise at exactly the bounds the branch refinements
+// produce instead of blowing out to ±∞.
+func collectThresholds(code []isa.Instr) []int64 {
+	set := map[int64]struct{}{0: {}, 1: {}}
+	put := func(v int64) {
+		set[v-1] = struct{}{}
+		set[v] = struct{}{}
+		set[v+1] = struct{}{}
+	}
+	for _, in := range code {
+		if in.Op.IsRType() {
+			continue
+		}
+		put(int64(in.Imm))
+		put(int64(uint32(in.Imm)))
+		if in.Op == isa.LUI {
+			put(int64(uint32(in.Imm) << 14))
+		}
+	}
+	ts := make([]int64, 0, len(set))
+	for t := range set {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// runFlow computes the fixpoint and recovers per-instruction states.
+func runFlow(g *cfg) *flowResult {
+	n := len(g.blocks)
+	in := make([]regState, n)
+	seen := make([]bool, n)
+	visits := make([]int, n)
+	thresholds := collectThresholds(g.code)
+
+	var work []int
+	push := func(id int) { work = append(work, id) }
+
+	if n > 0 {
+		in[0] = entryState()
+		seen[0] = true
+		push(0)
+	}
+
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		visits[id]++
+
+		b := g.blocks[id]
+		st := in[id]
+		for pc := b.Start; pc < b.End-1; pc++ {
+			st = transfer(st, pc, g.code[pc])
+		}
+		last := b.End - 1
+		lastIn := g.code[last]
+		preTerm := st
+		st = transfer(st, last, lastIn)
+
+		for _, e := range g.succEdges(id) {
+			out := st
+			if lastIn.Op.IsBranch() {
+				out = refineEdge(preTerm, lastIn, e.Kind)
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				in[e.To] = out
+				push(e.To)
+				continue
+			}
+			merged := in[e.To].join(out)
+			if visits[e.To] > widenAfter {
+				merged = in[e.To].widen(merged, thresholds)
+			}
+			if !merged.eq(in[e.To]) {
+				in[e.To] = merged
+				push(e.To)
+			}
+		}
+	}
+
+	// Recover pre-instruction states by replaying each reachable block
+	// from its (stable) in-state.
+	res := &flowResult{
+		stateAt: make([]regState, len(g.code)),
+		reach:   seen,
+	}
+	for id, b := range g.blocks {
+		if !seen[id] {
+			continue
+		}
+		st := in[id]
+		for pc := b.Start; pc < b.End; pc++ {
+			res.stateAt[pc] = st
+			st = transfer(st, pc, g.code[pc])
+		}
+	}
+	return res
+}

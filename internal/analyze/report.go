@@ -1,0 +1,312 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/core"
+	"ehmodel/internal/mem"
+)
+
+// Severity ranks findings.
+type Severity string
+
+// Severities, strongest first.
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warning"
+	SevInfo  Severity = "info"
+)
+
+// Kind identifies a lint rule.
+type Kind string
+
+// Finding kinds.
+const (
+	// KindWARRegion is a write-after-read hazard inside one checkpoint
+	// region: re-execution from the region's checkpoint site re-reads a
+	// value the store already overwrote.
+	KindWARRegion Kind = "war-region"
+	// KindWARBoot is a region hazard reachable before any checkpoint
+	// site has executed, so even the first replay is unsafe.
+	KindWARBoot Kind = "war-before-first-checkpoint"
+	// KindWARGlobal is a Clank-visible hazard: some read of the word
+	// reaches the store with no intervening write, at any dynamic
+	// checkpoint placement. Hardware handles it (at a checkpoint cost).
+	KindWARGlobal Kind = "war-global"
+	// KindDeadStore flags stores to words the program never loads.
+	KindDeadStore Kind = "dead-store"
+	// KindUnreachable flags blocks no path from entry reaches.
+	KindUnreachable Kind = "unreachable"
+	// KindLoopNoBoundary flags loops that store but contain no
+	// checkpoint site: the inter-checkpoint store count is unbounded.
+	KindLoopNoBoundary Kind = "loop-without-checkpoint"
+	// KindUninitRead flags reads of registers that may still hold the
+	// cold-boot corruption pattern.
+	KindUninitRead Kind = "uninit-read"
+	// KindCallConv flags R13–R15 calling-convention misuse.
+	KindCallConv Kind = "calling-convention"
+	// KindBadSys flags undefined SYS codes (the cpu faults on them).
+	KindBadSys Kind = "invalid-sys"
+	// KindBadTarget flags branch/jump targets outside the program.
+	KindBadTarget Kind = "bad-branch-target"
+	// KindOOB flags accesses that cannot land in device memory.
+	KindOOB Kind = "out-of-bounds"
+	// KindMisaligned flags word accesses at non-4-aligned addresses.
+	KindMisaligned Kind = "misaligned"
+)
+
+// Finding is one diagnostic, anchored to an instruction.
+type Finding struct {
+	Kind  Kind     `json:"kind"`
+	Sev   Severity `json:"severity"`
+	PC    int      `json:"pc"`
+	Where string   `json:"where"` // label-relative position
+	Line  string   `json:"line"`  // listing line for PC
+	Msg   string   `json:"msg"`
+}
+
+// LoopInfo summarises one cyclic SCC of the CFG.
+type LoopInfo struct {
+	HeadPC      int  `json:"head_pc"`
+	Blocks      int  `json:"blocks"`
+	Depth       int  `json:"depth"`  // loop-nest depth; 0 = outermost
+	Stores      int  `json:"stores"` // store instructions in the loop body
+	HasBoundary bool `json:"has_boundary"`
+	// Simple is true when the SCC is a single cycle; then CyclesPerIter
+	// prices one iteration with the cpu's cycle table and TauStore is
+	// the static cycles-per-store Eq. 15 consumes.
+	Simple        bool    `json:"simple"`
+	CyclesPerIter uint64  `json:"cycles_per_iter,omitempty"`
+	TauStore      float64 `json:"tau_store,omitempty"`
+}
+
+// RegionStats aggregates the region-scoped (software-checkpointing)
+// pass.
+type RegionStats struct {
+	Hazards        int `json:"hazards"`          // stores with region WAR hazards
+	PeakReadWords  int `json:"peak_read_words"`  // live read-first words; -1 unbounded
+	PeakWriteWords int `json:"peak_write_words"` // distinct stored words; -1 unbounded
+}
+
+// ClankBound is the static tracking-buffer requirement: sizing Clank's
+// read-first/write-first buffers at least this large provably
+// eliminates buffer-overflow checkpoints, because between any two
+// clears the buffers can hold at most the program's access footprint.
+// -1 means unbounded (some access address could not be resolved).
+type ClankBound struct {
+	ReadFirstEntries  int `json:"read_first_entries"`
+	WriteFirstEntries int `json:"write_first_entries"`
+}
+
+// Report is the full analysis result for one program.
+type Report struct {
+	Prog     string    `json:"prog"`
+	Findings []Finding `json:"findings"`
+	// Hazards is the global (Clank-sound) hazard set: every word a
+	// dynamic Clank violation can hit is covered by some entry.
+	Hazards []Hazard `json:"hazards,omitempty"`
+	// RegionHazards is the region-scoped view (cleared at checkpoint
+	// sites).
+	RegionHazards []Hazard    `json:"region_hazards,omitempty"`
+	Region        RegionStats `json:"region"`
+	Clank         ClankBound  `json:"clank"`
+	Loops         []LoopInfo  `json:"loops,omitempty"`
+
+	prog   *asm.Program
+	hazTop bool
+	hazSet map[uint32]struct{}
+	syms   symtab
+}
+
+// HazardWord reports whether the global analysis marks the word
+// containing addr as WAR-hazardous. Dynamic Clank violations must
+// satisfy this — the cross-validation invariant.
+func (r *Report) HazardWord(addr uint32) bool {
+	if r.hazTop {
+		return true
+	}
+	_, ok := r.hazSet[addr&^3]
+	return ok
+}
+
+// TauStore returns the tightest static cycles-per-store over the
+// program's simple store loops — the innermost store loop's period,
+// which is the τ_store Eq. 15 wants. ok is false when no simple store
+// loop exists.
+func (r *Report) TauStore() (float64, bool) {
+	best, found := 0.0, false
+	for _, l := range r.Loops {
+		if l.Simple && l.Stores > 0 && (!found || l.TauStore < best) {
+			best, found = l.TauStore, true
+		}
+	}
+	return best, found
+}
+
+// Eq15Result reports whether a Clank circular-buffer configuration
+// satisfies Eq. 15 of the paper for a target backup period.
+type Eq15Result struct {
+	TauStore   float64 `json:"tau_store"` // static, from the innermost store loop
+	ArrayN     int     `json:"array_n"`
+	BufN       int     `json:"buf_n"`
+	Writeback  int     `json:"writeback"`
+	TauBTarget float64 `json:"tau_b_target"`
+	TauB       float64 `json:"tau_b"` // predicted backup period for BufN
+	NOpt       int     `json:"n_opt"` // buffer size Eq. 15 asks for
+	Satisfied  bool    `json:"satisfied"`
+}
+
+// Eq15 checks a circular-buffer size against Eq. 15 using the static
+// τ_store: (BufN − ArrayN + 1 + writeback)·τ_store = τ_B, satisfied
+// when the predicted τ_B reaches the target.
+func (r *Report) Eq15(arrayN, bufN, writeback int, tauBTarget float64) (Eq15Result, error) {
+	ts, ok := r.TauStore()
+	if !ok {
+		return Eq15Result{}, fmt.Errorf("analyze: %s has no simple store loop to derive τ_store from", r.Prog)
+	}
+	plan, err := core.OptimalCircularBuffer(arrayN, ts, tauBTarget, writeback)
+	if err != nil {
+		return Eq15Result{}, err
+	}
+	res := Eq15Result{
+		TauStore:   ts,
+		ArrayN:     arrayN,
+		BufN:       bufN,
+		Writeback:  writeback,
+		TauBTarget: tauBTarget,
+		TauB:       core.StoresBetweenViolations(bufN, arrayN, writeback) * ts,
+		NOpt:       plan.N,
+	}
+	res.Satisfied = res.TauB >= tauBTarget
+	return res, nil
+}
+
+// Render writes the human-readable report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Prog)
+
+	if len(r.Findings) == 0 {
+		b.WriteString("no findings\n")
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%-7s %-28s %s: %s\n", f.Sev, f.Kind, f.Where, f.Msg)
+		if f.Line != "" {
+			fmt.Fprintf(&b, "        %s\n", f.Line)
+		}
+	}
+
+	fmt.Fprintf(&b, "clank: read-first words %s, write-first words %s\n",
+		countOrUnbounded(r.Clank.ReadFirstEntries), countOrUnbounded(r.Clank.WriteFirstEntries))
+	fmt.Fprintf(&b, "region: %d hazard stores, peak read-first %s, peak stored %s\n",
+		r.Region.Hazards, countOrUnbounded(r.Region.PeakReadWords), countOrUnbounded(r.Region.PeakWriteWords))
+	if ts, ok := r.TauStore(); ok {
+		fmt.Fprintf(&b, "tau_store: %g cycles/store (innermost simple store loop)\n", ts)
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func countOrUnbounded(n int) string {
+	if n < 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// finding builds a Finding with listing context from the program.
+func (r *Report) finding(kind Kind, sev Severity, pc int, format string, args ...any) Finding {
+	f := Finding{Kind: kind, Sev: sev, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	if pc >= 0 && pc < len(r.prog.Code) {
+		f.Where = r.prog.Where(uint32(pc))
+		f.Line = r.prog.LineFor(uint32(pc))
+	}
+	return f
+}
+
+// symtab names data words after the program's symbols.
+type symSpan struct {
+	name      string
+	base, end uint32 // [base, end)
+}
+
+type symtab struct{ spans []symSpan }
+
+// buildSymtab infers symbol extents: each symbol runs to the next
+// symbol in its region, or to the end of the region's image.
+func buildSymtab(p *asm.Program) symtab {
+	type nameAddr struct {
+		name string
+		addr uint32
+	}
+	var syms []nameAddr
+	for n, a := range p.Symbols {
+		syms = append(syms, nameAddr{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	regionEnd := func(a uint32) uint32 {
+		if a >= mem.FRAMBase {
+			return mem.FRAMBase + uint32(len(p.FRAMImage))
+		}
+		return mem.SRAMBase + uint32(len(p.SRAMImage))
+	}
+	var t symtab
+	for i, s := range syms {
+		end := regionEnd(s.addr)
+		if i+1 < len(syms) && syms[i+1].addr < end && syms[i+1].addr >= s.addr {
+			end = syms[i+1].addr
+		}
+		if end < s.addr {
+			end = s.addr
+		}
+		t.spans = append(t.spans, symSpan{s.name, s.addr, end})
+	}
+	return t
+}
+
+// wordName renders a data word address relative to the covering symbol.
+func (t symtab) wordName(w uint32) string {
+	for _, s := range t.spans {
+		if w >= s.base && w < s.end {
+			if w == s.base {
+				return fmt.Sprintf("%s(%#x)", s.name, w)
+			}
+			return fmt.Sprintf("%s+%d(%#x)", s.name, w-s.base, w)
+		}
+	}
+	region := "sram"
+	if w >= mem.FRAMBase {
+		region = "fram"
+	}
+	return fmt.Sprintf("%s:%#x", region, w)
+}
+
+// describeWords renders a hazard's word list compactly.
+func (t symtab) describeWords(h Hazard) string {
+	if h.Top {
+		return "any word"
+	}
+	const maxShown = 4
+	parts := make([]string, 0, maxShown+1)
+	for i, w := range h.Words {
+		if i == maxShown {
+			parts = append(parts, fmt.Sprintf("… %d more", len(h.Words)-maxShown))
+			break
+		}
+		parts = append(parts, t.wordName(w))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -44,6 +44,37 @@ type Program struct {
 	Entry     uint32
 }
 
+// BuildError is an Assemble-time failure. Besides the program name and
+// instruction index it carries the offending instruction's rendered
+// text, so diagnostics show the source line rather than a bare number.
+type BuildError struct {
+	Prog string
+	Site int    // instruction index; -1 when program-wide
+	Line string // rendered instruction at Site; "" when program-wide
+	Msg  string
+}
+
+func (e *BuildError) Error() string {
+	switch {
+	case e.Site < 0:
+		return fmt.Sprintf("asm(%s): %s", e.Prog, e.Msg)
+	case e.Line != "":
+		return fmt.Sprintf("asm(%s): instruction %d `%s`: %s", e.Prog, e.Site, e.Line, e.Msg)
+	default:
+		return fmt.Sprintf("asm(%s): instruction %d: %s", e.Prog, e.Site, e.Msg)
+	}
+}
+
+// buildErr constructs a BuildError for instruction index site, rendering
+// the instruction text when the site is in range.
+func (b *Builder) buildErr(site int, format string, args ...any) *BuildError {
+	line := ""
+	if site >= 0 && site < len(b.code) {
+		line = b.code[site].String()
+	}
+	return &BuildError{Prog: b.name, Site: site, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 // fixupKind distinguishes how a label reference is patched.
 type fixupKind int
 
@@ -348,12 +379,12 @@ func (b *Builder) Assemble() (*Program, error) {
 		return nil, b.err
 	}
 	if len(b.code) == 0 {
-		return nil, fmt.Errorf("asm(%s): empty program", b.name)
+		return nil, b.buildErr(-1, "empty program")
 	}
 	for _, f := range b.fixups {
 		target, ok := b.labels[f.label]
 		if !ok {
-			return nil, fmt.Errorf("asm(%s): undefined label %q", b.name, f.label)
+			return nil, b.buildErr(f.site, "undefined label %q", f.label)
 		}
 		var imm int32
 		switch f.kind {
@@ -363,7 +394,7 @@ func (b *Builder) Assemble() (*Program, error) {
 			imm = int32(target)
 		}
 		if !isa.FitsImm(imm) {
-			return nil, fmt.Errorf("asm(%s): label %q out of immediate range from site %d", b.name, f.label, f.site)
+			return nil, b.buildErr(f.site, "label %q out of immediate range", f.label)
 		}
 		b.code[f.site].Imm = imm
 	}
@@ -371,7 +402,7 @@ func (b *Builder) Assemble() (*Program, error) {
 	for i, in := range b.code {
 		w, err := in.Encode()
 		if err != nil {
-			return nil, fmt.Errorf("asm(%s): instruction %d: %w", b.name, i, err)
+			return nil, b.buildErr(i, "%v", err)
 		}
 		words[i] = w
 	}

@@ -30,15 +30,56 @@ func (p *Program) Listing() string {
 	}
 
 	if len(p.Symbols) > 0 {
-		b.WriteString("symbols:\n")
-		names := make([]string, 0, len(p.Symbols))
-		for n := range p.Symbols {
-			names = append(names, n)
+		b.WriteString(p.symbolTable())
+	}
+	return b.String()
+}
+
+// Where returns a human-readable position for instruction index i: the
+// nearest preceding code label plus offset ("shift+2"), or the bare
+// index when no label precedes i.
+func (p *Program) Where(i uint32) string {
+	best, bestIdx, found := "", uint32(0), false
+	for name, idx := range p.Labels {
+		if idx > i {
+			continue
 		}
-		sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
-		for _, n := range names {
-			fmt.Fprintf(&b, "  %-20s %#x\n", n, p.Symbols[n])
+		// Prefer the closest label; break ties lexicographically so the
+		// rendering is deterministic.
+		if !found || idx > bestIdx || (idx == bestIdx && name < best) {
+			best, bestIdx, found = name, idx, true
 		}
+	}
+	if !found {
+		return fmt.Sprintf("%d", i)
+	}
+	if i == bestIdx {
+		return best
+	}
+	return fmt.Sprintf("%s+%d", best, i-bestIdx)
+}
+
+// LineFor renders instruction i as one source listing line — index,
+// label-relative position, encoding and disassembly — the context text
+// diagnostics embed so findings read like the -list output. Out-of-range
+// indices render as an empty string.
+func (p *Program) LineFor(i uint32) string {
+	if int(i) >= len(p.Code) {
+		return ""
+	}
+	return fmt.Sprintf("%5d (%s)  %08x  %v", i, p.Where(i), p.Words[i], p.Code[i])
+}
+
+func (p *Program) symbolTable() string {
+	var b strings.Builder
+	b.WriteString("symbols:\n")
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-20s %#x\n", n, p.Symbols[n])
 	}
 	return b.String()
 }

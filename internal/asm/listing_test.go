@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -40,5 +41,107 @@ func TestListing(t *testing.T) {
 	// one line per instruction plus headers
 	if lines := strings.Count(out, "\n"); lines < len(p.Code)+3 {
 		t.Errorf("listing too short: %d lines", lines)
+	}
+}
+
+func TestWhere(t *testing.T) {
+	b := New("where")
+	b.Nop() // 0: before any label
+	b.Label("loop")
+	b.Nop() // 1: loop
+	b.Nop() // 2: loop+1
+	b.Label("tail")
+	b.Label("alias") // two labels at the same index: tie breaks to "alias"
+	b.Halt()         // 3
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[uint32]string{
+		0: "0", 1: "loop", 2: "loop+1", 3: "alias",
+	} {
+		if got := p.Where(i); got != want {
+			t.Errorf("Where(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestLineFor: the diagnostic line carries the index, the label-relative
+// position, the encoding and the disassembly text.
+func TestLineFor(t *testing.T) {
+	b := New("line")
+	b.Label("loop")
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Bne(isa.R2, isa.R3, "loop")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := p.LineFor(1)
+	for _, want := range []string{"1", "loop+1", "bne"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("LineFor(1) = %q, missing %q", line, want)
+		}
+	}
+	if got := p.LineFor(uint32(len(p.Code))); got != "" {
+		t.Errorf("out-of-range LineFor = %q, want empty", got)
+	}
+}
+
+// TestBuildErrorContext: Assemble-time failures are *BuildError values
+// whose message embeds the offending instruction's rendered text, not
+// just its index.
+func TestBuildErrorContext(t *testing.T) {
+	b := New("bad")
+	b.Addi(isa.R1, isa.R0, 7)
+	b.Jump("nowhere")
+	_, err := b.Assemble()
+	var be *BuildError
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("expected *BuildError, got %T: %v", err, err)
+	}
+	if be.Site != 1 || be.Prog != "bad" {
+		t.Errorf("site/prog = %d/%q, want 1/%q", be.Site, be.Prog, "bad")
+	}
+	if !strings.Contains(be.Line, "jal") {
+		t.Errorf("Line = %q, want the rendered jal instruction", be.Line)
+	}
+	for _, want := range []string{"nowhere", "jal", "instruction 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+// TestBuildErrorOutOfRangeLabel: a fixup that cannot reach its target
+// reports the branch site with context.
+func TestBuildErrorOutOfRangeLabel(t *testing.T) {
+	b := New("far")
+	b.Jal(isa.R0, "end") // absolute target beyond imm18 range
+	for i := 0; i < isa.ImmMax+2; i++ {
+		b.Nop()
+	}
+	b.Label("end")
+	b.Halt()
+	_, err := b.Assemble()
+	var be *BuildError
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("expected *BuildError, got %T: %v", err, err)
+	}
+	if be.Site != 0 || !strings.Contains(err.Error(), "out of immediate range") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestBuildErrorEmptyProgram: the program-wide case has no site.
+func TestBuildErrorEmptyProgram(t *testing.T) {
+	_, err := New("empty2").Assemble()
+	var be *BuildError
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("expected *BuildError, got %T: %v", err, err)
+	}
+	if be.Site != -1 || be.Line != "" {
+		t.Errorf("program-wide error carries site %d line %q", be.Site, be.Line)
 	}
 }

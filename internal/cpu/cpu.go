@@ -33,6 +33,31 @@ const (
 	cyclesSys    = 1
 )
 
+// CyclesFor returns the cycle cost Step charges for in; taken selects
+// the taken cost for conditional branches. The static analyzer prices
+// paths with it, so it must stay in lockstep with Step's accounting.
+func CyclesFor(in isa.Instr, taken bool) uint64 {
+	switch {
+	case in.Op == isa.MUL:
+		return cyclesMul
+	case in.Op == isa.DIV || in.Op == isa.REM:
+		return cyclesDiv
+	case in.Op.IsLoad() || in.Op.IsStore():
+		return cyclesMem
+	case in.Op.IsBranch():
+		if taken {
+			return cyclesBranch + 1
+		}
+		return cyclesBranch
+	case in.Op == isa.JAL || in.Op == isa.JALR:
+		return cyclesJump
+	case in.Op == isa.SYS:
+		return cyclesSys
+	default:
+		return cyclesALU
+	}
+}
+
 // Access describes one data-memory access made by an instruction.
 type Access struct {
 	Addr  uint32

@@ -399,3 +399,44 @@ func TestArchStateBytes(t *testing.T) {
 		t.Errorf("arch state = %d bytes, want 72 (16 regs + pc + sense)", ArchStateBytes)
 	}
 }
+
+// TestCyclesForMatchesStep executes one instruction of every cost class
+// and checks CyclesFor agrees with what Step actually charged — the
+// lockstep contract the static analyzer's path pricing relies on.
+func TestCyclesForMatchesStep(t *testing.T) {
+	b := asm.New("cycles")
+	b.Seg(asm.SRAM)
+	b.Word("w", 0)
+	b.Li(isa.R1, 1) // addi
+	b.Add(isa.R2, isa.R1, isa.R1)
+	b.Mul(isa.R3, isa.R1, isa.R1)
+	b.Div(isa.R4, isa.R1, isa.R1)
+	b.Rem(isa.R5, isa.R1, isa.R1)
+	b.La(isa.R6, "w")
+	b.Lw(isa.R7, isa.R6, 0)
+	b.Sw(isa.R7, isa.R6, 0)
+	b.Lb(isa.R8, isa.R6, 0)
+	b.Beq(isa.R1, isa.R0, "skip") // not taken
+	b.Beq(isa.R1, isa.R1, "skip") // taken
+	b.Label("skip")
+	b.Jal(isa.LR, "sub")
+	b.Chkpt()
+	b.Halt()
+	b.Label("sub")
+	b.Ret() // jalr
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mem.NewSystem(4096, 4096)
+	c := &Core{}
+	for !c.Halted {
+		st, err := c.Step(p.Code, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CyclesFor(st.Instr, st.Taken); got != st.Cycles {
+			t.Errorf("%v taken=%v: CyclesFor=%d, Step charged %d", st.Instr, st.Taken, got, st.Cycles)
+		}
+	}
+}

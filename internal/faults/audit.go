@@ -251,6 +251,18 @@ func Audit(ctx context.Context, o Options) (*Report, error) {
 // that no crash-consistent recovery existed) — a successful detection,
 // not a violation.
 func auditOne(ctx context.Context, o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c Case) (*Violation, device.FaultReport, bool, error) {
+	return AuditRun(ctx, o, spec.New(), prog, want, c)
+}
+
+// AuditRun runs one faulted schedule of prog under a caller-supplied
+// strategy instance and checks the committed output against want. It is
+// the single-cell core of Audit, exported so callers that need to
+// inspect strategy-side state after the run (e.g. Clank's violation
+// words in the analyzer's cross-validation) can hold on to strat. Zero
+// fields of o pick the same defaults as Audit; c.Seed drives the fault
+// schedule.
+func AuditRun(ctx context.Context, o Options, strat device.Strategy, prog *asm.Program, want []uint32, c Case) (*Violation, device.FaultReport, bool, error) {
+	o.setDefaults()
 	plan := o.Plan
 	plan.Seed = c.Seed
 	inj, err := New(plan)
@@ -268,7 +280,7 @@ func auditOne(ctx context.Context, o Options, spec strategy.Spec, prog *asm.Prog
 		RunTimeout: o.Run.RunTimeout,
 		Interrupt:  runner.Interrupt(ctx),
 	}
-	d, err := device.New(cfg, spec.New())
+	d, err := device.New(cfg, strat)
 	if err != nil {
 		return nil, device.FaultReport{}, false, fmt.Errorf("faults: configuring %s: %w", c, err)
 	}

@@ -165,6 +165,11 @@ func (s Sys) String() string {
 	return fmt.Sprintf("sys(%d)", uint32(s))
 }
 
+// Valid reports whether s is a defined SYS code. The cpu rejects
+// invalid codes at execution time; the static analyzer flags them
+// before a cycle runs.
+func (s Sys) Valid() bool { return s < numSys }
+
 // Instr is one decoded EH32 instruction.
 type Instr struct {
 	Op  Op

@@ -61,6 +61,75 @@ func TestDecodeRejectsInvalidOpcode(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsAllReservedOpcodes sweeps the entire reserved opcode
+// space [numOps, 63]: every word carrying a reserved opcode must be
+// rejected regardless of its operand bits, so a corrupted or
+// hand-corrupted binary can never decode into a runnable instruction.
+func TestDecodeRejectsAllReservedOpcodes(t *testing.T) {
+	for op := uint32(numOps); op < 64; op++ {
+		for _, rest := range []uint32{0, 0x03FFFFFF, 0x02A54321} {
+			w := op<<26 | rest
+			if _, err := Decode(w); err == nil {
+				t.Fatalf("reserved opcode %d in word %#08x accepted", op, w)
+			}
+		}
+	}
+}
+
+// TestDecodeImm18Boundaries pins the sign-extension of the 18-bit
+// immediate at its edge encodings: 0x1FFFF is ImmMax, 0x20000 wraps to
+// ImmMin, 0x3FFFF is −1.
+func TestDecodeImm18Boundaries(t *testing.T) {
+	cases := []struct {
+		payload uint32
+		want    int32
+	}{
+		{0x00000, 0},
+		{0x1FFFF, ImmMax},
+		{0x20000, ImmMin},
+		{0x3FFFF, -1},
+		{0x20001, ImmMin + 1},
+	}
+	for _, c := range cases {
+		w := uint32(ADDI)<<26 | c.payload
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("payload %#x: %v", c.payload, err)
+		}
+		if in.Imm != c.want {
+			t.Errorf("payload %#x decoded imm %d, want %d", c.payload, in.Imm, c.want)
+		}
+	}
+}
+
+// TestDecodeNeverPanics: every possible 32-bit word either decodes or
+// errors — sampled densely across the opcode space with varied operand
+// bits, the decoder must never panic or return an invalid register.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		w := r.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		if !in.Op.Valid() || in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			t.Fatalf("word %#08x decoded to out-of-range fields: %+v", w, in)
+		}
+	}
+}
+
+func TestSysValid(t *testing.T) {
+	for s := SysHalt; s < numSys; s++ {
+		if !s.Valid() {
+			t.Errorf("defined sys code %v reported invalid", s)
+		}
+	}
+	if Sys(numSys).Valid() || Sys(1<<17).Valid() {
+		t.Error("reserved sys code reported valid")
+	}
+}
+
 func TestFitsImm(t *testing.T) {
 	if !FitsImm(0) || !FitsImm(ImmMax) || !FitsImm(ImmMin) {
 		t.Error("in-range values rejected")

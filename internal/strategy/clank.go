@@ -1,6 +1,8 @@
 package strategy
 
 import (
+	"sort"
+
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
@@ -30,6 +32,10 @@ type Clank struct {
 	readFirst  map[uint32]struct{}
 	writeFirst map[uint32]struct{}
 	stats      ClankStats
+	// violated records every word whose store triggered a WAR violation
+	// over the whole run. Like stats it is analysis-side bookkeeping and
+	// survives Reset; the static analyzer's hazard set must cover it.
+	violated map[uint32]struct{}
 }
 
 // ClankStats counts why checkpoints happened. The counters describe
@@ -59,6 +65,18 @@ func (c *Clank) Name() string { return "clank" }
 
 // Stats is exported for the characterization experiments.
 func (c *Clank) Stats() ClankStats { return c.stats }
+
+// ViolationWords returns the sorted set of words whose stores raised
+// WAR violations at any point in the run. The analyze package's
+// cross-validation asserts this is a subset of the static hazard set.
+func (c *Clank) ViolationWords() []uint32 {
+	out := make([]uint32, 0, len(c.violated))
+	for w := range c.violated {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 func (c *Clank) payload() device.Payload {
 	return device.Payload{ArchBytes: c.ArchBytes}
@@ -95,6 +113,10 @@ func (c *Clank) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview)
 			// Write-after-read violation: checkpoint, then track the
 			// store as write-first in the fresh region.
 			c.stats.Violations++
+			if c.violated == nil {
+				c.violated = make(map[uint32]struct{})
+			}
+			c.violated[word] = struct{}{}
 			c.clearAndTrackWrite(word)
 			p := c.payload()
 			return &p

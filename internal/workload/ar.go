@@ -31,6 +31,7 @@ func init() {
 			b.La(isa.R1, "counts")
 			b.Li(isa.R2, uint32(windows))
 			b.Li(isa.R9, 128) // mid-scale
+			b.Chkpt()         // checkpoint site between setup and the first iteration
 
 			b.Label("window")
 			b.TaskBegin()

@@ -23,6 +23,7 @@ func init() {
 			b.La(isa.R1, "count")
 			b.Li(isa.R2, uint32(n))
 			b.Li(isa.R3, 0) // i
+			b.Chkpt()       // checkpoint site between setup and the first iteration
 			b.Label("loop")
 			b.TaskBegin()
 			b.Lw(isa.R4, isa.R1, 0)

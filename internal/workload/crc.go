@@ -56,6 +56,7 @@ func init() {
 			b.Li(isa.R3, uint32(n)) // remaining
 			b.Li(isa.R5, 0xFFFFFFFF)
 			b.Li(isa.R9, crcPoly)
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("outer")
 			b.TaskBegin()

@@ -27,6 +27,7 @@ func init() {
 			b.La(isa.R1, "hist")
 			b.Li(isa.R2, uint32(n))
 			b.Li(isa.R9, 2654435761) // Knuth multiplicative hash
+			b.Chkpt()                // checkpoint site between setup and the first iteration
 
 			b.Label("sample")
 			b.TaskBegin()

@@ -32,6 +32,7 @@ func init() {
 			b.La(isa.R3, "acc")
 			b.Li(isa.R4, uint32(n)) // remaining samples
 			b.Li(isa.R5, 0)         // checksum of filter outputs
+			b.Chkpt()               // checkpoint site between setup and the first iteration
 
 			b.Label("sample")
 			b.TaskBegin()

@@ -52,6 +52,7 @@ func init() {
 			b.La(isa.R2, "B")
 			b.La(isa.R3, "C")
 			b.Li(isa.R12, uint32(reps))
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("rep")
 			b.Li(isa.R11, 0) // checksum

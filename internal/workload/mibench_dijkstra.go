@@ -67,6 +67,7 @@ func init() {
 			b.La(isa.R1, "dist")
 			b.La(isa.R2, "vis")
 			b.Li(isa.R12, uint32(reps))
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("rep")
 			// init: dist[i] = INF, vis[i] = 0, dist[0] = 0

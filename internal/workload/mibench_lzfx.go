@@ -78,6 +78,7 @@ func init() {
 			b.Li(isa.R4, uint32(n-2)) // limit
 			b.Li(isa.R5, 0)           // chk
 			b.Li(isa.R6, 0)           // count
+			b.Chkpt()                 // checkpoint site between setup and the first iteration
 
 			b.Label("loop")
 			b.TaskBegin()

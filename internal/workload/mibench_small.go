@@ -33,6 +33,7 @@ func init() {
 			b.La(isa.R2, "total")
 			b.Li(isa.R3, uint32(n))
 			b.Li(isa.R4, 0) // total
+			b.Chkpt()       // checkpoint site between setup and the first iteration
 
 			b.Label("word")
 			b.TaskBegin()
@@ -123,6 +124,7 @@ func init() {
 			b.La(isa.R2, "sum")
 			b.Li(isa.R3, uint32(n))
 			b.Li(isa.R4, 0) // sum
+			b.Chkpt()       // checkpoint site between setup and the first iteration
 
 			b.Label("pair")
 			b.TaskBegin()

@@ -52,6 +52,7 @@ func init() {
 			b.La(isa.R1, "arr")
 			b.Li(isa.R2, uint32(n))
 			b.Li(isa.R3, 1) // i
+			b.Chkpt()       // checkpoint site between setup and the first iteration
 
 			b.Label("outer")
 			b.TaskBegin()

@@ -64,6 +64,7 @@ func init() {
 			b.Li(isa.R6, 0)                     // count
 			b.Li(isa.R7, 0)                     // chk
 			b.Li(isa.R12, uint32(len(needle)))
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("scan")
 			b.TaskBegin()

@@ -60,6 +60,7 @@ func init() {
 			b.La(isa.R2, "out")
 			b.Li(isa.R9, 0) // checksum
 			b.Li(isa.R12, uint32(passes))
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("pass")
 			b.Li(isa.R3, 1) // y

@@ -25,6 +25,7 @@ func init() {
 			b.La(isa.R2, "log")
 			b.Li(isa.R3, uint32(n)) // remaining
 			b.Li(isa.R4, 0)         // event index
+			b.Chkpt()               // checkpoint site between setup and the first iteration
 
 			b.Label("sample")
 			b.TaskBegin()

@@ -56,6 +56,7 @@ func init() {
 			b.La(isa.R2, "cipher")
 			b.Li(isa.R3, uint32(count))
 			b.Li(isa.R10, rsaN)
+			b.Chkpt() // checkpoint site between setup and the first iteration
 
 			b.Label("msg")
 			b.TaskBegin()
