@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads bench clean
 
-check: fmt vet staticcheck build test-race
+# `test` runs the full suite race-free — including the complete engine
+# equivalence matrix, which self-trims to a representative slice under
+# the race detector (its ~10× slowdown would blow the package timeout).
+# `test-race` then re-runs everything with -race on that slice.
+check: fmt vet staticcheck build test test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -57,6 +61,14 @@ audit-quick:
 lint-workloads:
 	$(GO) run ./cmd/ehlint -golden > results/ehlint_workloads.golden
 	@git diff --stat -- results/ehlint_workloads.golden
+
+# regenerate BENCH_core.json: the execution-engine macro-benchmark
+# (reference vs batched on the counter/bench-supply configuration).
+# CI uploads the file as an artifact; the committed copy is the
+# baseline reviewers diff against.
+bench:
+	EHSIM_BENCH_OUT=$(CURDIR)/BENCH_core.json \
+		$(GO) test ./internal/device/ -run TestWriteBenchJSON -count=1 -v
 
 clean:
 	$(GO) clean ./...

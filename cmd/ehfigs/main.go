@@ -24,6 +24,7 @@ import (
 	"strings"
 	"syscall"
 
+	"ehmodel/internal/device"
 	"ehmodel/internal/experiments"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/textplot"
@@ -35,7 +36,15 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
+	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
 	flag.Parse()
+
+	engine, err := device.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehfigs:", err)
+		os.Exit(2)
+	}
+	device.SetDefaultEngine(engine)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

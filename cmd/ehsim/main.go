@@ -118,7 +118,15 @@ func main() {
 
 	audit := flag.Bool("audit", false, "run the crash-consistency audit sweep (strategy × workload × schedules) instead of a single simulation")
 	auditSchedules := flag.Int("audit-schedules", 10, "failure schedules per strategy × workload cell in -audit mode")
+	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
 	flag.Parse()
+
+	engine, err := device.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(2)
+	}
+	device.SetDefaultEngine(engine)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

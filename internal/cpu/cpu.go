@@ -65,15 +65,17 @@ type Access struct {
 	Store bool
 }
 
-// Step reports what a single executed instruction did.
+// Step reports what a single executed instruction did. It is a plain
+// value: Step and StepN allocate nothing per instruction.
 type Step struct {
-	Instr  isa.Instr
-	Cycles uint64
-	Class  energy.InstrClass
-	Access *Access // nil when no data memory was touched
-	Sys    isa.Sys // valid when HasSys
-	HasSys bool
-	Taken  bool // branch taken / jump executed
+	Instr     isa.Instr
+	Cycles    uint64
+	Class     energy.InstrClass
+	Access    Access  // valid when HasAccess
+	Sys       isa.Sys // valid when HasSys
+	HasSys    bool
+	HasAccess bool // a data-memory access happened
+	Taken     bool // branch taken / jump executed
 }
 
 // Core is the architectural state of one EH32 hart. The zero value is a
@@ -94,10 +96,14 @@ func (c *Core) Snapshot() Core {
 	return cp
 }
 
-// Restore reinstates a snapshot taken by Snapshot.
+// Restore reinstates a snapshot taken by Snapshot. The output buffer is
+// copied once, into the core's existing backing array when it has the
+// capacity — restores run on every reboot of an intermittent device, so
+// the hot path must not allocate.
 func (c *Core) Restore(snap Core) {
+	out := append(c.OutBuf[:0], snap.OutBuf...)
 	*c = snap
-	c.OutBuf = append([]uint32(nil), snap.OutBuf...)
+	c.OutBuf = out
 }
 
 // Reset returns the core to power-on state with corrupted registers,
@@ -141,14 +147,43 @@ func (c *Core) setReg(r isa.Reg, v uint32) {
 // carries the cycle/energy accounting. Executing on a halted core or
 // with the PC outside code is an error.
 func (c *Core) Step(code []isa.Instr, m Memory) (Step, error) {
+	var st Step
+	pc := c.PC
+	if err := c.stepInto(code, m, &st); err != nil {
+		return Step{}, err
+	}
+	// The instruction echo is filled here rather than in stepInto: the
+	// batched engine never reads it, so the hot StepN loop should not
+	// pay the copy on every instruction.
+	st.Instr = code[pc]
+	return st, nil
+}
+
+// StepInto executes one instruction like Step but writes the report
+// into *st — everything except the Instr echo — and allocates nothing.
+// It is the device engines' per-instruction entry point: st lives
+// across calls, so a hot loop keeps a single report buffer instead of
+// copying a Step per instruction.
+func (c *Core) StepInto(code []isa.Instr, m Memory, st *Step) error {
+	return c.stepInto(code, m, st)
+}
+
+// stepInto is the interpreter shared by Step and StepN: it executes one
+// instruction and overwrites *st with its report (everything except the
+// Instr echo, which only the Step wrapper fills). A single body keeps
+// the per-step and batched engines incapable of semantic divergence.
+// On error the core state is unchanged and *st is zeroed.
+func (c *Core) stepInto(code []isa.Instr, m Memory, st *Step) error {
 	if c.Halted {
-		return Step{}, fmt.Errorf("cpu: step on halted core")
+		*st = Step{}
+		return fmt.Errorf("cpu: step on halted core")
 	}
 	if int(c.PC) >= len(code) {
-		return Step{}, fmt.Errorf("cpu: PC %d outside code (%d instructions)", c.PC, len(code))
+		*st = Step{}
+		return fmt.Errorf("cpu: PC %d outside code (%d instructions)", c.PC, len(code))
 	}
 	in := code[c.PC]
-	st := Step{Instr: in, Cycles: cyclesALU, Class: energy.ClassALU}
+	*st = Step{Cycles: cyclesALU, Class: energy.ClassALU}
 	next := c.PC + 1
 
 	rs1 := c.Regs[in.Rs1]
@@ -228,10 +263,12 @@ func (c *Core) Step(code []isa.Instr, m Memory) (Step, error) {
 			size = 1
 		}
 		if err != nil {
-			return Step{}, fmt.Errorf("cpu: pc %d: %w", c.PC, err)
+			*st = Step{}
+			return fmt.Errorf("cpu: pc %d: %w", c.PC, err)
 		}
 		c.setReg(in.Rd, v)
-		st.Access = &Access{Addr: addr, Size: size}
+		st.Access = Access{Addr: addr, Size: size}
+		st.HasAccess = true
 
 	case isa.SW, isa.SB:
 		st.Cycles = cyclesMem
@@ -246,9 +283,11 @@ func (c *Core) Step(code []isa.Instr, m Memory) (Step, error) {
 			size = 1
 		}
 		if err != nil {
-			return Step{}, fmt.Errorf("cpu: pc %d: %w", c.PC, err)
+			*st = Step{}
+			return fmt.Errorf("cpu: pc %d: %w", c.PC, err)
 		}
-		st.Access = &Access{Addr: addr, Size: size, Store: true}
+		st.Access = Access{Addr: addr, Size: size, Store: true}
+		st.HasAccess = true
 
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
 		st.Cycles = cyclesBranch
@@ -302,15 +341,17 @@ func (c *Core) Step(code []isa.Instr, m Memory) (Step, error) {
 		case isa.SysChkpt, isa.SysTaskBegin, isa.SysTaskEnd:
 			// semantics belong to the runtime strategy
 		default:
-			return Step{}, fmt.Errorf("cpu: pc %d: unknown syscall %d", c.PC, in.Imm)
+			*st = Step{}
+			return fmt.Errorf("cpu: pc %d: unknown syscall %d", c.PC, in.Imm)
 		}
 
 	default:
-		return Step{}, fmt.Errorf("cpu: pc %d: unimplemented op %v", c.PC, in.Op)
+		*st = Step{}
+		return fmt.Errorf("cpu: pc %d: unimplemented op %v", c.PC, in.Op)
 	}
 
 	c.PC = next
-	return st, nil
+	return nil
 }
 
 func boolTo(b bool) uint32 {
@@ -344,4 +385,104 @@ func rem32(a, b uint32) uint32 {
 		return 0
 	}
 	return uint32(sa % sb)
+}
+
+// StopReason says why StepN ended a batch.
+type StopReason uint8
+
+const (
+	// StopBudget: the cycle budget is exhausted. The final instruction
+	// may overshoot the budget by up to its own cost minus one cycle
+	// (seven cycles today): StepN starts an instruction whenever the
+	// consumed count is still below the budget, which is exactly the
+	// "fire at the first step at or past the threshold" semantics the
+	// per-step engine has for cycle-counted triggers.
+	StopBudget StopReason = iota
+	// StopSys: the final instruction was a SYS the core halts on or the
+	// caller's stop mask selects. The instruction has executed.
+	StopSys
+	// StopPCRange: the program counter left the code (fell or branched
+	// off the end) before the next fetch. No instruction executed at
+	// the bad PC.
+	StopPCRange
+)
+
+// StepRec is the compact per-instruction record StepN appends to its
+// sink: just what the device needs to replay the energy-accounting
+// sequence of the per-step engine bit for bit. 8 bytes per instruction.
+type StepRec struct {
+	Cycles uint8 // 1..8 today; uint8 leaves headroom
+	Class  uint8 // energy.InstrClass
+	Flags  uint8 // RecAccess | RecStore
+	_      uint8
+	Addr   uint32 // access address, valid when RecAccess
+}
+
+// StepRec flag bits.
+const (
+	RecAccess uint8 = 1 << iota // the instruction touched data memory
+	RecStore                    // ... and the access was a store
+)
+
+// BatchSink receives StepN's per-instruction records. The caller owns
+// Recs and truncates it between batches; StepN only appends, so a sink
+// reused with adequate capacity never allocates.
+type BatchSink struct {
+	Recs []StepRec
+}
+
+// Batch summarizes one StepN call.
+type Batch struct {
+	Cycles uint64 // total cycles consumed by executed instructions
+	Steps  int    // instructions executed
+	Stop   StopReason
+	// HasSys/Sys describe the final executed instruction (not only
+	// StopSys batches: a budget stop can land on an unmasked SYS).
+	HasSys bool
+	Sys    isa.Sys
+}
+
+// StepN executes instructions until the consumed cycles reach budget,
+// appending one StepRec per instruction to sink. It stops early — after
+// executing the instruction — at a halt or at any SYS in the stop mask,
+// and stops before fetching when the PC leaves the code. A memory or
+// decode error returns the batch of the instructions that did execute
+// (the failing one changed no state, exactly like Step) alongside the
+// error. StepN performs no allocation when the sink has capacity.
+func (c *Core) StepN(code []isa.Instr, m Memory, budget uint64, stop isa.SysMask, sink *BatchSink) (Batch, error) {
+	var b Batch
+	var st Step
+	for b.Cycles < budget && !c.Halted {
+		if int(c.PC) >= len(code) {
+			b.Stop = StopPCRange
+			return b, nil
+		}
+		if err := c.stepInto(code, m, &st); err != nil {
+			return b, err
+		}
+		flags := uint8(0)
+		addr := uint32(0)
+		if st.HasAccess {
+			flags = RecAccess
+			if st.Access.Store {
+				flags |= RecStore
+			}
+			addr = st.Access.Addr
+		}
+		sink.Recs = append(sink.Recs, StepRec{
+			Cycles: uint8(st.Cycles),
+			Class:  uint8(st.Class),
+			Flags:  flags,
+			Addr:   addr,
+		})
+		b.Cycles += st.Cycles
+		b.Steps++
+		b.HasSys, b.Sys = st.HasSys, st.Sys
+		if st.HasSys && (c.Halted || stop.Has(st.Sys)) {
+			b.Stop = StopSys
+			return b, nil
+		}
+	}
+	b.Stop = StopBudget
+	return b, nil
 }

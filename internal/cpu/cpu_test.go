@@ -312,10 +312,10 @@ func TestStepAccounting(t *testing.T) {
 		if st.Class != w.class {
 			t.Errorf("step %d: class %v, want %v", i, st.Class, w.class)
 		}
-		if (st.Access != nil) != w.mem {
+		if st.HasAccess != w.mem {
 			t.Errorf("step %d: access %v, want mem=%v", i, st.Access, w.mem)
 		}
-		if st.Access != nil && st.Access.Store != w.store {
+		if st.HasAccess && st.Access.Store != w.store {
 			t.Errorf("step %d: store %v", i, st.Access.Store)
 		}
 	}

@@ -69,6 +69,12 @@ type FaultInjector interface {
 	// before the given consumed-cycle count. The device empties the
 	// capacitor immediately, independent of the harvesting model.
 	PowerCutDue(cycles uint64) bool
+	// NextPowerCut returns the earliest still-pending scheduled cut as an
+	// absolute consumed-cycle count, or NoPowerCut when none is pending.
+	// It must not mutate injector state: the batched engine peeks at it
+	// every batch to clamp the batch so the cut fires on exactly the
+	// instruction the per-step engine would have killed.
+	NextPowerCut() uint64
 	// TearBackup returns the payload word index after which to cut power
 	// during a backup of nWords words, or -1 for no injected tear.
 	TearBackup(nWords int) int
@@ -84,6 +90,10 @@ type FaultInjector interface {
 	// crash-consistency auditor must catch.
 	NaiveCommit() bool
 }
+
+// NoPowerCut is the NextPowerCut result meaning no scheduled supply
+// fault is pending.
+const NoPowerCut = ^uint64(0)
 
 // Checkpoint image layout (32-bit words):
 //

@@ -32,6 +32,8 @@ func (s *stubInjector) BeginRun() { s.tearIdx, s.staleIdx = 0, 0 }
 
 func (s *stubInjector) PowerCutDue(uint64) bool { return false }
 
+func (s *stubInjector) NextPowerCut() uint64 { return NoPowerCut }
+
 func (s *stubInjector) TearBackup(int) int {
 	if s.tearIdx >= len(s.tears) {
 		return -1

@@ -12,6 +12,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"ehmodel/internal/asm"
@@ -76,6 +77,30 @@ type Strategy interface {
 	// FinalPayload is the backup taken when the program halts, which
 	// commits the remaining output.
 	FinalPayload(d *Device) Payload
+	// Horizon is the batched engine's planning hint: the strategy
+	// promises that, starting from the current device state, it will not
+	// request a backup for at least the returned number of executed
+	// cycles — except at a SYS code it declared via SysObserver, where
+	// the engine ends the batch and calls PostStep anyway. Returning
+	// HorizonInfinite means "never on a cycle count" (site- or
+	// SYS-driven strategies); returning 1 opts out of batching entirely
+	// and keeps the exact per-step PreStep/PostStep protocol.
+	//
+	// The contract a Horizon > 1 buys into:
+	//   - PreStep must return nil for every instruction in the window
+	//     (the engine does not call it inside a batch);
+	//   - PostStep is called once per batch with a synthesized Step
+	//     whose Cycles is the whole batch's total and whose HasSys/Sys
+	//     describe only the final instruction, so PostStep may read
+	//     Cycles only as an amount to accumulate, never as "one
+	//     instruction" — and must fire exactly when the per-step engine
+	//     would (the engine ends a batch precisely at the horizon, so a
+	//     cycle-counted trigger crosses on the same instruction);
+	//   - PostStep is not called for a batch that ends in a halt (the
+	//     per-step engine never calls it on the halt instruction
+	//     either), so all volatile strategy state must be rebuilt by
+	//     Boot/Reset rather than carried across a halt attempt.
+	Horizon(d *Device) uint64
 	// ReplaySafe reports whether the runtime guarantees that re-executing
 	// from its last committed checkpoint stays crash-consistent even when
 	// stores to nonvolatile data happened since — via idempotency
@@ -92,9 +117,95 @@ type Strategy interface {
 	Reset()
 }
 
+// HorizonInfinite is the Strategy.Horizon result meaning "no
+// cycle-counted backup trigger exists": the strategy only ever fires at
+// declared SYS sites, or is disarmed.
+const HorizonInfinite = ^uint64(0)
+
+// SysObserver is the optional companion to Strategy.Horizon: a strategy
+// whose PostStep reacts to specific SYS codes (checkpoint sites, task
+// boundaries) declares them so the batched engine ends a batch — and
+// delivers a PostStep — exactly there. Strategies with Horizon > 1 that
+// do not implement SysObserver are conservatively treated as observing
+// every SYS code, which keeps them correct at the price of a batch
+// boundary per SYS instruction.
+type SysObserver interface {
+	ObservedSys() isa.SysMask
+}
+
+// Engine selects the active-phase execution loop.
+type Engine int
+
+const (
+	// EngineDefault (the zero value) resolves to the process-wide
+	// default — batched, unless a CLI overrode it with
+	// SetDefaultEngine. Sweep drivers that build Configs internally
+	// inherit the flag without threading it through every layer.
+	EngineDefault Engine = iota
+	// EngineBatched runs the event-horizon engine: instructions execute
+	// in batches bounded by the next event (power death, strategy
+	// trigger, scheduled fault, poll chunk) and accounting settles once
+	// per batch by replaying the per-step energy sequence bit for bit.
+	EngineBatched
+	// EngineReference runs the original per-instruction loop. Results
+	// are byte-identical to EngineBatched (the equivalence oracle test
+	// proves it); keep it as the trust anchor and for A/B timing.
+	EngineReference
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineDefault:
+		return "default"
+	case EngineBatched:
+		return "batched"
+	case EngineReference:
+		return "reference"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a CLI flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "batched":
+		return EngineBatched, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return EngineDefault, fmt.Errorf("device: unknown engine %q (want batched or reference)", s)
+}
+
+// defaultEngine is what EngineDefault resolves to; batched unless a CLI
+// overrides it once at startup.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine sets the engine EngineDefault resolves to. Call it
+// once, before any devices run — it exists so a single -engine flag can
+// steer sweep drivers that assemble their Configs many layers down.
+func SetDefaultEngine(e Engine) {
+	defaultEngine.Store(int32(e))
+}
+
+func (e Engine) resolve() Engine {
+	if e != EngineDefault {
+		return e
+	}
+	if d := Engine(defaultEngine.Load()); d != EngineDefault {
+		return d
+	}
+	return EngineBatched
+}
+
 // Config assembles a device.
 type Config struct {
 	Prog *asm.Program
+
+	// Engine picks the active-phase loop; the zero value follows the
+	// process default (batched). See EngineBatched/EngineReference.
+	Engine Engine
 
 	SRAMSize int // bytes; default 8 KiB
 	FRAMSize int // bytes; default 256 KiB
@@ -202,6 +313,9 @@ func (c *Config) Validate() error {
 	if c.RunTimeout < 0 {
 		return fmt.Errorf("device: RunTimeout %v must be ≥ 0", c.RunTimeout)
 	}
+	if c.Engine < EngineDefault || c.Engine > EngineReference {
+		return fmt.Errorf("device: unknown engine %d", int(c.Engine))
+	}
 	return nil
 }
 
@@ -259,6 +373,14 @@ type Device struct {
 	runStart  time.Time
 	sincePoll uint64
 
+	// Batched-engine state (run.go): the resolved engine, the SYS codes
+	// that end a batch, the reusable per-batch record sink, and the
+	// worst-case active energy per cycle the event-horizon math uses.
+	engine  Engine
+	stopSys isa.SysMask
+	sink    cpu.BatchSink
+	maxEPC  float64
+
 	// per-period running counters
 	period        PeriodStats
 	sinceCommit   uint64  // executed cycles not yet committed by a backup
@@ -310,6 +432,14 @@ func New(cfg Config, s Strategy) (*Device, error) {
 			return nil, err
 		}
 		d.cache = cache
+	}
+	d.engine = cfg.Engine.resolve()
+	d.maxEPC = math.Max(cfg.Power.EnergyPerCycle(energy.ClassALU),
+		cfg.Power.EnergyPerCycle(energy.ClassMem))
+	if so, ok := s.(SysObserver); ok {
+		d.stopSys = so.ObservedSys()
+	} else {
+		d.stopSys = isa.AllSys
 	}
 	s.Attach(d)
 	return d, nil
@@ -373,6 +503,42 @@ func (d *Device) BackupCost(p Payload) float64 {
 // exists. Under fault injection this can revert to false when both
 // checkpoint slots are corrupted and the device cold-restarts.
 func (d *Device) HasCheckpoint() bool { return d.hasCkpt }
+
+// CyclesAboveEnergy returns a conservative count of cycles the device
+// can execute before its stored energy (above VOff) could drop to
+// target: worst active class, harvesting ignored, and a slack margin
+// subtracted to swallow floating-point drift. Threshold strategies use
+// it as their Horizon — the guarantee is one-sided: the true crossing
+// never happens sooner, so a batch bounded by it cannot skip past the
+// step where the per-step engine would have fired.
+func (d *Device) CyclesAboveEnergy(target float64) uint64 {
+	if d.maxEPC <= 0 {
+		return HorizonInfinite
+	}
+	avail := d.StoredEnergy() - target
+	if avail <= 0 {
+		return 0
+	}
+	n := avail / d.maxEPC
+	if n >= 1<<62 {
+		return HorizonInfinite
+	}
+	return horizonSlack(uint64(n))
+}
+
+// horizonSlack shaves a safety margin off a conservatively computed
+// cycle horizon: 64 cycles absolute (covering the ≤ 7-cycle instruction
+// overshoot many times over) plus 2⁻¹⁶ relative (orders of magnitude
+// above the ~2⁻⁵² relative error a batch's float arithmetic can
+// accumulate). Horizons at or below the margin round down to zero,
+// which the engine treats as "per-step territory".
+func horizonSlack(n uint64) uint64 {
+	slack := 64 + n>>16
+	if n <= slack {
+		return 0
+	}
+	return n - slack
+}
 
 func (d *Device) transferCycles(bytes int, sigma float64) uint64 {
 	if bytes <= 0 {

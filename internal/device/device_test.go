@@ -24,6 +24,7 @@ func (nullStrategy) PostStep(*Device, cpu.Step) *Payload                { return
 func (nullStrategy) FinalPayload(*Device) Payload                       { return Payload{ArchBytes: cpu.ArchStateBytes} }
 func (nullStrategy) ReplaySafe() bool                                   { return true }
 func (nullStrategy) Reset()                                             {}
+func (nullStrategy) Horizon(*Device) uint64                             { return 1 }
 
 // intervalStrategy backs up (registers only) every k executed cycles.
 type intervalStrategy struct {

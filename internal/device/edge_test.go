@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"testing"
 
 	"ehmodel/internal/asm"
@@ -98,13 +99,29 @@ func TestRunawayProgramIsAnError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := fixedConfig(t, prog, 1.0)
-	d, err := New(cfg, nullStrategy{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := d.Run(); err == nil {
-		t.Fatal("runaway PC should error")
+	for _, eng := range []Engine{EngineReference, EngineBatched} {
+		cfg := fixedConfig(t, prog, 1.0)
+		cfg.Engine = eng
+		d, err := New(cfg, nullStrategy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = d.Run()
+		if err == nil {
+			t.Fatalf("%v: runaway PC should error", eng)
+		}
+		// The error is typed so sweep reports can classify it as a
+		// program bug (see runner.Errors.Summary) and name the culprit.
+		var perr *ProgramError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%v: want *ProgramError, got %T: %v", eng, err, err)
+		}
+		if perr.Program != "runaway" {
+			t.Errorf("%v: Program = %q, want %q", eng, perr.Program, "runaway")
+		}
+		if perr.PC != 1 {
+			t.Errorf("%v: PC = %d, want 1 (one instruction past the single Nop)", eng, perr.PC)
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+	"ehmodel/internal/mem"
+)
+
+// Fused settle path.
+//
+// The equivalence contract forces both engines to replay the exact
+// per-instruction energy sequence — one capacitor draw and one square
+// root per instruction, in program order — so settlement is a serial
+// floating-point dependency chain whose latency (subtract, divide,
+// square root, two multiplies: ~40 cycles on current x86) rivals the
+// cost of interpreting the instruction itself. Run as two separate
+// loops (interpret a batch, then settle its records) the two costs
+// add. Run as one loop they overlap: the chain occupies only a
+// handful of floating-point units, and an out-of-order core executes
+// the next instruction's integer interpreter work — decode switch,
+// register file, memory model — entirely in the shadow of the
+// previous instruction's divide/sqrt latency. The fusion is
+// instruction-level parallelism, not threads, so it works on a
+// single-CPU host and adds no synchronization, no deferred state and
+// no extra gating: after every instruction the device state is as
+// current as the reference engine's.
+//
+// Two algebraic rewrites shorten the chain; both are bit-identical to
+// the reference expressions, not approximations:
+//
+//   - v = sqrt(e2/hc) with hc = 0.5*c replaces sqrt(2*e2/c).
+//     Halving and doubling are exact in binary floating point, so
+//     both forms perform one correctly-rounded division of the same
+//     real value 2·e2/c and yield the same bits.
+//   - eBefore is carried across instructions instead of recomputed.
+//     The reference evaluates 0.5*c*v*v twice per step with the same
+//     operands (once for pendingE, once as the next step's eBefore);
+//     one evaluation reused is the same bits by determinism of the
+//     operations.
+func (d *Device) fusedBatch(code []isa.Instr, budget uint64) (cpu.Batch, error) {
+	var (
+		b  cpu.Batch
+		st cpu.Step
+
+		m     = d.mem
+		stop  = d.stopSys
+		hc    = 0.5 * d.cap.C
+		voff  = d.cfg.VOff
+		cp    = d.cfg.Power.CyclePeriod()
+		v     = d.cap.Voltage()
+		eb    = hc * v * v // 0.5*c*v*v, carried instruction to instruction
+		timeS = d.timeS
+		pend  = d.pendingE
+		fram  uint64
+	)
+	var epc [energy.NumClasses]float64
+	for cl := range epc {
+		epc[cl] = d.cfg.Power.EnergyPerCycle(energy.InstrClass(cl))
+	}
+
+	writeback := func() {
+		d.cap.SetVoltage(v)
+		d.timeS = timeS
+		d.pendingE = pend
+		d.framWrites += fram
+		d.cycles += b.Cycles
+		d.sinceCommit += b.Cycles
+		d.execSinceBkup += b.Cycles
+	}
+
+	for b.Cycles < budget && !d.core.Halted {
+		if int(d.core.PC) >= len(code) {
+			b.Stop = cpu.StopPCRange
+			writeback()
+			return b, nil
+		}
+		if err := d.core.StepInto(code, m, &st); err != nil {
+			// The failing instruction mutated nothing; the settled
+			// prefix leaves the device exactly where the reference
+			// engine errors out.
+			writeback()
+			return b, err
+		}
+		if st.HasAccess && st.Access.Store && m.Region(st.Access.Addr) == mem.RegionFRAM {
+			fram++
+		}
+		n := float64(st.Cycles)
+		timeS += n * cp
+		e2 := eb - n*epc[st.Class]
+		if e2 <= 0 {
+			d.framWrites += fram
+			return b, errBatchOverrun()
+		}
+		v = math.Sqrt(e2 / hc)
+		if v < voff {
+			d.framWrites += fram
+			return b, errBatchOverrun()
+		}
+		eNext := hc * v * v
+		pend += eb - eNext
+		eb = eNext
+		b.Cycles += st.Cycles
+		b.Steps++
+		b.HasSys, b.Sys = st.HasSys, st.Sys
+		if st.HasSys && (d.core.Halted || stop.Has(st.Sys)) {
+			b.Stop = cpu.StopSys
+			break
+		}
+	}
+	writeback()
+	return b, nil
+}
+
+// errBatchOverrun is the engine-bug report for a batch the budget
+// should have protected dying mid-flight (see settleBatch).
+func errBatchOverrun() error {
+	return fmt.Errorf("device: internal: batch overran its energy horizon")
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package device_test
+
+// raceEnabled mirrors the -race build tag so the equivalence oracle can
+// size its matrix: the detector instruments every load and store in the
+// settle loop, slowing full-matrix runs roughly an order of magnitude.
+const raceEnabled = true

@@ -65,12 +65,50 @@ func (e *DeadlineError) Error() string {
 // Is reports ErrDeadlineExceeded as the sentinel this error wraps.
 func (e *DeadlineError) Is(target error) bool { return target == ErrDeadlineExceeded }
 
-// pollBatchCycles amortizes the interrupt/deadline check: the wall
-// clock is read only once per this many simulated cycles (or charge
-// iterations), so polling costs nothing measurable and — critically —
-// never perturbs simulation state. Coarse is the point: a deadline is
-// a guard against wedged sweeps, not a precision timer.
-const pollBatchCycles = 1 << 16
+// ProgramError reports a program whose control flow left the code: the
+// PC fell (or branched) past the last instruction without halting. It
+// is a program bug, not a power event — the runner's failure summary
+// classifies it separately from deadlines and panics so a sweep report
+// points at the workload rather than the harness.
+type ProgramError struct {
+	// PC is the out-of-range program counter; Program names the
+	// offending workload build.
+	PC      uint32
+	Program string
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("device: PC %d ran off the end of %q", e.PC, e.Program)
+}
+
+// Interrupt/deadline poll pacing. pollInterrupt only runs the real
+// check (wall clock + context hook) once per pollBatchCycles credited
+// work units; the pollCredit* constants are how much work each loop
+// credits per iteration. Together they set the deadline resolution:
+// a loop crediting n units per iteration discovers an expired deadline
+// at worst ⌈pollBatchCycles/n⌉ iterations late. Larger credits mean
+// coarser resolution but a cheaper loop — and since the charge phase's
+// iterations integrate up to 50 ms of simulated time each (versus one
+// instruction in the active phase, or a 64-cycle sleep chunk), each
+// loop gets its own credit so the worst-case delay between real checks
+// stays comparable across phases. None of this ever perturbs
+// simulation state; coarse is the point — a deadline is a guard
+// against wedged sweeps, not a precision timer.
+const (
+	// pollBatchCycles is the real-check period in credited work units.
+	pollBatchCycles = 1 << 16
+	// pollCreditPeriod is credited once per active period by Run, so
+	// strategies thrashing through thousands of near-empty periods
+	// still reach the check about every 64 periods.
+	pollCreditPeriod = 1024
+	// pollCreditCharge is credited per charge-phase integration step;
+	// a dying source spins these ~200 µs-to-50 ms steps for up to an
+	// hour of simulated time, hitting the check every 256 iterations.
+	pollCreditCharge = 256
+	// pollCreditIdle matches idleToDeath's burn chunk: the sleep loop
+	// credits its own 64 consumed cycles, checking every 1024 chunks.
+	pollCreditIdle = 64
+)
 
 // pollInterrupt credits n simulated work units and, once a batch has
 // accumulated, runs the real check: the Interrupt hook first (context
@@ -118,7 +156,7 @@ func (d *Device) Run() (*Result, error) {
 	for len(d.result.Periods) < d.cfg.MaxPeriods && d.cycles < d.cfg.MaxCycles && !d.halted {
 		// Credit a nominal batch per period so strategies that thrash
 		// through thousands of near-empty periods still hit the check.
-		if err := d.pollInterrupt(1024); err != nil {
+		if err := d.pollInterrupt(pollCreditPeriod); err != nil {
 			return nil, err
 		}
 		if err := d.chargePhase(); err != nil {
@@ -158,7 +196,7 @@ func (d *Device) chargePhase() error {
 	for d.cap.Voltage() < d.cfg.VOn {
 		// The charge loop can spin for up to maxChargeS of simulated
 		// time on a dying source; poll so a deadline can cut it short.
-		if err := d.pollInterrupt(256); err != nil {
+		if err := d.pollInterrupt(pollCreditCharge); err != nil {
 			return err
 		}
 		need := d.cap.UsableEnergy(d.cfg.VOn, d.cap.Voltage())
@@ -264,59 +302,184 @@ func previewAccess(in isa.Instr, c *cpu.Core) AccessPreview {
 	}
 }
 
+// Batched-engine tuning. The batch budget is the distance to the
+// nearest *event* — strategy trigger, possible brown-out, scheduled
+// fault, run limit — so inside a batch nothing can observably happen
+// and the engine may execute instructions back to back.
+const (
+	// minBatchCycles is the smallest budget worth batching: below it the
+	// engine runs the exact per-step protocol. It must comfortably
+	// exceed the ≤ 7-cycle instruction overshoot so per-step territory
+	// is entered strictly before any event can fire.
+	minBatchCycles = 32
+	// maxBatchCycles caps one batch (and the record sink it fills) so a
+	// long event-free stretch still settles accounting and polls the
+	// interrupt hook at a bounded latency.
+	maxBatchCycles = 1 << 14
+	// cutGuard is slack between a batch's end and the next scheduled
+	// power cut; it must exceed the instruction overshoot so the cut
+	// always fires in per-step mode, on the exact instruction the
+	// reference engine kills.
+	cutGuard = 8
+)
+
 // activePhase executes instructions until power failure, completion, or
 // a cycle budget stop. A nil error covers all three; errors are
-// program/simulator bugs.
+// program/simulator bugs. The work happens in one of two engines that
+// produce byte-identical results (see TestEngineEquivalence): the
+// reference per-instruction loop, and the batched event-horizon loop.
+// The cache model is inherently per-access, so cache configs always run
+// the reference loop.
 func (d *Device) activePhase() error {
+	if d.engine == EngineReference || d.cache != nil {
+		return d.activePhaseReference()
+	}
+	return d.activePhaseBatched()
+}
+
+// activePhaseReference is the original per-instruction loop, kept as
+// the trust anchor the batched engine is proven against.
+func (d *Device) activePhaseReference() error {
 	code := d.cfg.Prog.Code
 	for d.cycles < d.cfg.MaxCycles {
 		if int(d.core.PC) >= len(code) {
-			return fmt.Errorf("device: PC %d ran off the end of %q", d.core.PC, d.cfg.Prog.Name)
+			return &ProgramError{PC: d.core.PC, Program: d.cfg.Prog.Name}
 		}
-		in := code[d.core.PC]
-
-		// Pre-instruction backup (idempotency violations etc.).
-		if p := d.strat.PreStep(d, in, previewAccess(in, d.core)); p != nil {
-			if !d.backup(*p) {
-				return nil // power failed during backup
-			}
-			if p.ThenSleep {
-				return d.idleToDeath()
-			}
-		}
-
-		st, err := d.core.Step(code, d.mem)
-		if err != nil {
+		done, err := d.stepOnce(code)
+		if done || err != nil {
 			return err
 		}
-		if st.Access != nil && st.Access.Store && d.mem.Region(st.Access.Addr) == mem.RegionFRAM {
-			d.framWrites++
+	}
+	return nil
+}
+
+// stepOnce runs the full per-instruction protocol for one instruction:
+// PreStep, execute, settle accounting, halt handling, PostStep. It
+// reports done when the active phase must end (power failure, halt,
+// post-backup sleep) — with a nil error in all three cases.
+func (d *Device) stepOnce(code []isa.Instr) (done bool, err error) {
+	in := code[d.core.PC]
+
+	// Pre-instruction backup (idempotency violations etc.).
+	if p := d.strat.PreStep(d, in, previewAccess(in, d.core)); p != nil {
+		if !d.backup(*p) {
+			return true, nil // power failed during backup
 		}
-		cycles := st.Cycles
-		if d.cache != nil && st.Access != nil {
-			cycles += d.cachePenalty(st.Access)
+		if p.ThenSleep {
+			return true, d.idleToDeath()
 		}
-		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
-		alive := d.consume(cycles, st.Class)
-		d.sinceCommit += cycles
-		d.execSinceBkup += cycles
-		d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
-		if err := d.pollInterrupt(cycles); err != nil {
-			return err
+	}
+
+	st, err := d.core.Step(code, d.mem)
+	if err != nil {
+		return true, err
+	}
+	if st.HasAccess && st.Access.Store && d.mem.Region(st.Access.Addr) == mem.RegionFRAM {
+		d.framWrites++
+	}
+	cycles := st.Cycles
+	if d.cache != nil && st.HasAccess {
+		cycles += d.cachePenalty(st.Access)
+	}
+	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+	alive := d.consume(cycles, st.Class)
+	d.sinceCommit += cycles
+	d.execSinceBkup += cycles
+	d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+	if err := d.pollInterrupt(cycles); err != nil {
+		return true, err
+	}
+	if !alive {
+		return true, nil // power failure: pending work becomes dead
+	}
+
+	if st.HasSys && st.Sys == isa.SysHalt {
+		if d.backup(d.strat.FinalPayload(d)) {
+			d.halted = true
 		}
-		if !alive {
-			return nil // power failure: pending work becomes dead
+		return true, nil // committed → done; failed → retry next period
+	}
+
+	// Post-instruction backup (timers, checkpoint sites, task ends).
+	if p := d.strat.PostStep(d, st); p != nil {
+		if !d.backup(*p) {
+			return true, nil
+		}
+		if p.ThenSleep {
+			return true, d.idleToDeath()
+		}
+	}
+	return false, nil
+}
+
+// activePhaseBatched is the event-horizon engine. Each iteration sizes
+// a batch that provably contains no event — the strategy's declared
+// horizon, the conservative brown-out horizon, the next scheduled fault
+// and the run limits all lie at or beyond its end — executes it, then
+// delivers the single synthesized PostStep the Horizon contract
+// promises. On a clean bench supply the batch runs in fusedBatch,
+// which interleaves the per-step energy sequence with interpretation
+// (fused.go); under a harvester or fault injector it runs in one
+// cpu.StepN call whose records settleBatch replays through the full
+// consume() protocol. Both settle modes reproduce the reference
+// engine's floating-point sequence bit for bit. When the nearest
+// event is closer than minBatchCycles the engine falls back to
+// stepOnce, so every event (trigger, brown-out, power cut, halt)
+// fires in exact per-step mode on the same instruction as the
+// reference engine.
+func (d *Device) activePhaseBatched() error {
+	code := d.cfg.Prog.Code
+	fused := d.cfg.Harvester == nil && d.inj == nil
+	for d.cycles < d.cfg.MaxCycles {
+		if int(d.core.PC) >= len(code) {
+			return &ProgramError{PC: d.core.PC, Program: d.cfg.Prog.Name}
+		}
+		budget := d.batchBudget()
+		if budget < minBatchCycles {
+			done, err := d.stepOnce(code)
+			if done || err != nil {
+				return err
+			}
+			continue
 		}
 
-		if st.HasSys && st.Sys == isa.SysHalt {
+		var b cpu.Batch
+		var stepErr error
+		if fused {
+			b, stepErr = d.fusedBatch(code, budget)
+		} else {
+			if d.sink.Recs == nil {
+				d.sink.Recs = make([]cpu.StepRec, 0, maxBatchCycles)
+			}
+			d.sink.Recs = d.sink.Recs[:0]
+			b, stepErr = d.core.StepN(code, d.mem, budget, d.stopSys, &d.sink)
+			if b.Steps > 0 {
+				if err := d.settleBatch(d.sink.Recs); err != nil {
+					return err
+				}
+			}
+		}
+		if b.Steps > 0 {
+			if err := d.pollInterrupt(b.Cycles); err != nil {
+				return err
+			}
+		}
+		if stepErr != nil {
+			// The failing instruction mutated nothing (cpu.Step is
+			// transactional), so the settled prefix leaves the device
+			// exactly where the reference engine errors out.
+			return stepErr
+		}
+
+		if d.core.Halted {
 			if d.backup(d.strat.FinalPayload(d)) {
 				d.halted = true
 			}
-			return nil // committed → done; failed → retry next period
+			return nil
 		}
 
-		// Post-instruction backup (timers, checkpoint sites, task ends).
-		if p := d.strat.PostStep(d, st); p != nil {
+		// One synthesized PostStep per batch (see Strategy.Horizon).
+		if p := d.strat.PostStep(d, cpu.Step{Cycles: b.Cycles, Sys: b.Sys, HasSys: b.HasSys}); p != nil {
 			if !d.backup(*p) {
 				return nil
 			}
@@ -328,10 +491,84 @@ func (d *Device) activePhase() error {
 	return nil
 }
 
+// batchBudget returns how many cycles the engine may execute before the
+// next possible event. Anything below minBatchCycles means "per-step
+// territory".
+func (d *Device) batchBudget() uint64 {
+	// Strategy horizon first: it is cheap, and a per-step strategy
+	// (Horizon 1) must not pay for the energy math below.
+	budget := d.strat.Horizon(d)
+	if budget < minBatchCycles {
+		return budget
+	}
+	// Conservative brown-out horizon: worst active class, no harvest
+	// credit, slack for float drift — the supply cannot die inside it.
+	if h := d.CyclesAboveEnergy(0); h < budget {
+		budget = h
+	}
+	if budget < minBatchCycles {
+		return budget
+	}
+	// Run limit: an instruction starts only while cycles < MaxCycles,
+	// which is exactly the reference loop's per-step condition.
+	if rem := d.cfg.MaxCycles - d.cycles; rem < budget {
+		budget = rem
+	}
+	if budget > maxBatchCycles {
+		budget = maxBatchCycles
+	}
+	// Scheduled supply faults: stop the batch short of the next cut so
+	// the cut fires in per-step mode on the reference instruction.
+	if d.inj != nil {
+		if cut := d.inj.NextPowerCut(); cut != NoPowerCut {
+			if cut <= d.cycles+cutGuard {
+				return 0
+			}
+			if rem := cut - d.cycles - cutGuard; rem < budget {
+				budget = rem
+			}
+		}
+	}
+	return budget
+}
+
+// settleBatch applies a StepN batch's accounting by replaying the
+// recorded per-step sequence through the full consume() protocol in
+// the reference engine's exact order — FRAM store count, then energy
+// draw (with harvest credit and fault checks), then the progress
+// counters, step by step — so every floating-point operation happens
+// with the same operands and in the same association as the
+// per-instruction loop. Clean bench supplies never come here: their
+// batches run fused with interpretation (fused.go).
+//
+// The batch budget guarantees the supply survives every step (see
+// batchBudget); a mid-batch death would mean instructions executed that
+// the reference engine never ran, so it is reported as an engine bug
+// rather than a power failure.
+func (d *Device) settleBatch(recs []cpu.StepRec) error {
+	var total uint64
+	for _, r := range recs {
+		if r.Flags&cpu.RecStore != 0 && d.mem.Region(r.Addr) == mem.RegionFRAM {
+			d.framWrites++
+		}
+		n := uint64(r.Cycles)
+		eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
+		alive := d.consume(n, energy.InstrClass(r.Class))
+		d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+		total += n
+		if !alive {
+			return errBatchOverrun()
+		}
+	}
+	d.sinceCommit += total
+	d.execSinceBkup += total
+	return nil
+}
+
 // cachePenalty simulates the access in the cache model and returns the
 // stall cycles it adds: a block fill from FRAM on a miss, plus a
 // writeback on a dirty eviction.
-func (d *Device) cachePenalty(acc *cpu.Access) uint64 {
+func (d *Device) cachePenalty(acc cpu.Access) uint64 {
 	hit, writeback := d.cache.Access(acc.Addr, acc.Store)
 	var extra uint64
 	if !hit {
@@ -380,7 +617,7 @@ func (d *Device) backup(p Payload) bool {
 // that sustains the idle draw would otherwise spin to MaxCycles, so
 // the sleep polls the interrupt/deadline check too.
 func (d *Device) idleToDeath() error {
-	const chunk = 64
+	const chunk = pollCreditIdle
 	for d.cycles < d.cfg.MaxCycles {
 		if err := d.pollInterrupt(chunk); err != nil {
 			return err

@@ -17,6 +17,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the number of defined instruction classes, for callers
+// that precompute per-class lookup tables.
+const NumClasses = int(numClasses)
+
 func (c InstrClass) String() string {
 	switch c {
 	case ClassALU:

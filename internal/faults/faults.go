@@ -137,6 +137,20 @@ func (i *Injector) PowerCutDue(cycles uint64) bool {
 	return due
 }
 
+// NextPowerCut implements device.FaultInjector: peek at the earliest
+// pending cut (deterministic schedule or the pre-drawn random cut)
+// without advancing either.
+func (i *Injector) NextPowerCut() uint64 {
+	next := device.NoPowerCut
+	if i.cutIdx < len(i.cuts) {
+		next = i.cuts[i.cutIdx]
+	}
+	if i.nextRnd > 0 && i.nextRnd < next {
+		next = i.nextRnd
+	}
+	return next
+}
+
 // TearBackup implements device.FaultInjector. The tear point is sampled
 // geometrically: each word write independently survives with probability
 // 1-p, and the first failure inside the image tears the backup there.

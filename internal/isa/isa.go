@@ -170,6 +170,36 @@ func (s Sys) String() string {
 // before a cycle runs.
 func (s Sys) Valid() bool { return s < numSys }
 
+// SysMask is a bit set over SYS codes. The batched execution engine
+// uses one to decide which SYS instructions end a batch: a strategy
+// that only reacts to checkpoint sites or task boundaries declares
+// those codes, and every other SYS executes inline.
+type SysMask uint32
+
+// AllSys has every defined SYS code set — the conservative mask for
+// strategies that do not declare what they observe.
+const AllSys SysMask = 1<<numSys - 1
+
+// Mask returns the mask bit for s (zero for invalid codes).
+func (s Sys) Mask() SysMask {
+	if !s.Valid() {
+		return 0
+	}
+	return 1 << s
+}
+
+// MaskOf builds the mask with the given codes set.
+func MaskOf(ss ...Sys) SysMask {
+	var m SysMask
+	for _, s := range ss {
+		m |= s.Mask()
+	}
+	return m
+}
+
+// Has reports whether s is in the mask.
+func (m SysMask) Has(s Sys) bool { return m&s.Mask() != 0 }
+
 // Instr is one decoded EH32 instruction.
 type Instr struct {
 	Op  Op

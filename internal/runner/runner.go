@@ -22,11 +22,15 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
+
+	"ehmodel/internal/device"
 )
 
 // Options configures a sweep execution. The zero value runs with
@@ -135,12 +139,50 @@ func (e Errors) FailedSet() map[int]bool {
 }
 
 // Summary is a one-line account of the failures sized for a figure
-// note: how many of the sweep's points failed and why the first did.
+// note: how many of the sweep's points failed, a breakdown by kind
+// (program bugs, panics, deadlines, stalled supplies, cancellations),
+// and why the first one did, verbatim, for replay.
 func (e Errors) Summary(total int) string {
 	if len(e) == 0 {
 		return fmt.Sprintf("all %d points ok", total)
 	}
-	return fmt.Sprintf("%d/%d points failed and were dropped; first: %s", len(e), total, e[0].Error())
+	counts := make(map[string]int)
+	var order []string
+	for _, re := range e {
+		k := errKind(re.Err)
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+	}
+	return fmt.Sprintf("%d/%d points failed (%s) and were dropped; first: %s",
+		len(e), total, strings.Join(parts, ", "), e[0].Error())
+}
+
+// errKind buckets one point failure for the summary breakdown. Program
+// errors name workload bugs (the PC left the code), panics name harness
+// or strategy bugs, deadlines and no-progress name runs the sweep gave
+// up on, and cancellations are the caller's own context.
+func errKind(err error) string {
+	var panicErr *PanicError
+	var progErr *device.ProgramError
+	switch {
+	case errors.As(err, &progErr):
+		return "program"
+	case errors.As(err, &panicErr):
+		return "panic"
+	case errors.Is(err, device.ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, device.ErrNoProgress):
+		return "no-progress"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	}
+	return "other"
 }
 
 // Interrupt adapts a context into the poll function device.Config

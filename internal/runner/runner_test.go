@@ -112,6 +112,51 @@ func TestMapErrorCarriesLabel(t *testing.T) {
 	}
 }
 
+// TestSummaryClassifiesProgramErrors: a workload whose PC runs off the
+// end surfaces through a sweep as a typed *device.ProgramError, and the
+// failure summary buckets it as a program bug — distinct from panics
+// and generic errors — so a sweep report points at the workload, not
+// the harness.
+func TestSummaryClassifiesProgramErrors(t *testing.T) {
+	b := asm.New("runaway")
+	b.Nop() // falls off the end
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := energy.MSP430Power()
+	capC, vmax, von, voff := device.FixedSupplyConfig(20000 * pm.EnergyPerCycle(energy.ClassALU))
+	_, errs := Map(context.Background(), 3, Options{Workers: 2}, func(i int) (int, error) {
+		if i != 1 {
+			return i, errors.New("unrelated harness failure")
+		}
+		d, err := device.New(device.Config{
+			Prog: prog, Power: pm,
+			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+			MaxPeriods: 4, MaxCycles: 1 << 20,
+		}, strategy.NewTimer(1000, 0.1))
+		if err != nil {
+			return 0, err
+		}
+		_, err = d.Run()
+		return 0, err
+	})
+	if len(errs) != 3 {
+		t.Fatalf("got %d errors, want 3: %v", len(errs), errs)
+	}
+	var perr *device.ProgramError
+	if !errors.As(errs, &perr) {
+		t.Fatalf("no *device.ProgramError in %v", errs)
+	}
+	if perr.Program != "runaway" {
+		t.Fatalf("ProgramError.Program = %q, want %q", perr.Program, "runaway")
+	}
+	s := errs.Summary(3)
+	if !strings.Contains(s, "1 program") || !strings.Contains(s, "2 other") {
+		t.Fatalf("Summary = %q, want a '1 program' and a '2 other' bucket", s)
+	}
+}
+
 // TestMapPreCanceled: a sweep started under a dead context fails every
 // point with the cancellation cause without running any of them.
 func TestMapPreCanceled(t *testing.T) {
@@ -224,6 +269,10 @@ func (s *panicStrategy) PostStep(d *device.Device, st cpu.Step) *device.Payload 
 	}
 	return s.Timer.PostStep(d, st)
 }
+
+// Horizon opts out of batching: the panic trigger counts PostStep
+// calls, which only match instructions in per-step mode.
+func (s *panicStrategy) Horizon(*device.Device) uint64 { return 1 }
 
 func counterProgram(t *testing.T, n uint32) *asm.Program {
 	t.Helper()

@@ -166,6 +166,14 @@ func (c *Clank) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	return &p
 }
 
+// Horizon stays at 1 (per-step) deliberately: Clank's PreStep must
+// inspect every memory access to catch write-after-read violations
+// before the store commits, and no sound cycle-count headroom exists —
+// the very next instruction can violate. Batching would skip PreStep
+// for the whole window, which the Horizon contract forbids for a
+// strategy whose PreStep can fire.
+func (c *Clank) Horizon(*device.Device) uint64 { return 1 }
+
 // FinalPayload commits the register state at halt.
 func (c *Clank) FinalPayload(*device.Device) device.Payload {
 	return device.Payload{ArchBytes: c.ArchBytes}

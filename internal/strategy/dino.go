@@ -29,6 +29,15 @@ func (dn *DINO) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	return &p
 }
 
+// Horizon is unbounded: DINO backs up only at task boundaries, never on
+// a cycle count.
+func (dn *DINO) Horizon(*device.Device) uint64 { return device.HorizonInfinite }
+
+// ObservedSys declares the task boundaries, so the batched engine ends
+// a batch — and delivers PostStep — at every SysTaskEnd and nowhere
+// else.
+func (dn *DINO) ObservedSys() isa.SysMask { return isa.SysTaskEnd.Mask() }
+
 // FinalPayload commits the completed program's state.
 func (dn *DINO) FinalPayload(d *device.Device) device.Payload {
 	return fullPayload(d)

@@ -3,6 +3,7 @@ package strategy
 import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
 )
 
 // Hibernus is the single-backup system of Balsamo et al.: an analog
@@ -64,6 +65,26 @@ func (h *Hibernus) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	p.ThenSleep = true
 	return &p
 }
+
+// Horizon promises no backup before the comparator's next sample: the
+// batched engine ends its batch exactly at the cycle-count crossing
+// where PostStep resets sinceCheck, so the sampling phase — and the
+// stored energy the sample reads — match the per-step engine bit for
+// bit. (With the default 16-cycle period this sits below the engine's
+// minimum batch, so Hibernus effectively runs per-step; the promise
+// still has to be exact for any larger CheckPeriod.)
+func (h *Hibernus) Horizon(*device.Device) uint64 {
+	if !h.armed {
+		return device.HorizonInfinite
+	}
+	if h.CheckPeriod == 0 || h.sinceCheck >= h.CheckPeriod {
+		return 1
+	}
+	return h.CheckPeriod - h.sinceCheck
+}
+
+// ObservedSys reports that the comparator ignores SYS codes.
+func (h *Hibernus) ObservedSys() isa.SysMask { return 0 }
 
 // FinalPayload commits the completed program's state.
 func (h *Hibernus) FinalPayload(d *device.Device) device.Payload {

@@ -55,6 +55,15 @@ func (m *Mementos) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	return &p
 }
 
+// Horizon is unbounded: Mementos acts only at compiler-inserted sites,
+// never on a cycle count, so batches are limited solely by the SYS
+// sites it declares below.
+func (m *Mementos) Horizon(*device.Device) uint64 { return device.HorizonInfinite }
+
+// ObservedSys declares the checkpoint sites, so the batched engine ends
+// a batch — and delivers PostStep — at every SysChkpt and nowhere else.
+func (m *Mementos) ObservedSys() isa.SysMask { return isa.SysChkpt.Mask() }
+
 // FinalPayload commits the completed program's state.
 func (m *Mementos) FinalPayload(d *device.Device) device.Payload {
 	return fullPayload(d)

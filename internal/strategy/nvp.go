@@ -3,6 +3,7 @@ package strategy
 import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
 )
 
 // NVP models a nonvolatile processor (§II): all memory is nonvolatile
@@ -75,6 +76,28 @@ func (n *NVP) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	p.ThenSleep = true
 	return &p
 }
+
+// Horizon distinguishes the two designs. The every-cycle processor
+// backs up after literally every instruction, so it opts out of
+// batching. The threshold design uses the device's conservative
+// brown-out-style bound: the stored energy cannot reach the trigger
+// threshold within the returned cycle count (worst active class, no
+// harvest credit), so the comparator — which the per-step engine polls
+// every instruction — provably stays quiet for the whole batch, and
+// near the threshold the horizon collapses to per-step execution.
+func (n *NVP) Horizon(d *device.Device) uint64 {
+	if n.EveryCycle {
+		return 1
+	}
+	if !n.armed {
+		return device.HorizonInfinite
+	}
+	p := device.Payload{ArchBytes: n.ArchBytes}
+	return d.CyclesAboveEnergy(n.Margin * d.BackupCost(p))
+}
+
+// ObservedSys reports that the comparator ignores SYS codes.
+func (n *NVP) ObservedSys() isa.SysMask { return 0 }
 
 // FinalPayload commits the final architectural state.
 func (n *NVP) FinalPayload(*device.Device) device.Payload {

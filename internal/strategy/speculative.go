@@ -80,6 +80,13 @@ func (s *Speculative) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	return &p
 }
 
+// Horizon stays at 1 (per-step) deliberately: PostStep returns on the
+// TauB branch *before* accumulating sinceCheck, so the comparator's
+// sampling phase depends on which individual instructions coincide with
+// watchdog firings. A batch would accumulate the whole window into
+// sinceCheck and shift that phase, diverging from the per-step engine.
+func (s *Speculative) Horizon(*device.Device) uint64 { return 1 }
+
 // FinalPayload commits the remaining interval at halt.
 func (s *Speculative) FinalPayload(d *device.Device) device.Payload {
 	return s.payload(d, d.ExecSinceBackup())

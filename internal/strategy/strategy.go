@@ -73,6 +73,10 @@ func (base) PostStep(*device.Device, cpu.Step) *device.Payload                  
 func (base) ReplaySafe() bool                                                        { return true }
 func (base) Reset()                                                                  {}
 
+// Horizon defaults to 1: embedders keep the exact per-instruction
+// PreStep/PostStep protocol unless they override it with a real bound.
+func (base) Horizon(*device.Device) uint64 { return 1 }
+
 // fullPayload is the checkpoint of SRAM-resident systems: architectural
 // state plus the program's volatile data footprint.
 func fullPayload(d *device.Device) device.Payload {

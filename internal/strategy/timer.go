@@ -3,6 +3,7 @@ package strategy
 import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
+	"ehmodel/internal/isa"
 )
 
 // Timer is the fixed-interval multi-backup system of the paper's first
@@ -46,6 +47,25 @@ func (t *Timer) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	p := t.payload(d.ExecSinceBackup())
 	return &p
 }
+
+// Horizon promises no backup until the watchdog period elapses: the
+// batched engine ends its batch exactly where the executed-cycle
+// counter crosses TauB, which is the same instruction the per-step
+// engine fires on.
+func (t *Timer) Horizon(d *device.Device) uint64 {
+	if t.TauB == 0 {
+		return device.HorizonInfinite
+	}
+	exec := d.ExecSinceBackup()
+	if exec >= t.TauB {
+		return 1
+	}
+	return t.TauB - exec
+}
+
+// ObservedSys reports that the watchdog ignores SYS codes entirely, so
+// batches need not end at them.
+func (t *Timer) ObservedSys() isa.SysMask { return 0 }
 
 // FinalPayload commits the remaining partial interval at halt.
 func (t *Timer) FinalPayload(d *device.Device) device.Payload {

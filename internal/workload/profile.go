@@ -51,7 +51,7 @@ func ProfileProgram(prog *asm.Program, maxSteps uint64) (*Profile, error) {
 		}
 		p.Instructions++
 		p.Cycles += st.Cycles
-		if st.Access != nil {
+		if st.HasAccess {
 			if st.Access.Store {
 				p.Stores++
 				seen[st.Access.Addr&^3] = struct{}{}

@@ -25,6 +25,12 @@ fi
 echo "== go build =="
 go build ./...
 
+# Race-free pass runs the full engine-equivalence matrix; the -race
+# pass re-runs everything on the oracle's representative slice (the
+# detector's ~10x slowdown would blow the package timeout otherwise).
+echo "== go test =="
+go test ./...
+
 echo "== go test -race =="
 go test -race ./...
 
