@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads bench clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads bench bench-guard clean
 
 # `test` runs the full suite race-free — including the complete engine
 # equivalence matrix, which self-trims to a representative slice under
@@ -69,6 +69,15 @@ lint-workloads:
 bench:
 	EHSIM_BENCH_OUT=$(CURDIR)/BENCH_core.json \
 		$(GO) test ./internal/device/ -run TestWriteBenchJSON -count=1 -v
+
+# the observability zero-cost guard with the wall-clock half enabled:
+# the disabled tracer path must add zero allocations (checked in every
+# ordinary test run) AND stay within 2% ns/op of the committed
+# BENCH_core.json baseline (opt-in, since the baseline is
+# machine-specific).
+bench-guard:
+	EHSIM_BENCH_GUARD=1 \
+		$(GO) test ./internal/device/ -run TestObservabilityDisabledCost -count=1 -v
 
 clean:
 	$(GO) clean ./...

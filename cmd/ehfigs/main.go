@@ -9,51 +9,125 @@
 // an `-fig all` run — survivors render, failures are summarized, and
 // the exit status is non-zero only if something failed.
 //
+// Observability: -trace FILE writes every sweep device's lifecycle onto
+// its own thread of one Chrome trace_event timeline, -metrics FILE
+// exports loss-free aggregated counters across all workers (with the
+// sweep engine's per-class failure counts), and the -cpuprofile,
+// -memprofile and -pprof flags expose the Go profiling hooks.
+//
 // Example:
 //
-//	ehfigs -fig all -quick -csv out/
+//	ehfigs -fig all -quick -csv out/ -metrics figs.csv
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"ehmodel/internal/device"
 	"ehmodel/internal/experiments"
+	"ehmodel/internal/obsv"
+	"ehmodel/internal/profiling"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/textplot"
 )
 
 func main() {
+	os.Exit(cliMain())
+}
+
+func cliMain() int {
 	fig := flag.String("fig", "all", "which figure: all, 2–11, table2, storemajor, storemajor-device, circular, bitprecision, clank-buffers, clank-watchdog, hibernus-margin, mementos-gap, variability, capacitor, nvm, breakdown, breakeven, charging, tail")
 	quick := flag.Bool("quick", false, "scaled-down simulation sweeps (same shapes, ~100× faster)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
+	traceFile := flag.String("trace", "", "write every device's lifecycle to this Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	metricsFile := flag.String("metrics", "", "write aggregated sweep metrics to this file (CSV, or JSON with a .json suffix)")
+	var prof profiling.Flags
+	prof.Register()
 	flag.Parse()
 
 	engine, err := device.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ehfigs:", err)
-		os.Exit(2)
+		return 2
 	}
 	device.SetDefaultEngine(engine)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehfigs:", err)
+		return 2
+	}
+	finish := func(code int) int {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ehfigs:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		return code
+	}
+
+	// Every device any sweep driver builds — many call layers down —
+	// picks up its tracer here: a fresh per-worker Metrics sink from the
+	// collector (merged loss-free at export) and its own thread of the
+	// shared Chrome timeline.
+	var coll *obsv.Collector
+	var chrome *obsv.ChromeSink
+	if *metricsFile != "" {
+		coll = obsv.NewCollector()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ehfigs:", err)
+			return finish(1)
+		}
+		chrome = obsv.NewChromeSink(f)
+	}
+	if coll != nil || chrome != nil {
+		var tid atomic.Int32
+		device.SetDefaultObserver(func() obsv.Tracer {
+			var ts []obsv.Tracer
+			if chrome != nil {
+				ts = append(ts, obsv.WithTid(chrome, tid.Add(1)))
+			}
+			if coll != nil {
+				ts = append(ts, coll.Tracer())
+			}
+			return obsv.Combine(ts...)
+		})
+		defer device.SetDefaultObserver(nil)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ropts := runner.Options{Workers: *workers, RunTimeout: *runTimeout}
-	if err := run(ctx, *fig, *quick, *csvDir, ropts); err != nil {
-		fmt.Fprintln(os.Stderr, "ehfigs:", err)
-		os.Exit(1)
+	runErr := run(ctx, *fig, *quick, *csvDir, ropts, coll, *metricsFile)
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ehfigs: trace:", err)
+		} else {
+			fmt.Printf("wrote Chrome trace to %s\n", *traceFile)
+		}
 	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "ehfigs:", runErr)
+		return finish(1)
+	}
+	return finish(0)
 }
 
 // figFailure records one figure that could not be (fully) generated.
@@ -225,8 +299,10 @@ func generate(ctx context.Context, which string, quick bool, run runner.Options)
 // run generates, renders and dumps the requested figures. Every figure
 // that produced data — including partial sweeps interrupted by a
 // signal or a deadline — is rendered and written to CSV before the
-// failure summary decides the exit status.
-func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options) error {
+// failure summary decides the exit status. When a collector is
+// attached, the aggregated metrics (plus the sweep engine's per-class
+// failure counts) are exported to metricsFile.
+func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options, coll *obsv.Collector, metricsFile string) error {
 	figs, failures := generate(ctx, which, quick, ropts)
 	for _, f := range figs {
 		render(f)
@@ -234,6 +310,20 @@ func run(ctx context.Context, which string, quick bool, csvDir string, ropts run
 			if err := writeCSV(f, csvDir); err != nil {
 				failures = append(failures, figFailure{id: f.ID, err: err})
 			}
+		}
+	}
+	if coll != nil {
+		agg := coll.Aggregate()
+		for _, fl := range failures {
+			var rerrs runner.Errors
+			if errors.As(fl.err, &rerrs) {
+				for class, n := range rerrs.ClassCounts() {
+					agg.AddErrorClass(class, n)
+				}
+			}
+		}
+		if err := writeMetrics(metricsFile, agg); err != nil {
+			failures = append(failures, figFailure{id: "metrics", err: err})
 		}
 	}
 	if len(failures) > 0 {
@@ -266,6 +356,27 @@ func render(f *experiments.Figure) {
 		fmt.Println("  •", n)
 	}
 	fmt.Println()
+}
+
+// writeMetrics exports the aggregated metrics as CSV, or JSON when the
+// file name says so.
+func writeMetrics(path string, m *obsv.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = m.WriteJSON(f)
+	} else {
+		err = m.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("wrote sweep metrics to %s\n", path)
+	}
+	return err
 }
 
 func writeCSV(f *experiments.Figure, dir string) error {

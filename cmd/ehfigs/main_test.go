@@ -67,7 +67,7 @@ func TestGenerateCanceledStillDegrades(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "3", true, dir, runner.Options{}); err != nil {
+	if err := run(context.Background(), "3", true, dir, runner.Options{}, nil, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))

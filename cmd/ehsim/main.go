@@ -5,7 +5,16 @@
 //
 // Example:
 //
-//	ehsim -workload ds -strategy clank -period 20000 -trace multipeak
+//	ehsim -workload ds -strategy clank -period 20000 -supply multipeak
+//
+// Observability: -trace FILE writes a Chrome trace_event JSON timeline
+// (open in chrome://tracing or https://ui.perfetto.dev), -metrics FILE
+// exports aggregated run counters and histograms (CSV, or JSON with a
+// .json suffix), and -cpuprofile/-memprofile/-pprof expose the Go
+// profiling hooks. A bounded flight recorder is always on; its last
+// events are dumped when a run fails:
+//
+//	ehsim -workload counter -strategy hibernus -trace run.json -metrics run.csv
 //
 // Fault injection (two-phase checkpoint commit under attack):
 //
@@ -29,6 +38,7 @@ import (
 	"os/signal"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -36,6 +46,8 @@ import (
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/faults"
+	"ehmodel/internal/obsv"
+	"ehmodel/internal/profiling"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/textplot"
@@ -95,19 +107,57 @@ type runOpts struct {
 	periodsCSV string
 	// runTimeout caps the simulation's wall-clock time (0 = none).
 	runTimeout time.Duration
+	// traceFile, when set, receives a Chrome trace_event JSON timeline.
+	traceFile string
+	// metricsFile, when set, receives the run's aggregated metrics
+	// (CSV, or JSON when the name ends in .json).
+	metricsFile string
+}
+
+// flightRecorderDepth bounds the always-on ring of recent lifecycle
+// events dumped when a run fails.
+const flightRecorderDepth = 512
+
+// writeMetrics exports aggregated metrics as CSV, or JSON when the
+// file name says so.
+func writeMetrics(path string, m *obsv.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = m.WriteJSON(f)
+	} else {
+		err = m.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("wrote run metrics to %s\n", path)
+	}
+	return err
 }
 
 func main() {
+	os.Exit(cliMain())
+}
+
+func cliMain() int {
 	wname := flag.String("workload", "counter", "workload: "+strings.Join(workload.Names(), ", "))
 	sname := flag.String("strategy", "timer", "runtime: timer, speculative, hibernus, mementos, dino, chain, mixvol, clank, ratchet, nvp, nvp-threshold")
 	period := flag.Float64("period", 20000, "per-period energy budget in ALU cycles")
 	tauB := flag.Uint64("tauB", 1000, "backup period for timer/mixvol (cycles)")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
-	traceName := flag.String("trace", "none", "supply trace: none (bench supply), spikes, ramp, multipeak")
+	supplyName := flag.String("supply", "none", "supply trace: none (bench supply), spikes, ramp, multipeak")
 	list := flag.Bool("list", false, "print the workload's disassembly and exit")
 	periodsCSV := flag.String("periods", "", "write per-period statistics to this CSV file")
 	workers := flag.Int("workers", 0, "parallel sweep workers for -audit (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (chrome://tracing, Perfetto)")
+	metricsFile := flag.String("metrics", "", "write aggregated run metrics to this file (CSV, or JSON with a .json suffix)")
+	var prof profiling.Flags
+	prof.Register()
 
 	faultSchedule := flag.String("fault-schedule", "none", "power-cut schedule: none, cycles:N,N,..., random:mean=N")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for every randomized fault decision")
@@ -124,9 +174,26 @@ func main() {
 	engine, err := device.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(2)
+		return 2
 	}
 	device.SetDefaultEngine(engine)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		return 2
+	}
+	// finish flushes the profiles on every exit path (os.Exit skips
+	// defers, so main routes all returns through here).
+	finish := func(code int) int {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		return code
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -137,18 +204,20 @@ func main() {
 			BaseSeed:  *faultSeed,
 			Run:       runner.Options{Workers: *workers, RunTimeout: *runTimeout},
 		}
-		if err := runAudit(ctx, o); err != nil {
+		if err := runAudit(ctx, o, *traceFile, *metricsFile); err != nil {
 			fmt.Fprintln(os.Stderr, "ehsim:", err)
-			os.Exit(1)
+			return finish(1)
 		}
-		return
+		return finish(0)
 	}
 
 	opts := runOpts{
 		workload: *wname, strategy: *sname,
 		period: *period, tauB: *tauB, scale: *scale,
-		trace: *traceName, periodsCSV: *periodsCSV,
-		runTimeout: *runTimeout,
+		trace: *supplyName, periodsCSV: *periodsCSV,
+		runTimeout:  *runTimeout,
+		traceFile:   *traceFile,
+		metricsFile: *metricsFile,
 	}
 
 	plan := faults.Plan{
@@ -160,7 +229,7 @@ func main() {
 	}
 	if err := plan.ParseSchedule(*faultSchedule); err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(1)
+		return finish(1)
 	}
 	if !reflect.DeepEqual(plan, faults.Plan{Seed: *faultSeed}) {
 		opts.plan = &plan
@@ -169,21 +238,60 @@ func main() {
 	if *list {
 		if err := listProgram(*wname, *sname, *tauB, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "ehsim:", err)
-			os.Exit(1)
+			return finish(1)
 		}
-		return
+		return finish(0)
 	}
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(1)
+		return finish(1)
 	}
+	return finish(0)
 }
 
 // runAudit executes the parallel crash-consistency audit and prints its
-// report. An interrupted or partially failed sweep still prints what
-// completed before returning the error.
-func runAudit(ctx context.Context, o faults.Options) error {
+// report: summary tables for humans, then one logfmt verdict line per
+// schedule for machines. An interrupted or partially failed sweep still
+// prints what completed before returning the error. When traceFile or
+// metricsFile is set, every audited device reports into a shared Chrome
+// sink (one trace thread per device) and a loss-free metrics collector
+// via the process-wide default observer.
+func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile string) error {
+	var coll *obsv.Collector
+	var chrome *obsv.ChromeSink
+	if metricsFile != "" {
+		coll = obsv.NewCollector()
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		chrome = obsv.NewChromeSink(f)
+	}
+	if coll != nil || chrome != nil {
+		var tid atomic.Int32
+		device.SetDefaultObserver(func() obsv.Tracer {
+			var ts []obsv.Tracer
+			if chrome != nil {
+				ts = append(ts, obsv.WithTid(chrome, tid.Add(1)))
+			}
+			if coll != nil {
+				ts = append(ts, coll.Tracer())
+			}
+			return obsv.Combine(ts...)
+		})
+		defer device.SetDefaultObserver(nil)
+	}
+
 	rep, err := faults.Audit(ctx, o)
+	if chrome != nil {
+		if cerr := chrome.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "ehsim: trace:", cerr)
+		} else {
+			fmt.Printf("wrote Chrome trace to %s\n", traceFile)
+		}
+	}
 	if rep == nil {
 		return err
 	}
@@ -202,17 +310,50 @@ func runAudit(ctx context.Context, o faults.Options) error {
 			{"cold restarts", fmt.Sprint(f.ColdRestarts)},
 		}))
 	fmt.Printf("\ndetected-unrecoverable fail-stops: %d (honest detections, not violations)\n", rep.Unrecoverable)
-	if len(rep.Violations) > 0 {
-		fmt.Printf("\n%d VIOLATION(S):\n", len(rep.Violations))
-		for _, v := range rep.Violations {
-			fmt.Println(" ", v)
+
+	// Per-schedule verdicts, one machine-parseable logfmt line each —
+	// grep for `outcome=violation` or parse with any logfmt reader.
+	fmt.Println()
+	lg := obsv.NewLogger(os.Stdout)
+	for _, v := range rep.Verdicts {
+		lg.Line("audit.verdict",
+			obsv.Field{K: "case", V: v.Case.Strategy + "/" + v.Case.Workload},
+			obsv.Field{K: "seed", V: v.Case.Seed},
+			obsv.Field{K: "outcome", V: v.Outcome})
+	}
+	for _, v := range rep.Violations {
+		fields := []obsv.Field{
+			{K: "case", V: v.Case.Strategy + "/" + v.Case.Workload},
+			{K: "seed", V: v.Case.Seed},
 		}
-	} else {
+		switch {
+		case v.Err != nil:
+			fields = append(fields, obsv.Field{K: "err", V: v.Err})
+		case v.Incomplete:
+			fields = append(fields, obsv.Field{K: "incomplete", V: true})
+		default:
+			fields = append(fields,
+				obsv.Field{K: "got", V: fmt.Sprint(v.Got)},
+				obsv.Field{K: "want", V: fmt.Sprint(v.Want)})
+		}
+		lg.Line("audit.violation", fields...)
+	}
+	if len(rep.Violations) == 0 {
 		fmt.Println("no crash-consistency violations ✓")
 	}
+
 	var rerrs runner.Errors
 	if errors.As(err, &rerrs) {
 		fmt.Printf("\n%s\n", rerrs.Summary(rep.Runs+len(rerrs)))
+	}
+	if coll != nil {
+		agg := coll.Aggregate()
+		for class, n := range rerrs.ClassCounts() {
+			agg.AddErrorClass(class, n)
+		}
+		if werr := writeMetrics(metricsFile, agg); werr != nil {
+			return werr
+		}
 	}
 	if err != nil {
 		return err
@@ -286,11 +427,49 @@ func run(ctx context.Context, o runOpts) error {
 		cfg.Faults = inj
 	}
 
+	// Observability: a bounded flight recorder is always on (dumped if
+	// the run fails); -trace and -metrics attach their sinks beside it.
+	ring := obsv.NewRing(flightRecorderDepth)
+	sinks := []obsv.Tracer{ring}
+	var chrome *obsv.ChromeSink
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		chrome = obsv.NewChromeSink(f)
+		sinks = append(sinks, chrome)
+	}
+	var met *obsv.Metrics
+	if o.metricsFile != "" {
+		met = &obsv.Metrics{}
+		sinks = append(sinks, met)
+	}
+	cfg.Observe = obsv.Combine(sinks...)
+	closeTrace := func() {
+		if chrome == nil {
+			return
+		}
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim: trace:", err)
+		} else {
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.traceFile)
+		}
+		chrome = nil
+	}
+
 	d, err := device.New(cfg, strat)
 	if err != nil {
 		return err
 	}
 	res, err := d.Run()
+	if err != nil {
+		// The run died: finalize the trace and dump the flight
+		// recorder's last events before reporting the failure.
+		closeTrace()
+		fmt.Fprintf(os.Stderr, "flight recorder: last %d lifecycle event(s) before the failure:\n", ring.Len())
+		ring.DumpText(os.Stderr)
+	}
 	if errors.Is(err, device.ErrDeadlineExceeded) {
 		return fmt.Errorf("run exceeded its -run-timeout of %v: %w", o.runTimeout, err)
 	}
@@ -304,6 +483,12 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	if err != nil {
 		return err
+	}
+	closeTrace()
+	if met != nil {
+		if err := writeMetrics(o.metricsFile, met); err != nil {
+			return err
+		}
 	}
 	if o.periodsCSV != "" {
 		f, err := os.Create(o.periodsCSV)

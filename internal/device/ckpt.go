@@ -8,6 +8,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // ErrUnrecoverable is the sentinel a Run error matches (errors.Is) when
@@ -267,6 +268,13 @@ func (d *Device) writeCheckpoint(p Payload) bool {
 		if tearAt >= 0 {
 			d.result.Faults.InjectedTears++
 		}
+		if d.obs != nil {
+			var injected uint64
+			if tearAt >= 0 {
+				injected = 1
+			}
+			d.emit(obsv.EvFaultTear, 0, injected, 0)
+		}
 		return false
 	}
 
@@ -281,6 +289,9 @@ func (d *Device) writeCheckpoint(p Payload) bool {
 		d.store.WriteRecordWord(target, i, w)
 	}) {
 		d.result.Faults.TornBackups++
+		if d.obs != nil {
+			d.emit(obsv.EvFaultTear, 0, 0, 0)
+		}
 		return false
 	}
 	d.afterCommit(target, outLen, rec.Seq)
@@ -336,9 +347,14 @@ func (d *Device) afterCommit(target, outLen int, seq uint64) {
 // mode, the crash-consistency violations the auditor exists to catch.
 func (d *Device) restoreCheckpoint() (restored, alive bool, err error) {
 	if d.inj != nil {
+		flips := 0
 		for i := 0; i < 2; i++ {
-			d.result.Faults.BitFlips += d.inj.FlipBits(d.store.SlotWords(i))
-			d.result.Faults.BitFlips += d.inj.FlipBits(d.store.RecordWords(i))
+			flips += d.inj.FlipBits(d.store.SlotWords(i))
+			flips += d.inj.FlipBits(d.store.RecordWords(i))
+		}
+		d.result.Faults.BitFlips += flips
+		if flips > 0 && d.obs != nil {
+			d.emit(obsv.EvFaultBitFlips, uint64(flips), 0, 0)
 		}
 		if d.inj.NaiveCommit() {
 			return d.restoreNaive()
@@ -384,6 +400,9 @@ func (d *Device) restoreCheckpoint() (restored, alive bool, err error) {
 		}
 		if !d.store.Validate(c.slot) {
 			d.result.Faults.CRCRejections++
+			if d.obs != nil {
+				d.emit(obsv.EvCRCReject, uint64(c.slot), 0, 0)
+			}
 			// Charge the payload words read to discover the mismatch.
 			n := int(c.rec.Len)
 			if max := len(d.store.SlotWords(c.slot)); n > max {
@@ -396,6 +415,13 @@ func (d *Device) restoreCheckpoint() (restored, alive bool, err error) {
 		}
 		if idx > 0 {
 			d.result.Faults.StaleRestores++
+			if d.obs != nil {
+				var force uint64
+				if forced {
+					force = 1
+				}
+				d.emit(obsv.EvStaleRestore, uint64(c.slot), force, 0)
+			}
 		}
 		return d.applySlot(c.slot, c.rec)
 	}
@@ -433,6 +459,9 @@ func (d *Device) restoreNaive() (restored, alive bool, err error) {
 // the guard: it exists to diverge so the auditor can catch it.
 func (d *Device) coldStart() (restored, alive bool, err error) {
 	if d.inj != nil && !d.inj.NaiveCommit() && d.framWrites > 0 {
+		if d.obs != nil {
+			d.emit(obsv.EvUnrecoverable, 0, d.framWrites, 0)
+		}
 		return false, false, &UnrecoverableError{
 			RestoreSeq: 0,
 			NewestSeq:  d.maxSeq,
@@ -445,6 +474,9 @@ func (d *Device) coldStart() (restored, alive bool, err error) {
 	d.hasCkpt = false
 	d.activeSlot = -1
 	d.committedOut = nil
+	if d.obs != nil {
+		d.emit(obsv.EvColdStart, 0, 0, 0)
+	}
 	return false, true, nil
 }
 
@@ -468,6 +500,9 @@ func (d *Device) applySlot(slot int, rec energy.CommitRecord) (restored, alive b
 		return false, false, fmt.Errorf("device: CRC-valid checkpoint failed to decode: %w", err)
 	}
 	if d.inj != nil && d.framWrites > ck.framWrites && (rec.Seq < d.maxSeq || !d.strat.ReplaySafe()) {
+		if d.obs != nil {
+			d.emit(obsv.EvUnrecoverable, rec.Seq, d.framWrites-ck.framWrites, 0)
+		}
 		return false, false, &UnrecoverableError{
 			RestoreSeq: rec.Seq,
 			NewestSeq:  d.maxSeq,
@@ -500,6 +535,11 @@ func (d *Device) applyDecoded(ck *decodedCkpt, slot int, rec energy.CommitRecord
 	d.committedOut = d.store.Out(int(rec.OutLen))
 	d.activeSlot = slot
 	d.hasCkpt = true
+	if d.obs != nil {
+		restoreE := float64(cyc)*d.cfg.Power.EnergyPerCycle(energy.ClassMem) +
+			float64(bytes)*d.cfg.OmegaRExtra
+		d.emit(obsv.EvRestore, uint64(bytes), uint64(slot), restoreE)
+	}
 	return true, true, nil
 }
 

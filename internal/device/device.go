@@ -20,6 +20,7 @@ import (
 	"ehmodel/internal/energy"
 	"ehmodel/internal/isa"
 	"ehmodel/internal/mem"
+	"ehmodel/internal/obsv"
 )
 
 // AccessPreview describes the memory access the next instruction will
@@ -267,6 +268,14 @@ type Config struct {
 	// error. The parallel sweep engine (internal/runner) wires context
 	// cancellation through this hook.
 	Interrupt func() error
+
+	// Observe receives the run's lifecycle events (internal/obsv). Nil
+	// falls back to the process-wide SetDefaultObserver provider, and
+	// when that is unset too, observability is disabled at the cost of
+	// a nil check per emission site — the engine benchmark guard pins
+	// that path at zero overhead. A device-private tracer may assume
+	// single-goroutine delivery.
+	Observe obsv.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -381,6 +390,11 @@ type Device struct {
 	sink    cpu.BatchSink
 	maxEPC  float64
 
+	// obs is the attached lifecycle tracer; nil means observability is
+	// disabled and every emission site reduces to this nil check
+	// (observe.go).
+	obs obsv.Tracer
+
 	// per-period running counters
 	period        PeriodStats
 	sinceCommit   uint64  // executed cycles not yet committed by a backup
@@ -434,6 +448,7 @@ func New(cfg Config, s Strategy) (*Device, error) {
 		d.cache = cache
 	}
 	d.engine = cfg.Engine.resolve()
+	d.obs = resolveObserver(cfg.Observe)
 	d.maxEPC = math.Max(cfg.Power.EnergyPerCycle(energy.ClassALU),
 		cfg.Power.EnergyPerCycle(energy.ClassMem))
 	if so, ok := s.(SysObserver); ok {
@@ -569,6 +584,9 @@ func (d *Device) consume(n uint64, class energy.InstrClass) bool {
 	if alive && d.inj != nil && d.inj.PowerCutDue(d.cycles) {
 		d.cap.SetVoltage(0)
 		d.result.Faults.PowerCuts++
+		if d.obs != nil {
+			d.emit(obsv.EvFaultPowerCut, 0, 0, 0)
+		}
 		return false
 	}
 	return alive

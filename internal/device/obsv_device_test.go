@@ -1,0 +1,149 @@
+package device_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/obsv"
+	"ehmodel/internal/strategy"
+	"ehmodel/internal/workload"
+)
+
+// traceRun executes the counter workload under Hibernus on one engine
+// with a SliceSink attached and returns the captured events.
+func traceRun(t *testing.T, eng device.Engine) []obsv.Event {
+	t.Helper()
+	w, ok := workload.Get("counter")
+	if !ok {
+		t.Fatal("counter workload missing")
+	}
+	prog, err := w.Build(workload.Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obsv.SliceSink{}
+	cfg := benchEquivCfg(prog, 60_000)
+	cfg.Engine = eng
+	cfg.Observe = sink
+	d, err := device.New(cfg, strategy.NewHibernus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("golden run did not complete")
+	}
+	return sink.Events
+}
+
+// filterDiagnostics drops engine-shape diagnostics (EvBatchHorizon) and
+// normalizes the engine tag on EvRunBegin, leaving exactly the lifecycle
+// stream both engines must agree on event for event.
+func filterDiagnostics(evs []obsv.Event) []obsv.Event {
+	out := make([]obsv.Event, 0, len(evs))
+	for _, e := range evs {
+		if e.Type.EngineDiagnostic() {
+			continue
+		}
+		if e.Type == obsv.EvRunBegin {
+			e.Arg = 0
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestGoldenTraceHibernusCounter pins the exact lifecycle event sequence
+// of the counter workload under Hibernus — the paper's single-backup
+// narrative: power on, cold start, run until the comparator fires, save
+// once, sleep into the brown-out, then restore next period, with a final
+// commit at halt. Both engines must produce this sequence, and beyond
+// the type sequence the full event payloads (cycle stamps, sim time,
+// byte counts, energies) must agree event for event.
+func TestGoldenTraceHibernusCounter(t *testing.T) {
+	golden := strings.Fields(`
+		run-begin
+		power-on cold-start
+		trigger checkpoint-begin checkpoint-commit sleep brown-out
+		power-on restore
+		trigger checkpoint-begin checkpoint-commit sleep brown-out
+		power-on restore
+		trigger checkpoint-begin checkpoint-commit sleep brown-out
+		power-on restore
+		checkpoint-begin checkpoint-commit halt
+		run-end`)
+
+	ref := filterDiagnostics(traceRun(t, device.EngineReference))
+	bat := filterDiagnostics(traceRun(t, device.EngineBatched))
+
+	if !reflect.DeepEqual(ref, bat) {
+		n := len(ref)
+		if len(bat) < n {
+			n = len(bat)
+		}
+		for i := 0; i < n; i++ {
+			if ref[i] != bat[i] {
+				t.Fatalf("engines diverge at event %d:\nreference: %+v\nbatched:   %+v", i, ref[i], bat[i])
+			}
+		}
+		t.Fatalf("engines emit different event counts: reference %d, batched %d", len(ref), len(bat))
+	}
+
+	got := make([]string, len(ref))
+	for i, e := range ref {
+		got[i] = e.Type.String()
+	}
+	if !reflect.DeepEqual(got, golden) {
+		t.Fatalf("event sequence mismatch:\ngot:  %v\nwant: %v", got, golden)
+	}
+
+	// The trigger announced by Hibernus must be the threshold comparator.
+	for _, e := range ref {
+		if e.Type == obsv.EvTrigger && obsv.TriggerReason(e.Arg) != obsv.TrigThreshold {
+			t.Fatalf("hibernus trigger reason = %v, want threshold", obsv.TriggerReason(e.Arg))
+		}
+	}
+}
+
+// TestDeadlineBoundaryParity checks that both engines report the same
+// cycle number in a DeadlineError: the poll boundary where the credit
+// counter crossed pollBatchCycles, not wherever the engine's batching
+// happened to leave d.cycles.
+func TestDeadlineBoundaryParity(t *testing.T) {
+	w, ok := workload.Get("counter")
+	if !ok {
+		t.Fatal("counter workload missing")
+	}
+	prog, err := w.Build(workload.Options{Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(eng device.Engine) *device.DeadlineError {
+		cfg := benchEquivCfg(prog, 600_000)
+		cfg.Engine = eng
+		cfg.RunTimeout = time.Nanosecond
+		d, err := device.New(cfg, strategy.NewTimer(50_000, 0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = d.Run()
+		var de *device.DeadlineError
+		if !errors.As(err, &de) {
+			t.Fatalf("engine %v: expected DeadlineError, got %v", eng, err)
+		}
+		return de
+	}
+	ref := run(device.EngineReference)
+	bat := run(device.EngineBatched)
+	if ref.Cycles != bat.Cycles || ref.Periods != bat.Periods {
+		t.Fatalf("deadline position differs:\nreference: cycles=%d periods=%d\nbatched:   cycles=%d periods=%d",
+			ref.Cycles, ref.Periods, bat.Cycles, bat.Periods)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"ehmodel/internal/energy"
 	"ehmodel/internal/isa"
 	"ehmodel/internal/mem"
+	"ehmodel/internal/obsv"
 )
 
 // maxChargeS bounds how long the simulator will wait for the harvester
@@ -121,16 +122,36 @@ func (d *Device) pollInterrupt(n uint64) error {
 	if d.sincePoll < pollBatchCycles {
 		return nil
 	}
-	d.sincePoll = 0
+	// Carry the overshoot instead of zeroing: the k-th real check then
+	// falls at the same cumulative credit count in every engine, which
+	// is what makes the poll boundary below engine-independent.
+	over := d.sincePoll - pollBatchCycles
+	d.sincePoll = over
 	if d.cfg.Interrupt != nil {
 		if err := d.cfg.Interrupt(); err != nil {
 			return err
 		}
 	}
 	if d.cfg.RunTimeout > 0 && time.Since(d.runStart) > d.cfg.RunTimeout {
+		// Report the poll boundary, not the caller's position: the
+		// batched engine credits a whole batch at once, so d.cycles
+		// alone would sit up to maxBatchCycles past the boundary the
+		// reference engine reports. Backing the overshoot out lands
+		// both engines on the identical cycle number (credits are the
+		// same cumulative sequence in both; a lump never spans two
+		// boundaries since maxBatchCycles < pollBatchCycles).
+		boundary := d.cycles
+		if over <= boundary {
+			boundary -= over
+		} else {
+			boundary = 0
+		}
+		if d.obs != nil {
+			d.emit(obsv.EvDeadline, boundary, 0, 0)
+		}
 		return &DeadlineError{
 			Timeout: d.cfg.RunTimeout,
-			Cycles:  d.cycles,
+			Cycles:  boundary,
 			Periods: len(d.result.Periods),
 		}
 	}
@@ -153,6 +174,13 @@ func (d *Device) Run() (*Result, error) {
 	if d.inj != nil {
 		d.inj.BeginRun()
 	}
+	if d.obs != nil {
+		var eng uint64
+		if d.engine != EngineReference && d.cache == nil {
+			eng = 1
+		}
+		d.emit(obsv.EvRunBegin, eng, 0, 0)
+	}
 	for len(d.result.Periods) < d.cfg.MaxPeriods && d.cycles < d.cfg.MaxCycles && !d.halted {
 		// Credit a nominal batch per period so strategies that thrash
 		// through thousands of near-empty periods still hit the check.
@@ -163,6 +191,9 @@ func (d *Device) Run() (*Result, error) {
 			return nil, err
 		}
 		d.beginPeriod()
+		if d.obs != nil {
+			d.emit(obsv.EvPowerOn, 0, 0, d.chargeS)
+		}
 		alive, err := d.boot()
 		if err != nil {
 			return nil, err
@@ -178,6 +209,13 @@ func (d *Device) Run() (*Result, error) {
 	d.result.Output = append([]uint32(nil), d.committedOut...)
 	d.result.TotalCycles = d.cycles
 	d.result.TimeS = d.timeS
+	if d.obs != nil {
+		var done uint64
+		if d.result.Completed {
+			done = 1
+		}
+		d.emit(obsv.EvRunEnd, done, 0, 0)
+	}
 	return &d.result, nil
 }
 
@@ -239,6 +277,16 @@ func (d *Device) beginPeriod() {
 // endPeriod converts uncommitted execution into dead cycles and archives
 // the period.
 func (d *Device) endPeriod() {
+	if d.obs != nil {
+		if d.halted {
+			d.emit(obsv.EvHalt, 0, 0, 0)
+		} else {
+			active := d.period.ProgressCycles + d.period.BackupCycles +
+				d.period.RestoreCycles + d.period.IdleCycles +
+				d.period.DeadCycles + d.sinceCommit
+			d.emit(obsv.EvBrownOut, d.sinceCommit, active, 0)
+		}
+	}
 	d.period.DeadCycles += d.sinceCommit
 	d.period.DeadE += d.pendingE
 	d.sinceCommit = 0
@@ -442,6 +490,9 @@ func (d *Device) activePhaseBatched() error {
 			}
 			continue
 		}
+		if d.obs != nil {
+			d.emit(obsv.EvBatchHorizon, budget, d.strat.Horizon(d), 0)
+		}
 
 		var b cpu.Batch
 		var stepErr error
@@ -586,12 +637,19 @@ func (d *Device) cachePenalty(acc cpu.Access) uint64 {
 // leaves the previous checkpoint's slot intact, so a failed backup is
 // recoverable by construction rather than by fiat.
 func (d *Device) backup(p Payload) bool {
+	if d.obs != nil {
+		d.emit(obsv.EvCheckpointBegin, uint64(p.Bytes()), 0, 0)
+	}
 	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
 	cycBefore := d.cycles
 	ok := d.writeCheckpoint(p)
+	bkE := eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
 	d.period.BackupCycles += d.cycles - cycBefore
-	d.period.BackupE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+	d.period.BackupE += bkE
 	if !ok {
+		if d.obs != nil {
+			d.emit(obsv.EvCheckpointFail, uint64(p.Bytes()), 0, bkE)
+		}
 		return false
 	}
 
@@ -608,6 +666,9 @@ func (d *Device) backup(p Payload) bool {
 	d.period.BackupIntervals = append(d.period.BackupIntervals, d.execSinceBkup)
 	d.period.AppBytes = append(d.period.AppBytes, p.AppBytes)
 	d.period.PayloadBytes = append(d.period.PayloadBytes, p.Bytes())
+	if d.obs != nil {
+		d.emit(obsv.EvCheckpointCommit, uint64(p.Bytes()), d.execSinceBkup, bkE)
+	}
 	d.execSinceBkup = 0
 	return true
 }
@@ -617,6 +678,9 @@ func (d *Device) backup(p Payload) bool {
 // that sustains the idle draw would otherwise spin to MaxCycles, so
 // the sleep polls the interrupt/deadline check too.
 func (d *Device) idleToDeath() error {
+	if d.obs != nil {
+		d.emit(obsv.EvSleep, 0, 0, 0)
+	}
 	const chunk = pollCreditIdle
 	for d.cycles < d.cfg.MaxCycles {
 		if err := d.pollInterrupt(chunk); err != nil {

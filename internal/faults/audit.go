@@ -119,10 +119,23 @@ func DefaultPlan() Plan {
 	}
 }
 
+// CaseVerdict is one audited schedule's outcome, for the machine-
+// parseable per-schedule audit log: "ok" (output matched the oracle),
+// "violation" (crash consistency broke), or "unrecoverable" (honest
+// fail-stop — the device detected that no consistent recovery existed).
+type CaseVerdict struct {
+	Case    Case
+	Outcome string
+}
+
 // Report aggregates an audit sweep.
 type Report struct {
 	Runs       int
 	Violations []Violation
+	// Verdicts lists every completed schedule's outcome in input order
+	// (dropped cells — deadline, panic, cancellation — are absent; they
+	// appear in the runner's error summary instead).
+	Verdicts []CaseVerdict
 	// Unrecoverable counts runs that fail-stopped with
 	// device.ErrUnrecoverable: the device detected that no
 	// crash-consistent recovery existed. These are successful
@@ -233,12 +246,16 @@ func Audit(ctx context.Context, o Options) (*Report, error) {
 		r := results[i]
 		rep.Runs++
 		accumulate(&rep.Faults, r.faults)
+		outcome := "ok"
 		if r.unrecoverable {
 			rep.Unrecoverable++
+			outcome = "unrecoverable"
 		}
 		if r.v != nil {
 			rep.Violations = append(rep.Violations, *r.v)
+			outcome = "violation"
 		}
+		rep.Verdicts = append(rep.Verdicts, CaseVerdict{Case: cells[i].c, Outcome: outcome})
 	}
 	if len(errs) > 0 {
 		return rep, errs

@@ -1,0 +1,80 @@
+package obsv
+
+// Tracer receives lifecycle events. Implementations attached to a
+// single device may assume single-goroutine access; sinks shared
+// across sweep workers (ChromeSink, Collector-managed Metrics) handle
+// their own synchronization and say so.
+type Tracer interface {
+	Event(Event)
+}
+
+// Multi fans one event stream into several sinks, in order.
+type Multi []Tracer
+
+// Event implements Tracer.
+func (m Multi) Event(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Event(e)
+		}
+	}
+}
+
+// Combine builds the smallest tracer covering the non-nil arguments:
+// nil for none, the sink itself for one, a Multi otherwise.
+func Combine(ts ...Tracer) Tracer {
+	var out Multi
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// WithTid wraps a tracer so every event carries the given thread id —
+// how concurrent sweep devices share one Chrome sink without their
+// spans interleaving into nonsense.
+func WithTid(t Tracer, tid int32) Tracer {
+	if t == nil {
+		return nil
+	}
+	return tidTracer{t: t, tid: tid}
+}
+
+type tidTracer struct {
+	t   Tracer
+	tid int32
+}
+
+func (tt tidTracer) Event(e Event) {
+	e.Tid = tt.tid
+	tt.t.Event(e)
+}
+
+// SliceSink records every event in order; the golden-trace tests use it.
+type SliceSink struct {
+	Events []Event
+}
+
+// Event implements Tracer.
+func (s *SliceSink) Event(e Event) { s.Events = append(s.Events, e) }
+
+// Types returns the recorded event types, skipping engine-diagnostic
+// events when filter is true.
+func (s *SliceSink) Types(filter bool) []EventType {
+	out := make([]EventType, 0, len(s.Events))
+	for _, e := range s.Events {
+		if filter && e.Type.EngineDiagnostic() {
+			continue
+		}
+		out = append(out, e.Type)
+	}
+	return out
+}

@@ -163,6 +163,21 @@ func (e Errors) Summary(total int) string {
 		len(e), total, strings.Join(parts, ", "), e[0].Error())
 }
 
+// ClassCounts buckets the failed points by kind — the same classes as
+// Summary (program, panic, deadline, no-progress, cancelled, other) —
+// for the observability layer's metrics export (error_<class> rows).
+// Nil when every point succeeded.
+func (e Errors) ClassCounts() map[string]uint64 {
+	if len(e) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, 4)
+	for _, re := range e {
+		out[errKind(re.Err)]++
+	}
+	return out
+}
+
 // errKind buckets one point failure for the summary breakdown. Program
 // errors name workload bugs (the PC left the code), panics name harness
 // or strategy bugs, deadlines and no-progress name runs the sweep gave

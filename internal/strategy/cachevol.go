@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // CacheVolatile is the checkpoint-aware hybrid-cache architecture of
@@ -63,6 +64,7 @@ func (c *CacheVolatile) Boot(d *device.Device) *device.Payload {
 	if d.HasCheckpoint() {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigBoot), 0)
 	p := c.payload(d)
 	return &p
 }
@@ -78,6 +80,8 @@ func (c *CacheVolatile) PreStep(d *device.Device, _ isa.Instr, acc device.Access
 			return nil
 		}
 		if _, ok := c.readFirst[word]; ok {
+			d.Trace(obsv.EvTrigger, uint64(obsv.TrigWAR), uint64(word))
+			d.Trace(obsv.EvWARFlush, uint64(len(c.readFirst)+len(c.writeFirst)), uint64(obsv.TrigWAR))
 			c.Reset()
 			c.writeFirst[word] = struct{}{}
 			p := c.payload(d)
@@ -98,6 +102,8 @@ func (c *CacheVolatile) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	if c.WatchdogCycles == 0 || d.ExecSinceBackup() < c.WatchdogCycles {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigWatchdog), d.ExecSinceBackup())
+	d.Trace(obsv.EvWARFlush, uint64(len(c.readFirst)+len(c.writeFirst)), uint64(obsv.TrigWatchdog))
 	c.Reset()
 	p := c.payload(d)
 	return &p

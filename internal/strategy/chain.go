@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Chain models the task-and-channel system of Colin & Lucia (§II, §IV-A):
@@ -53,11 +54,12 @@ func (c *Chain) payload() device.Payload {
 }
 
 // PostStep commits the channel at every task end.
-func (c *Chain) PostStep(_ *device.Device, st cpu.Step) *device.Payload {
+func (c *Chain) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	if !st.HasSys || st.Sys != isa.SysTaskEnd {
 		return nil
 	}
 	p := c.payload()
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigTaskEnd), uint64(p.Bytes()))
 	c.Reset()
 	return &p
 }

@@ -6,6 +6,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Clank is the idempotency-tracking architecture of Hicks (§V-B): main
@@ -95,12 +96,19 @@ func (c *Clank) Boot(d *device.Device) *device.Payload {
 	if d.HasCheckpoint() {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigBoot), 0)
 	p := c.payload()
 	return &p
 }
 
+// occupancy is the combined tracking-buffer fill, the EvWARFlush
+// high-water sample.
+func (c *Clank) occupancy() uint64 {
+	return uint64(len(c.readFirst) + len(c.writeFirst))
+}
+
 // PreStep detects idempotency violations before the access commits.
-func (c *Clank) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+func (c *Clank) PreStep(d *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
 	if !acc.Valid {
 		return nil
 	}
@@ -117,12 +125,16 @@ func (c *Clank) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview)
 				c.violated = make(map[uint32]struct{})
 			}
 			c.violated[word] = struct{}{}
+			d.Trace(obsv.EvTrigger, uint64(obsv.TrigWAR), uint64(word))
+			d.Trace(obsv.EvWARFlush, c.occupancy(), uint64(obsv.TrigWAR))
 			c.clearAndTrackWrite(word)
 			p := c.payload()
 			return &p
 		}
 		if len(c.writeFirst) >= c.WriteFirstEntries {
 			c.stats.BufferFulls++
+			d.Trace(obsv.EvTrigger, uint64(obsv.TrigBufferFull), uint64(word))
+			d.Trace(obsv.EvWARFlush, c.occupancy(), uint64(obsv.TrigBufferFull))
 			c.clearAndTrackWrite(word)
 			p := c.payload()
 			return &p
@@ -139,6 +151,8 @@ func (c *Clank) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview)
 	}
 	if len(c.readFirst) >= c.ReadFirstEntries {
 		c.stats.BufferFulls++
+		d.Trace(obsv.EvTrigger, uint64(obsv.TrigBufferFull), uint64(word))
+		d.Trace(obsv.EvWARFlush, c.occupancy(), uint64(obsv.TrigBufferFull))
 		c.Reset()
 		c.readFirst[word] = struct{}{}
 		p := c.payload()
@@ -161,6 +175,8 @@ func (c *Clank) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 		return nil
 	}
 	c.stats.WatchdogFires++
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigWatchdog), d.ExecSinceBackup())
+	d.Trace(obsv.EvWARFlush, c.occupancy(), uint64(obsv.TrigWatchdog))
 	c.Reset() // a checkpoint ends the region; tracking restarts
 	p := c.payload()
 	return &p

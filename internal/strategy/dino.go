@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // DINO is the task-based system of Lucia & Ransford: programs are
@@ -26,6 +27,7 @@ func (dn *DINO) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 		return nil
 	}
 	p := fullPayload(d)
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigTaskEnd), uint64(p.Bytes()))
 	return &p
 }
 

@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Hibernus is the single-backup system of Balsamo et al.: an analog
@@ -63,6 +64,7 @@ func (h *Hibernus) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	}
 	h.armed = false
 	p.ThenSleep = true
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigThreshold), uint64(p.Bytes()))
 	return &p
 }
 

@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Mementos is the checkpoint-site system of Ransford et al.: the
@@ -52,6 +53,7 @@ func (m *Mementos) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	if d.StoredEnergy() > threshold {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigSite), uint64(p.Bytes()))
 	return &p
 }
 

@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // MixedVolatility is the hypothetical processor of §V-B used to
@@ -60,6 +61,8 @@ func (m *MixedVolatility) PostStep(d *device.Device, _ cpu.Step) *device.Payload
 	if m.WatchdogCycles == 0 || d.ExecSinceBackup() < m.WatchdogCycles {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigWatchdog), d.ExecSinceBackup())
+	d.Trace(obsv.EvWARFlush, uint64(len(m.dirty)), uint64(obsv.TrigWatchdog))
 	p := m.payload(d)
 	m.Reset() // queue drains into the checkpoint
 	return &p

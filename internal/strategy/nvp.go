@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // NVP models a nonvolatile processor (§II): all memory is nonvolatile
@@ -47,12 +48,18 @@ func (n *NVP) Name() string {
 	return "nvp-threshold"
 }
 
-// Boot arms the threshold comparator.
+// Boot arms the threshold comparator. The every-cycle design announces
+// its per-cycle flush mode here, once per power-on — a per-instruction
+// event stream would swamp every sink.
 func (n *NVP) Boot(d *device.Device) *device.Payload {
 	n.armed = true
+	if n.EveryCycle {
+		d.Trace(obsv.EvTrigger, uint64(obsv.TrigEveryCycle), 0)
+	}
 	if d.HasCheckpoint() {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigBoot), 0)
 	p := device.Payload{ArchBytes: n.ArchBytes}
 	return &p
 }
@@ -74,6 +81,7 @@ func (n *NVP) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	}
 	n.armed = false
 	p.ThenSleep = true
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigThreshold), uint64(p.Bytes()))
 	return &p
 }
 

@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Ratchet models the compiler-only system of Van Der Woude & Hicks
@@ -58,12 +59,13 @@ func (r *Ratchet) Boot(d *device.Device) *device.Payload {
 	if d.HasCheckpoint() {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigBoot), 0)
 	p := r.payload()
 	return &p
 }
 
 // PreStep cuts the section before a write-after-read commits.
-func (r *Ratchet) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
+func (r *Ratchet) PreStep(d *device.Device, _ isa.Instr, acc device.AccessPreview) *device.Payload {
 	if !acc.Valid {
 		return nil
 	}
@@ -74,6 +76,8 @@ func (r *Ratchet) PreStep(_ *device.Device, _ isa.Instr, acc device.AccessPrevie
 		}
 		if _, ok := r.readFirst[word]; ok {
 			r.violations++
+			d.Trace(obsv.EvTrigger, uint64(obsv.TrigWAR), uint64(word))
+			d.Trace(obsv.EvWARFlush, uint64(len(r.readFirst)+len(r.writeFirst)), uint64(obsv.TrigWAR))
 			r.Reset()
 			r.writeFirst[word] = struct{}{}
 			p := r.payload()
@@ -94,6 +98,8 @@ func (r *Ratchet) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	if r.MaxRegion == 0 || d.ExecSinceBackup() < r.MaxRegion {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigWatchdog), d.ExecSinceBackup())
+	d.Trace(obsv.EvWARFlush, uint64(len(r.readFirst)+len(r.writeFirst)), uint64(obsv.TrigWatchdog))
 	r.Reset()
 	p := r.payload()
 	return &p

@@ -3,6 +3,7 @@ package strategy
 import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
+	"ehmodel/internal/obsv"
 )
 
 // Speculative is the §IV-A2 design point: a multi-backup timer that
@@ -60,6 +61,7 @@ func (s *Speculative) payload(d *device.Device, cycles uint64) device.Payload {
 // PostStep fires periodic backups and the speculative final one.
 func (s *Speculative) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	if s.TauB > 0 && d.ExecSinceBackup() >= s.TauB {
+		d.Trace(obsv.EvTrigger, uint64(obsv.TrigTimer), d.ExecSinceBackup())
 		p := s.payload(d, d.ExecSinceBackup())
 		return &p
 	}
@@ -77,6 +79,7 @@ func (s *Speculative) PostStep(d *device.Device, st cpu.Step) *device.Payload {
 	}
 	s.armed = false
 	p.ThenSleep = true
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigThreshold), uint64(p.Bytes()))
 	return &p
 }
 

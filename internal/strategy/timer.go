@@ -4,6 +4,7 @@ import (
 	"ehmodel/internal/cpu"
 	"ehmodel/internal/device"
 	"ehmodel/internal/isa"
+	"ehmodel/internal/obsv"
 )
 
 // Timer is the fixed-interval multi-backup system of the paper's first
@@ -44,6 +45,7 @@ func (t *Timer) PostStep(d *device.Device, _ cpu.Step) *device.Payload {
 	if t.TauB == 0 || d.ExecSinceBackup() < t.TauB {
 		return nil
 	}
+	d.Trace(obsv.EvTrigger, uint64(obsv.TrigTimer), d.ExecSinceBackup())
 	p := t.payload(d.ExecSinceBackup())
 	return &p
 }
