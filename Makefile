@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick lint-workloads bench bench-guard clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads bench bench-guard clean
 
 # `test` runs the full suite race-free — including the complete engine
 # equivalence matrix, which self-trims to a representative slice under
@@ -53,6 +53,18 @@ audit:
 # harness
 audit-quick:
 	$(GO) run ./cmd/ehsim -audit -audit-schedules 10
+
+# a bounded adversarial fault-search campaign with the formal oracle:
+# fixed seed, short budget, default strategy × workload matrix. Exit 3
+# and a counterexamples.txt of minimized, `-repro`-replayable cases when
+# any verdict fires (CI uploads the file as an artifact). The default
+# protocol is expected to come up clean; this is the regression tripwire
+# for protocol changes.
+audit-adversarial:
+	$(GO) run ./cmd/ehsim -audit -adversarial -oracle \
+		-campaign-budget 24 -fault-seed 1 \
+		-counterexamples counterexamples.txt \
+		-metrics audit_adversarial_metrics.txt
 
 # regenerate the golden static-analysis findings for every built-in
 # workload (both data placements). cmd/ehlint's golden test fails on any

@@ -168,6 +168,14 @@ func cliMain() int {
 
 	audit := flag.Bool("audit", false, "run the crash-consistency audit sweep (strategy × workload × schedules) instead of a single simulation")
 	auditSchedules := flag.Int("audit-schedules", 10, "failure schedules per strategy × workload cell in -audit mode")
+	auditStrategies := flag.String("audit-strategies", "", "comma-separated strategy names for -audit/-adversarial (default: full catalog)")
+	auditWorkloads := flag.String("audit-workloads", "", "comma-separated workload names for -audit/-adversarial (default: counter,ds,crc,qsort)")
+	oracle := flag.Bool("oracle", false, "attach the observation recorder and apply the formal correctness oracle (replayed inputs, stale outputs, timeliness)")
+	freshness := flag.Uint64("freshness-bound", 0, "timeliness obligation in executed cycles for the oracle (0 = unbounded)")
+	repro := flag.String("repro", "", "replay one printed counterexample case verbatim (use with -audit), e.g. 'timer/sense seed=1 cuts=5000 stale=1 oracle'")
+	adversarial := flag.Bool("adversarial", false, "run the adversarial fault-search campaign (frontier-biased cuts, coverage tracking, shrunk counterexamples) instead of the random sweep")
+	campaignBudget := flag.Int("campaign-budget", 64, "attack schedules per strategy × workload cell in -adversarial mode")
+	counterexamples := flag.String("counterexamples", "", "write minimized, replayable counterexample cases to this file when -adversarial finds violations")
 	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
 	flag.Parse()
 
@@ -198,28 +206,6 @@ func cliMain() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *audit {
-		o := faults.Options{
-			Schedules: *auditSchedules,
-			BaseSeed:  *faultSeed,
-			Run:       runner.Options{Workers: *workers, RunTimeout: *runTimeout},
-		}
-		if err := runAudit(ctx, o, *traceFile, *metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "ehsim:", err)
-			return finish(1)
-		}
-		return finish(0)
-	}
-
-	opts := runOpts{
-		workload: *wname, strategy: *sname,
-		period: *period, tauB: *tauB, scale: *scale,
-		trace: *supplyName, periodsCSV: *periodsCSV,
-		runTimeout:  *runTimeout,
-		traceFile:   *traceFile,
-		metricsFile: *metricsFile,
-	}
-
 	plan := faults.Plan{
 		Seed:             *faultSeed,
 		TornWriteProb:    *tornWrites,
@@ -230,6 +216,75 @@ func cliMain() int {
 	if err := plan.ParseSchedule(*faultSchedule); err != nil {
 		fmt.Fprintln(os.Stderr, "ehsim:", err)
 		return finish(1)
+	}
+
+	// verdicts routes the audit-family subcommands: operational errors
+	// exit 1, correctness violations exit 3, clean runs exit 0.
+	verdicts := func(violations int, err error) int {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			return finish(1)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "ehsim: %d correctness violation(s)\n", violations)
+			return finish(3)
+		}
+		return finish(0)
+	}
+
+	if *repro != "" {
+		return verdicts(runRepro(ctx, *repro, *oracle, *freshness, *runTimeout))
+	}
+
+	if *adversarial {
+		strats, err := specsFor(*auditStrategies)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			return finish(1)
+		}
+		return verdicts(runAdversarial(ctx, adversarialOpts{
+			strategies: strats,
+			workloads:  splitList(*auditWorkloads),
+			plan:       plan,
+			budget:     *campaignBudget,
+			seed:       *faultSeed,
+			oracle:     *oracle,
+			freshness:  *freshness,
+			outFile:    *counterexamples,
+			metrics:    *metricsFile,
+		}))
+	}
+
+	if *audit {
+		strats, err := specsFor(*auditStrategies)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ehsim:", err)
+			return finish(1)
+		}
+		o := faults.Options{
+			Strategies:     strats,
+			Workloads:      splitList(*auditWorkloads),
+			Schedules:      *auditSchedules,
+			BaseSeed:       *faultSeed,
+			Oracle:         *oracle,
+			FreshnessBound: *freshness,
+			Run:            runner.Options{Workers: *workers, RunTimeout: *runTimeout},
+		}
+		if *naive {
+			p := faults.DefaultPlan()
+			p.NaiveCommit = true
+			o.Plan = p
+		}
+		return verdicts(runAudit(ctx, o, *traceFile, *metricsFile))
+	}
+
+	opts := runOpts{
+		workload: *wname, strategy: *sname,
+		period: *period, tauB: *tauB, scale: *scale,
+		trace: *supplyName, periodsCSV: *periodsCSV,
+		runTimeout:  *runTimeout,
+		traceFile:   *traceFile,
+		metricsFile: *metricsFile,
 	}
 	if !reflect.DeepEqual(plan, faults.Plan{Seed: *faultSeed}) {
 		opts.plan = &plan
@@ -249,14 +304,41 @@ func cliMain() int {
 	return finish(0)
 }
 
+// specsFor resolves a comma-separated strategy list against the shared
+// catalog; empty input means nil (the callee's default).
+func specsFor(names string) ([]strategy.Spec, error) {
+	var out []strategy.Spec
+	for _, n := range splitList(names) {
+		spec, ok := strategy.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q", n)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// splitList parses a comma-separated flag value; empty means nil.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // runAudit executes the parallel crash-consistency audit and prints its
 // report: summary tables for humans, then one logfmt verdict line per
-// schedule for machines. An interrupted or partially failed sweep still
+// schedule for machines, then a one-line summary per verdict class. It
+// returns the violation count (the caller maps it to exit code 3) and
+// any operational error. An interrupted or partially failed sweep still
 // prints what completed before returning the error. When traceFile or
 // metricsFile is set, every audited device reports into a shared Chrome
 // sink (one trace thread per device) and a loss-free metrics collector
 // via the process-wide default observer.
-func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile string) error {
+func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile string) (int, error) {
 	var coll *obsv.Collector
 	var chrome *obsv.ChromeSink
 	if metricsFile != "" {
@@ -265,7 +347,7 @@ func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile stri
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		chrome = obsv.NewChromeSink(f)
 	}
@@ -293,7 +375,7 @@ func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile stri
 		}
 	}
 	if rep == nil {
-		return err
+		return 0, err
 	}
 	fmt.Printf("crash-consistency audit: %d run(s)\n\n", rep.Runs)
 	f := rep.Faults
@@ -316,21 +398,28 @@ func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile stri
 	fmt.Println()
 	lg := obsv.NewLogger(os.Stdout)
 	for _, v := range rep.Verdicts {
-		lg.Line("audit.verdict",
-			obsv.Field{K: "case", V: v.Case.Strategy + "/" + v.Case.Workload},
-			obsv.Field{K: "seed", V: v.Case.Seed},
-			obsv.Field{K: "outcome", V: v.Outcome})
-	}
-	for _, v := range rep.Violations {
 		fields := []obsv.Field{
 			{K: "case", V: v.Case.Strategy + "/" + v.Case.Workload},
 			{K: "seed", V: v.Case.Seed},
+			{K: "outcome", V: v.Outcome},
+		}
+		for _, class := range v.Classes {
+			fields = append(fields, obsv.Field{K: "class", V: class})
+		}
+		lg.Line("audit.verdict", fields...)
+	}
+	for _, v := range rep.Violations {
+		fields := []obsv.Field{
+			{K: "class", V: v.Class},
+			{K: "repro", V: v.Case.String()},
 		}
 		switch {
 		case v.Err != nil:
 			fields = append(fields, obsv.Field{K: "err", V: v.Err})
 		case v.Incomplete:
 			fields = append(fields, obsv.Field{K: "incomplete", V: true})
+		case v.Detail != "":
+			fields = append(fields, obsv.Field{K: "detail", V: v.Detail})
 		default:
 			fields = append(fields,
 				obsv.Field{K: "got", V: fmt.Sprint(v.Got)},
@@ -338,8 +427,16 @@ func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile stri
 		}
 		lg.Line("audit.violation", fields...)
 	}
+	fmt.Println()
 	if len(rep.Violations) == 0 {
 		fmt.Println("no crash-consistency violations ✓")
+	} else {
+		// One-line summary per verdict class, for humans and CI logs.
+		for class := obsv.VerdictClass(0); class < obsv.NumVerdictClasses; class++ {
+			if n := rep.Classes[class]; n > 0 {
+				fmt.Printf("%s: %d violation(s)\n", class, n)
+			}
+		}
 	}
 
 	var rerrs runner.Errors
@@ -347,20 +444,179 @@ func runAudit(ctx context.Context, o faults.Options, traceFile, metricsFile stri
 		fmt.Printf("\n%s\n", rerrs.Summary(rep.Runs+len(rerrs)))
 	}
 	if coll != nil {
+		mt := coll.Tracer()
+		for _, v := range rep.Violations {
+			mt.Event(obsv.Event{Type: obsv.EvVerdict, Arg: uint64(v.Class)})
+		}
 		agg := coll.Aggregate()
 		for class, n := range rerrs.ClassCounts() {
 			agg.AddErrorClass(class, n)
 		}
 		if werr := writeMetrics(metricsFile, agg); werr != nil {
-			return werr
+			return 0, werr
 		}
 	}
 	if err != nil {
+		return 0, err
+	}
+	return len(rep.Violations), nil
+}
+
+// runRepro replays one printed counterexample case verbatim and reports
+// its verdict — the `-audit -repro "<case>"` workflow. The -oracle and
+// -freshness-bound flags layer on top of what the case string embeds.
+func runRepro(ctx context.Context, caseStr string, oracle bool, freshness uint64, runTimeout time.Duration) (int, error) {
+	c, err := faults.ParseCase(caseStr)
+	if err != nil {
+		return 0, err
+	}
+	if oracle {
+		c.Oracle = true
+	}
+	if freshness > 0 {
+		c.Fresh = freshness
+	}
+	out, err := faults.ReplayCase(ctx, c, runner.Options{RunTimeout: runTimeout})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("repro %s\n", out.Case)
+	switch {
+	case out.Unrecoverable:
+		fmt.Println("outcome: fail-stop (detected-unrecoverable; honest detection, not a violation)")
+	case len(out.Violations) == 0:
+		fmt.Println("outcome: ok — committed output matched the continuous oracle")
+	default:
+		fmt.Println("outcome: violation")
+		for _, v := range out.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return len(out.Violations), nil
+}
+
+// adversarialOpts collects the -adversarial run's configuration.
+type adversarialOpts struct {
+	strategies []strategy.Spec
+	workloads  []string
+	plan       faults.Plan
+	budget     int
+	seed       int64
+	oracle     bool
+	freshness  uint64
+	outFile    string
+	metrics    string
+}
+
+// runAdversarial runs the frontier-biased fault-search campaign over
+// every selected strategy × workload cell, prints per-cell coverage and
+// finding summaries, and writes minimized counterexamples to the
+// -counterexamples file when any violation fired.
+func runAdversarial(ctx context.Context, o adversarialOpts) (int, error) {
+	if o.strategies == nil {
+		o.strategies = strategy.Catalog()
+	}
+	if o.workloads == nil {
+		o.workloads = faults.DefaultWorkloads
+	}
+	// The campaign owns cut placement; the flag-supplied plan
+	// contributes only the stochastic mix and the protocol mode.
+	base := o.plan
+	base.CutCycles = nil
+	base.RandomCutMeanCycles = 0
+
+	var coll *obsv.Collector
+	var tracer obsv.Tracer
+	if o.metrics != "" {
+		coll = obsv.NewCollector()
+		tracer = coll.Tracer()
+	}
+
+	var all []faults.Violation
+	for _, spec := range o.strategies {
+		for _, wl := range o.workloads {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			rep, err := faults.Campaign(ctx, faults.CampaignOptions{
+				Strategy:       spec,
+				Workload:       wl,
+				Plan:           base,
+				Budget:         o.budget,
+				Seed:           o.seed,
+				Oracle:         o.oracle,
+				FreshnessBound: o.freshness,
+				Observe:        tracer,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("campaign %s/%s: %w", spec.Name, wl, err)
+			}
+			line := fmt.Sprintf("campaign %s/%s: %d schedule(s), coverage %d/%d window(s)",
+				spec.Name, wl, rep.Schedules, rep.Coverage.Attacked, rep.Coverage.Frontier)
+			if rep.Ok() {
+				fmt.Printf("%s, clean ✓\n", line)
+			} else {
+				fmt.Printf("%s, first finding at schedule %d, %d shrink run(s)\n",
+					line, rep.FirstFinding, rep.ShrinkRuns)
+				for _, v := range rep.Violations {
+					fmt.Printf("  %s\n", v)
+				}
+				all = append(all, rep.Violations...)
+			}
+		}
+	}
+	if len(all) > 0 {
+		for class := obsv.VerdictClass(0); class < obsv.NumVerdictClasses; class++ {
+			n := 0
+			for _, v := range all {
+				if v.Class == class {
+					n++
+				}
+			}
+			if n > 0 {
+				fmt.Printf("%s: %d violation(s)\n", class, n)
+			}
+		}
+		if o.outFile != "" {
+			if err := writeCounterexamples(o.outFile, all); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		fmt.Println("adversarial campaign found no violations ✓")
+	}
+	if coll != nil {
+		if err := writeMetrics(o.metrics, coll.Aggregate()); err != nil {
+			return 0, err
+		}
+	}
+	return len(all), nil
+}
+
+// writeCounterexamples stores the minimized cases one per line, each
+// preceded by a comment naming its verdict class — ready for
+// `ehsim -audit -repro "$(grep -v '^#' FILE | head -1)"`.
+func writeCounterexamples(path string, vs []faults.Violation) error {
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	if len(rep.Violations) > 0 {
-		return fmt.Errorf("%d crash-consistency violation(s)", len(rep.Violations))
+	for _, v := range vs {
+		detail := v.Detail
+		if detail == "" && v.Err != nil {
+			detail = v.Err.Error()
+		}
+		if detail != "" {
+			fmt.Fprintf(f, "# [%s] %s\n", v.Class, detail)
+		} else {
+			fmt.Fprintf(f, "# [%s]\n", v.Class)
+		}
+		fmt.Fprintln(f, v.Case.String())
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d minimized counterexample(s) to %s\n", len(vs), path)
 	return nil
 }
 

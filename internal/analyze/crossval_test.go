@@ -138,14 +138,15 @@ func TestStaticHazardsCoverClankFaulted(t *testing.T) {
 		for seed := int64(1); seed <= 3; seed++ {
 			c := clankWith(4, 4)
 			cs := faults.Case{Strategy: "clank", Workload: w.Name, Seed: seed}
-			v, _, unrec, err := faults.AuditRun(ctx, faults.Options{}, c, prog, want, cs)
+			out, err := faults.AuditRun(ctx, faults.Options{}, c, prog, want, cs)
 			if err != nil {
 				t.Fatalf("%s: %v", cs, err)
 			}
-			if v != nil {
-				t.Fatalf("crash-consistency violation: %v", v)
+			if len(out.Violations) > 0 {
+				t.Fatalf("crash-consistency violation: %v", out.Violations[0])
 			}
-			_ = unrec // honest fail-stop still leaves valid violation bookkeeping
+			// An honest fail-stop (out.Unrecoverable) still leaves valid
+			// violation bookkeeping.
 			violations += checkCovered(t, rep, c)
 		}
 	}
@@ -274,12 +275,12 @@ func TestEq15PlanReplaySafe(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		fc := clankWith(rep.Clank.ReadFirstEntries, rep.Clank.WriteFirstEntries)
 		cs := faults.Case{Strategy: "clank", Workload: "circular-eq15", Seed: seed}
-		v, _, _, err := faults.AuditRun(ctx, faults.Options{}, fc, prog, want, cs)
+		out, err := faults.AuditRun(ctx, faults.Options{}, fc, prog, want, cs)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v != nil {
-			t.Fatalf("planned kernel not replay-safe under faults: %v", v)
+		if len(out.Violations) > 0 {
+			t.Fatalf("planned kernel not replay-safe under faults: %v", out.Violations[0])
 		}
 		if fulls := fc.Stats().BufferFulls; fulls != 0 {
 			t.Errorf("seed %d: %d buffer-full checkpoints under faults", seed, fulls)

@@ -133,6 +133,23 @@ func (r *Report) HazardWord(addr uint32) bool {
 	return ok
 }
 
+// HazardWords returns the word-aligned addresses of the global hazard
+// set, sorted ascending. It returns nil when the analysis widened to
+// "every word is hazardous" (hazTop) — callers that need concrete
+// targets (e.g. the adversarial fault campaign's frontier miner)
+// should treat nil as "no usable hint", not "no hazards".
+func (r *Report) HazardWords() []uint32 {
+	if r.hazTop || len(r.hazSet) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(r.hazSet))
+	for w := range r.hazSet {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // TauStore returns the tightest static cycles-per-store over the
 // program's simple store loops — the innermost store loop's period,
 // which is the τ_store Eq. 15 wants. ok is false when no simple store

@@ -326,6 +326,10 @@ func (d *Device) writeWords(words []uint32, totalCyc uint64, totalOmega float64,
 // afterCommit publishes a landed commit to the device's volatile
 // mirrors: the committed output stream and the live-slot tracking.
 func (d *Device) afterCommit(target, outLen int, seq uint64) {
+	if d.rec != nil {
+		d.rec.commit(seq, d.bkupStart, d.cycles, int32(len(d.result.Periods)),
+			len(d.committedOut), d.core.OutBuf)
+	}
 	d.committedOut = append(d.committedOut, d.core.OutBuf...)
 	d.core.OutBuf = nil
 	d.activeSlot = target
@@ -477,6 +481,9 @@ func (d *Device) coldStart() (restored, alive bool, err error) {
 	if d.obs != nil {
 		d.emit(obsv.EvColdStart, 0, 0, 0)
 	}
+	if d.rec != nil {
+		d.rec.bootCold(d.cycles, int32(len(d.result.Periods)))
+	}
 	return false, true, nil
 }
 
@@ -535,6 +542,9 @@ func (d *Device) applyDecoded(ck *decodedCkpt, slot int, rec energy.CommitRecord
 	d.committedOut = d.store.Out(int(rec.OutLen))
 	d.activeSlot = slot
 	d.hasCkpt = true
+	if d.rec != nil {
+		d.rec.bootRestore(d.cycles, int32(len(d.result.Periods)), rec.Seq, ck.core.SenseSeq)
+	}
 	if d.obs != nil {
 		restoreE := float64(cyc)*d.cfg.Power.EnergyPerCycle(energy.ClassMem) +
 			float64(bytes)*d.cfg.OmegaRExtra

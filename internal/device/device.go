@@ -123,6 +123,17 @@ type Strategy interface {
 // declared SYS sites, or is disarmed.
 const HorizonInfinite = ^uint64(0)
 
+// InputProtector is optional Strategy metadata: a runtime that claims
+// its protocol keeps committed input observations replay-safe (no
+// committed SENSE observation duplicates one an earlier commit already
+// persisted) implements it and returns true. The correctness oracle
+// (internal/faults) cross-checks the claim — a claimed-protected
+// runtime caught committing a replayed input is flagged with the claim
+// noted, so broken metadata cannot hide a violation.
+type InputProtector interface {
+	InputsProtected() bool
+}
+
 // SysObserver is the optional companion to Strategy.Horizon: a strategy
 // whose PostStep reacts to specific SYS codes (checkpoint sites, task
 // boundaries) declares them so the batched engine ends a batch — and
@@ -276,6 +287,14 @@ type Config struct {
 	// that path at zero overhead. A device-private tracer may assume
 	// single-goroutine delivery.
 	Observe obsv.Tracer
+
+	// Record, when non-nil, logs the run's observation sequence (input
+	// reads, committed outputs, checkpoint/restore lineage) for the
+	// formal correctness oracle (internal/faults). Attaching a recorder
+	// forces SysSense into the batch-stop mask and disables the fused
+	// settle path so every input read gets an exact per-instruction
+	// timestamp; results are unchanged (see obslog.go).
+	Record *ObsLog
 }
 
 func (c *Config) setDefaults() {
@@ -395,6 +414,13 @@ type Device struct {
 	// (observe.go).
 	obs obsv.Tracer
 
+	// rec is the attached observation recorder (obslog.go); nil means
+	// no recording and each hook reduces to a nil check. bkupStart
+	// remembers the consumed-cycle position the current backup began
+	// at, for the recorder's commit records.
+	rec       *ObsLog
+	bkupStart uint64
+
 	// per-period running counters
 	period        PeriodStats
 	sinceCommit   uint64  // executed cycles not yet committed by a backup
@@ -455,6 +481,15 @@ func New(cfg Config, s Strategy) (*Device, error) {
 		d.stopSys = so.ObservedSys()
 	} else {
 		d.stopSys = isa.AllSys
+	}
+	d.rec = cfg.Record
+	if d.rec != nil {
+		// Every input read must end its batch so the recorder sees an
+		// exact per-instruction timestamp. Extra batch boundaries are
+		// result-neutral: the reference engine delivers a PostStep after
+		// every instruction anyway, so the Horizon contract already
+		// requires strategies to tolerate them.
+		d.stopSys |= isa.MaskOf(isa.SysSense)
 	}
 	s.Attach(d)
 	return d, nil

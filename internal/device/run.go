@@ -174,6 +174,9 @@ func (d *Device) Run() (*Result, error) {
 	if d.inj != nil {
 		d.inj.BeginRun()
 	}
+	if d.rec != nil {
+		d.rec.reset()
+	}
 	if d.obs != nil {
 		var eng uint64
 		if d.engine != EngineReference && d.cache == nil {
@@ -286,6 +289,9 @@ func (d *Device) endPeriod() {
 				d.period.DeadCycles + d.sinceCommit
 			d.emit(obsv.EvBrownOut, d.sinceCommit, active, 0)
 		}
+	}
+	if d.rec != nil && !d.halted {
+		d.rec.powerFail()
 	}
 	d.period.DeadCycles += d.sinceCommit
 	d.period.DeadE += d.pendingE
@@ -434,6 +440,13 @@ func (d *Device) stepOnce(code []isa.Instr) (done bool, err error) {
 	d.sinceCommit += cycles
 	d.execSinceBkup += cycles
 	d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
+	if d.rec != nil {
+		if st.HasSys && st.Sys == isa.SysSense {
+			d.rec.sense(d.core.SenseSeq-1, d.cycles, int32(len(d.result.Periods)))
+		} else if st.HasAccess && st.Access.Store && d.rec.wantsStore(st.Access.Addr) {
+			d.rec.store(st.Access.Addr, d.cycles)
+		}
+	}
 	if err := d.pollInterrupt(cycles); err != nil {
 		return true, err
 	}
@@ -477,7 +490,13 @@ func (d *Device) stepOnce(code []isa.Instr) (done bool, err error) {
 // reference engine.
 func (d *Device) activePhaseBatched() error {
 	code := d.cfg.Prog.Code
-	fused := d.cfg.Harvester == nil && d.inj == nil
+	// The fused settle path is reserved for the unobserved fast case:
+	// with a recorder attached the engine takes the StepN+settleBatch
+	// route, whose per-step records carry the store addresses and sense
+	// boundaries the observation log needs. Results are identical either
+	// way (the equivalence oracle proves the two settle modes
+	// byte-identical); only the recording fidelity differs.
+	fused := d.cfg.Harvester == nil && d.inj == nil && d.rec == nil
 	for d.cycles < d.cfg.MaxCycles {
 		if int(d.core.PC) >= len(code) {
 			return &ProgramError{PC: d.core.PC, Program: d.cfg.Prog.Name}
@@ -507,6 +526,12 @@ func (d *Device) activePhaseBatched() error {
 			if b.Steps > 0 {
 				if err := d.settleBatch(d.sink.Recs); err != nil {
 					return err
+				}
+				// A recorder forces SysSense into the stop mask, so a
+				// batch whose final instruction read an input ends here
+				// with the exact per-instruction cycle position.
+				if d.rec != nil && b.HasSys && b.Sys == isa.SysSense {
+					d.rec.sense(d.core.SenseSeq-1, d.cycles, int32(len(d.result.Periods)))
 				}
 			}
 		}
@@ -607,6 +632,9 @@ func (d *Device) settleBatch(recs []cpu.StepRec) error {
 		alive := d.consume(n, energy.InstrClass(r.Class))
 		d.pendingE += eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
 		total += n
+		if d.rec != nil && r.Flags&cpu.RecStore != 0 && d.rec.wantsStore(r.Addr) {
+			d.rec.store(r.Addr, d.cycles)
+		}
 		if !alive {
 			return errBatchOverrun()
 		}
@@ -642,6 +670,7 @@ func (d *Device) backup(p Payload) bool {
 	}
 	eBefore, hBefore := d.cap.Energy(), d.period.HarvestedE
 	cycBefore := d.cycles
+	d.bkupStart = cycBefore
 	ok := d.writeCheckpoint(p)
 	bkE := eBefore + (d.period.HarvestedE - hBefore) - d.cap.Energy()
 	d.period.BackupCycles += d.cycles - cycBefore

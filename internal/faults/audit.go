@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/obsv"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
 	"ehmodel/internal/workload"
@@ -19,7 +21,11 @@ import (
 // committed output of every faulted intermittent run equals the
 // continuous-power oracle. Any divergence — wrong output, a simulator
 // error raised by restoring corrupt state, or a run that starves — is a
-// Violation carrying the exact seed that reproduces it.
+// Violation carrying the exact case that reproduces it. With
+// Options.Oracle set, the device additionally records its observation
+// sequence and the formal correctness oracle (oracle.go) classifies
+// violations the final-output comparison cannot see: replayed inputs,
+// stale output re-exposure and input-freshness breaches.
 //
 // Correctness under attack is fail-stop, not fail-silent: a run either
 // commits output identical to the oracle, or detects that its
@@ -32,40 +38,37 @@ import (
 // honest outcome. Silently diverging instead is exactly what the naive
 // single-slot mode does, and what the auditor exists to catch.
 
-// Case identifies one audited run.
-type Case struct {
-	Strategy string
-	Workload string
-	// Seed is the injector seed of this schedule; it fully reproduces
-	// the run.
-	Seed int64
-}
-
-func (c Case) String() string {
-	return fmt.Sprintf("%s/%s seed=%d", c.Strategy, c.Workload, c.Seed)
-}
-
-// Violation is one crash-consistency failure the auditor caught.
+// Violation is one correctness failure the auditor caught, tagged with
+// its verdict class. Its Case is self-contained (the fault plan is
+// embedded), so String prints a schedule `ehsim -audit -repro` replays
+// verbatim.
 type Violation struct {
 	Case Case
+	// Class is the verdict taxonomy entry; Detail carries the first
+	// witnessing instance for the oracle-side classes.
+	Class  obsv.VerdictClass
+	Detail string
 	// Err is non-nil when the run aborted (e.g. the device restored a
-	// corrupt checkpoint); otherwise Got/Want carry the diverging
+	// corrupt checkpoint); otherwise Got/Want may carry the diverging
 	// committed output.
 	Err       error
 	Got, Want []uint32
 	// Incomplete marks a run that hit its period/cycle limits without
-	// halting.
+	// halting (Class is ClassIncomplete).
 	Incomplete bool
 }
 
 func (v Violation) String() string {
+	head := fmt.Sprintf("[%s] %s", v.Class, v.Case)
 	switch {
 	case v.Err != nil:
-		return fmt.Sprintf("%s: %v", v.Case, v.Err)
+		return fmt.Sprintf("%s: %v", head, v.Err)
 	case v.Incomplete:
-		return fmt.Sprintf("%s: run did not complete", v.Case)
+		return fmt.Sprintf("%s: run did not complete", head)
+	case v.Detail != "":
+		return fmt.Sprintf("%s: %s", head, v.Detail)
 	default:
-		return fmt.Sprintf("%s: committed output diverged from oracle\n got %v\nwant %v", v.Case, v.Got, v.Want)
+		return fmt.Sprintf("%s: committed output diverged from oracle\n got %v\nwant %v", head, v.Got, v.Want)
 	}
 }
 
@@ -86,6 +89,14 @@ type Options struct {
 	// schedule. A zero plan gets a default attack: random supply cuts,
 	// torn writes, bit flips and forced stale restores all enabled.
 	Plan Plan
+	// Oracle attaches the observation recorder to every run and applies
+	// the formal correctness classification (oracle.go) on top of the
+	// final-output comparison.
+	Oracle bool
+	// FreshnessBound is the timeliness obligation in executed cycles: a
+	// committed input older than this at its commit is a violation.
+	// Zero disables the check. Only meaningful with Oracle.
+	FreshnessBound uint64
 	// PeriodCycles is the per-period energy budget in ALU cycles
 	// (default 20000, matching the strategy integration tests).
 	PeriodCycles float64
@@ -123,9 +134,11 @@ func DefaultPlan() Plan {
 // parseable per-schedule audit log: "ok" (output matched the oracle),
 // "violation" (crash consistency broke), or "unrecoverable" (honest
 // fail-stop — the device detected that no consistent recovery existed).
+// Classes lists the verdict classes of a violation outcome.
 type CaseVerdict struct {
 	Case    Case
 	Outcome string
+	Classes []obsv.VerdictClass
 }
 
 // Report aggregates an audit sweep.
@@ -136,6 +149,8 @@ type Report struct {
 	// (dropped cells — deadline, panic, cancellation — are absent; they
 	// appear in the runner's error summary instead).
 	Verdicts []CaseVerdict
+	// Classes counts reported violations per verdict class.
+	Classes [obsv.NumVerdictClasses]int
 	// Unrecoverable counts runs that fail-stopped with
 	// device.ErrUnrecoverable: the device detected that no
 	// crash-consistent recovery existed. These are successful
@@ -221,20 +236,11 @@ func Audit(ctx context.Context, o Options) (*Report, error) {
 			}
 		}
 	}
-	type cellResult struct {
-		v             *Violation
-		faults        device.FaultReport
-		unrecoverable bool
-	}
 	ro := o.Run
 	ro.Label = func(i int) string { return "audit " + cells[i].c.String() }
-	results, errs := runner.Map(ctx, len(cells), ro, func(i int) (cellResult, error) {
+	results, errs := runner.Map(ctx, len(cells), ro, func(i int) (*RunOutcome, error) {
 		cl := cells[i]
-		v, faults, unrec, err := auditOne(ctx, o, cl.spec, cl.prog, cl.want, cl.c)
-		if err != nil {
-			return cellResult{}, err
-		}
-		return cellResult{v: v, faults: faults, unrecoverable: unrec}, nil
+		return AuditRun(ctx, o, cl.spec.New(), cl.prog, cl.want, cl.c)
 	})
 	failed := errs.FailedSet()
 
@@ -245,17 +251,22 @@ func Audit(ctx context.Context, o Options) (*Report, error) {
 		}
 		r := results[i]
 		rep.Runs++
-		accumulate(&rep.Faults, r.faults)
+		accumulate(&rep.Faults, r.Faults)
 		outcome := "ok"
-		if r.unrecoverable {
+		if r.Unrecoverable {
 			rep.Unrecoverable++
 			outcome = "unrecoverable"
 		}
-		if r.v != nil {
-			rep.Violations = append(rep.Violations, *r.v)
+		var classes []obsv.VerdictClass
+		if len(r.Violations) > 0 {
 			outcome = "violation"
+			for _, v := range r.Violations {
+				rep.Violations = append(rep.Violations, v)
+				rep.Classes[v.Class]++
+				classes = append(classes, v.Class)
+			}
 		}
-		rep.Verdicts = append(rep.Verdicts, CaseVerdict{Case: cells[i].c, Outcome: outcome})
+		rep.Verdicts = append(rep.Verdicts, CaseVerdict{Case: cells[i].c, Outcome: outcome, Classes: classes})
 	}
 	if len(errs) > 0 {
 		return rep, errs
@@ -263,28 +274,138 @@ func Audit(ctx context.Context, o Options) (*Report, error) {
 	return rep, nil
 }
 
-// auditOne runs a single faulted case against the oracle. The
-// unrecoverable return marks an honest fail-stop (the device detected
-// that no crash-consistent recovery existed) — a successful detection,
-// not a violation.
-func auditOne(ctx context.Context, o Options, spec strategy.Spec, prog *asm.Program, want []uint32, c Case) (*Violation, device.FaultReport, bool, error) {
-	return AuditRun(ctx, o, spec.New(), prog, want, c)
+// RunOutcome is one audited schedule's full result: the (enriched,
+// replayable) case, every violation found with its verdict class, the
+// fail-stop flag, the exercised-fault evidence, and — in oracle mode —
+// the raw observation log for callers that classify further.
+type RunOutcome struct {
+	Case       Case
+	Violations []Violation
+	// Unrecoverable marks an honest fail-stop: the device detected that
+	// no crash-consistent recovery existed. A successful detection, not
+	// a violation.
+	Unrecoverable bool
+	Completed     bool
+	Output        []uint32
+	Faults        device.FaultReport
+	// Log is the observation record of the run (oracle mode only).
+	Log *device.ObsLog
+}
+
+// Classes returns the distinct verdict classes among the violations.
+func (r *RunOutcome) Classes() []obsv.VerdictClass {
+	out := make([]obsv.VerdictClass, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		out = append(out, v.Class)
+	}
+	return out
+}
+
+// HasClass reports whether some violation carries the class.
+func (r *RunOutcome) HasClass(class obsv.VerdictClass) bool {
+	for _, v := range r.Violations {
+		if v.Class == class {
+			return true
+		}
+	}
+	return false
 }
 
 // AuditRun runs one faulted schedule of prog under a caller-supplied
-// strategy instance and checks the committed output against want. It is
-// the single-cell core of Audit, exported so callers that need to
-// inspect strategy-side state after the run (e.g. Clank's violation
-// words in the analyzer's cross-validation) can hold on to strat. Zero
-// fields of o pick the same defaults as Audit; c.Seed drives the fault
-// schedule.
-func AuditRun(ctx context.Context, o Options, strat device.Strategy, prog *asm.Program, want []uint32, c Case) (*Violation, device.FaultReport, bool, error) {
+// strategy instance and checks it against the continuous oracle's
+// output want. It is the single-cell core of Audit, exported so callers
+// that need to inspect strategy-side state after the run (e.g. Clank's
+// violation words in the analyzer's cross-validation) can hold on to
+// strat. Zero fields of o pick the same defaults as Audit. A bare case
+// runs o.Plan reseeded with c.Seed; a self-contained case (embedded
+// plan fields, e.g. one produced by ParseCase or the campaign shrinker)
+// overrides the plan and the oracle/run-shape options entirely.
+func AuditRun(ctx context.Context, o Options, strat device.Strategy, prog *asm.Program, want []uint32, c Case) (*RunOutcome, error) {
 	o.setDefaults()
 	plan := o.Plan
-	plan.Seed = c.Seed
+	if c.hasPlan() {
+		plan = c.plan()
+	} else {
+		plan.Seed = c.Seed
+	}
+	if c.Oracle {
+		o.Oracle = true
+	}
+	if c.Fresh > 0 {
+		o.FreshnessBound = c.Fresh
+	}
+	if c.Period > 0 {
+		o.PeriodCycles = c.Period
+	}
+	if c.Periods > 0 {
+		o.MaxPeriods = c.Periods
+	}
+	var rec *device.ObsLog
+	if o.Oracle {
+		rec = &device.ObsLog{}
+	}
+	res, err := runCase(ctx, &o, strat, prog, plan, rec, nil)
+	out := &RunOutcome{Case: enrich(c, &o, plan), Log: rec}
+	switch {
+	case errors.Is(err, device.ErrUnrecoverable):
+		// Honest fail-stop: the device detected unrecoverable NVM state
+		// instead of silently diverging.
+		out.Unrecoverable = true
+		return out, nil
+	case errors.Is(err, device.ErrDeadlineExceeded) || ctx.Err() != nil:
+		// Resource exhaustion, not a consistency verdict: let the sweep
+		// engine record this cell as dropped rather than misreporting it
+		// as a violation.
+		return nil, err
+	case err != nil:
+		out.Violations = append(out.Violations,
+			Violation{Case: out.Case, Class: obsv.ClassTornState, Err: err})
+		return out, nil
+	}
+	out.Completed = res.Completed
+	out.Output = res.Output
+	out.Faults = res.Faults
+	if !res.Completed {
+		out.Violations = append(out.Violations,
+			Violation{Case: out.Case, Class: obsv.ClassIncomplete, Incomplete: true})
+	} else if !reflect.DeepEqual(res.Output, want) {
+		out.Violations = append(out.Violations,
+			Violation{Case: out.Case, Class: obsv.ClassTornState, Got: res.Output, Want: want})
+	}
+	if rec != nil {
+		claimed := false
+		if ip, ok := strat.(device.InputProtector); ok {
+			claimed = ip.InputsProtected()
+		}
+		for _, v := range classify(rec, want, o.FreshnessBound, claimed, out.Case) {
+			if !out.HasClass(v.Class) {
+				out.Violations = append(out.Violations, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// enrich returns c as a self-contained case: the exact plan that ran
+// plus the oracle and run-shape settings needed to replay it verbatim.
+func enrich(c Case, o *Options, plan Plan) Case {
+	c = c.withPlan(plan)
+	c.Oracle = o.Oracle
+	c.Fresh = o.FreshnessBound
+	c.Period = o.PeriodCycles
+	c.Periods = o.MaxPeriods
+	return c
+}
+
+// runCase executes one faulted device run: injector from plan, fixed
+// supply sized for o.PeriodCycles, optional observation recorder and
+// tracer. It is shared by the sweep auditor and the adversarial
+// campaign so a shrunk counterexample replays in exactly the
+// environment that found it.
+func runCase(ctx context.Context, o *Options, strat device.Strategy, prog *asm.Program, plan Plan, rec *device.ObsLog, obs obsv.Tracer) (*device.Result, error) {
 	inj, err := New(plan)
 	if err != nil {
-		return nil, device.FaultReport{}, false, err
+		return nil, err
 	}
 	pm := energy.MSP430Power()
 	e := o.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
@@ -294,35 +415,53 @@ func AuditRun(ctx context.Context, o Options, strat device.Strategy, prog *asm.P
 		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
 		MaxPeriods: o.MaxPeriods, MaxCycles: 2_000_000_000,
 		Faults:     inj,
+		Record:     rec,
+		Observe:    obs,
 		RunTimeout: o.Run.RunTimeout,
 		Interrupt:  runner.Interrupt(ctx),
 	}
 	d, err := device.New(cfg, strat)
 	if err != nil {
-		return nil, device.FaultReport{}, false, fmt.Errorf("faults: configuring %s: %w", c, err)
+		return nil, fmt.Errorf("faults: configuring %s/%s: %w", strat.Name(), prog.Name, err)
 	}
-	res, err := d.Run()
-	if errors.Is(err, device.ErrUnrecoverable) {
-		// Honest fail-stop: the device detected unrecoverable NVM state
-		// instead of silently diverging.
-		return nil, device.FaultReport{}, true, nil
+	return d.Run()
+}
+
+// ReplayCase rebuilds and re-runs one self-contained case — the
+// `ehsim -audit -repro` path. The strategy is resolved from the catalog
+// (a "+sense" suffix wraps it in the SenseCommit input-freshness
+// protocol) and the workload's continuous reference is recomputed, so
+// the outcome depends on nothing but the case string.
+func ReplayCase(ctx context.Context, c Case, run runner.Options) (*RunOutcome, error) {
+	name := c.Strategy
+	wrap := false
+	if base, ok := strings.CutSuffix(name, "+sense"); ok {
+		name, wrap = base, true
 	}
-	if errors.Is(err, device.ErrDeadlineExceeded) || ctx.Err() != nil {
-		// Resource exhaustion, not a consistency verdict: let the sweep
-		// engine record this cell as dropped rather than misreporting it
-		// as a violation.
-		return nil, device.FaultReport{}, false, err
+	spec, ok := strategy.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown strategy %q", c.Strategy)
 	}
+	w, ok := workload.Get(c.Workload)
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown workload %q", c.Workload)
+	}
+	opts := workload.Options{Seg: spec.Seg}
+	prog, err := w.Build(opts)
 	if err != nil {
-		return &Violation{Case: c, Err: err}, device.FaultReport{}, false, nil
+		return nil, fmt.Errorf("faults: building %s: %w", c.Workload, err)
 	}
-	if !res.Completed {
-		return &Violation{Case: c, Incomplete: true}, res.Faults, false, nil
+	strat := spec.New()
+	if wrap {
+		strat = strategy.NewSenseCommit(strat)
 	}
-	if !reflect.DeepEqual(res.Output, want) {
-		return &Violation{Case: c, Got: res.Output, Want: want}, res.Faults, false, nil
+	o := Options{Run: run}
+	if !c.hasPlan() {
+		// A bare case replays under the default sweep attack, matching
+		// how Audit would have run it.
+		o.Plan = DefaultPlan()
 	}
-	return nil, res.Faults, false, nil
+	return AuditRun(ctx, o, strat, prog, w.Ref(opts), c)
 }
 
 func accumulate(total *device.FaultReport, r device.FaultReport) {

@@ -228,8 +228,8 @@ func (p *Plan) ParseSchedule(spec string) error {
 		if err != nil {
 			return fmt.Errorf("faults: random schedule mean %q: %w", val, err)
 		}
-		if mean <= 0 {
-			return fmt.Errorf("faults: random schedule mean %g must be > 0", mean)
+		if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+			return fmt.Errorf("faults: random schedule mean %g must be > 0 and finite", mean)
 		}
 		p.RandomCutMeanCycles = mean
 	default:

@@ -53,6 +53,14 @@ func TestParseSchedule(t *testing.T) {
 		{"random:mean=zero", Plan{}, false},
 		{"random:mean=0", Plan{}, false},
 		{"random:mean=-10", Plan{}, false},
+		// Non-finite means parse as floats but produce a plan Validate
+		// rejects; ParseSchedule must refuse them at the gate.
+		{"random:mean=NaN", Plan{}, false},
+		{"random:mean=+Inf", Plan{}, false},
+		{"random:mean=-Inf", Plan{}, false},
+		{"cycles:", Plan{}, false},
+		{"cycles:100,,200", Plan{}, false},
+		{"cycles:1e3", Plan{}, false},
 		{"laser:beam", Plan{}, false},
 	}
 	for _, c := range cases {
@@ -67,6 +75,32 @@ func TestParseSchedule(t *testing.T) {
 			}
 		})
 	}
+}
+
+// FuzzParseSchedule: no spec may panic the parser, and any accepted
+// spec must yield a plan that validates and builds an injector — parse
+// success implies a runnable schedule.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("")
+	f.Add("none")
+	f.Add("cycles:100,2500,90000")
+	f.Add("random:mean=5000")
+	f.Add("random:mean=0.5")
+	f.Add("cycles:18446744073709551615")
+	f.Add("laser:beam")
+	f.Add("random:mean=NaN")
+	f.Fuzz(func(t *testing.T, spec string) {
+		var p Plan
+		if err := p.ParseSchedule(spec); err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseSchedule(%q) accepted a plan Validate rejects: %v", spec, err)
+		}
+		if _, err := New(p); err != nil {
+			t.Fatalf("ParseSchedule(%q) accepted a plan New rejects: %v", spec, err)
+		}
+	})
 }
 
 func TestInjectorDeterminism(t *testing.T) {

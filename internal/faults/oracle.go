@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"fmt"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/obsv"
+)
+
+// oracle.go — the formal correctness oracle. A faulted intermittent run
+// is correct when its committed observation sequence is equivalent to
+// *some* continuous-power execution of the same program (the
+// formal-foundations criterion). The final-output comparison the base
+// auditor performs is necessary but not sufficient: a run can commit a
+// replayed input observation, re-expose already-committed output, or
+// commit an input long after it was read, and still converge to the
+// oracle's final memory because the simulated environment is
+// deterministic. classify replays the device's observation log
+// (device.ObsLog) against these obligations and assigns verdict
+// classes.
+//
+// Operational semantics, per class:
+//
+//   - replayed-input: some input index is persisted by two distinct
+//     checkpoint commits. A bare re-read after a reboot is legal — the
+//     first read was never committed, so the continuous execution that
+//     performed only the second read explains the trace. Once a commit
+//     has persisted the observation, a rollback past that commit
+//     re-reads the input and a later commit persists it again: no
+//     single continuous execution reads one input twice.
+//   - stale-output: a commit rewrites an output-log position an earlier
+//     commit already exposed, with a different word. The externally
+//     visible stream then contains two values for one position.
+//   - timeliness: the first capture of an input predates the commit
+//     that persists it by more than the freshness bound (in executed
+//     cycles). The first read is the environment interaction; sitting
+//     on it across power failures before committing violates the
+//     input-freshness obligation even though the value is "right".
+//   - torn-state: a committed output word differs from the continuous
+//     oracle's word at that position (or extends past the oracle's
+//     output) — committed state matching no continuous execution.
+//
+// One Violation per class per run is reported; Detail carries the first
+// witnessing instance.
+
+// classify checks an observation log against the continuous execution's
+// expected output and returns at most one Violation per verdict class.
+// claimed notes that the strategy advertised input protection
+// (device.InputProtector), so a replayed-input finding also flags the
+// broken claim. bound 0 disables the timeliness obligation.
+func classify(log *device.ObsLog, want []uint32, bound uint64, claimed bool, c Case) []Violation {
+	if log == nil {
+		return nil
+	}
+	var out []Violation
+	var seen [obsv.NumVerdictClasses]bool
+	add := func(class obsv.VerdictClass, detail string) {
+		if seen[class] {
+			return
+		}
+		seen[class] = true
+		out = append(out, Violation{Case: c, Class: class, Detail: detail})
+	}
+
+	// Replayed inputs: one sense index persisted by two distinct commits.
+	committedBy := make(map[uint32]int)
+	for i := range log.Senses {
+		s := &log.Senses[i]
+		if !s.Committed {
+			continue
+		}
+		if first, ok := committedBy[s.Index]; ok && first != s.Commit {
+			d := fmt.Sprintf("input #%d committed by checkpoint seq=%d and again by seq=%d",
+				s.Index, log.Commits[first].Seq, log.Commits[s.Commit].Seq)
+			if claimed {
+				d += "; the runtime claims input protection"
+			}
+			add(obsv.ClassReplayedInput, d)
+		} else if !ok {
+			committedBy[s.Index] = s.Commit
+		}
+	}
+
+	// Output stream: walk commits in commit order, tracking every
+	// position ever exposed. A commit whose OutBase regressed rewrites
+	// exposed positions; a different word there is a stale-output
+	// violation. Independently, every committed word must match the
+	// continuous oracle at its position (torn-state evidence even when
+	// the final output later converges).
+	var exposed []uint32
+	for ci := range log.Commits {
+		co := &log.Commits[ci]
+		for j, w := range co.Out {
+			pos := co.OutBase + j
+			switch {
+			case pos < len(exposed):
+				if exposed[pos] != w {
+					add(obsv.ClassStaleOutput, fmt.Sprintf(
+						"commit seq=%d rewrote output[%d] as %#x over previously exposed %#x",
+						co.Seq, pos, w, exposed[pos]))
+				}
+				exposed[pos] = w
+			case pos == len(exposed):
+				exposed = append(exposed, w)
+			default:
+				// A gap would be a recorder invariant breach; widen
+				// defensively so classification can continue.
+				for len(exposed) < pos {
+					exposed = append(exposed, 0)
+				}
+				exposed = append(exposed, w)
+			}
+			if pos >= len(want) {
+				add(obsv.ClassTornState, fmt.Sprintf(
+					"commit seq=%d committed output[%d]=%#x past the oracle's %d outputs",
+					co.Seq, pos, w, len(want)))
+			} else if want[pos] != w {
+				add(obsv.ClassTornState, fmt.Sprintf(
+					"commit seq=%d committed output[%d]=%#x, continuous oracle has %#x",
+					co.Seq, pos, w, want[pos]))
+			}
+		}
+	}
+
+	// Timeliness: the age of a committed input is measured from its
+	// first capture — re-reading after a reboot does not refresh the
+	// obligation, because the program first interacted with the
+	// environment at the original read.
+	if bound > 0 {
+		first := make(map[uint32]uint64)
+		for i := range log.Senses {
+			s := &log.Senses[i]
+			if _, ok := first[s.Index]; !ok {
+				first[s.Index] = s.Cycle
+			}
+		}
+		for ci := range log.Commits {
+			co := &log.Commits[ci]
+			for _, si := range co.Senses {
+				idx := log.Senses[si].Index
+				if age := co.Cycle - first[idx]; age > bound {
+					add(obsv.ClassTimeliness, fmt.Sprintf(
+						"input #%d first read at cycle %d, committed at cycle %d: age %d exceeds freshness bound %d",
+						idx, first[idx], co.Cycle, age, bound))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -92,6 +92,27 @@ const (
 	// no crash-consistent recovery exists. Arg is the newest surviving
 	// checkpoint sequence, Arg2 the FRAM stores no rollback can undo.
 	EvUnrecoverable
+	// EvVerdict is the correctness oracle flagging one violation class
+	// on a run (internal/faults). Arg is a VerdictClass.
+	EvVerdict
+	// EvCampaignProbe is the adversarial fault campaign's frontier
+	// discovery pass completing. Arg is the number of coverage-frontier
+	// windows mined from the probe run, Arg2 the probe's total cycles.
+	EvCampaignProbe
+	// EvCampaignSchedule is one biased fault schedule being launched.
+	// Arg2 is the placed power-cut cycle.
+	EvCampaignSchedule
+	// EvCampaignFinding is a campaign schedule producing a violation
+	// (before shrinking). Arg is the VerdictClass.
+	EvCampaignFinding
+	// EvCampaignShrink is a counterexample minimized: Arg is the number
+	// of candidate runs the shrinker spent, Arg2 the minimized case's
+	// final power-cut count.
+	EvCampaignShrink
+	// EvCampaignCoverage closes a campaign: Arg is the number of
+	// frontier windows actually attacked, Arg2 the total discovered —
+	// the schedule-space coverage summary.
+	EvCampaignCoverage
 
 	// NumEventTypes bounds the vocabulary for sink lookup tables.
 	NumEventTypes
@@ -120,6 +141,12 @@ var eventNames = [NumEventTypes]string{
 	EvCRCReject:        "crc-reject",
 	EvStaleRestore:     "stale-restore",
 	EvUnrecoverable:    "unrecoverable",
+	EvVerdict:          "verdict",
+	EvCampaignProbe:    "campaign-probe",
+	EvCampaignSchedule: "campaign-schedule",
+	EvCampaignFinding:  "campaign-finding",
+	EvCampaignShrink:   "campaign-shrink",
+	EvCampaignCoverage: "campaign-coverage",
 }
 
 func (t EventType) String() string {
@@ -133,6 +160,64 @@ func (t EventType) String() string {
 // differ between the batched and reference engines. The golden-trace
 // test filters these out before asserting cross-engine equality.
 func (t EventType) EngineDiagnostic() bool { return t == EvBatchHorizon }
+
+// VerdictClass classifies a correctness-oracle violation (EvVerdict /
+// EvCampaignFinding Arg; internal/faults assigns them). The vocabulary
+// follows the formal-foundations taxonomy: equivalence to *some*
+// continuous execution, including input-freshness obligations.
+type VerdictClass uint8
+
+const (
+	// ClassTornState is committed state diverging from every continuous
+	// execution: a corrupt restore, a committed output word that is not
+	// the oracle's word at that position, or a wrong final memory.
+	ClassTornState VerdictClass = iota
+	// ClassReplayedInput is a committed input observation that
+	// duplicates one an earlier commit already persisted — after a
+	// rollback past a commit, the input was re-read and re-committed,
+	// so committed state mixes two distinct environment readings.
+	ClassReplayedInput
+	// ClassStaleOutput is a commit re-exposing output positions an
+	// earlier commit already made externally visible — under a live
+	// environment the re-emitted words may differ from those already
+	// observed.
+	ClassStaleOutput
+	// ClassTimeliness is a committed input older than the configured
+	// freshness bound at the commit that consumed it.
+	ClassTimeliness
+	// ClassIncomplete is a run that starved before halting — not a
+	// divergence, but not equivalent to any continuous execution
+	// either.
+	ClassIncomplete
+
+	// NumVerdictClasses bounds the enum for metrics arrays.
+	NumVerdictClasses
+)
+
+var verdictNames = [NumVerdictClasses]string{
+	ClassTornState:     "torn-state",
+	ClassReplayedInput: "replayed-input",
+	ClassStaleOutput:   "stale-output",
+	ClassTimeliness:    "timeliness",
+	ClassIncomplete:    "incomplete",
+}
+
+func (c VerdictClass) String() string {
+	if int(c) < len(verdictNames) && verdictNames[c] != "" {
+		return verdictNames[c]
+	}
+	return "class-" + itoa(uint64(c))
+}
+
+// ParseVerdictClass maps a class name back to its enum value.
+func ParseVerdictClass(s string) (VerdictClass, bool) {
+	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
+		if verdictNames[c] == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
 
 // TriggerReason classifies why a strategy requested a backup (EvTrigger
 // Arg) or flushed its tracking buffers (EvWARFlush Arg2).
@@ -166,6 +251,10 @@ const (
 	// NVP. Emitted once per power-on, not per cycle — a per-instruction
 	// event stream would swamp every sink.
 	TrigEveryCycle
+	// TrigSense is an input-observation commit: the SenseCommit wrapper
+	// checkpointing immediately after a SENSE so the captured input
+	// cannot be re-read by a post-reboot replay.
+	TrigSense
 
 	// NumTriggerReasons bounds the enum for metrics arrays.
 	NumTriggerReasons
@@ -182,6 +271,7 @@ var triggerNames = [NumTriggerReasons]string{
 	TrigWatchdog:   "watchdog",
 	TrigBoot:       "boot",
 	TrigEveryCycle: "every-cycle",
+	TrigSense:      "sense",
 }
 
 func (r TriggerReason) String() string {

@@ -176,6 +176,22 @@ type Metrics struct {
 	Unrecoverables  uint64 `json:"unrecoverables"`
 	BatchedHorizons uint64 `json:"batched_horizons"`
 
+	// Verdicts counts correctness-oracle violations by class (EvVerdict
+	// and EvCampaignFinding both land here, so sweep and campaign
+	// findings share one export).
+	Verdicts [NumVerdictClasses]uint64 `json:"-"`
+
+	// Adversarial fault-campaign statistics (internal/faults.Campaign):
+	// schedules launched, frontier windows discovered/attacked (the
+	// schedule-space coverage pair), findings before shrinking, and the
+	// shrinker's cost and result-size distributions.
+	CampaignSchedules uint64    `json:"campaign_schedules"`
+	CampaignFrontier  uint64    `json:"campaign_frontier_windows"`
+	CampaignAttacked  uint64    `json:"campaign_attacked_windows"`
+	CampaignFindings  uint64    `json:"campaign_findings"`
+	ShrinkRuns        Histogram `json:"campaign_shrink_runs"`
+	CaseCuts          Histogram `json:"campaign_case_cuts"`
+
 	// ErrorClasses carries the sweep runner's per-class failure counts
 	// (AddErrorClass); nil until the first class is added.
 	ErrorClasses map[string]uint64 `json:"error_classes,omitempty"`
@@ -240,6 +256,24 @@ func (m *Metrics) Event(e Event) {
 		m.StaleRestores++
 	case EvUnrecoverable:
 		m.Unrecoverables++
+	case EvVerdict:
+		if e.Arg < uint64(NumVerdictClasses) {
+			m.Verdicts[e.Arg]++
+		}
+	case EvCampaignProbe:
+		m.CampaignFrontier += e.Arg
+	case EvCampaignSchedule:
+		m.CampaignSchedules++
+	case EvCampaignFinding:
+		m.CampaignFindings++
+		if e.Arg < uint64(NumVerdictClasses) {
+			m.Verdicts[e.Arg]++
+		}
+	case EvCampaignShrink:
+		m.ShrinkRuns.Observe(e.Arg)
+		m.CaseCuts.Observe(e.Arg2)
+	case EvCampaignCoverage:
+		m.CampaignAttacked += e.Arg
 	}
 }
 
@@ -291,6 +325,15 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.StaleRestores += other.StaleRestores
 	m.Unrecoverables += other.Unrecoverables
 	m.BatchedHorizons += other.BatchedHorizons
+	for i := range m.Verdicts {
+		m.Verdicts[i] += other.Verdicts[i]
+	}
+	m.CampaignSchedules += other.CampaignSchedules
+	m.CampaignFrontier += other.CampaignFrontier
+	m.CampaignAttacked += other.CampaignAttacked
+	m.CampaignFindings += other.CampaignFindings
+	m.ShrinkRuns.Merge(&other.ShrinkRuns)
+	m.CaseCuts.Merge(&other.CaseCuts)
 	for k, v := range other.ErrorClasses {
 		m.AddErrorClass(k, v)
 	}
@@ -349,6 +392,19 @@ func (m *Metrics) rows() [][2]string {
 	stat("charge_seconds", &m.ChargeS)
 	stat("checkpoint_energy_j", &m.CkptEnergy)
 	stat("restore_energy_j", &m.RestoreErgy)
+	out = append(out,
+		[2]string{"campaign_schedules", u(m.CampaignSchedules)},
+		[2]string{"campaign_frontier_windows", u(m.CampaignFrontier)},
+		[2]string{"campaign_attacked_windows", u(m.CampaignAttacked)},
+		[2]string{"campaign_findings", u(m.CampaignFindings)},
+	)
+	hist("campaign_shrink_runs", &m.ShrinkRuns)
+	hist("campaign_case_cuts", &m.CaseCuts)
+	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
+		if m.Verdicts[c] != 0 {
+			out = append(out, [2]string{"verdict_" + c.String(), u(m.Verdicts[c])})
+		}
+	}
 	for r := TriggerReason(0); r < NumTriggerReasons; r++ {
 		if m.Triggers[r] != 0 {
 			out = append(out, [2]string{"trigger_" + r.String(), u(m.Triggers[r])})
@@ -385,6 +441,7 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	doc := struct {
 		*alias
 		Triggers map[string]uint64 `json:"triggers,omitempty"`
+		Verdicts map[string]uint64 `json:"verdicts,omitempty"`
 	}{alias: (*alias)(m)}
 	for r := TriggerReason(0); r < NumTriggerReasons; r++ {
 		if m.Triggers[r] != 0 {
@@ -392,6 +449,14 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 				doc.Triggers = map[string]uint64{}
 			}
 			doc.Triggers[r.String()] = m.Triggers[r]
+		}
+	}
+	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
+		if m.Verdicts[c] != 0 {
+			if doc.Verdicts == nil {
+				doc.Verdicts = map[string]uint64{}
+			}
+			doc.Verdicts[c.String()] = m.Verdicts[c]
 		}
 	}
 	enc := json.NewEncoder(w)
