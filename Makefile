@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads bench bench-guard clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads lint-tasks bench bench-guard clean
 
 # `test` runs the full suite race-free — including the complete engine
 # equivalence matrix, which self-trims to a representative slice under
@@ -55,16 +55,32 @@ audit-quick:
 	$(GO) run ./cmd/ehsim -audit -audit-schedules 10
 
 # a bounded adversarial fault-search campaign with the formal oracle:
-# fixed seed, short budget, default strategy × workload matrix. Exit 3
-# and a counterexamples.txt of minimized, `-repro`-replayable cases when
-# any verdict fires (CI uploads the file as an artifact). The default
+# fixed seed, short budget, default strategy × workload matrix (which
+# includes the checkpoint-free alpaca task runtime). Exit 3 and a
+# counterexamples.txt of minimized, `-repro`-replayable cases when any
+# verdict fires (CI uploads the file as an artifact). The default
 # protocol is expected to come up clean; this is the regression tripwire
-# for protocol changes.
+# for protocol changes. A second campaign then aims at the known-bad
+# alpaca-naive variant (non-atomic in-place task commits) and MUST find
+# a counterexample — its exit 3 is inverted — so the auditor's teeth are
+# checked in the same job. The task tables the alpaca family executes
+# are emitted alongside for the artifact upload.
 audit-adversarial:
 	$(GO) run ./cmd/ehsim -audit -adversarial -oracle \
 		-campaign-budget 24 -fault-seed 1 \
 		-counterexamples counterexamples.txt \
 		-metrics audit_adversarial_metrics.txt
+	$(GO) build -o ehsim.audit ./cmd/ehsim
+	./ehsim.audit -audit -adversarial -oracle \
+		-audit-strategies alpaca-naive -audit-workloads counter \
+		-campaign-budget 24 -fault-seed 1 \
+		-counterexamples counterexamples_naive.txt; \
+	status=$$?; rm -f ehsim.audit; \
+	if [ $$status -ne 3 ]; then \
+		echo "audit-adversarial: alpaca-naive campaign exited $$status, want 3 (known-bad target must be caught)"; \
+		exit 1; \
+	fi
+	$(GO) run ./cmd/ehlint -tasks -golden > task_tables.txt
 
 # regenerate the golden static-analysis findings for every built-in
 # workload (both data placements). cmd/ehlint's golden test fails on any
@@ -73,6 +89,15 @@ audit-adversarial:
 lint-workloads:
 	$(GO) run ./cmd/ehlint -golden > results/ehlint_workloads.golden
 	@git diff --stat -- results/ehlint_workloads.golden
+
+# regenerate the golden task decomposition tables (the static task
+# boundaries, footprints and buffer bounds the Alpaca runtime executes).
+# cmd/ehlint's golden test fails on any drift from
+# results/ehlint_tasks.golden, so decomposition changes must be reviewed
+# and committed here deliberately.
+lint-tasks:
+	$(GO) run ./cmd/ehlint -tasks -golden > results/ehlint_tasks.golden
+	@git diff --stat -- results/ehlint_tasks.golden
 
 # regenerate BENCH_core.json: the execution-engine macro-benchmark
 # (reference vs batched on the counter/bench-supply configuration).

@@ -7,12 +7,19 @@
 // tracking-buffer footprint bound and, on request, checks a circular
 // buffer size against Eq. 15 of the paper.
 //
+// With -tasks it instead runs the task decomposition pass
+// (analyze.Tasks) and prints the serializable task table the
+// checkpoint-free Alpaca runtime executes: one idempotent task per
+// static boundary, each with its read count and write-set footprint.
+//
 // Examples:
 //
 //	ehlint -workload crc                  # one workload, FRAM placement
 //	ehlint -all -seg sram                 # every workload, SRAM placement
 //	ehlint -workload fir -json            # machine-readable findings
 //	ehlint -workload circular -arrayn 4 -bufn 8 -taub 170   # Eq. 15 check
+//	ehlint -tasks -workload counter       # the workload's task table
+//	ehlint -tasks -golden                 # canonical all-workloads task tables
 //
 // The exit status is 2 on configuration errors, 1 when any
 // error-severity finding is reported, 0 otherwise.
@@ -47,10 +54,15 @@ func main() {
 	writeback := flag.Int("writeback", 0, "Eq. 15: writeback window w")
 	tauB := flag.Float64("taub", 0, "Eq. 15: target backup period τ_B in cycles")
 	golden := flag.Bool("golden", false, "emit the canonical all-workloads findings summary (both placements) and exit")
+	tasks := flag.Bool("tasks", false, "print task decomposition tables instead of lint findings")
 	flag.Parse()
 
 	if *golden {
-		if err := lintAllText(os.Stdout); err != nil {
+		emit := lintAllText
+		if *tasks {
+			emit = tasksAllText
+		}
+		if err := emit(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ehlint:", err)
 			os.Exit(2)
 		}
@@ -79,6 +91,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ehlint: pass -workload <name> or -all")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *tasks {
+		for _, name := range names {
+			tt, err := tasksOne(name, seg, *scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ehlint:", err)
+				os.Exit(2)
+			}
+			fmt.Print(tt.String())
+		}
+		return
 	}
 
 	errorsSeen := false
@@ -128,10 +152,10 @@ func segFor(name string) (asm.Segment, error) {
 	}
 }
 
-// lintOne builds and analyzes one workload. The name "circular" builds
-// the §IV-D circular-buffer kernel (workload.CircularBuffer) sized by
+// buildOne assembles one workload. The name "circular" builds the
+// §IV-D circular-buffer kernel (workload.CircularBuffer) sized by
 // -arrayn/-bufn, the natural subject of the Eq. 15 check.
-func lintOne(name string, seg asm.Segment, scale int) (*analyze.Report, error) {
+func buildOne(name string, seg asm.Segment, scale int) (*asm.Program, error) {
 	var prog *asm.Program
 	var err error
 	if name == "circular" {
@@ -146,7 +170,25 @@ func lintOne(name string, seg asm.Segment, scale int) (*analyze.Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building %s: %w", name, err)
 	}
+	return prog, nil
+}
+
+// lintOne builds and analyzes one workload.
+func lintOne(name string, seg asm.Segment, scale int) (*analyze.Report, error) {
+	prog, err := buildOne(name, seg, scale)
+	if err != nil {
+		return nil, err
+	}
 	return analyze.Analyze(prog, analyze.Options{})
+}
+
+// tasksOne builds one workload and runs the task decomposition pass.
+func tasksOne(name string, seg asm.Segment, scale int) (*analyze.TaskTable, error) {
+	prog, err := buildOne(name, seg, scale)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Tasks(prog, analyze.Options{})
 }
 
 func printEq15(w io.Writer, r analyze.Eq15Result) {
@@ -183,6 +225,30 @@ func lintAllText(w io.Writer) error {
 			for _, f := range rep.Findings {
 				fmt.Fprintf(w, "%-7s %-28s %s: %s\n", f.Sev, f.Kind, f.Where, f.Msg)
 			}
+		}
+	}
+	return nil
+}
+
+// tasksAllText renders the canonical all-workloads task tables used by
+// the golden-output regression test and `make lint-tasks`: every
+// workload's decomposition under both data placements, in the
+// serialization analyze.ParseTaskTable round-trips.
+func tasksAllText(w io.Writer) error {
+	segs := []struct {
+		name string
+		seg  asm.Segment
+	}{{"sram", asm.SRAM}, {"fram", asm.FRAM}}
+	names := workload.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		for _, s := range segs {
+			tt, err := tasksOne(name, s.seg, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "== %s/%s ==\n", name, s.name)
+			fmt.Fprint(w, tt.String())
 		}
 	}
 	return nil

@@ -33,6 +33,30 @@ func TestGoldenWorkloadFindings(t *testing.T) {
 	}
 }
 
+// TestGoldenTaskTables pins the task decomposition pass's output for
+// every built-in workload (both data placements) to
+// results/ehlint_tasks.golden. A diff means task boundaries, footprints
+// or the Eq. 15 buffer bound moved; regenerate deliberately with
+//
+//	make lint-tasks
+//
+// after reviewing the new decomposition.
+func TestGoldenTaskTables(t *testing.T) {
+	var got bytes.Buffer
+	if err := tasksAllText(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "results", "ehlint_tasks.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with `make lint-tasks`)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("task tables drifted from %s; regenerate with `make lint-tasks` after reviewing.\n%s",
+			path, diffHint(string(want), got.String()))
+	}
+}
+
 // TestNoBootWindowHazards asserts the satellite invariant directly: no
 // workload may reach a WAR store before its first checkpoint site.
 func TestNoBootWindowHazards(t *testing.T) {

@@ -145,7 +145,7 @@ func main() {
 
 func cliMain() int {
 	wname := flag.String("workload", "counter", "workload: "+strings.Join(workload.Names(), ", "))
-	sname := flag.String("strategy", "timer", "runtime: timer, speculative, hibernus, mementos, dino, chain, mixvol, clank, ratchet, nvp, nvp-threshold")
+	sname := flag.String("strategy", "timer", "runtime: timer, speculative, hibernus, mementos, dino, chain, alpaca, mixvol, clank, ratchet, nvp, nvp-threshold, cachevol (alpaca-naive runs the known-bad audit target)")
 	period := flag.Float64("period", 20000, "per-period energy budget in ALU cycles")
 	tauB := flag.Uint64("tauB", 1000, "backup period for timer/mixvol (cycles)")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")

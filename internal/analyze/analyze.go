@@ -90,11 +90,11 @@ func Analyze(prog *asm.Program, o Options) (*Report, error) {
 
 	// Global (Clank-sound) pass: no clearing at programmer boundaries,
 	// because Clank checkpoints at dynamically chosen points.
-	global := runWAR(g, acc, nil, false, lay)
+	global := runWAR(g, acc, nil, nil, false, lay)
 	r.Hazards = global.hazards
 
 	// Region-scoped pass for software checkpointing runtimes.
-	region := runWAR(g, acc, boundarySet, true, lay)
+	region := runWAR(g, acc, boundarySet, nil, true, lay)
 	r.RegionHazards = region.hazards
 	r.Region = RegionStats{
 		Hazards:        len(region.hazards),

@@ -194,6 +194,109 @@ func TestFootprintBoundEliminatesBufferFulls(t *testing.T) {
 	}
 }
 
+// TestTaskFootprintsCoverAlpacaCommits cross-validates the task
+// decomposition pass against the checkpoint-free runtime built on it:
+// every task commit an Alpaca run records — on clean intermittent
+// power and with the fault injector forcing task re-executions — must
+// flush a write set contained in the static footprint of the task
+// entry it committed from. The static per-task write sets are the
+// sound over-approximation the Eq. 15 buffer bound is sized against,
+// so a dynamic word outside them would unsound the sizing.
+func TestTaskFootprintsCoverAlpacaCommits(t *testing.T) {
+	ctx := context.Background()
+	checked, reexecs := 0, 0
+	for _, name := range []string{"counter", "ds", "crc", "qsort"} {
+		w, ok := workload.Get(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		opts := workload.Options{Seg: asm.SRAM}
+		prog, err := w.Build(opts)
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		want := w.Ref(opts)
+
+		verify := func(label string, a *strategy.Alpaca) {
+			tt := a.Table()
+			if tt == nil {
+				t.Fatalf("%s/%s: decomposition pass fell back, no task table", name, label)
+			}
+			for _, co := range a.Commits() {
+				// A coalesced commit flushes the writes of every task in
+				// its span, so the containing set is the union of their
+				// static footprints.
+				static := make(map[uint32]struct{})
+				top := false
+				for _, entry := range append([]uint32{co.Entry}, co.Span...) {
+					words, unbounded, ok := tt.FootprintAt(entry)
+					if !ok {
+						t.Errorf("%s/%s: commit span entry %d not a static task boundary", name, label, entry)
+						continue
+					}
+					if unbounded {
+						top = true
+						continue
+					}
+					for _, wd := range words {
+						static[wd] = struct{}{}
+					}
+				}
+				checked++
+				if top {
+					continue // an unbounded static footprint contains everything
+				}
+				for _, wd := range co.Words {
+					if _, in := static[wd]; !in {
+						t.Errorf("%s/%s: task span from entry %d committed word %#x outside its static footprint union",
+							name, label, co.Entry, wd)
+					}
+				}
+			}
+		}
+
+		// Clean intermittent power.
+		a := strategy.NewAlpaca()
+		a.RecordCommits()
+		d, err := device.New(fixedCfg(prog, 20000), a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed || !reflect.DeepEqual(res.Output, want) {
+			t.Fatalf("%s: alpaca run diverged: completed=%v got %v want %v",
+				name, res.Completed, res.Output, want)
+		}
+		verify("clean", a)
+
+		// Fault injection: power cuts force reboots, so recorded commits
+		// include re-executed tasks restarting from committed boundaries.
+		for seed := int64(1); seed <= 2; seed++ {
+			fa := strategy.NewAlpaca()
+			fa.RecordCommits()
+			cs := faults.Case{Strategy: "alpaca", Workload: name, Seed: seed}
+			out, err := faults.AuditRun(ctx, faults.Options{}, fa, prog, want, cs)
+			if err != nil {
+				t.Fatalf("%s: %v", cs, err)
+			}
+			if len(out.Violations) > 0 {
+				t.Fatalf("%s: crash-consistency violation: %v", cs, out.Violations[0])
+			}
+			verify("faulted", fa)
+			reexecs += out.Faults.PowerCuts
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no task commits recorded; containment check is vacuous")
+	}
+	if reexecs == 0 {
+		t.Fatal("fault injection delivered no power cuts; re-execution containment never exercised")
+	}
+}
+
 // TestEq15PlanReplaySafe closes the loop on the paper's Eq. 15: derive
 // τ_store statically, size the circular buffer with the analytic plan,
 // check the plan statically, then simulate the planned kernel under

@@ -1,0 +1,429 @@
+package analyze
+
+// tasks.go — automatic task decomposition for checkpoint-free,
+// Alpaca-style task runtimes. A task runtime executes tasks with
+// write-privatized buffers and commits atomically at task boundaries;
+// on a power failure it re-executes from the last committed boundary
+// with no volatile checkpoint to restore. Re-execution is only safe
+// when tasks are idempotent — no task may read a word it has already
+// overwritten — so the decomposition reuses the WAR machinery: starting
+// from the program's explicit task-end markers, every store the
+// region-scoped WAR pass still flags becomes a commit-before-store
+// boundary, iterated to a fixed point (cutting a hazard can only shrink
+// the remaining read-first state, so the iteration is monotone).
+//
+// The per-task static write-set footprints size the privatization
+// buffer the way Eq. 15 sizes Clank's circular buffer: a buffer of
+// BufWords words provably never overflows, and BufWords·τ_store prices
+// the worst-case commit period.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ehmodel/internal/asm"
+	"ehmodel/internal/isa"
+)
+
+// Task boundary kinds.
+const (
+	// TaskEntry is the program entry.
+	TaskEntry = "entry"
+	// TaskSysEnd is an entry after an explicit SYS task-end marker.
+	TaskSysEnd = "task-end"
+	// TaskWARCut is a commit-before-store WAR cut: the runtime must
+	// commit immediately before executing the entry instruction.
+	TaskWARCut = "war-store"
+)
+
+// Task is one idempotent execution unit: execution from Entry up to
+// (but not across) the next task boundary. Every WAR hazard inside the
+// task has been cut, so re-running it from Entry after a power failure
+// reads the same values it read the first time.
+type Task struct {
+	ID    int    `json:"id"`
+	Entry int    `json:"entry"` // entry PC
+	Kind  string `json:"kind"`  // boundary kind that created the entry
+	// ReadWords counts distinct words the task may load; -1 unbounded.
+	ReadWords int `json:"read_words"`
+	// StoreTop marks an unresolvable store: the write set is unbounded
+	// and StoreWords is nil.
+	StoreTop bool `json:"store_top,omitempty"`
+	// StoreWords is the sorted static write-set footprint — the words a
+	// privatization buffer must hold while this task is in flight.
+	StoreWords []uint32 `json:"store_words,omitempty"`
+}
+
+// TaskTable is the serializable result of the decomposition pass.
+type TaskTable struct {
+	Prog  string `json:"prog"`
+	Tasks []Task `json:"tasks"`
+	// Boundaries are the WAR-cut instruction indices: a task runtime
+	// commits immediately before executing these PCs.
+	Boundaries []int `json:"boundaries,omitempty"`
+	// BufWords is the privatization-buffer bound: the largest task
+	// write set in words, -1 when some task is unbounded. A buffer of
+	// BufWords words provably never overflows — the task-runtime analog
+	// of the Eq. 15 circular-buffer bound.
+	BufWords int `json:"buf_words"`
+	// TauStore is the static cycles-per-store of the innermost simple
+	// store loop (0 when the program has none); BufWords·TauStore
+	// estimates the worst-case commit period the way Eq. 15 prices
+	// (N−n+1+w)·τ_store.
+	TauStore float64 `json:"tau_store,omitempty"`
+}
+
+// Tasks decomposes prog into idempotent tasks. The zero Options picks
+// the device memory defaults; Options.Boundaries is ignored — task
+// decomposition always anchors on SysTaskEnd, the marker task runtimes
+// commit at.
+func Tasks(prog *asm.Program, o Options) (*TaskTable, error) {
+	if prog == nil || len(prog.Code) == 0 {
+		return nil, fmt.Errorf("analyze: empty program")
+	}
+	lay := memLayout{sramSize: uint32(defaultSRAMSize), framSize: uint32(defaultFRAMSize)}
+	if o.SRAMSize > 0 {
+		lay.sramSize = uint32(o.SRAMSize)
+	}
+	if o.FRAMSize > 0 {
+		lay.framSize = uint32(o.FRAMSize)
+	}
+
+	g := buildCFG(prog.Code)
+	fr := runFlow(g)
+	acc := make([]*accessInfo, len(prog.Code))
+	for id, b := range g.blocks {
+		if !fr.reach[id] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := prog.Code[pc]
+			if in.Op.IsLoad() || in.Op.IsStore() {
+				acc[pc] = resolveAccess(pc, in, fr.stateAt[pc], lay)
+			}
+		}
+	}
+
+	sysBounds := map[isa.Sys]bool{isa.SysTaskEnd: true}
+
+	// Fixed point: every store the WAR pass still flags becomes a
+	// boundary. Each round adds at least one PC or stops, so the loop
+	// is bounded by the instruction count.
+	pcBounds := make(map[int]bool)
+	for i := 0; i <= len(prog.Code); i++ {
+		res := runWAR(g, acc, sysBounds, pcBounds, false, lay)
+		grew := false
+		for _, h := range res.hazards {
+			if !pcBounds[h.PC] {
+				pcBounds[h.PC] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Task entries: program entry, the instruction after every
+	// reachable task-end marker, and every WAR cut. A WAR cut wins
+	// when it collides with another kind — the runtime commits before
+	// that PC either way.
+	kindAt := map[int]string{0: TaskEntry}
+	for pc, in := range prog.Code {
+		if in.Op == isa.SYS && isa.Sys(in.Imm) == isa.SysTaskEnd && pc+1 < len(prog.Code) {
+			if _, taken := kindAt[pc+1]; !taken {
+				kindAt[pc+1] = TaskSysEnd
+			}
+		}
+	}
+	for pc := range pcBounds {
+		if pc != 0 {
+			kindAt[pc] = TaskWARCut
+		}
+	}
+
+	t := &TaskTable{Prog: prog.Name, BufWords: 0}
+	for pc := range pcBounds {
+		t.Boundaries = append(t.Boundaries, pc)
+	}
+	sort.Ints(t.Boundaries)
+
+	entries := make([]int, 0, len(kindAt))
+	for pc := range kindAt {
+		entries = append(entries, pc)
+	}
+	sort.Ints(entries)
+	for _, pc := range entries {
+		if !fr.reach[g.blockOf[pc]] {
+			continue
+		}
+		reads, stores := taskFootprint(g, acc, pcBounds, pc, lay)
+		task := Task{
+			ID:        len(t.Tasks),
+			Entry:     pc,
+			Kind:      kindAt[pc],
+			ReadWords: reads.size(),
+			StoreTop:  stores.top,
+		}
+		if !stores.top {
+			if ws := stores.sorted(); len(ws) > 0 {
+				task.StoreWords = ws
+			}
+		}
+		t.Tasks = append(t.Tasks, task)
+		if t.BufWords >= 0 {
+			if stores.top {
+				t.BufWords = -1
+			} else if n := len(task.StoreWords); n > t.BufWords {
+				t.BufWords = n
+			}
+		}
+	}
+
+	for _, l := range analyzeLoops(g, sysBounds) {
+		if l.Simple && l.Stores > 0 && (t.TauStore == 0 || l.TauStore < t.TauStore) {
+			t.TauStore = l.TauStore
+		}
+	}
+	return t, nil
+}
+
+// taskFootprint collects the read and store word sets of the task
+// entered at entry: every instruction reachable from entry without
+// crossing a task boundary. A boundary PC other than the entry itself
+// starts the next task and is excluded; task-end markers and halts
+// close the task.
+func taskFootprint(g *cfg, acc []*accessInfo, pcBounds map[int]bool, entry int, lay memLayout) (reads, stores *wordSet) {
+	reads, stores = newWordSet(), newWordSet()
+	seen := map[int]bool{entry: true}
+	work := []int{entry}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc != entry && pcBounds[pc] {
+			continue
+		}
+		if a := acc[pc]; a != nil {
+			if a.store {
+				a.addSpan(stores, lay)
+			} else {
+				a.addSpan(reads, lay)
+			}
+		}
+		in := g.code[pc]
+		if in.Op == isa.SYS {
+			if s := isa.Sys(in.Imm); s == isa.SysHalt || s == isa.SysTaskEnd {
+				continue
+			}
+		}
+		b := g.blocks[g.blockOf[pc]]
+		if pc+1 < b.End {
+			if !seen[pc+1] {
+				seen[pc+1] = true
+				work = append(work, pc+1)
+			}
+			continue
+		}
+		for _, s := range b.Succs {
+			spc := g.blocks[s].Start
+			if !seen[spc] {
+				seen[spc] = true
+				work = append(work, spc)
+			}
+		}
+	}
+	return reads, stores
+}
+
+// BoundarySet returns the WAR-cut boundaries keyed by PC, the form the
+// task runtime consumes.
+func (t *TaskTable) BoundarySet() map[uint32]struct{} {
+	out := make(map[uint32]struct{}, len(t.Boundaries))
+	for _, pc := range t.Boundaries {
+		if pc >= 0 {
+			out[uint32(pc)] = struct{}{}
+		}
+	}
+	return out
+}
+
+// FootprintAt returns the static write-set of the task entered at PC
+// entry. top reports an unbounded set; ok is false when entry is not a
+// task entry.
+func (t *TaskTable) FootprintAt(entry uint32) (words []uint32, top, ok bool) {
+	for i := range t.Tasks {
+		if t.Tasks[i].Entry == int(entry) {
+			return t.Tasks[i].StoreWords, t.Tasks[i].StoreTop, true
+		}
+	}
+	return nil, false, false
+}
+
+// String renders the table in the line format ParseTaskTable reads
+// back:
+//
+//	tasktable <prog> tasks=<n> bufwords=<n> taustore=<g>
+//	boundaries <pc,pc,...|->
+//	task <id> entry=<pc> kind=<kind> reads=<n> words=<top|-|w,w,...>
+func (t *TaskTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasktable %s tasks=%d bufwords=%d taustore=%s\n",
+		t.Prog, len(t.Tasks), t.BufWords, strconv.FormatFloat(t.TauStore, 'g', -1, 64))
+	b.WriteString("boundaries ")
+	if len(t.Boundaries) == 0 {
+		b.WriteString("-")
+	}
+	for i, pc := range t.Boundaries {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%d", pc)
+	}
+	b.WriteString("\n")
+	for _, task := range t.Tasks {
+		fmt.Fprintf(&b, "task %d entry=%d kind=%s reads=%d words=",
+			task.ID, task.Entry, task.Kind, task.ReadWords)
+		switch {
+		case task.StoreTop:
+			b.WriteString("top")
+		case len(task.StoreWords) == 0:
+			b.WriteString("-")
+		default:
+			for i, w := range task.StoreWords {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%#x", w)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ParseTaskTable reads a table rendered by String. Blank lines and
+// lines starting with '#' are ignored; anything else malformed is an
+// error, never a panic.
+func ParseTaskTable(s string) (*TaskTable, error) {
+	t := &TaskTable{}
+	sawHeader, sawBounds := false, false
+	wantTasks := 0
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "tasktable":
+			if sawHeader {
+				return nil, fmt.Errorf("analyze: line %d: duplicate tasktable header", ln+1)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("analyze: line %d: tasktable header wants 5 fields, got %d", ln+1, len(fields))
+			}
+			t.Prog = fields[1]
+			n, err := parseKeyInt(fields[2], "tasks")
+			if err != nil {
+				return nil, fmt.Errorf("analyze: line %d: %w", ln+1, err)
+			}
+			if n < 0 || n > 1<<20 {
+				return nil, fmt.Errorf("analyze: line %d: task count %d out of range", ln+1, n)
+			}
+			wantTasks = n
+			if t.BufWords, err = parseKeyInt(fields[3], "bufwords"); err != nil {
+				return nil, fmt.Errorf("analyze: line %d: %w", ln+1, err)
+			}
+			ts, ok := strings.CutPrefix(fields[4], "taustore=")
+			if !ok {
+				return nil, fmt.Errorf("analyze: line %d: want taustore=, got %q", ln+1, fields[4])
+			}
+			if t.TauStore, err = strconv.ParseFloat(ts, 64); err != nil {
+				return nil, fmt.Errorf("analyze: line %d: taustore: %w", ln+1, err)
+			}
+			sawHeader = true
+		case "boundaries":
+			if !sawHeader || sawBounds {
+				return nil, fmt.Errorf("analyze: line %d: misplaced boundaries line", ln+1)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("analyze: line %d: boundaries wants 1 operand, got %d", ln+1, len(fields)-1)
+			}
+			if fields[1] != "-" {
+				for _, f := range strings.Split(fields[1], ",") {
+					pc, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("analyze: line %d: boundary %q: %w", ln+1, f, err)
+					}
+					t.Boundaries = append(t.Boundaries, pc)
+				}
+			}
+			sawBounds = true
+		case "task":
+			if !sawHeader {
+				return nil, fmt.Errorf("analyze: line %d: task before tasktable header", ln+1)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("analyze: line %d: task wants 6 fields, got %d", ln+1, len(fields))
+			}
+			var task Task
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("analyze: line %d: task id %q: %w", ln+1, fields[1], err)
+			}
+			task.ID = id
+			if task.Entry, err = parseKeyInt(fields[2], "entry"); err != nil {
+				return nil, fmt.Errorf("analyze: line %d: %w", ln+1, err)
+			}
+			kind, ok := strings.CutPrefix(fields[3], "kind=")
+			if !ok {
+				return nil, fmt.Errorf("analyze: line %d: want kind=, got %q", ln+1, fields[3])
+			}
+			task.Kind = kind
+			if task.ReadWords, err = parseKeyInt(fields[4], "reads"); err != nil {
+				return nil, fmt.Errorf("analyze: line %d: %w", ln+1, err)
+			}
+			words, ok := strings.CutPrefix(fields[5], "words=")
+			if !ok {
+				return nil, fmt.Errorf("analyze: line %d: want words=, got %q", ln+1, fields[5])
+			}
+			switch words {
+			case "top":
+				task.StoreTop = true
+			case "-":
+			default:
+				for _, f := range strings.Split(words, ",") {
+					w, err := strconv.ParseUint(f, 0, 32)
+					if err != nil {
+						return nil, fmt.Errorf("analyze: line %d: store word %q: %w", ln+1, f, err)
+					}
+					task.StoreWords = append(task.StoreWords, uint32(w))
+				}
+			}
+			t.Tasks = append(t.Tasks, task)
+		default:
+			return nil, fmt.Errorf("analyze: line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("analyze: missing tasktable header")
+	}
+	if len(t.Tasks) != wantTasks {
+		return nil, fmt.Errorf("analyze: header promises %d tasks, found %d", wantTasks, len(t.Tasks))
+	}
+	return t, nil
+}
+
+func parseKeyInt(field, key string) (int, error) {
+	v, ok := strings.CutPrefix(field, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("want %s=, got %q", key, field)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	return n, nil
+}

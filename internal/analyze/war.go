@@ -231,8 +231,10 @@ type warResult struct {
 
 // runWAR executes the hazard dataflow. boundaries maps SYS codes that
 // clear the tracking state (nil for the global, Clank-sound pass);
-// trackW additionally tracks stored-word pressure.
-func runWAR(g *cfg, acc []*accessInfo, boundaries map[isa.Sys]bool, trackW bool, lay memLayout) *warResult {
+// pcBounds marks instruction indices that clear the state *before* the
+// instruction executes (the task decomposition pass's commit-before-
+// store boundaries); trackW additionally tracks stored-word pressure.
+func runWAR(g *cfg, acc []*accessInfo, boundaries map[isa.Sys]bool, pcBounds map[int]bool, trackW bool, lay memLayout) *warResult {
 	n := len(g.blocks)
 	newState := func() *warState {
 		s := &warState{R: newWordSet()}
@@ -249,6 +251,12 @@ func runWAR(g *cfg, acc []*accessInfo, boundaries map[isa.Sys]bool, trackW bool,
 	// step mutates st through one instruction; onStore (optional)
 	// receives the hazard word set for each store before the kill.
 	step := func(st *warState, pc int, onStore func(pc int, hz *wordSet)) {
+		if pcBounds != nil && pcBounds[pc] {
+			st.R = newWordSet()
+			if st.W != nil {
+				st.W = newWordSet()
+			}
+		}
 		in := g.code[pc]
 		if clearing(in) {
 			st.R = newWordSet()

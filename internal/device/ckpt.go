@@ -205,10 +205,19 @@ func decodeCheckpoint(words []uint32, wantSRAM int) (*decodedCkpt, error) {
 	return ck, nil
 }
 
+// naiveCommit reports whether the checkpoint machinery runs in the
+// naive single-slot, unvalidated mode — selected by the injector's
+// validation mode or by a NaiveCommitter strategy (alpaca-naive). Both
+// routes require an attached injector, so fault-free accounting stays
+// identical to the assumed-atomic simulator.
+func (d *Device) naiveCommit() bool {
+	return d.inj != nil && (d.stratNaive || d.inj.NaiveCommit())
+}
+
 // targetSlot picks where the next backup writes: the slot not holding
 // the live checkpoint, or always slot 0 in naive single-slot mode.
 func (d *Device) targetSlot() int {
-	if d.inj != nil && d.inj.NaiveCommit() {
+	if d.naiveCommit() {
 		return 0
 	}
 	if d.activeSlot < 0 {
@@ -360,7 +369,7 @@ func (d *Device) restoreCheckpoint() (restored, alive bool, err error) {
 		if flips > 0 && d.obs != nil {
 			d.emit(obsv.EvFaultBitFlips, uint64(flips), 0, 0)
 		}
-		if d.inj.NaiveCommit() {
+		if d.naiveCommit() {
 			return d.restoreNaive()
 		}
 	}
@@ -462,7 +471,7 @@ func (d *Device) restoreNaive() (restored, alive bool, err error) {
 // fail-stops with the same typed error. The naive validation mode skips
 // the guard: it exists to diverge so the auditor can catch it.
 func (d *Device) coldStart() (restored, alive bool, err error) {
-	if d.inj != nil && !d.inj.NaiveCommit() && d.framWrites > 0 {
+	if d.inj != nil && !d.naiveCommit() && d.framWrites > 0 {
 		if d.obs != nil {
 			d.emit(obsv.EvUnrecoverable, 0, d.framWrites, 0)
 		}

@@ -134,6 +134,28 @@ type InputProtector interface {
 	InputsProtected() bool
 }
 
+// NaiveCommitter is optional Strategy metadata: a deliberately broken
+// runtime variant (the auditor's known-bad target) declares that its
+// commit protocol is the naive single-slot, unvalidated commit by
+// returning true. Under fault injection the device then downgrades the
+// checkpoint machinery exactly as the injector's own NaiveCommit mode
+// does; without an injector attached behaviour is unchanged, so the
+// broken variant stays bit-identical to its honest twin on clean power.
+type NaiveCommitter interface {
+	NaiveCommit() bool
+}
+
+// CacheSizer is optional Strategy metadata: a strategy whose memory
+// model requires the mixed-volatility cache (CacheVolatile) declares
+// the block size it needs. When the Config does not configure a cache,
+// device.New applies the strategy's block size with the default
+// geometry, so catalog-driven harnesses (audit, campaign, integration
+// matrices) exercise cache-dependent runtimes without per-strategy
+// Config plumbing.
+type CacheSizer interface {
+	CacheBlockSize() int
+}
+
 // SysObserver is the optional companion to Strategy.Horizon: a strategy
 // whose PostStep reacts to specific SYS codes (checkpoint sites, task
 // boundaries) declares them so the batched engine ends a batch — and
@@ -392,6 +414,11 @@ type Device struct {
 	// maxSeq is the newest commit sequence number that ever landed — the
 	// ground truth the staleness guard compares restore targets against.
 	maxSeq uint64
+	// stratNaive mirrors the strategy's NaiveCommitter claim: the
+	// attached runtime itself selects the single-slot unvalidated
+	// commit (alpaca-naive). Effective only while an injector is
+	// attached — see naiveCommit.
+	stratNaive bool
 
 	timeS  float64
 	cycles uint64 // total consumed cycles (exec+backup+restore+idle)
@@ -441,6 +468,11 @@ func New(cfg Config, s Strategy) (*Device, error) {
 	if s == nil {
 		return nil, fmt.Errorf("device: nil strategy")
 	}
+	if cfg.CacheBlockSize == 0 {
+		if cs, ok := s.(CacheSizer); ok {
+			cfg.CacheBlockSize = cs.CacheBlockSize()
+		}
+	}
 	ms, err := mem.NewSystem(cfg.SRAMSize, cfg.FRAMSize)
 	if err != nil {
 		return nil, err
@@ -482,6 +514,9 @@ func New(cfg Config, s Strategy) (*Device, error) {
 	} else {
 		d.stopSys = isa.AllSys
 	}
+	if nc, ok := s.(NaiveCommitter); ok && nc.NaiveCommit() {
+		d.stratNaive = true
+	}
 	d.rec = cfg.Record
 	if d.rec != nil {
 		// Every input read must end its batch so the recorder sees an
@@ -504,6 +539,12 @@ func (d *Device) Cache() *mem.Cache { return d.cache }
 
 // Cfg returns the device configuration.
 func (d *Device) Cfg() Config { return d.cfg }
+
+// PC returns the core's current program counter. In a PreStep hook it
+// is the instruction about to execute (and the PC a backup taken there
+// resumes at); in PostStep it has already advanced past the executed
+// instruction. Task runtimes key their boundary table on it.
+func (d *Device) PC() uint32 { return d.core.PC }
 
 // Voltage returns the current capacitor voltage.
 func (d *Device) Voltage() float64 { return d.cap.Voltage() }

@@ -65,7 +65,11 @@ type CampaignOptions struct {
 // Window is one coverage-frontier interval of consumed-cycle positions
 // a power cut should land in.
 type Window struct {
-	Kind string // "commit", "post-commit", "sense-commit", "hazard-store", "buffer-full"
+	// Kind is "commit", "post-commit", "sense-commit", "hazard-store",
+	// "buffer-full", "task-commit" (a task runtime's privatization-
+	// buffer flush exposure) or "reexec-prefix" (the re-executed span
+	// right after a non-cold reboot).
+	Kind string
 	Lo   uint64
 	Hi   uint64 // inclusive
 }
@@ -129,10 +133,12 @@ func splitmix(x uint64) uint64 {
 }
 
 // tap collects the probe-run events frontier mining needs (buffer-full
-// flush positions) while forwarding to an optional downstream tracer.
+// flush and task-commit positions) while forwarding to an optional
+// downstream tracer.
 type tap struct {
-	next       obsv.Tracer
-	bufferFull []uint64
+	next        obsv.Tracer
+	bufferFull  []uint64
+	taskCommits []uint64
 }
 
 func (t *tap) Event(e obsv.Event) {
@@ -140,6 +146,8 @@ func (t *tap) Event(e obsv.Event) {
 	case e.Type == obsv.EvTrigger && obsv.TriggerReason(e.Arg) == obsv.TrigBufferFull,
 		e.Type == obsv.EvWARFlush && obsv.TriggerReason(e.Arg2) == obsv.TrigBufferFull:
 		t.bufferFull = append(t.bufferFull, e.Cycles)
+	case e.Type == obsv.EvTaskCommit:
+		t.taskCommits = append(t.taskCommits, e.Cycles)
 	}
 	if t.next != nil {
 		t.next.Event(e)
@@ -212,7 +220,7 @@ func Campaign(ctx context.Context, o CampaignOptions) (*CampaignReport, error) {
 	}
 	rep.ProbeCycles = res.TotalCycles
 	rep.ProbeCommits = len(rec.Commits)
-	rep.Windows = mineWindows(rec, probeTap.bufferFull, res.TotalCycles)
+	rep.Windows = mineWindows(rec, probeTap, res.TotalCycles)
 	rep.Coverage.Frontier = len(rep.Windows)
 	emit(obsv.EvCampaignProbe, uint64(len(rep.Windows)), res.TotalCycles)
 	if len(rep.Windows) == 0 {
@@ -279,8 +287,9 @@ func Campaign(ctx context.Context, o CampaignOptions) (*CampaignReport, error) {
 // mineWindows derives the coverage-frontier windows from a probe run's
 // observation log. Windows are clamped to the probe's cycle span and
 // deduplicated; order is deterministic (commit windows first, then
-// post-commit, sense-commit, hazard-store, buffer-full).
-func mineWindows(rec *device.ObsLog, bufferFull []uint64, total uint64) []Window {
+// post-commit, sense-commit, hazard-store, buffer-full, task-commit,
+// reexec-prefix).
+func mineWindows(rec *device.ObsLog, t *tap, total uint64) []Window {
 	var out []Window
 	add := func(kind string, lo, hi uint64) {
 		if hi > total {
@@ -319,12 +328,35 @@ func mineWindows(rec *device.ObsLog, bufferFull []uint64, total uint64) []Window
 		hs := &rec.HazardStores[i]
 		add("hazard-store", hs.Cycle+1, hs.Cycle+after)
 	}
-	for _, c := range bufferFull {
+	for _, c := range t.bufferFull {
 		lo := uint64(1)
 		if c > 32 {
 			lo = c - 32
 		}
 		add("buffer-full", lo, c+32)
+	}
+	// Task-runtime frontiers, mined only when the probe observed task
+	// commits so non-task cells keep their exact legacy window lists:
+	// the exposure right after a privatization-buffer flush (the
+	// two-phase commit write span plus the fresh task's opening), and
+	// the re-executed prefix after each non-cold reboot — the span a
+	// task-based runtime must replay idempotently.
+	if len(t.taskCommits) > 0 {
+		for _, c := range t.taskCommits {
+			add("task-commit", c+1, c+after)
+		}
+		const maxReexec = 16
+		reexec := 0
+		for i := range rec.Boots {
+			b := &rec.Boots[i]
+			if b.Cold {
+				continue
+			}
+			add("reexec-prefix", b.Cycle+1, b.Cycle+after)
+			if reexec++; reexec >= maxReexec {
+				break
+			}
+		}
 	}
 	// Deduplicate identical intervals (sense windows inside one commit
 	// region often coincide) while preserving first-seen order.

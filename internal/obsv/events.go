@@ -113,6 +113,15 @@ const (
 	// frontier windows actually attacked, Arg2 the total discovered —
 	// the schedule-space coverage summary.
 	EvCampaignCoverage
+	// EvTaskCommit is a task-based runtime (Alpaca) atomically
+	// committing a task's privatized write set at a task boundary.
+	// Arg is the committed payload bytes (the privatization-buffer
+	// flush), Arg2 the committing task's entry PC.
+	EvTaskCommit
+	// EvTaskReexec is a task-based runtime restarting the interrupted
+	// task from its last committed boundary after a reboot. Arg is the
+	// resumed entry PC.
+	EvTaskReexec
 
 	// NumEventTypes bounds the vocabulary for sink lookup tables.
 	NumEventTypes
@@ -147,6 +156,8 @@ var eventNames = [NumEventTypes]string{
 	EvCampaignFinding:  "campaign-finding",
 	EvCampaignShrink:   "campaign-shrink",
 	EvCampaignCoverage: "campaign-coverage",
+	EvTaskCommit:       "task-commit",
+	EvTaskReexec:       "task-reexec",
 }
 
 func (t EventType) String() string {

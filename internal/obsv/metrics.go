@@ -192,6 +192,13 @@ type Metrics struct {
 	ShrinkRuns        Histogram `json:"campaign_shrink_runs"`
 	CaseCuts          Histogram `json:"campaign_case_cuts"`
 
+	// Task-runtime statistics (strategy.Alpaca): atomic task commits,
+	// post-reboot task re-executions, and the privatization-buffer
+	// bytes flushed per commit.
+	TasksCommitted   uint64    `json:"tasks_committed"`
+	TaskReexecutions uint64    `json:"task_reexecutions"`
+	TaskPrivBytes    Histogram `json:"task_priv_bytes"`
+
 	// ErrorClasses carries the sweep runner's per-class failure counts
 	// (AddErrorClass); nil until the first class is added.
 	ErrorClasses map[string]uint64 `json:"error_classes,omitempty"`
@@ -274,6 +281,11 @@ func (m *Metrics) Event(e Event) {
 		m.CaseCuts.Observe(e.Arg2)
 	case EvCampaignCoverage:
 		m.CampaignAttacked += e.Arg
+	case EvTaskCommit:
+		m.TasksCommitted++
+		m.TaskPrivBytes.Observe(e.Arg)
+	case EvTaskReexec:
+		m.TaskReexecutions++
 	}
 }
 
@@ -334,6 +346,9 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.CampaignFindings += other.CampaignFindings
 	m.ShrinkRuns.Merge(&other.ShrinkRuns)
 	m.CaseCuts.Merge(&other.CaseCuts)
+	m.TasksCommitted += other.TasksCommitted
+	m.TaskReexecutions += other.TaskReexecutions
+	m.TaskPrivBytes.Merge(&other.TaskPrivBytes)
 	for k, v := range other.ErrorClasses {
 		m.AddErrorClass(k, v)
 	}
@@ -400,6 +415,11 @@ func (m *Metrics) rows() [][2]string {
 	)
 	hist("campaign_shrink_runs", &m.ShrinkRuns)
 	hist("campaign_case_cuts", &m.CaseCuts)
+	out = append(out,
+		[2]string{"tasks_committed", u(m.TasksCommitted)},
+		[2]string{"task_reexecutions", u(m.TaskReexecutions)},
+	)
+	hist("task_priv_bytes", &m.TaskPrivBytes)
 	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
 		if m.Verdicts[c] != 0 {
 			out = append(out, [2]string{"verdict_" + c.String(), u(m.Verdicts[c])})

@@ -41,6 +41,12 @@ func NewCacheVolatile() *CacheVolatile {
 // Name implements device.Strategy.
 func (c *CacheVolatile) Name() string { return "cachevol" }
 
+// CacheBlockSize implements device.CacheSizer: a device assembled
+// without an explicit cache geometry gets the 32-byte blocks the §VI-A
+// case study uses (with the device's default 16 sets × 2 ways), so the
+// catalog entry is runnable everywhere a plain config is.
+func (c *CacheVolatile) CacheBlockSize() int { return 32 }
+
 // Reset drops the volatile tracking sets.
 func (c *CacheVolatile) Reset() {
 	c.readFirst = make(map[uint32]struct{})
@@ -114,4 +120,7 @@ func (c *CacheVolatile) FinalPayload(d *device.Device) device.Payload {
 	return c.payload(d)
 }
 
-var _ device.Strategy = (*CacheVolatile)(nil)
+var (
+	_ device.Strategy   = (*CacheVolatile)(nil)
+	_ device.CacheSizer = (*CacheVolatile)(nil)
+)

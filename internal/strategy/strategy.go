@@ -3,19 +3,37 @@
 // simulator:
 //
 //   - Timer: fixed-interval multi-backup (the Fig. 5 validation setup).
+//   - Speculative: a timer that defers the final backup to a
+//     low-voltage comparator, trading restore risk for backup count.
 //   - Hibernus: single-backup at a low-voltage threshold [Balsamo'15].
 //   - Mementos: voltage-gated checkpoints at program sites [Ransford'11].
 //   - DINO: task-boundary backups [Lucia'15].
+//   - Chain: task-boundary commits of store-queue channel payloads
+//     [Colin & Lucia'16].
+//   - Alpaca: checkpoint-free task execution with write privatization
+//     and atomic commits at statically derived task boundaries
+//     [Maeng'17]; the boundaries come from the analyze.Tasks WAR-cut
+//     decomposition pass. An alpaca-naive variant with a non-atomic
+//     in-place commit exists outside the catalog as the adversarial
+//     auditor's known-bad target.
 //   - Clank: idempotency-violation checkpoints with read-first/
 //     write-first buffers and a watchdog [Hicks'17].
-//   - NVP: a nonvolatile processor backing up every cycle [Ma'15].
+//   - Ratchet: compiler-style WAR-cut checkpointing without hardware
+//     buffers [Van Der Woude'16].
+//   - NVP: a nonvolatile processor backing up every cycle or at a
+//     voltage threshold [Ma'15].
 //   - MixedVolatility: the hypothetical store-queue processor of §V-B
 //     used to characterize α_B (Fig. 10).
+//   - CacheVolatile: a volatile cache over nonvolatile main memory
+//     whose write-backs are gated by Clank-style WAR tracking.
+//   - SenseCommit (the +sense wrapper): forces a commit after every
+//     SENSE so committed inputs cannot be re-observed by a replay.
 //
-// Strategies that keep mutable data in volatile SRAM (Timer, Hibernus,
-// Mementos, DINO, MixedVolatility) snapshot SRAM in their checkpoints;
-// Clank and NVP assume nonvolatile main memory, so workloads run under
-// them must place their data in FRAM.
+// Strategies that keep mutable data in volatile SRAM (Timer,
+// Speculative, Hibernus, Mementos, DINO, Chain, Alpaca,
+// MixedVolatility) snapshot SRAM in their checkpoints; Clank, Ratchet,
+// NVP and CacheVolatile assume nonvolatile main memory, so workloads
+// run under them must place their data in FRAM.
 package strategy
 
 import (
@@ -46,16 +64,33 @@ func Catalog() []Spec {
 		{"dino", asm.SRAM, func() device.Strategy { return NewDINO() }},
 		{"mixvol", asm.SRAM, func() device.Strategy { return NewMixedVolatility(1000) }},
 		{"chain", asm.SRAM, func() device.Strategy { return NewChain() }},
+		{"alpaca", asm.SRAM, func() device.Strategy { return NewAlpaca() }},
 		{"clank", asm.FRAM, func() device.Strategy { return NewClank() }},
 		{"ratchet", asm.FRAM, func() device.Strategy { return NewRatchet() }},
 		{"nvp-everycycle", asm.FRAM, func() device.Strategy { return NewNVPEveryCycle() }},
 		{"nvp-threshold", asm.FRAM, func() device.Strategy { return NewNVPThreshold() }},
+		{"cachevol", asm.FRAM, func() device.Strategy { return NewCacheVolatile() }},
 	}
 }
 
-// Lookup finds a catalog entry by name.
+// extras are runnable by name but excluded from the catalog — and so
+// from the clean-strategy matrices — because they are deliberately
+// broken audit targets.
+func extras() []Spec {
+	return []Spec{
+		{"alpaca-naive", asm.SRAM, func() device.Strategy { return NewAlpacaNaive() }},
+	}
+}
+
+// Lookup finds a catalog entry (or a non-catalog extra, such as the
+// known-bad alpaca-naive) by name.
 func Lookup(name string) (Spec, bool) {
 	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range extras() {
 		if s.Name == name {
 			return s, true
 		}
