@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads lint-tasks bench bench-guard clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads lint-tasks lint-wcec bench bench-guard clean
 
 # `test` runs the full suite race-free — including the complete engine
 # equivalence matrix, which self-trims to a representative slice under
@@ -81,6 +81,7 @@ audit-adversarial:
 		exit 1; \
 	fi
 	$(GO) run ./cmd/ehlint -tasks -golden > task_tables.txt
+	$(GO) run ./cmd/ehlint -wcec -golden > wcec_tables.txt
 
 # regenerate the golden static-analysis findings for every built-in
 # workload (both data placements). cmd/ehlint's golden test fails on any
@@ -98,6 +99,16 @@ lint-workloads:
 lint-tasks:
 	$(GO) run ./cmd/ehlint -tasks -golden > results/ehlint_tasks.golden
 	@git diff --stat -- results/ehlint_tasks.golden
+
+# regenerate the golden WCEC forward-progress certificate tables (the
+# per-region worst/best-case cycle and energy bounds, livelock verdicts
+# and repair suggestions of the static verifier, under both region
+# semantics). cmd/ehlint's golden test fails on any drift from
+# results/ehlint_wcec.golden, so bound or verdict changes must be
+# reviewed and committed here deliberately.
+lint-wcec:
+	$(GO) run ./cmd/ehlint -wcec -golden > results/ehlint_wcec.golden
+	@git diff --stat -- results/ehlint_wcec.golden
 
 # regenerate BENCH_core.json: the execution-engine macro-benchmark
 # (reference vs batched on the counter/bench-supply configuration).

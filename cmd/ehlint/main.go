@@ -12,17 +12,34 @@
 // checkpoint-free Alpaca runtime executes: one idempotent task per
 // static boundary, each with its read count and write-set footprint.
 //
+// With -wcec it runs the forward-progress verifier (analyze.WCEC)
+// and prints the per-region energy-horizon certificate table under
+// both region semantics — checkpoint-to-checkpoint intervals and
+// Alpaca task boundaries. -emax sets the budget E_max in ALU-cycle
+// units of the MSP430 power model. Regions whose best case already
+// exceeds the budget get a livelock verdict (the static twin of the
+// simulator's no-forward-progress error) and the table carries the
+// minimal extra boundary cuts that would repair the program.
+//
+// With plain -all (no pass flag) each workload's lint findings are
+// followed by its task table and both certificate tables, so one
+// invocation aggregates every static pass.
+//
 // Examples:
 //
 //	ehlint -workload crc                  # one workload, FRAM placement
-//	ehlint -all -seg sram                 # every workload, SRAM placement
+//	ehlint -all -seg sram                 # every workload, all passes
 //	ehlint -workload fir -json            # machine-readable findings
 //	ehlint -workload circular -arrayn 4 -bufn 8 -taub 170   # Eq. 15 check
 //	ehlint -tasks -workload counter       # the workload's task table
 //	ehlint -tasks -golden                 # canonical all-workloads task tables
+//	ehlint -wcec -workload counter        # WCEC certificates, both modes
+//	ehlint -wcec -emax 500 -workload crc  # tight 500-ALU-cycle budget
+//	ehlint -wcec -golden                  # canonical all-workloads certificates
 //
 // The exit status is 2 on configuration errors, 1 when any
-// error-severity finding is reported, 0 otherwise.
+// error-severity finding (or, under -wcec, any livelock verdict) is
+// reported, 0 otherwise.
 package main
 
 import (
@@ -35,6 +52,7 @@ import (
 
 	"ehmodel/internal/analyze"
 	"ehmodel/internal/asm"
+	"ehmodel/internal/energy"
 	"ehmodel/internal/workload"
 )
 
@@ -55,12 +73,23 @@ func main() {
 	tauB := flag.Float64("taub", 0, "Eq. 15: target backup period τ_B in cycles")
 	golden := flag.Bool("golden", false, "emit the canonical all-workloads findings summary (both placements) and exit")
 	tasks := flag.Bool("tasks", false, "print task decomposition tables instead of lint findings")
+	wcec := flag.Bool("wcec", false, "print WCEC forward-progress certificate tables instead of lint findings")
+	emax := flag.Float64("emax", 20000, "WCEC energy budget E_max, in ALU-cycle units of the MSP430 power model")
 	flag.Parse()
+
+	if *emax <= 0 {
+		fmt.Fprintln(os.Stderr, "ehlint: -emax must be positive")
+		os.Exit(2)
+	}
+	budgetJ := *emax * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
 
 	if *golden {
 		emit := lintAllText
-		if *tasks {
+		switch {
+		case *tasks:
 			emit = tasksAllText
+		case *wcec:
+			emit = func(w io.Writer) error { return wcecAllText(w, budgetJ) }
 		}
 		if err := emit(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ehlint:", err)
@@ -105,6 +134,36 @@ func main() {
 		return
 	}
 
+	if *wcec {
+		livelock := false
+		for _, name := range names {
+			for _, mode := range []analyze.WCECMode{analyze.WCECCheckpoint, analyze.WCECTask} {
+				tbl, err := wcecOne(name, seg, *scale, mode, budgetJ)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ehlint:", err)
+					os.Exit(2)
+				}
+				if *jsonOut {
+					b, err := tbl.JSON()
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "ehlint:", err)
+						os.Exit(2)
+					}
+					fmt.Println(string(b))
+				} else {
+					fmt.Print(tbl.String())
+				}
+				if tbl.FirstLivelock() != nil {
+					livelock = true
+				}
+			}
+		}
+		if livelock {
+			os.Exit(1)
+		}
+		return
+	}
+
 	errorsSeen := false
 	for _, name := range names {
 		rep, err := lintOne(name, seg, *scale)
@@ -130,6 +189,15 @@ func main() {
 			}
 			printEq15(os.Stdout, res)
 		}
+		// Plain -all aggregates every static pass per workload: the
+		// findings above, then the task table and both certificate
+		// tables (text mode only; -json keeps one document per line).
+		if *all && !*jsonOut {
+			if err := printAggregate(os.Stdout, name, seg, *scale, budgetJ); err != nil {
+				fmt.Fprintln(os.Stderr, "ehlint:", err)
+				os.Exit(2)
+			}
+		}
 		for _, f := range rep.Findings {
 			if f.Sev == analyze.SevError {
 				errorsSeen = true
@@ -139,6 +207,25 @@ func main() {
 	if errorsSeen {
 		os.Exit(1)
 	}
+}
+
+// printAggregate emits the -all per-workload task and WCEC sections.
+func printAggregate(w io.Writer, name string, seg asm.Segment, scale int, budgetJ float64) error {
+	tt, err := tasksOne(name, seg, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "-- tasks: %s --\n", name)
+	fmt.Fprint(w, tt.String())
+	fmt.Fprintf(w, "-- wcec: %s --\n", name)
+	for _, mode := range []analyze.WCECMode{analyze.WCECCheckpoint, analyze.WCECTask} {
+		tbl, err := wcecOne(name, seg, scale, mode, budgetJ)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tbl.String())
+	}
+	return nil
 }
 
 func segFor(name string) (asm.Segment, error) {
@@ -191,6 +278,16 @@ func tasksOne(name string, seg asm.Segment, scale int) (*analyze.TaskTable, erro
 	return analyze.Tasks(prog, analyze.Options{})
 }
 
+// wcecOne builds one workload and runs the forward-progress verifier
+// under the given region semantics.
+func wcecOne(name string, seg asm.Segment, scale int, mode analyze.WCECMode, budgetJ float64) (*analyze.WCECTable, error) {
+	prog, err := buildOne(name, seg, scale)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.WCEC(prog, analyze.WCECOptions{Mode: mode, BudgetJ: budgetJ})
+}
+
 func printEq15(w io.Writer, r analyze.Eq15Result) {
 	verdict := "NOT satisfied"
 	if r.Satisfied {
@@ -224,6 +321,33 @@ func lintAllText(w io.Writer) error {
 			}
 			for _, f := range rep.Findings {
 				fmt.Fprintf(w, "%-7s %-28s %s: %s\n", f.Sev, f.Kind, f.Where, f.Msg)
+			}
+		}
+	}
+	return nil
+}
+
+// wcecAllText renders the canonical all-workloads WCEC certificate
+// tables used by the golden-output regression test and
+// `make lint-wcec`: every workload under both data placements, each
+// with both region semantics, in the serialization analyze.ParseWCEC
+// round-trips.
+func wcecAllText(w io.Writer, budgetJ float64) error {
+	segs := []struct {
+		name string
+		seg  asm.Segment
+	}{{"sram", asm.SRAM}, {"fram", asm.FRAM}}
+	names := workload.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		for _, s := range segs {
+			fmt.Fprintf(w, "== %s/%s ==\n", name, s.name)
+			for _, mode := range []analyze.WCECMode{analyze.WCECCheckpoint, analyze.WCECTask} {
+				tbl, err := wcecOne(name, s.seg, 1, mode, budgetJ)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(w, tbl.String())
 			}
 		}
 	}

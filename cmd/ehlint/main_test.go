@@ -7,6 +7,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ehmodel/internal/analyze"
+	"ehmodel/internal/asm"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/workload"
 )
 
 // TestGoldenWorkloadFindings pins the lint findings for every built-in
@@ -88,4 +93,97 @@ func diffHint(want, got string) string {
 		}
 	}
 	return "outputs differ only in length"
+}
+
+// defaultBudgetJ mirrors the CLI's -emax default of 20000 ALU-cycle
+// units.
+func defaultBudgetJ() float64 {
+	return 20000 * energy.MSP430Power().EnergyPerCycle(energy.ClassALU)
+}
+
+// TestGoldenWCECTables pins the forward-progress verifier's certificate
+// tables for every built-in workload (both data placements, both region
+// semantics) to results/ehlint_wcec.golden. A diff means a worst-case
+// bound, verdict or repair suggestion moved; regenerate deliberately
+// with
+//
+//	make lint-wcec
+//
+// after reviewing the new certificates.
+func TestGoldenWCECTables(t *testing.T) {
+	var got bytes.Buffer
+	if err := wcecAllText(&got, defaultBudgetJ()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "results", "ehlint_wcec.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with `make lint-wcec`)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("WCEC certificates drifted from %s; regenerate with `make lint-wcec` after reviewing.\n%s",
+			path, diffHint(string(want), got.String()))
+	}
+}
+
+// TestGoldenWCECParses asserts every certificate table in the golden
+// output round-trips through analyze.ParseWCEC, and that no workload
+// is statically infeasible (livelock) at the default budget — the
+// catalog must stay runnable.
+func TestGoldenWCECParses(t *testing.T) {
+	var got bytes.Buffer
+	if err := wcecAllText(&got, defaultBudgetJ()); err != nil {
+		t.Fatal(err)
+	}
+	tables := 0
+	for _, block := range strings.Split(got.String(), "== ") {
+		i := strings.Index(block, "\n")
+		if i < 0 || !strings.Contains(block[:i], "/") {
+			continue
+		}
+		// Each section holds two concatenated tables; split on the
+		// second header keyword.
+		body := block[i+1:]
+		idx := strings.Index(body[1:], "wcectable ")
+		if idx < 0 {
+			t.Fatalf("section %q lacks a second table", block[:i])
+		}
+		for _, text := range []string{body[:idx+1], body[idx+1:]} {
+			tbl, err := analyze.ParseWCEC(text)
+			if err != nil {
+				t.Fatalf("section %q: %v", block[:i], err)
+			}
+			tables++
+			if fl := tbl.FirstLivelock(); fl != nil {
+				t.Errorf("%s %s: livelock at region entry=%d under the default budget",
+					tbl.Prog, tbl.Mode, fl.Entry)
+			}
+		}
+	}
+	if tables == 0 {
+		t.Fatal("no certificate tables parsed")
+	}
+}
+
+// TestAllAggregatesSections pins the shape of the plain -all
+// aggregation: each workload's findings are followed by a task table
+// section and a WCEC section holding both region semantics.
+func TestAllAggregatesSections(t *testing.T) {
+	names := workload.Names()
+	for _, name := range names {
+		var got bytes.Buffer
+		if err := printAggregate(&got, name, asm.FRAM, 1, defaultBudgetJ()); err != nil {
+			t.Fatal(err)
+		}
+		s := got.String()
+		if !strings.Contains(s, fmt.Sprintf("-- tasks: %s --\ntasktable ", name)) {
+			t.Errorf("%s: missing task section:\n%s", name, s)
+		}
+		if !strings.Contains(s, fmt.Sprintf("-- wcec: %s --\nwcectable ", name)) {
+			t.Errorf("%s: missing wcec section:\n%s", name, s)
+		}
+		if !strings.Contains(s, "mode=checkpoint") || !strings.Contains(s, "mode=task") {
+			t.Errorf("%s: wcec section must carry both region semantics:\n%s", name, s)
+		}
+	}
 }

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"ehmodel/internal/analyze"
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
@@ -112,6 +113,9 @@ type runOpts struct {
 	// metricsFile, when set, receives the run's aggregated metrics
 	// (CSV, or JSON when the name ends in .json).
 	metricsFile string
+	// wcecCheck runs the static forward-progress verifier before the
+	// simulation and refuses statically-infeasible configurations.
+	wcecCheck bool
 }
 
 // flightRecorderDepth bounds the always-on ring of recent lifecycle
@@ -177,6 +181,7 @@ func cliMain() int {
 	campaignBudget := flag.Int("campaign-budget", 64, "attack schedules per strategy × workload cell in -adversarial mode")
 	counterexamples := flag.String("counterexamples", "", "write minimized, replayable counterexample cases to this file when -adversarial finds violations")
 	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
+	wcecCheck := flag.Bool("wcec-check", false, "run the static WCEC forward-progress verifier before simulating and refuse statically-infeasible configurations (see ehlint -wcec)")
 	flag.Parse()
 
 	engine, err := device.ParseEngine(*engineName)
@@ -285,6 +290,7 @@ func cliMain() int {
 		runTimeout:  *runTimeout,
 		traceFile:   *traceFile,
 		metricsFile: *metricsFile,
+		wcecCheck:   *wcecCheck,
 	}
 	if !reflect.DeepEqual(plan, faults.Plan{Seed: *faultSeed}) {
 		opts.plan = &plan
@@ -620,6 +626,69 @@ func writeCounterexamples(path string, vs []faults.Violation) error {
 	return nil
 }
 
+// wcecPreflight runs the static forward-progress verifier against the
+// exact program, power model and per-period energy budget about to be
+// simulated. The region semantics follow the runtime's declared
+// commit-point scheme (device.RegionObserver): checkpoint-site
+// runtimes are checked over checkpoint-to-checkpoint intervals, the
+// task runtime over its static task boundaries. A livelock verdict —
+// a region whose *best-case* energy to the next commit already
+// exceeds E_max — makes the configuration statically infeasible and
+// the run is refused, naming the region; runtimes that place commit
+// points dynamically (no RegionObserver) get the verdict as an
+// advisory only, since a voltage-triggered checkpoint can commit
+// anywhere. Each region's verdict is also emitted into the run's
+// observer sinks so -metrics exports the certificate counts.
+func wcecPreflight(cfg *device.Config, strat device.Strategy, budgetJ float64) error {
+	scheme := device.RegionDynamic
+	if ro, ok := strat.(device.RegionObserver); ok {
+		scheme = ro.Regions()
+	}
+	mode := analyze.WCECCheckpoint
+	if scheme == device.RegionTaskBoundaries {
+		mode = analyze.WCECTask
+	}
+	tbl, err := analyze.WCEC(cfg.Prog, analyze.WCECOptions{
+		Mode: mode, Power: cfg.Power, BudgetJ: budgetJ,
+	})
+	if err != nil {
+		return fmt.Errorf("wcec-check: %w", err)
+	}
+	if cfg.Observe != nil {
+		for _, r := range tbl.Regions {
+			code := obsv.WCECArgUnknown
+			switch r.Verdict {
+			case analyze.WCECCertified:
+				code = obsv.WCECArgCertified
+			case analyze.WCECLivelock:
+				code = obsv.WCECArgLivelock
+			}
+			cfg.Observe.Event(obsv.Event{Type: obsv.EvWCECRegion, Arg: code, Arg2: uint64(r.Entry)})
+		}
+	}
+	c, l, u := tbl.VerdictCounts()
+	fmt.Printf("wcec-check (%s regions): %d certified / %d livelock / %d unknown at E_max = %.3g J\n",
+		tbl.Mode, c, l, u, budgetJ)
+	fl := tbl.FirstLivelock()
+	if fl == nil {
+		return nil
+	}
+	bce := "an unbounded amount of"
+	if !fl.BCUnbounded {
+		bce = fmt.Sprintf("at least %.3g J of", fl.BCEnergy)
+	}
+	detail := fmt.Sprintf("region entry=%d (%s) needs %s energy to reach its next commit but E_max is %.3g J",
+		fl.Entry, fl.Kind, bce, budgetJ)
+	if tbl.RepairComplete && len(tbl.Repair) > 0 {
+		detail += fmt.Sprintf("; repair: insert boundaries at pc %v", tbl.Repair)
+	}
+	if scheme == device.RegionDynamic {
+		fmt.Printf("wcec-check: advisory: %s (dynamic commit placement may still progress)\n", detail)
+		return nil
+	}
+	return fmt.Errorf("wcec-check: statically infeasible under %s: %s", strat.Name(), detail)
+}
+
 // listProgram prints the disassembly the selected strategy would run.
 func listProgram(wname, sname string, tauB uint64, scale int) error {
 	w, ok := workload.Get(wname)
@@ -662,6 +731,10 @@ func run(ctx context.Context, o runOpts) error {
 		MaxPeriods: 200000, MaxCycles: 1 << 62,
 		RunTimeout: o.runTimeout,
 		Interrupt:  runner.Interrupt(ctx),
+		// On a fixed supply every charge is identical, so an exactly
+		// repeating doomed period proves livelock: fail fast with the
+		// region and PC instead of grinding out MaxPeriods.
+		DetectLivelock: true,
 	}
 	kind, hasTrace, err := traceFor(o.trace, 10)
 	if err != nil {
@@ -712,6 +785,12 @@ func run(ctx context.Context, o runOpts) error {
 			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.traceFile)
 		}
 		chrome = nil
+	}
+
+	if o.wcecCheck {
+		if err := wcecPreflight(&cfg, strat, e); err != nil {
+			return err
+		}
 	}
 
 	d, err := device.New(cfg, strat)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/obsv"
+	"ehmodel/internal/workload"
+)
+
+// preflightCfg builds the same fixed-supply config run() would, with a
+// metrics sink attached so the test can read the emitted verdicts.
+func preflightCfg(t *testing.T, wname string, sname string, budgetCycles float64) (device.Config, device.Strategy, *obsv.Metrics, float64) {
+	t.Helper()
+	w, ok := workload.Get(wname)
+	if !ok {
+		t.Fatalf("no workload %q", wname)
+	}
+	strat, seg, err := strategyFor(sname, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(workload.Options{Seg: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := energy.MSP430Power()
+	e := budgetCycles * pm.EnergyPerCycle(energy.ClassALU)
+	capC, vmax, von, voff := device.FixedSupplyConfig(e)
+	met := &obsv.Metrics{}
+	return device.Config{
+		Prog: prog, Power: pm,
+		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+		Observe: met,
+	}, strat, met, e
+}
+
+// TestWCECPreflightFeasible: an adequate budget certifies every region
+// and the preflight lets the run proceed, exporting the verdicts.
+func TestWCECPreflightFeasible(t *testing.T) {
+	cfg, strat, met, e := preflightCfg(t, "counter", "alpaca", 20000)
+	if err := wcecPreflight(&cfg, strat, e); err != nil {
+		t.Fatalf("feasible config refused: %v", err)
+	}
+	if met.WCECCertified == 0 || met.WCECLivelock != 0 {
+		t.Fatalf("verdict export: %+v", met)
+	}
+}
+
+// TestWCECPreflightRefusesInfeasible: a budget below the cheapest
+// commit path is refused before any simulation, naming the region.
+func TestWCECPreflightRefusesInfeasible(t *testing.T) {
+	cfg, strat, met, e := preflightCfg(t, "counter", "alpaca", 5)
+	err := wcecPreflight(&cfg, strat, e)
+	if err == nil {
+		t.Fatal("statically-infeasible config accepted")
+	}
+	for _, want := range []string{"statically infeasible", "alpaca", "region entry="} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+	if met.WCECLivelock == 0 {
+		t.Fatalf("verdict export lost the livelock regions: %+v", met)
+	}
+}
+
+// TestWCECPreflightAdvisoryForDynamicScheme: a runtime that places
+// commit points dynamically (no RegionObserver) only gets an advisory
+// — the static checkpoint-interval model is not binding for it.
+func TestWCECPreflightAdvisoryForDynamicScheme(t *testing.T) {
+	cfg, strat, _, e := preflightCfg(t, "counter", "timer", 5)
+	if _, ok := strat.(device.RegionObserver); ok {
+		t.Fatalf("timer unexpectedly declares a region scheme")
+	}
+	if err := wcecPreflight(&cfg, strat, e); err != nil {
+		t.Fatalf("dynamic-scheme runtime must not be refused: %v", err)
+	}
+}

@@ -115,6 +115,26 @@ func analyzeLoops(g *cfg, boundaries map[isa.Sys]bool) []LoopInfo {
 	return loops
 }
 
+// simpleCycleCost prices one block of a simple cycle along the
+// loop-continuing path. This is the single convention shared by the
+// mean-τ_store pricing below and the max-path WCEC pass (wcec.go):
+// every completed iteration charges each instruction at its CyclesFor
+// cost with the block terminator priced for the in-loop edge it follows
+// (the taken cost exactly when the continuing edge is the taken edge —
+// for non-branch terminators the flag is vacuous, CyclesFor ignores
+// it). The final, exiting iteration's not-taken branch is deliberately
+// NOT folded into the per-iteration figure: pricing the exit belongs to
+// the worst-case pass, which charges trips·(cycle cost) plus the worst
+// header→exit suffix at the exit edge's own cost.
+func simpleCycleCost(g *cfg, id int, takenEdge bool) uint64 {
+	b := g.blocks[id]
+	var cycles uint64
+	for pc := b.Start; pc < b.End-1; pc++ {
+		cycles += cpu.CyclesFor(g.code[pc], false)
+	}
+	return cycles + cpu.CyclesFor(g.code[b.End-1], takenEdge)
+}
+
 // classifyLoop builds the LoopInfo for one cyclic SCC.
 func classifyLoop(g *cfg, comp []int, boundaries map[isa.Sys]bool, depth int) LoopInfo {
 	inComp := make(map[int]bool, len(comp))
@@ -151,16 +171,7 @@ func classifyLoop(g *cfg, comp []int, boundaries map[isa.Sys]bool, depth int) Lo
 			simple = false
 			continue
 		}
-		for pc := b.Start; pc < b.End-1; pc++ {
-			cycles += cpu.CyclesFor(g.code[pc], false)
-		}
-		last := g.code[b.End-1]
-		switch {
-		case last.Op.IsBranch():
-			cycles += cpu.CyclesFor(last, taken)
-		default:
-			cycles += cpu.CyclesFor(last, true)
-		}
+		cycles += simpleCycleCost(g, id, taken)
 	}
 	li.Simple = simple
 	if simple {

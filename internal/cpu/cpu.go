@@ -58,6 +58,17 @@ func CyclesFor(in isa.Instr, taken bool) uint64 {
 	}
 }
 
+// ClassFor returns the power class Step charges for in. Like CyclesFor
+// it exists for the static analyzer's path pricing and must stay in
+// lockstep with stepInto: loads and stores are ClassMem, everything
+// else ClassALU.
+func ClassFor(in isa.Instr) energy.InstrClass {
+	if in.Op.IsLoad() || in.Op.IsStore() {
+		return energy.ClassMem
+	}
+	return energy.ClassALU
+}
+
 // Access describes one data-memory access made by an instruction.
 type Access struct {
 	Addr  uint32

@@ -156,6 +156,49 @@ type CacheSizer interface {
 	CacheBlockSize() int
 }
 
+// RegionScheme says how a runtime delimits its atomic regions — the
+// intervals between commit points whose worst-case energy the static
+// WCEC verifier (internal/analyze) bounds. A verifier verdict is only
+// meaningful for a runtime whose regions match the verdict's mode, so
+// preflights key their refusals on this introspection.
+type RegionScheme int
+
+const (
+	// RegionDynamic: commit points are chosen at runtime (voltage
+	// thresholds, watchdogs, idempotency tracking) and do not correspond
+	// to any static region table. Static checkpoint-mode verdicts are
+	// advisory at best for these runtimes.
+	RegionDynamic RegionScheme = iota
+	// RegionCheckpointSites: commits happen only at the program's
+	// checkpoint-site SYS instructions (analyze.DefaultBoundaries) — the
+	// WCEC verifier's checkpoint mode.
+	RegionCheckpointSites
+	// RegionTaskBoundaries: commits happen only at the static task
+	// boundaries of analyze.Tasks — the WCEC verifier's task mode.
+	RegionTaskBoundaries
+)
+
+func (s RegionScheme) String() string {
+	switch s {
+	case RegionDynamic:
+		return "dynamic"
+	case RegionCheckpointSites:
+		return "checkpoint-sites"
+	case RegionTaskBoundaries:
+		return "task-boundaries"
+	}
+	return fmt.Sprintf("RegionScheme(%d)", int(s))
+}
+
+// RegionObserver is optional Strategy metadata: a runtime whose commit
+// points coincide with a static region scheme declares it, which lets
+// the WCEC preflight (ehsim -wcec-check) refuse statically-infeasible
+// configurations before simulating them. Strategies without it are
+// treated as RegionDynamic.
+type RegionObserver interface {
+	Regions() RegionScheme
+}
+
 // SysObserver is the optional companion to Strategy.Horizon: a strategy
 // whose PostStep reacts to specific SYS codes (checkpoint sites, task
 // boundaries) declares them so the batched engine ends a batch — and
@@ -310,6 +353,16 @@ type Config struct {
 	// single-goroutine delivery.
 	Observe obsv.Tracer
 
+	// DetectLivelock enables the exact-repeat livelock diagnosis: on a
+	// bench supply (nil Harvester) with no fault injector, a full charge
+	// that commits nothing, leaves no nonvolatile side effects, and dies
+	// at the same PC with the same uncommitted cycle count as the charge
+	// before it will repeat identically forever; Run then fail-stops
+	// with a *NoProgressError (Livelock=true) naming the region entry
+	// instead of burning MaxPeriods. Ignored under a harvester or an
+	// injector, where consecutive periods legitimately differ.
+	DetectLivelock bool
+
 	// Record, when non-nil, logs the run's observation sequence (input
 	// reads, committed outputs, checkpoint/restore lineage) for the
 	// formal correctness oracle (internal/faults). Attaching a recorder
@@ -447,6 +500,17 @@ type Device struct {
 	// at, for the recorder's commit records.
 	rec       *ObsLog
 	bkupStart uint64
+
+	// Livelock diagnosis state (run.go): where the last brown-out hit,
+	// the boot PC of the current period (the atomic-region entry), and
+	// the previous period's signature for the exact-repeat check.
+	deathPC        uint32
+	deathSince     uint64
+	bootPC         uint32
+	repeatArmed    bool
+	lastDeathPC    uint32
+	lastDeadCycles uint64
+	lastFramWrites uint64
 
 	// per-period running counters
 	period        PeriodStats

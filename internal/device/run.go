@@ -22,21 +22,46 @@ const maxChargeS = 3600.0
 // threshold, so the device can never execute again.
 var ErrNoProgress = errors.New("device: no forward progress")
 
-// NoProgressError reports a run terminated because the supply stalled
-// below the power-on threshold. It wraps ErrNoProgress for errors.Is and
-// carries the period count reached before the stall.
+// NoProgressError reports a run terminated because the device can never
+// commit again: the supply stalled below the power-on threshold, or —
+// with Config.DetectLivelock — consecutive charges died identically
+// with nothing committed (a livelock). It wraps ErrNoProgress for
+// errors.Is and carries the period count reached before the stall.
 type NoProgressError struct {
 	// Periods is the number of active periods completed before the
 	// supply stalled.
 	Periods int
 	// StuckV is the capacitor voltage the charge phase plateaued at;
-	// TargetV is the VOn it needed to reach.
+	// TargetV is the VOn it needed to reach. Zero for livelocks (the
+	// bench supply always recharges; the region is what never fits).
 	StuckV, TargetV float64
+	// PC is the program counter at the most recent brown-out and
+	// SinceCommit the cycles executed since the last committed backup
+	// at that moment. RegionEntry is the PC the dying period booted at
+	// — the atomic-region naming ("entry=N") the static WCEC verifier's
+	// livelock verdicts use, so dynamic and static reports line up.
+	PC          uint32
+	SinceCommit uint64
+	RegionEntry uint32
+	// Livelock marks the exact-repeat diagnosis: a full charge died at
+	// the same PC with the same uncommitted work and no nonvolatile
+	// side effects as the charge before it, so every future period
+	// repeats it forever.
+	Livelock bool
 }
 
 func (e *NoProgressError) Error() string {
-	return fmt.Sprintf("device: no forward progress after %d periods: harvester cannot reach VOn=%g within %gs (stuck at %gV)",
+	if e.Livelock {
+		return fmt.Sprintf("device: no forward progress after %d periods: livelock in region entry=%d — every full charge dies at PC %d with %d cycles since last commit",
+			e.Periods, e.RegionEntry, e.PC, e.SinceCommit)
+	}
+	s := fmt.Sprintf("device: no forward progress after %d periods: harvester cannot reach VOn=%g within %gs (stuck at %gV)",
 		e.Periods, e.TargetV, maxChargeS, e.StuckV)
+	if e.Periods > 0 {
+		s += fmt.Sprintf("; last brown-out in region entry=%d at PC %d, %d cycles since last commit",
+			e.RegionEntry, e.PC, e.SinceCommit)
+	}
+	return s
 }
 
 // Is reports ErrNoProgress as the sentinel this error wraps.
@@ -207,6 +232,9 @@ func (d *Device) Run() (*Result, error) {
 			}
 		}
 		d.endPeriod()
+		if err := d.checkLivelock(); err != nil {
+			return nil, err
+		}
 	}
 	d.result.Completed = d.halted
 	d.result.Output = append([]uint32(nil), d.committedOut...)
@@ -257,9 +285,12 @@ func (d *Device) chargePhase() error {
 		d.timeS += chunk
 		if d.timeS-start > maxChargeS {
 			return &NoProgressError{
-				Periods: len(d.result.Periods),
-				StuckV:  d.cap.Voltage(),
-				TargetV: d.cfg.VOn,
+				Periods:     len(d.result.Periods),
+				StuckV:      d.cap.Voltage(),
+				TargetV:     d.cfg.VOn,
+				PC:          d.deathPC,
+				SinceCommit: d.deathSince,
+				RegionEntry: d.bootPC,
 			}
 		}
 	}
@@ -280,6 +311,12 @@ func (d *Device) beginPeriod() {
 // endPeriod converts uncommitted execution into dead cycles and archives
 // the period.
 func (d *Device) endPeriod() {
+	if !d.halted {
+		// Capture where the period died and how much work it loses, for
+		// the NoProgressError report and the livelock repeat check.
+		d.deathPC = d.core.PC
+		d.deathSince = d.sinceCommit
+	}
 	if d.obs != nil {
 		if d.halted {
 			d.emit(obsv.EvHalt, 0, 0, 0)
@@ -298,6 +335,40 @@ func (d *Device) endPeriod() {
 	d.sinceCommit = 0
 	d.pendingE = 0
 	d.result.Periods = append(d.result.Periods, d.period)
+}
+
+// checkLivelock runs the exact-repeat livelock diagnosis after a period
+// (Config.DetectLivelock). On a bench supply without a fault injector a
+// period is a deterministic function of the persistent state it boots
+// from, so a full charge that committed nothing, wrote no nonvolatile
+// data, and died at the same PC with the same uncommitted cycle count
+// as the charge before it will repeat identically forever — the
+// dynamic twin of the static WCEC livelock verdict.
+func (d *Device) checkLivelock() error {
+	if !d.cfg.DetectLivelock || d.halted ||
+		d.cfg.Harvester != nil || d.inj != nil || len(d.result.Periods) == 0 {
+		return nil
+	}
+	p := &d.result.Periods[len(d.result.Periods)-1]
+	if p.Backups > 0 {
+		d.repeatArmed = false
+		return nil
+	}
+	if d.repeatArmed && d.deathPC == d.lastDeathPC &&
+		p.DeadCycles == d.lastDeadCycles && d.framWrites == d.lastFramWrites {
+		return &NoProgressError{
+			Periods:     len(d.result.Periods),
+			PC:          d.deathPC,
+			SinceCommit: d.deathSince,
+			RegionEntry: d.bootPC,
+			Livelock:    true,
+		}
+	}
+	d.repeatArmed = true
+	d.lastDeathPC = d.deathPC
+	d.lastDeadCycles = p.DeadCycles
+	d.lastFramWrites = d.framWrites
+	return nil
 }
 
 // boot powers the core up: restore the newest valid checkpoint from the
@@ -329,6 +400,9 @@ func (d *Device) boot() (alive bool, err error) {
 			return false, err
 		}
 	}
+	// The PC this period resumes at is the atomic-region entry the
+	// NoProgressError report names, matching the static verifier.
+	d.bootPC = d.core.PC
 
 	if p := d.strat.Boot(d); p != nil {
 		if !d.backup(*p) {

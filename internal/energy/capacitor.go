@@ -84,6 +84,15 @@ func (c *Capacitor) UsableEnergy(vHi, vLo float64) float64 {
 	return 0.5 * c.C * (vHi*vHi - vLo*vLo)
 }
 
+// Usable returns the energy a capacitance c farads holds between two
+// voltage thresholds, ½·c·(vHi² − vLo²). It is the free-function twin
+// of Capacitor.UsableEnergy for callers — the static WCEC verifier,
+// CLI preflights — that need the E_max budget of a device configuration
+// without instantiating a Capacitor.
+func Usable(c, vHi, vLo float64) float64 {
+	return 0.5 * c * (vHi*vHi - vLo*vLo)
+}
+
 // CyclesUntil returns how many cycles drawing ePerCycle joules each the
 // capacitor can supply from its current voltage before dropping below
 // vOff — the closed form ⌊½·C·(v² − vOff²) / ePerCycle⌋ instead of

@@ -122,6 +122,10 @@ const (
 	// task from its last committed boundary after a reboot. Arg is the
 	// resumed entry PC.
 	EvTaskReexec
+	// EvWCECRegion is one static WCEC verifier verdict: Arg is the
+	// verdict code (0 certified, 1 livelock, 2 unknown), Arg2 the
+	// region's entry PC.
+	EvWCECRegion
 
 	// NumEventTypes bounds the vocabulary for sink lookup tables.
 	NumEventTypes
@@ -158,6 +162,7 @@ var eventNames = [NumEventTypes]string{
 	EvCampaignCoverage: "campaign-coverage",
 	EvTaskCommit:       "task-commit",
 	EvTaskReexec:       "task-reexec",
+	EvWCECRegion:       "wcec-region",
 }
 
 func (t EventType) String() string {

@@ -199,6 +199,13 @@ type Metrics struct {
 	TaskReexecutions uint64    `json:"task_reexecutions"`
 	TaskPrivBytes    Histogram `json:"task_priv_bytes"`
 
+	// Static WCEC verifier results (internal/analyze.WCEC, surfaced via
+	// EvWCECRegion): per-region certificate/livelock/unknown verdict
+	// counts for the configurations a driver preflighted.
+	WCECCertified uint64 `json:"wcec_certified"`
+	WCECLivelock  uint64 `json:"wcec_livelock"`
+	WCECUnknown   uint64 `json:"wcec_unknown"`
+
 	// ErrorClasses carries the sweep runner's per-class failure counts
 	// (AddErrorClass); nil until the first class is added.
 	ErrorClasses map[string]uint64 `json:"error_classes,omitempty"`
@@ -286,8 +293,24 @@ func (m *Metrics) Event(e Event) {
 		m.TaskPrivBytes.Observe(e.Arg)
 	case EvTaskReexec:
 		m.TaskReexecutions++
+	case EvWCECRegion:
+		switch e.Arg {
+		case WCECArgCertified:
+			m.WCECCertified++
+		case WCECArgLivelock:
+			m.WCECLivelock++
+		default:
+			m.WCECUnknown++
+		}
 	}
 }
+
+// EvWCECRegion Arg codes: the static verifier's per-region verdict.
+const (
+	WCECArgCertified uint64 = 0
+	WCECArgLivelock  uint64 = 1
+	WCECArgUnknown   uint64 = 2
+)
 
 // AddErrorClass records a sweep-runner failure class count (the
 // runner.Errors summary) into the export.
@@ -349,6 +372,9 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.TasksCommitted += other.TasksCommitted
 	m.TaskReexecutions += other.TaskReexecutions
 	m.TaskPrivBytes.Merge(&other.TaskPrivBytes)
+	m.WCECCertified += other.WCECCertified
+	m.WCECLivelock += other.WCECLivelock
+	m.WCECUnknown += other.WCECUnknown
 	for k, v := range other.ErrorClasses {
 		m.AddErrorClass(k, v)
 	}
@@ -420,6 +446,15 @@ func (m *Metrics) rows() [][2]string {
 		[2]string{"task_reexecutions", u(m.TaskReexecutions)},
 	)
 	hist("task_priv_bytes", &m.TaskPrivBytes)
+	// WCEC rows appear only when a verifier actually ran, so exports
+	// from drivers without the preflight keep their exact prior shape.
+	if m.WCECCertified+m.WCECLivelock+m.WCECUnknown > 0 {
+		out = append(out,
+			[2]string{"wcec_certified", u(m.WCECCertified)},
+			[2]string{"wcec_livelock", u(m.WCECLivelock)},
+			[2]string{"wcec_unknown", u(m.WCECUnknown)},
+		)
+	}
 	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
 		if m.Verdicts[c] != 0 {
 			out = append(out, [2]string{"verdict_" + c.String(), u(m.Verdicts[c])})

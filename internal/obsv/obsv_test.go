@@ -317,3 +317,47 @@ func TestTextSinkAndLogger(t *testing.T) {
 		t.Fatalf("logfmt line = %q", got)
 	}
 }
+
+func TestMetricsWCECCounters(t *testing.T) {
+	var m Metrics
+	feed := []Event{
+		{Type: EvWCECRegion, Arg: WCECArgCertified, Arg2: 0},
+		{Type: EvWCECRegion, Arg: WCECArgCertified, Arg2: 4},
+		{Type: EvWCECRegion, Arg: WCECArgLivelock, Arg2: 9},
+		{Type: EvWCECRegion, Arg: WCECArgUnknown, Arg2: 11},
+	}
+	for _, e := range feed {
+		m.Event(e)
+	}
+	if m.WCECCertified != 2 || m.WCECLivelock != 1 || m.WCECUnknown != 1 {
+		t.Fatalf("verdict counters: %+v", m)
+	}
+
+	var m2 Metrics
+	m2.Event(Event{Type: EvWCECRegion, Arg: WCECArgLivelock})
+	m.Merge(&m2)
+	if m.WCECLivelock != 2 {
+		t.Fatalf("merged livelock count: %d", m.WCECLivelock)
+	}
+
+	var csv bytes.Buffer
+	if err := m.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"wcec_certified,2", "wcec_livelock,2", "wcec_unknown,1"} {
+		if !strings.Contains(csv.String(), row) {
+			t.Errorf("CSV lacks %q:\n%s", row, csv.String())
+		}
+	}
+
+	// Runs with no verifier events keep the previous CSV shape: the
+	// wcec rows only appear when a verdict was recorded.
+	var empty Metrics
+	var csv2 bytes.Buffer
+	if err := empty.WriteCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv2.String(), "wcec_") {
+		t.Errorf("empty metrics should omit wcec rows:\n%s", csv2.String())
+	}
+}

@@ -269,7 +269,13 @@ func isBound(bounds map[uint32]struct{}, pc uint32) bool {
 	return ok
 }
 
+// Regions implements device.RegionObserver: Alpaca commits only at the
+// static task boundaries of analyze.Tasks (coalescing skips commit
+// opportunities, it never adds any), so task-mode WCEC verdicts apply.
+func (a *Alpaca) Regions() device.RegionScheme { return device.RegionTaskBoundaries }
+
 var (
 	_ device.Strategy       = (*Alpaca)(nil)
 	_ device.NaiveCommitter = (*Alpaca)(nil)
+	_ device.RegionObserver = (*Alpaca)(nil)
 )

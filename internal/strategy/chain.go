@@ -71,4 +71,13 @@ func (c *Chain) FinalPayload(*device.Device) device.Payload {
 	return p
 }
 
-var _ device.Strategy = (*Chain)(nil)
+// Regions implements device.RegionObserver: Chain commits only at task
+// boundary SYS sites, so checkpoint-mode WCEC verdicts apply (see the
+// DINO note — a subset of the site set only makes livelock verdicts
+// conservative).
+func (c *Chain) Regions() device.RegionScheme { return device.RegionCheckpointSites }
+
+var (
+	_ device.Strategy       = (*Chain)(nil)
+	_ device.RegionObserver = (*Chain)(nil)
+)

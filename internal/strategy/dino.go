@@ -45,4 +45,13 @@ func (dn *DINO) FinalPayload(d *device.Device) device.Payload {
 	return fullPayload(d)
 }
 
-var _ device.Strategy = (*DINO)(nil)
+// Regions implements device.RegionObserver: DINO commits only at task
+// boundary SYS sites, a subset of the checkpoint-site set, so
+// checkpoint-mode WCEC livelock verdicts apply conservatively (its
+// commit opportunities are never closer than the verifier assumed).
+func (dn *DINO) Regions() device.RegionScheme { return device.RegionCheckpointSites }
+
+var (
+	_ device.Strategy       = (*DINO)(nil)
+	_ device.RegionObserver = (*DINO)(nil)
+)

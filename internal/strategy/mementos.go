@@ -71,4 +71,13 @@ func (m *Mementos) FinalPayload(d *device.Device) device.Payload {
 	return fullPayload(d)
 }
 
-var _ device.Strategy = (*Mementos)(nil)
+// Regions implements device.RegionObserver: Mementos commits only at
+// the program's checkpoint-site SYS instructions (the voltage gate
+// selects *which* sites commit, never a site-free PC), so checkpoint-
+// mode WCEC verdicts apply.
+func (m *Mementos) Regions() device.RegionScheme { return device.RegionCheckpointSites }
+
+var (
+	_ device.Strategy       = (*Mementos)(nil)
+	_ device.RegionObserver = (*Mementos)(nil)
+)

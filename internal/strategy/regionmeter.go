@@ -1,0 +1,211 @@
+package strategy
+
+import (
+	"ehmodel/internal/analyze"
+	"ehmodel/internal/cpu"
+	"ehmodel/internal/device"
+	"ehmodel/internal/energy"
+	"ehmodel/internal/isa"
+)
+
+// RegionObs is the dynamic evidence RegionMeter gathers for one atomic
+// region: how often the region was traversed entry-to-commit, and the
+// costliest observed traversal. Cross-validation compares MaxCycles /
+// MaxEnergy against the static WCEC bound for the same entry.
+type RegionObs struct {
+	Traversals uint64
+	MaxCycles  uint64
+	MaxEnergy  float64
+}
+
+// RegionMeter wraps a runtime strategy and measures the compute cost of
+// every *static region traversal* — the execution from a region entry
+// of the WCEC table to the commit point that ends the region (executing
+// a boundary SYS, or arriving at a commit-before cut PC). Traversals,
+// not commits: a runtime may decline to commit at a crossing (Mementos'
+// voltage gate, Alpaca's coalescing) without changing where the static
+// region ends, so metering the crossings keeps the dynamic measurement
+// comparable to the per-region static bound on every runtime.
+//
+// The meter is pure observation: it never requests a backup of its own,
+// delegates every Strategy call to the wrapped runtime verbatim, and
+// returns Horizon 1 — the contract's per-step opt-out — so it sees
+// every instruction on both engines identically. Traversals that start
+// anywhere other than a known static entry (a restore into the middle
+// of a region resumes at the interrupted PC) are not measured: the
+// meter idles until the next boundary crossing opens a region at a
+// known entry. Partial traversals cut short by a brown-out or by the
+// final halt are discarded, which can only under-report — exactly the
+// right direction for checking dynamic ≤ static.
+type RegionMeter struct {
+	inner device.Strategy
+
+	sysBounds isa.SysMask
+	cuts      map[uint32]struct{}
+	entries   map[uint32]struct{}
+	epc       [energy.NumClasses]float64
+
+	measuring bool
+	entry     uint32
+	cyc       uint64
+	e         float64
+
+	obs map[uint32]*RegionObs
+}
+
+// NewRegionMeter wraps inner with a traversal meter for the regions of
+// the given WCEC table, so the measured entries and cut points are
+// consistent with the static analysis by construction.
+func NewRegionMeter(inner device.Strategy, t *analyze.WCECTable) *RegionMeter {
+	m := &RegionMeter{
+		inner:   inner,
+		cuts:    make(map[uint32]struct{}),
+		entries: make(map[uint32]struct{}),
+		obs:     make(map[uint32]*RegionObs),
+	}
+	if t.Mode == analyze.WCECTask {
+		m.sysBounds = isa.MaskOf(isa.SysTaskEnd)
+	} else {
+		m.sysBounds = isa.MaskOf(analyze.DefaultBoundaries()...)
+	}
+	for i := range t.Regions {
+		r := &t.Regions[i]
+		m.entries[uint32(r.Entry)] = struct{}{}
+		if r.Kind == analyze.TaskWARCut {
+			m.cuts[uint32(r.Entry)] = struct{}{}
+		}
+	}
+	return m
+}
+
+// Observed returns the per-region evidence keyed by entry PC.
+func (m *RegionMeter) Observed() map[uint32]RegionObs {
+	out := make(map[uint32]RegionObs, len(m.obs))
+	for pc, o := range m.obs {
+		out[pc] = *o
+	}
+	return out
+}
+
+func (m *RegionMeter) start(pc uint32) {
+	m.measuring = true
+	m.entry = pc
+	m.cyc, m.e = 0, 0
+}
+
+// close books the completed traversal against its entry.
+func (m *RegionMeter) close() {
+	o := m.obs[m.entry]
+	if o == nil {
+		o = &RegionObs{}
+		m.obs[m.entry] = o
+	}
+	o.Traversals++
+	if m.cyc > o.MaxCycles {
+		o.MaxCycles = m.cyc
+	}
+	if m.e > o.MaxEnergy {
+		o.MaxEnergy = m.e
+	}
+	m.cyc, m.e = 0, 0
+}
+
+// Name implements device.Strategy.
+func (m *RegionMeter) Name() string { return m.inner.Name() + "+meter" }
+
+// Attach caches the power model's per-class cycle energy and attaches
+// the wrapped runtime.
+func (m *RegionMeter) Attach(d *device.Device) {
+	pm := d.Cfg().Power
+	for c := 0; c < energy.NumClasses; c++ {
+		m.epc[c] = pm.EnergyPerCycle(energy.InstrClass(c))
+	}
+	m.inner.Attach(d)
+}
+
+// Boot opens a traversal when the period resumes at a known static
+// entry; a mid-region restore leaves the meter idle until the next
+// boundary crossing.
+func (m *RegionMeter) Boot(d *device.Device) *device.Payload {
+	p := m.inner.Boot(d)
+	if _, ok := m.entries[d.PC()]; ok {
+		m.start(d.PC())
+	} else {
+		m.measuring = false
+		m.cyc, m.e = 0, 0
+	}
+	return p
+}
+
+// PreStep closes the traversal at commit-before cut PCs — the edge into
+// the cut is already accumulated, the cut instruction belongs to the
+// next region — and opens the next one at the cut.
+func (m *RegionMeter) PreStep(d *device.Device, in isa.Instr, acc device.AccessPreview) *device.Payload {
+	pc := d.PC()
+	if m.measuring {
+		if _, cut := m.cuts[pc]; cut && m.cyc > 0 {
+			m.close()
+			m.entry = pc
+		}
+	} else if _, ok := m.entries[pc]; ok {
+		m.start(pc)
+	}
+	return m.inner.PreStep(d, in, acc)
+}
+
+// PostStep accumulates the executed instruction and closes the
+// traversal after a boundary SYS (whose own cost the static bound
+// includes too).
+func (m *RegionMeter) PostStep(d *device.Device, st cpu.Step) *device.Payload {
+	atBound := st.HasSys && m.sysBounds.Has(st.Sys)
+	if m.measuring {
+		ci := st.Class
+		if ci < 0 || int(ci) >= energy.NumClasses {
+			ci = energy.ClassALU
+		}
+		m.cyc += st.Cycles
+		m.e += float64(st.Cycles) * m.epc[ci]
+		if atBound {
+			m.close()
+			if _, ok := m.entries[d.PC()]; ok {
+				m.entry = d.PC()
+			} else {
+				m.measuring = false
+			}
+		}
+	} else if atBound {
+		if _, ok := m.entries[d.PC()]; ok {
+			m.start(d.PC())
+		}
+	}
+	return m.inner.PostStep(d, st)
+}
+
+// FinalPayload closes the halting traversal (short of the halt
+// instruction's own cycle, which PostStep never sees — under-reporting
+// is the sound direction) and delegates the final commit.
+func (m *RegionMeter) FinalPayload(d *device.Device) device.Payload {
+	if m.measuring && m.cyc > 0 {
+		m.close()
+		m.measuring = false
+	}
+	return m.inner.FinalPayload(d)
+}
+
+// Horizon opts out of batching: the meter needs the exact per-step
+// protocol so every instruction's class and cycles flow through
+// PostStep on both engines identically.
+func (m *RegionMeter) Horizon(*device.Device) uint64 { return 1 }
+
+// ReplaySafe delegates to the wrapped runtime.
+func (m *RegionMeter) ReplaySafe() bool { return m.inner.ReplaySafe() }
+
+// Reset discards the partial traversal lost to the power failure and
+// resets the wrapped runtime.
+func (m *RegionMeter) Reset() {
+	m.measuring = false
+	m.cyc, m.e = 0, 0
+	m.inner.Reset()
+}
+
+var _ device.Strategy = (*RegionMeter)(nil)
