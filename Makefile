@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads lint-tasks lint-wcec bench bench-guard clean
+.PHONY: check fmt vet staticcheck build test test-race test-short audit audit-quick audit-adversarial lint-workloads lint-tasks lint-wcec bench bench-guard serve-smoke clean
 
 # `test` runs the full suite race-free — including the complete engine
 # equivalence matrix, which self-trims to a representative slice under
@@ -117,6 +117,15 @@ lint-wcec:
 bench:
 	EHSIM_BENCH_OUT=$(CURDIR)/BENCH_core.json \
 		$(GO) test ./internal/device/ -run TestWriteBenchJSON -count=1 -v
+
+# end-to-end smoke of cmd/ehserve: build it, start it against a
+# throwaway disk store, ask the same figure twice (the second reply must
+# be an X-EH-Cache hit with byte-identical body), one sweep and one
+# model query, then shut down gracefully. The store's counters land in
+# serve_smoke_stats.json, which CI uploads as an artifact. Requires
+# curl.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # the observability zero-cost guard with the wall-clock half enabled:
 # the disabled tracer path must add zero allocations (checked in every

@@ -209,7 +209,7 @@ func BenchmarkCaseStoreMajorDevice(b *testing.B) {
 	var pts []experiments.StoreMajorDevicePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.CaseStoreMajorDevice()
+		_, pts, err = experiments.CaseStoreMajorDevice(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +233,7 @@ func BenchmarkCaseCircularBuffer(b *testing.B) {
 	var plan core.CircularBufferPlan
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, plan, err = experiments.CaseCircularBuffer(experiments.CircularConfig{})
+		_, pts, plan, err = experiments.CaseCircularBuffer(context.Background(), experiments.CircularConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -367,7 +367,7 @@ func BenchmarkTailLatencyStudy(b *testing.B) {
 	var pts []experiments.TailPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, pts, err = experiments.TailLatencyStudy(0)
+		_, pts, err = experiments.TailLatencyStudy(context.Background(), 0, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -397,7 +397,7 @@ func BenchmarkBreakEvenStudy(b *testing.B) {
 	var tauBE float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, _, tauBE, err = experiments.BreakEvenStudy()
+		_, _, tauBE, err = experiments.BreakEvenStudy(context.Background(), runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

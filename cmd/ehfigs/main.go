@@ -9,15 +9,24 @@
 // an `-fig all` run — survivors render, failures are summarized, and
 // the exit status is non-zero only if something failed.
 //
+// Memoization: -cache selects the result store (mem, disk or off).
+// Every simulation cell is keyed by a content hash of its workload,
+// strategy and device configuration; identical cells within one run are
+// deduplicated, and -cache disk persists results under -cache-dir so a
+// re-run answers unchanged cells from the content-addressed store
+// instead of simulating. Figures are byte-identical at any cache
+// temperature.
+//
 // Observability: -trace FILE writes every sweep device's lifecycle onto
 // its own thread of one Chrome trace_event timeline, -metrics FILE
 // exports loss-free aggregated counters across all workers (with the
-// sweep engine's per-class failure counts), and the -cpuprofile,
-// -memprofile and -pprof flags expose the Go profiling hooks.
+// sweep engine's per-class failure counts and the result store's
+// hit/miss/dedup accounting), and the -cpuprofile, -memprofile and
+// -pprof flags expose the Go profiling hooks.
 //
 // Example:
 //
-//	ehfigs -fig all -quick -csv out/ -metrics figs.csv
+//	ehfigs -fig all -quick -csv out/ -cache disk -metrics figs.csv
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"ehmodel/internal/obsv"
 	"ehmodel/internal/profiling"
 	"ehmodel/internal/runner"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/textplot"
 )
 
@@ -45,12 +55,14 @@ func main() {
 }
 
 func cliMain() int {
-	fig := flag.String("fig", "all", "which figure: all, 2–11, table2, storemajor, storemajor-device, circular, bitprecision, clank-buffers, clank-watchdog, hibernus-margin, mementos-gap, variability, capacitor, nvm, breakdown, breakeven, charging, tail")
+	fig := flag.String("fig", "all", "which figure: all, "+strings.Join(experiments.FigureIDs(), ", "))
 	quick := flag.Bool("quick", false, "scaled-down simulation sweeps (same shapes, ~100× faster)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction); results are byte-identical")
+	cacheMode := flag.String("cache", "mem", "result store: mem (in-process LRU), disk (persistent CAS under -cache-dir) or off")
+	cacheDir := flag.String("cache-dir", "results/cache", "directory for the on-disk result store (with -cache disk)")
 	traceFile := flag.String("trace", "", "write every device's lifecycle to this Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 	metricsFile := flag.String("metrics", "", "write aggregated sweep metrics to this file (CSV, or JSON with a .json suffix)")
 	var prof profiling.Flags
@@ -63,6 +75,13 @@ func cliMain() int {
 		return 2
 	}
 	device.SetDefaultEngine(engine)
+
+	exec, err := buildExecutor(*cacheMode, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehfigs:", err)
+		return 2
+	}
+	sweep.SetDefault(exec)
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -115,7 +134,7 @@ func cliMain() int {
 	defer stop()
 
 	ropts := runner.Options{Workers: *workers, RunTimeout: *runTimeout}
-	runErr := run(ctx, *fig, *quick, *csvDir, ropts, coll, *metricsFile)
+	runErr := run(ctx, *fig, *quick, *csvDir, ropts, exec, coll, *metricsFile)
 	if chrome != nil {
 		if err := chrome.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "ehfigs: trace:", err)
@@ -130,170 +149,9 @@ func cliMain() int {
 	return finish(0)
 }
 
-// figFailure records one figure that could not be (fully) generated.
-type figFailure struct {
-	id  string
-	err error
-}
-
-// generate builds the requested figures. Figures that fail are recorded
-// rather than aborting the batch; a driver that returns a partial
-// figure alongside its error contributes both — the survivors render,
-// the error lands in the failure report.
-func generate(ctx context.Context, which string, quick bool, run runner.Options) ([]*experiments.Figure, []figFailure) {
-	want := func(id string) bool { return which == "all" || which == id }
-	var figs []*experiments.Figure
-	var failures []figFailure
-	add := func(f *experiments.Figure) { figs = append(figs, f) }
-	// collect appends the figure (possibly partial) and the error —
-	// whichever the generator produced.
-	collect := func(id string, f *experiments.Figure, err error) {
-		if f != nil {
-			figs = append(figs, f)
-		}
-		if err != nil {
-			failures = append(failures, figFailure{id: id, err: err})
-		}
-	}
-
-	if want("2") {
-		add(experiments.Fig2())
-	}
-	if want("3") {
-		add(experiments.Fig3())
-	}
-	if want("4") {
-		add(experiments.Fig4())
-	}
-	if want("5") {
-		cfg := experiments.Fig5Config{}
-		if quick {
-			cfg = experiments.QuickFig5Config()
-		}
-		cfg.Run = run
-		f, _, err := experiments.Fig5(ctx, cfg)
-		collect("5", f, err)
-	}
-	if want("6") {
-		f, _, err := experiments.Fig6(ctx, experiments.Fig6Config{Run: run})
-		collect("6", f, err)
-	}
-	if want("7") {
-		f, _, err := experiments.Fig7(ctx, experiments.Fig6Config{Run: run})
-		collect("7", f, err)
-	}
-	if want("8") || want("9") {
-		cfg := experiments.CharacterizationConfig{}
-		if quick {
-			cfg = experiments.QuickCharacterizationConfig()
-		}
-		cfg.Run = run
-		f8, f9, _, err := experiments.Fig8And9(ctx, cfg)
-		if !want("8") {
-			f8 = nil
-		}
-		if !want("9") {
-			f9 = nil
-		}
-		if f8 != nil {
-			add(f8)
-		}
-		if f9 != nil {
-			add(f9)
-		}
-		if err != nil {
-			failures = append(failures, figFailure{id: "8/9", err: err})
-		}
-	}
-	if want("10") {
-		cfg := experiments.CharacterizationConfig{}
-		if quick {
-			cfg = experiments.QuickCharacterizationConfig()
-		}
-		cfg.Run = run
-		f, _, err := experiments.Fig10(ctx, cfg)
-		collect("10", f, err)
-	}
-	if want("11") {
-		add(experiments.Fig11(experiments.Fig11Config{Base: experiments.DefaultFig11Base()}))
-	}
-	if want("table2") {
-		rows, err := experiments.Table2(nil)
-		if err != nil {
-			failures = append(failures, figFailure{id: "table2", err: err})
-		} else {
-			f := &experiments.Figure{ID: "table2", Title: "Table II benchmark inventory (measured characteristics)"}
-			for _, r := range rows {
-				f.AddNote("%-6s %s — %d instrs, %d cycles, %.1f%% loads, %.1f%% stores, τ_store %.0f, %d B sram",
-					r.Name, r.Desc, r.Instructions, r.Cycles, 100*r.LoadFrac, 100*r.StoreFrac, r.TauStore, r.SRAMFootprint)
-			}
-			add(f)
-		}
-	}
-	if want("storemajor") {
-		f, _, err := experiments.CaseStoreMajor()
-		collect("storemajor", f, err)
-	}
-	if want("storemajor-device") {
-		f, _, err := experiments.CaseStoreMajorDevice()
-		collect("storemajor-device", f, err)
-	}
-	if want("circular") {
-		f, _, _, err := experiments.CaseCircularBuffer(experiments.CircularConfig{})
-		collect("circular", f, err)
-	}
-	for id, gen := range map[string]func(context.Context, runner.Options) (*experiments.Figure, error){
-		"clank-buffers":   experiments.AblationClankBuffers,
-		"clank-watchdog":  experiments.AblationClankWatchdog,
-		"hibernus-margin": experiments.AblationHibernusMargin,
-		"mementos-gap":    experiments.AblationMementosGap,
-	} {
-		if which == "all" || which == id {
-			f, err := gen(ctx, run)
-			collect(id, f, err)
-		}
-	}
-	if want("tail") {
-		f, _, err := experiments.TailLatencyStudy(0)
-		collect("tail", f, err)
-	}
-	if want("charging") {
-		f, _, err := experiments.ChargingStudy(ctx, run)
-		collect("charging", f, err)
-	}
-	if want("breakeven") {
-		f, _, _, err := experiments.BreakEvenStudy()
-		collect("breakeven", f, err)
-	}
-	if want("breakdown") {
-		f, _, err := experiments.BreakdownComparison(ctx, "crc", 0, run)
-		collect("breakdown", f, err)
-	}
-	if want("capacitor") {
-		f, err := experiments.CapacitorSweep(ctx, "crc", nil, run)
-		collect("capacitor", f, err)
-	}
-	if want("nvm") {
-		f, _, err := experiments.NVMComparison(ctx, "crc", 2000, run)
-		collect("nvm", f, err)
-	}
-	if want("variability") {
-		f, err := experiments.VariabilityStudy(ctx, 4000, 40, run)
-		collect("variability", f, err)
-	}
-	if want("bitprecision") {
-		base := experiments.DefaultFig11Base()
-		r := experiments.CaseBitPrecision(base)
-		f := &experiments.Figure{ID: "case-bitprecision", Title: "Reduced bit-precision payoff (§VI-C)"}
-		f.AddNote("τ_B,bit = %.1f cycles", r.TauBBit)
-		f.AddNote("Δp for a 1-bit α_B cut at τ_B,bit: %.4f", r.GainOneBit)
-		f.AddNote("Δp for the same cut at τ_B,opt: %.4f", r.GainAtOpt)
-		add(f)
-	}
-	if len(figs) == 0 && len(failures) == 0 {
-		failures = append(failures, figFailure{id: which, err: fmt.Errorf("unknown figure %q", which)})
-	}
-	return figs, failures
+// buildExecutor wires the -cache flags into a sweep executor.
+func buildExecutor(mode, dir string) (*sweep.Executor, error) {
+	return sweep.OpenExecutor(mode, dir)
 }
 
 // run generates, renders and dumps the requested figures. Every figure
@@ -301,35 +159,42 @@ func generate(ctx context.Context, which string, quick bool, run runner.Options)
 // signal or a deadline — is rendered and written to CSV before the
 // failure summary decides the exit status. When a collector is
 // attached, the aggregated metrics (plus the sweep engine's per-class
-// failure counts) are exported to metricsFile.
-func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options, coll *obsv.Collector, metricsFile string) error {
-	figs, failures := generate(ctx, which, quick, ropts)
+// failure counts and the result store's counters) are exported to
+// metricsFile.
+func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options, exec *sweep.Executor, coll *obsv.Collector, metricsFile string) error {
+	figs, failures := experiments.GenerateFigures(ctx, which, quick, ropts)
 	for _, f := range figs {
 		render(f)
 		if csvDir != "" {
 			if err := writeCSV(f, csvDir); err != nil {
-				failures = append(failures, figFailure{id: f.ID, err: err})
+				failures = append(failures, experiments.Failure{ID: f.ID, Err: err})
 			}
 		}
 	}
+	if st := exec.Stats(); exec.Store() != nil && st.Total() > 0 {
+		fmt.Printf("result store: %d hits, %d misses, %d deduplicated, %d bypassed\n",
+			st.Hits, st.Misses, st.Dedup, st.Bypass)
+	}
 	if coll != nil {
 		agg := coll.Aggregate()
+		st := exec.Stats()
+		agg.AddCache(st.Hits, st.Misses, st.Bypass, st.Dedup, st.StoreErrors)
 		for _, fl := range failures {
 			var rerrs runner.Errors
-			if errors.As(fl.err, &rerrs) {
+			if errors.As(fl.Err, &rerrs) {
 				for class, n := range rerrs.ClassCounts() {
 					agg.AddErrorClass(class, n)
 				}
 			}
 		}
 		if err := writeMetrics(metricsFile, agg); err != nil {
-			failures = append(failures, figFailure{id: "metrics", err: err})
+			failures = append(failures, experiments.Failure{ID: "metrics", Err: err})
 		}
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "ehfigs: %d figure(s) failed:\n", len(failures))
 		for _, fl := range failures {
-			fmt.Fprintf(os.Stderr, "  %s: %v\n", fl.id, fl.err)
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", fl.ID, fl.Err)
 		}
 		return fmt.Errorf("%d of %d figure(s) incomplete", len(failures), len(figs)+len(failures))
 	}

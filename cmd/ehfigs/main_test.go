@@ -7,14 +7,16 @@ import (
 	"strings"
 	"testing"
 
+	"ehmodel/internal/experiments"
 	"ehmodel/internal/runner"
+	"ehmodel/internal/sweep"
 )
 
 func TestGenerateAnalyticFigures(t *testing.T) {
 	for _, id := range []string{"2", "3", "4", "11", "storemajor", "bitprecision"} {
-		figs, failures := generate(context.Background(), id, true, runner.Options{})
+		figs, failures := experiments.GenerateFigures(context.Background(), id, true, runner.Options{})
 		if len(failures) != 0 {
-			t.Errorf("%s: %v", id, failures[0].err)
+			t.Errorf("%s: %v", id, failures[0].Err)
 			continue
 		}
 		if len(figs) != 1 {
@@ -28,9 +30,9 @@ func TestGenerateSimulatedFiguresQuick(t *testing.T) {
 		t.Skip("simulated figures are slow")
 	}
 	for _, id := range []string{"5", "6", "7", "8", "10", "circular", "variability"} {
-		figs, failures := generate(context.Background(), id, true, runner.Options{})
+		figs, failures := experiments.GenerateFigures(context.Background(), id, true, runner.Options{})
 		if len(failures) != 0 {
-			t.Errorf("%s: %v", id, failures[0].err)
+			t.Errorf("%s: %v", id, failures[0].Err)
 			continue
 		}
 		if len(figs) != 1 {
@@ -40,7 +42,7 @@ func TestGenerateSimulatedFiguresQuick(t *testing.T) {
 }
 
 func TestGenerateUnknown(t *testing.T) {
-	figs, failures := generate(context.Background(), "nope", true, runner.Options{})
+	figs, failures := experiments.GenerateFigures(context.Background(), "nope", true, runner.Options{})
 	if len(failures) == 0 {
 		t.Fatal("unknown figure accepted")
 	}
@@ -56,7 +58,7 @@ func TestGenerateUnknown(t *testing.T) {
 func TestGenerateCanceledStillDegrades(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	figs, failures := generate(ctx, "5", true, runner.Options{})
+	figs, failures := experiments.GenerateFigures(ctx, "5", true, runner.Options{})
 	if len(failures) == 0 {
 		t.Fatal("canceled sweep reported no failure")
 	}
@@ -67,7 +69,7 @@ func TestGenerateCanceledStillDegrades(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "3", true, dir, runner.Options{}, nil, ""); err != nil {
+	if err := run(context.Background(), "3", true, dir, runner.Options{}, sweep.NewExecutor(nil), nil, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
@@ -76,5 +78,27 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "series,x,y,err\n") {
 		t.Fatalf("bad csv: %.40q", string(data))
+	}
+}
+
+// TestBuildExecutor covers the -cache flag wiring: every mode yields an
+// executor, disk persists under the given directory, junk is rejected.
+func TestBuildExecutor(t *testing.T) {
+	if e, err := buildExecutor("off", ""); err != nil || e.Store() != nil {
+		t.Fatalf("off: exec %v err %v", e, err)
+	}
+	if e, err := buildExecutor("mem", ""); err != nil || e.Store() == nil {
+		t.Fatalf("mem: exec %v err %v", e, err)
+	}
+	dir := filepath.Join(t.TempDir(), "cas")
+	e, err := buildExecutor("disk", dir)
+	if err != nil || e.Store() == nil {
+		t.Fatalf("disk: exec %v err %v", e, err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("disk mode did not create %s: %v", dir, err)
+	}
+	if _, err := buildExecutor("bogus", ""); err == nil {
+		t.Fatal("bogus cache mode accepted")
 	}
 }

@@ -1,0 +1,99 @@
+// Command ehserve is a long-running HTTP/JSON service over the EH
+// model: it answers figure, sweep and model queries without paying a
+// process start or a simulation re-run for repeated questions.
+//
+// Endpoints:
+//
+//	GET /healthz                    liveness probe
+//	GET /metrics?format=json        request + result-store accounting
+//	GET /v1/figure?id=5&quick=true  regenerate a paper figure (or "all")
+//	GET /v1/sweep?lo=1&hi=1e3&n=50  Eq. 8 progress over a τ_B range
+//	GET /v1/model?tau_b=10&e=100    one closed-form model evaluation
+//
+// /v1/model and /v1/sweep accept every Table I parameter as a query key
+// (e, epsilon, epsilon_c, tau_b, sigma_b, omega_b, a_b, alpha_b,
+// sigma_r, omega_r, a_r, alpha_r), defaulting to the paper's
+// illustrative configuration.
+//
+// Figure responses are memoized twice over: identical in-flight
+// requests collapse onto one generation (singleflight), the rendered
+// response bytes are cached (the X-EH-Cache header reports hit, miss or
+// coalesced), and underneath, every simulation cell goes through the
+// same content-addressed result store the ehfigs -cache flag uses — so
+// with -cache disk, a restarted server still answers warm.
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/runner"
+	"ehmodel/internal/sweep"
+)
+
+func main() {
+	os.Exit(cliMain())
+}
+
+func cliMain() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cacheMode := flag.String("cache", "mem", "result store: mem (in-process LRU), disk (persistent CAS under -cache-dir) or off")
+	cacheDir := flag.String("cache-dir", "results/cache", "directory for the on-disk result store (with -cache disk)")
+	workers := flag.Int("workers", 0, "parallel sweep workers per request (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Minute, "deadline per HTTP request (0 = none)")
+	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction)")
+	flag.Parse()
+
+	engine, err := device.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehserve:", err)
+		return 2
+	}
+	device.SetDefaultEngine(engine)
+
+	exec, err := sweep.OpenExecutor(*cacheMode, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehserve:", err)
+		return 2
+	}
+	sweep.SetDefault(exec)
+
+	s := newServer(exec, runner.Options{Workers: *workers, RunTimeout: *runTimeout}, *reqTimeout)
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ehserve: listening on %s (cache %s, engine %s)", *addr, *cacheMode, engine)
+
+	select {
+	case <-ctx.Done():
+		// Drain: stop accepting, let in-flight requests finish (briefly).
+		shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ehserve: shutdown:", err)
+			return 1
+		}
+		st := exec.Stats()
+		log.Printf("ehserve: drained (%d cells: %d hits, %d misses, %d deduplicated, %d bypassed)",
+			st.Total(), st.Hits, st.Misses, st.Dedup, st.Bypass)
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "ehserve:", err)
+		return 1
+	}
+}

@@ -1,0 +1,397 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ehmodel/internal/core"
+	"ehmodel/internal/experiments"
+	"ehmodel/internal/obsv"
+	"ehmodel/internal/runner"
+	"ehmodel/internal/sweep"
+)
+
+// cacheHeader is the response header reporting how a figure query was
+// answered: "miss" (generated now), "hit" (served from the response
+// cache) or "coalesced" (piggybacked on an identical in-flight
+// generation).
+const cacheHeader = "X-EH-Cache"
+
+// server answers figure/sweep/model queries. Figure responses are the
+// expensive ones; they go through a request-keyed singleflight plus a
+// response byte cache, and the simulations underneath go through the
+// shared sweep executor's content-addressed store.
+type server struct {
+	exec    *sweep.Executor
+	run     runner.Options
+	timeout time.Duration
+
+	// generate is experiments.GenerateFigures, injectable so tests can
+	// count and stall generations to observe the singleflight.
+	generate func(ctx context.Context, which string, quick bool, run runner.Options) ([]*experiments.Figure, []experiments.Failure)
+
+	mu      sync.Mutex
+	metrics obsv.Metrics
+	resp    map[string][]byte
+	flights map[string]*respFlight
+}
+
+// respFlight is one in-progress figure generation; followers for the
+// same request key wait on done and share the rendered bytes.
+type respFlight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	err    error
+}
+
+func newServer(exec *sweep.Executor, run runner.Options, timeout time.Duration) *server {
+	return &server{
+		exec:     exec,
+		run:      run,
+		timeout:  timeout,
+		generate: experiments.GenerateFigures,
+		resp:     map[string][]byte{},
+		flights:  map[string]*respFlight{},
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.observe(s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.observe(s.handleMetrics))
+	mux.HandleFunc("GET /v1/figure", s.observe(s.handleFigure))
+	mux.HandleFunc("GET /v1/sweep", s.observe(s.handleSweep))
+	mux.HandleFunc("GET /v1/model", s.observe(s.handleModel))
+	return mux
+}
+
+// statusWriter captures the response status for request accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observe wraps a handler with the per-request deadline and the
+// latency/error accounting exported at /metrics.
+func (s *server) observe(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		us := time.Since(start).Microseconds()
+		s.mu.Lock()
+		s.metrics.ObserveRequest(us, sw.status >= 400)
+		s.mu.Unlock()
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics exports the request accounting with the result store's
+// counters folded in, as CSV (default) or JSON (?format=json).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.metrics
+	s.mu.Unlock()
+	st := s.exec.Stats()
+	snap.AddCache(st.Hits, st.Misses, st.Bypass, st.Dedup, st.StoreErrors)
+	var buf bytes.Buffer
+	var err error
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		err = snap.WriteJSON(&buf)
+	} else {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = snap.WriteCSV(&buf)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone
+}
+
+// figureResponse is the /v1/figure payload.
+type figureResponse struct {
+	ID       string                `json:"id"`
+	Quick    bool                  `json:"quick"`
+	Figures  []*experiments.Figure `json:"figures"`
+	Failures []figureFailure       `json:"failures,omitempty"`
+}
+
+type figureFailure struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("id")
+	if id == "" {
+		http.Error(w, "missing id parameter", http.StatusBadRequest)
+		return
+	}
+	if !experiments.KnownFigureID(id) {
+		http.Error(w, fmt.Sprintf("unknown figure %q (known: all, %s)",
+			id, strings.Join(experiments.FigureIDs(), ", ")), http.StatusBadRequest)
+		return
+	}
+	quick := false
+	if v := q.Get("quick"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "bad quick parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		quick = b
+	}
+	key := fmt.Sprintf("figure|id=%s|quick=%t", id, quick)
+
+	s.mu.Lock()
+	if body, ok := s.resp[key]; ok {
+		s.mu.Unlock()
+		serveFigureBytes(w, body, "hit")
+		return
+	}
+	if fl, ok := s.flights[key]; ok {
+		// Coalesce onto the in-flight generation.
+		s.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-r.Context().Done():
+			http.Error(w, r.Context().Err().Error(), http.StatusGatewayTimeout)
+			return
+		}
+		if fl.err != nil {
+			http.Error(w, fl.err.Error(), fl.status)
+			return
+		}
+		serveFigureBytes(w, fl.body, "coalesced")
+		return
+	}
+	fl := &respFlight{done: make(chan struct{})}
+	s.flights[key] = fl
+	s.mu.Unlock()
+
+	figs, failures := s.generate(r.Context(), id, quick, s.run)
+	resp := figureResponse{ID: id, Quick: quick, Figures: figs}
+	for _, f := range failures {
+		resp.Failures = append(resp.Failures, figureFailure{ID: f.ID, Error: f.Err.Error()})
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if err != nil {
+		fl.err, fl.status = err, http.StatusInternalServerError
+	} else {
+		fl.body = body
+		// Cache only fully successful responses: a sweep clipped by a
+		// deadline or a canceled client must not be replayed as truth.
+		if len(failures) == 0 {
+			s.resp[key] = body
+		}
+	}
+	s.mu.Unlock()
+	close(fl.done)
+
+	if fl.err != nil {
+		http.Error(w, fl.err.Error(), fl.status)
+		return
+	}
+	serveFigureBytes(w, body, "miss")
+}
+
+func serveFigureBytes(w http.ResponseWriter, body []byte, how string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cacheHeader, how)
+	w.Write(body) //nolint:errcheck // client gone
+}
+
+// sweepResponse is the /v1/sweep payload: Eq. 8 evaluated over a τ_B
+// range, with the analytic optimum alongside.
+type sweepResponse struct {
+	Params  core.Params       `json:"params"`
+	Dead    string            `json:"dead_model"`
+	Points  []core.SweepPoint `json:"points"`
+	Best    core.SweepPoint   `json:"best"`
+	TauBOpt float64           `json:"tau_b_opt"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pr, err := paramsFromQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lo, err := floatParam(q, "lo", 1)
+	if err == nil && lo <= 0 {
+		err = fmt.Errorf("lo must be > 0")
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hi, err := floatParam(q, "hi", 1000)
+	if err == nil && hi < lo {
+		err = fmt.Errorf("hi must be ≥ lo")
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := 50
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil || n < 2 || n > 100000 {
+			http.Error(w, "n must be an integer in [2, 100000]", http.StatusBadRequest)
+			return
+		}
+	}
+	var values []float64
+	switch q.Get("space") {
+	case "", "log":
+		values = core.LogSpace(lo, hi, n)
+	case "lin":
+		values = core.LinSpace(lo, hi, n)
+	default:
+		http.Error(w, "space must be log or lin", http.StatusBadRequest)
+		return
+	}
+	dead, err := deadParam(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pts := pr.SweepTauB(values, dead)
+	writeJSON(w, http.StatusOK, sweepResponse{
+		Params:  pr,
+		Dead:    dead.String(),
+		Points:  pts,
+		Best:    core.ArgmaxP(pts),
+		TauBOpt: pr.TauBOpt(),
+	})
+}
+
+// modelResponse is the /v1/model payload: one closed-form evaluation
+// with the derived scalars the paper leans on.
+type modelResponse struct {
+	Params       core.Params    `json:"params"`
+	Progress     float64        `json:"progress"`
+	ProgressLo   float64        `json:"progress_worst"`
+	ProgressHi   float64        `json:"progress_best"`
+	Breakdown    core.Breakdown `json:"breakdown"`
+	TauBOpt      float64        `json:"tau_b_opt"`
+	TauBBreakEve float64        `json:"tau_b_break_even"`
+	TauBBit      float64        `json:"tau_b_bit"`
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	pr, err := paramsFromQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lo, hi := pr.ProgressBounds()
+	writeJSON(w, http.StatusOK, modelResponse{
+		Params:       pr,
+		Progress:     pr.Progress(),
+		ProgressLo:   lo,
+		ProgressHi:   hi,
+		Breakdown:    pr.Breakdown(),
+		TauBOpt:      pr.TauBOpt(),
+		TauBBreakEve: pr.TauBBreakEven(),
+		TauBBit:      pr.TauBBit(),
+	})
+}
+
+// paramsFromQuery overlays Table I query parameters onto the paper's
+// default configuration and validates the result.
+func paramsFromQuery(q url.Values) (core.Params, error) {
+	pr := core.DefaultParams()
+	fields := map[string]*float64{
+		"e": &pr.E, "epsilon": &pr.Epsilon, "epsilon_c": &pr.EpsilonC,
+		"tau_b": &pr.TauB, "sigma_b": &pr.SigmaB, "omega_b": &pr.OmegaB,
+		"a_b": &pr.AB, "alpha_b": &pr.AlphaB,
+		"sigma_r": &pr.SigmaR, "omega_r": &pr.OmegaR, "a_r": &pr.AR, "alpha_r": &pr.AlphaR,
+	}
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return pr, fmt.Errorf("bad %s: %v", name, err)
+		}
+		*fields[name] = f
+	}
+	if err := pr.Validate(); err != nil {
+		return pr, err
+	}
+	return pr, nil
+}
+
+func floatParam(q url.Values, name string, def float64) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return f, nil
+}
+
+func deadParam(q url.Values) (core.DeadModel, error) {
+	switch q.Get("dead") {
+	case "", "average":
+		return core.DeadAverage, nil
+	case "best":
+		return core.DeadBest, nil
+	case "worst":
+		return core.DeadWorst, nil
+	}
+	return 0, fmt.Errorf("dead must be average, best or worst")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client gone
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	fig, pts, plan, err := experiments.CaseCircularBuffer(experiments.CircularConfig{})
+	fig, pts, plan, err := experiments.CaseCircularBuffer(context.Background(), experiments.CircularConfig{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

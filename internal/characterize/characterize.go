@@ -3,7 +3,9 @@
 // architecture fed by RF voltage traces to profile the time between
 // backups τ_B (Fig. 8) and dead cycles τ_D (Fig. 9), and running the
 // hypothetical mixed-volatility store-queue processor across watchdog
-// settings to profile application state α_B (Fig. 10).
+// settings to profile application state α_B (Fig. 10). All sweeps build
+// sweep plans and run through the memoizing executor; Clank's post-run
+// counters travel through the result store as cell extras.
 package characterize
 
 import (
@@ -16,6 +18,7 @@ import (
 	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
 )
@@ -71,62 +74,85 @@ type ClankRun struct {
 	Result *device.Result
 }
 
+// clankCell builds the one-benchmark × trace cell behind RunClank.
+// Clank's violation/overflow/watchdog counters live on the strategy, not
+// the Result, so the Extras hook serializes them into the store — a
+// cache hit recalls them without a strategy instance.
+func clankCell(bench string, kind trace.Kind, cfg ClankConfig) sweep.Cell {
+	return sweep.Cell{
+		Label: fmt.Sprintf("clank %s under %v trace", bench, kind),
+		Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+			cfg := cfg
+			cfg.setDefaults()
+			w, ok := workload.Get(bench)
+			if !ok {
+				return device.Config{}, nil, fmt.Errorf("characterize: unknown workload %q", bench)
+			}
+			prog, err := w.Build(workload.Options{Seg: asm.FRAM, Scale: cfg.Scale})
+			if err != nil {
+				return device.Config{}, nil, err
+			}
+			pm := energy.CortexM0Power() // Clank is modelled on a Cortex-M0+
+			e := cfg.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
+			capC, vmax, von, voff := device.FixedSupplyConfig(e)
+			tr := trace.Generate(kind, cfg.TraceSeconds, 1e-3, 7+int64(kind))
+			h, err := energy.NewHarvester(tr, cfg.HarvestR, cfg.HarvestEta)
+			if err != nil {
+				return device.Config{}, nil, err
+			}
+			return device.Config{
+				Prog:      prog,
+				Power:     pm,
+				CapC:      capC,
+				CapVMax:   vmax,
+				VOn:       von,
+				VOff:      voff,
+				Harvester: h,
+			}, strategy.NewClank(), nil
+		},
+		Extras: func(s device.Strategy, res *device.Result) (any, error) {
+			return s.(*strategy.Clank).Stats(), nil
+		},
+		Verify: func(res *device.Result) error {
+			if !res.Completed {
+				return fmt.Errorf("characterize: %s did not complete under %v (periods=%d)", bench, kind, len(res.Periods))
+			}
+			return nil
+		},
+	}
+}
+
+// clankRunFrom assembles the characterization row from a cell result,
+// decoding the stored Clank counters.
+func clankRunFrom(bench string, kind trace.Kind, cr *sweep.CellResult) (*ClankRun, error) {
+	r := &ClankRun{
+		Bench:  bench,
+		Trace:  kind,
+		TauB:   stats.Summarize(cr.Result.TauBSamples()),
+		TauD:   stats.Summarize(cr.Result.TauDSamples()),
+		Result: cr.Result,
+	}
+	if _, err := cr.DecodeExtras(&r.Stats); err != nil {
+		return nil, fmt.Errorf("characterize: %s/%v extras: %w", bench, kind, err)
+	}
+	return r, nil
+}
+
 // RunClank executes one benchmark under Clank powered by the given
 // trace kind and returns its τ_B/τ_D profile.
 func RunClank(ctx context.Context, bench string, kind trace.Kind, cfg ClankConfig) (*ClankRun, error) {
-	cfg.setDefaults()
-	w, ok := workload.Get(bench)
-	if !ok {
-		return nil, fmt.Errorf("characterize: unknown workload %q", bench)
+	all, errs := sweep.Run(ctx, []sweep.Cell{clankCell(bench, kind, cfg)}, cfg.Run)
+	if len(errs) > 0 {
+		return nil, errs[0].Err
 	}
-	prog, err := w.Build(workload.Options{Seg: asm.FRAM, Scale: cfg.Scale})
-	if err != nil {
-		return nil, err
-	}
-	pm := energy.CortexM0Power() // Clank is modelled on a Cortex-M0+
-	e := cfg.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
-	capC, vmax, von, voff := device.FixedSupplyConfig(e)
-	tr := trace.Generate(kind, cfg.TraceSeconds, 1e-3, 7+int64(kind))
-	h, err := energy.NewHarvester(tr, cfg.HarvestR, cfg.HarvestEta)
-	if err != nil {
-		return nil, err
-	}
-	cl := strategy.NewClank()
-	d, err := device.New(device.Config{
-		Prog:       prog,
-		Power:      pm,
-		CapC:       capC,
-		CapVMax:    vmax,
-		VOn:        von,
-		VOff:       voff,
-		Harvester:  h,
-		RunTimeout: cfg.Run.RunTimeout,
-		Interrupt:  runner.Interrupt(ctx),
-	}, cl)
-	if err != nil {
-		return nil, err
-	}
-	res, err := d.Run()
-	if err != nil {
-		return nil, err
-	}
-	if !res.Completed {
-		return nil, fmt.Errorf("characterize: %s did not complete under %v (periods=%d)", bench, kind, len(res.Periods))
-	}
-	return &ClankRun{
-		Bench:  bench,
-		Trace:  kind,
-		TauB:   stats.Summarize(res.TauBSamples()),
-		TauD:   stats.Summarize(res.TauDSamples()),
-		Stats:  cl.Stats(),
-		Result: res,
-	}, nil
+	return clankRunFrom(bench, kind, &all[0])
 }
 
 // TauBProfile runs every benchmark across every trace kind in parallel
-// — the data behind Figs. 8 and 9. Surviving rows are returned ordered
-// benchmark-major, trace-minor regardless of completion order; failed
-// runs are dropped and reported in errs.
+// — the data behind Figs. 8 and 9 — as a plan grouped per benchmark.
+// Surviving rows are returned ordered benchmark-major, trace-minor
+// regardless of completion order; failed runs are dropped and reported
+// in errs.
 func TauBProfile(ctx context.Context, benches []string, cfg ClankConfig) (out []*ClankRun, errs runner.Errors, err error) {
 	if err := knownBenches(benches); err != nil {
 		return nil, nil, err
@@ -137,22 +163,34 @@ func TauBProfile(ctx context.Context, benches []string, cfg ClankConfig) (out []
 		kind  trace.Kind
 	}
 	var jobs []job
+	plan := sweep.NewPlan("characterize-taub")
 	for _, bench := range benches {
+		g := plan.Group(bench)
 		for _, kind := range kinds {
 			jobs = append(jobs, job{bench: bench, kind: kind})
+			g.Add(clankCell(bench, kind, cfg))
 		}
 	}
-	o := cfg.Run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("clank %s under %v trace", jobs[i].bench, jobs[i].kind)
-	}
-	runs, errs := runner.Map(ctx, len(jobs), o, func(i int) (*ClankRun, error) {
-		return RunClank(ctx, jobs[i].bench, jobs[i].kind, cfg)
-	})
-	for _, r := range runs {
-		if r != nil {
-			out = append(out, r)
+	all, errs := sweep.RunPlan(ctx, plan, cfg.Run)
+	failed := errs.FailedSet()
+	var evalErrs runner.Errors
+	for i, j := range jobs {
+		if failed[i] {
+			continue
 		}
+		r, rerr := clankRunFrom(j.bench, j.kind, &all[i])
+		if rerr != nil {
+			evalErrs = append(evalErrs, &runner.RunError{
+				Index: i,
+				Label: fmt.Sprintf("clank %s under %v trace", j.bench, j.kind),
+				Err:   rerr,
+			})
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(evalErrs) > 0 {
+		errs = append(errs, evalErrs...)
 	}
 	return out, errs, nil
 }
@@ -191,10 +229,13 @@ func DefaultWatchdogs() []uint64 {
 }
 
 // AlphaBProfile characterizes application state per cycle on the
-// mixed-volatility store-queue processor across watchdog periods. One
-// sweep point is a whole benchmark (its watchdog sweep runs serially
-// inside the point, since the bar is the mean over watchdogs); failed
-// benchmarks are dropped and reported in errs.
+// mixed-volatility store-queue processor across watchdog periods. The
+// plan holds one group per benchmark with a cell per watchdog setting —
+// historically the watchdog sweep ran serially inside one point, but as
+// individual cells every setting parallelizes and memoizes. The bar is
+// still the per-benchmark mean over watchdogs, and errs still reports
+// whole benchmarks (a benchmark is dropped if any of its watchdog runs
+// failed, indexed as before by benchmark position).
 func AlphaBProfile(ctx context.Context, benches []string, watchdogs []uint64, scale int, run runner.Options) (out []*AlphaBRun, errs runner.Errors, err error) {
 	if scale <= 0 {
 		scale = 1
@@ -202,53 +243,75 @@ func AlphaBProfile(ctx context.Context, benches []string, watchdogs []uint64, sc
 	if err := knownBenches(benches); err != nil {
 		return nil, nil, err
 	}
-	o := run
-	o.Label = func(i int) string { return "mixed-volatility α_B profile of " + benches[i] }
-	runs, errs := runner.Map(ctx, len(benches), o, func(i int) (*AlphaBRun, error) {
-		bench := benches[i]
-		w, ok := workload.Get(bench)
-		if !ok {
-			return nil, fmt.Errorf("characterize: unknown workload %q", bench)
-		}
-		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: scale})
-		if err != nil {
-			return nil, err
-		}
-		ar := &AlphaBRun{Bench: bench}
+	plan := sweep.NewPlan("characterize-alphab")
+	for _, bench := range benches {
+		bench := bench
+		g := plan.Group(bench)
 		for _, wd := range watchdogs {
-			pm := energy.MSP430Power()
-			// ample fixed supply: α_B is a workload property, not a
-			// power property
-			capC, vmax, von, voff := device.FixedSupplyConfig(1.0)
-			d, err := device.New(device.Config{
-				Prog:       prog,
-				Power:      pm,
-				CapC:       capC,
-				CapVMax:    vmax,
-				VOn:        von,
-				VOff:       voff,
-				RunTimeout: run.RunTimeout,
-				Interrupt:  runner.Interrupt(ctx),
-			}, strategy.NewMixedVolatility(wd))
-			if err != nil {
-				return nil, err
+			wd := wd
+			g.Add(sweep.Cell{
+				Label: fmt.Sprintf("mixed-volatility α_B profile of %s wd=%d", bench, wd),
+				Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+					w, ok := workload.Get(bench)
+					if !ok {
+						return device.Config{}, nil, fmt.Errorf("characterize: unknown workload %q", bench)
+					}
+					prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: scale})
+					if err != nil {
+						return device.Config{}, nil, err
+					}
+					pm := energy.MSP430Power()
+					// ample fixed supply: α_B is a workload property, not a
+					// power property
+					capC, vmax, von, voff := device.FixedSupplyConfig(1.0)
+					return device.Config{
+						Prog:    prog,
+						Power:   pm,
+						CapC:    capC,
+						CapVMax: vmax,
+						VOn:     von,
+						VOff:    voff,
+					}, strategy.NewMixedVolatility(wd), nil
+				},
+				Verify: func(res *device.Result) error {
+					if !res.Completed {
+						return fmt.Errorf("characterize: %s watchdog %d did not complete", bench, wd)
+					}
+					return nil
+				},
+			})
+		}
+	}
+	all, cellErrs := sweep.RunPlan(ctx, plan, run)
+	failed := cellErrs.FailedSet()
+	for bi, bench := range benches {
+		ar := &AlphaBRun{Bench: bench}
+		var benchErr error
+		for wi := range watchdogs {
+			i := bi*len(watchdogs) + wi
+			if failed[i] {
+				if benchErr == nil {
+					for _, re := range cellErrs {
+						if re.Index == i {
+							benchErr = re.Err
+							break
+						}
+					}
+				}
+				continue
 			}
-			res, err := d.Run()
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("characterize: %s watchdog %d did not complete", bench, wd)
-			}
-			ar.PerWatchdog = append(ar.PerWatchdog, stats.Mean(res.AlphaBSamples()))
+			ar.PerWatchdog = append(ar.PerWatchdog, stats.Mean(all[i].Result.AlphaBSamples()))
+		}
+		if benchErr != nil {
+			errs = append(errs, &runner.RunError{
+				Index: bi,
+				Label: "mixed-volatility α_B profile of " + bench,
+				Err:   benchErr,
+			})
+			continue
 		}
 		ar.AlphaB = stats.Summarize(ar.PerWatchdog)
-		return ar, nil
-	})
-	for _, r := range runs {
-		if r != nil {
-			out = append(out, r)
-		}
+		out = append(out, ar)
 	}
 	return out, errs, nil
 }

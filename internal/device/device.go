@@ -156,6 +156,21 @@ type CacheSizer interface {
 	CacheBlockSize() int
 }
 
+// CacheKeyer is optional Strategy metadata for the memoization layer
+// (internal/sweep): a strategy that can describe every parameter
+// affecting its behaviour as a stable string implements it, making its
+// runs content-addressable in the result store. The returned key must
+// read the live field values (drivers mutate parameters after
+// construction) and must cover everything that could change a Result —
+// two strategy instances with equal Name() and equal CacheKey() must
+// produce bit-identical simulations. Returning "" opts this instance
+// out (e.g. a wrapper holding run-specific state the driver reads back),
+// and its cells bypass the store. Strategies without the interface
+// bypass too.
+type CacheKeyer interface {
+	CacheKey() string
+}
+
 // RegionScheme says how a runtime delimits its atomic regions — the
 // intervals between commit points whose worst-case energy the static
 // WCEC verifier (internal/analyze) bounds. A verifier verdict is only
@@ -265,6 +280,13 @@ var defaultEngine atomic.Int32
 func SetDefaultEngine(e Engine) {
 	defaultEngine.Store(int32(e))
 }
+
+// Resolved returns the engine a run with this value would actually use:
+// EngineDefault follows the process-wide default (batched unless
+// SetDefaultEngine overrode it). The memoization layer keys cells on the
+// resolved engine so "default" never aliases two different engines in
+// the store.
+func (e Engine) Resolved() Engine { return e.resolve() }
 
 func (e Engine) resolve() Engine {
 	if e != EngineDefault {
@@ -391,6 +413,22 @@ func (c *Config) setDefaults() {
 	if c.MaxPeriods == 0 {
 		c.MaxPeriods = 100_000
 	}
+}
+
+// WithDefaults returns the config exactly as a device built from it
+// reports via Cfg(): zero fields filled with their defaults and the
+// strategy's CacheSizer block size applied. Memoization layers use it to
+// reproduce the defaulted config for a cache hit without constructing a
+// device, and to hash equivalent configs identically however they were
+// spelled.
+func (c Config) WithDefaults(s Strategy) Config {
+	c.setDefaults()
+	if c.CacheBlockSize == 0 && s != nil {
+		if cs, ok := s.(CacheSizer); ok {
+			c.CacheBlockSize = cs.CacheBlockSize()
+		}
+	}
+	return c
 }
 
 // Validate checks the configuration.

@@ -9,6 +9,7 @@ import (
 	"ehmodel/internal/energy"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
 )
@@ -16,41 +17,35 @@ import (
 // Ablations probe the design choices DESIGN.md calls out: Clank's
 // tracking-buffer capacity and watchdog period, Hibernus's threshold
 // margin, and Mementos's checkpoint-site gating. Each returns a Figure
-// so ehfigs and the bench suite can regenerate them. Every sweep runs
-// through the parallel sweep engine: failed points are dropped from the
-// figure with a note, survivors still render, and the merged order is
-// the input order so output is identical at any worker count.
+// so ehfigs and the bench suite can regenerate them. Every sweep builds
+// a plan and runs through the memoizing executor: failed points are
+// dropped from the figure with a note, survivors still render, and the
+// merged order is the input order so output is identical at any worker
+// count and any cache temperature.
 
-// runAblationMaybe executes a prepared device with a bounded period
-// budget and returns the result whether or not the program completed —
-// some ablation corners (e.g. razor-thin Hibernus margins) legitimately
-// make no forward progress, which is the measurement.
-func runAblationMaybe(ctx context.Context, prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, maxPeriods int, run runner.Options) (*device.Result, error) {
-	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
-	capC, vmax, von, voff := device.FixedSupplyConfig(e)
-	d, err := device.New(device.Config{
-		Prog: prog, Power: pm,
-		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-		MaxPeriods: maxPeriods, MaxCycles: 1 << 62,
-		RunTimeout: run.RunTimeout,
-		Interrupt:  runner.Interrupt(ctx),
-	}, s)
-	if err != nil {
-		return nil, err
+// ablationCell wraps one ablation run as a sweep cell with a bounded
+// period budget. requireComplete preserves the two historical flavours:
+// runs that must finish, and corner runs (razor-thin Hibernus margins)
+// where making no forward progress is the measurement.
+func ablationCell(label string, pm energy.PowerModel, periodCycles float64, maxPeriods int, requireComplete bool, build func() (*asm.Program, device.Strategy, error)) sweep.Cell {
+	var progName, sysName string
+	return sweep.Cell{
+		Label: label,
+		Build: func(context.Context) (device.Config, device.Strategy, error) {
+			prog, s, err := build()
+			if err != nil {
+				return device.Config{}, nil, err
+			}
+			progName, sysName = prog.Name, s.Name()
+			return fixedConfig(prog, pm, periodCycles, maxPeriods), s, nil
+		},
+		Verify: func(res *device.Result) error {
+			if requireComplete && !res.Completed {
+				return fmt.Errorf("experiments: ablation run of %s/%s incomplete", sysName, progName)
+			}
+			return nil
+		},
 	}
-	return d.Run()
-}
-
-// runAblation is runAblationMaybe with completion required.
-func runAblation(ctx context.Context, prog *asm.Program, s device.Strategy, pm energy.PowerModel, periodCycles float64, run runner.Options) (*device.Result, error) {
-	res, err := runAblationMaybe(ctx, prog, s, pm, periodCycles, 100000, run)
-	if err != nil {
-		return nil, err
-	}
-	if !res.Completed {
-		return nil, fmt.Errorf("experiments: ablation run of %s/%s incomplete", s.Name(), prog.Name)
-	}
-	return res, nil
 }
 
 // AblationClankBuffers sweeps the read-first/write-first buffer capacity
@@ -80,28 +75,23 @@ func AblationClankBuffers(ctx context.Context, run runner.Options) (*Figure, err
 		}
 		progs[bi] = prog
 	}
-	type job struct{ bench, cap int }
-	var jobs []job
+	plan := sweep.NewPlan("ablation-clank-buffers")
 	for bi := range benches {
+		g := plan.Group(benches[bi])
 		for ci := range capacities {
-			jobs = append(jobs, job{bench: bi, cap: ci})
+			prog, entries := progs[bi], capacities[ci]
+			g.Add(ablationCell(
+				fmt.Sprintf("clank-buffers %s entries=%d", benches[bi], entries),
+				pm, 30000, 100000, true,
+				func() (*asm.Program, device.Strategy, error) {
+					cl := strategy.NewClank()
+					cl.ReadFirstEntries = entries
+					cl.WriteFirstEntries = entries
+					return prog, cl, nil
+				}))
 		}
 	}
-	o := run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("clank-buffers %s entries=%d", benches[jobs[i].bench], capacities[jobs[i].cap])
-	}
-	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (float64, error) {
-		j := jobs[i]
-		cl := strategy.NewClank()
-		cl.ReadFirstEntries = capacities[j.cap]
-		cl.WriteFirstEntries = capacities[j.cap]
-		res, err := runAblation(ctx, progs[j.bench], cl, pm, 30000, run)
-		if err != nil {
-			return 0, err
-		}
-		return res.MeanTauB(), nil
-	})
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 
 	for bi, bench := range benches {
@@ -111,7 +101,7 @@ func AblationClankBuffers(ctx context.Context, run runner.Options) (*Figure, err
 			if failed[i] {
 				continue
 			}
-			tau.Points = append(tau.Points, Point{X: float64(entries), Y: all[i]})
+			tau.Points = append(tau.Points, Point{X: float64(entries), Y: all[i].Result.MeanTauB()})
 		}
 		fig.Series = append(fig.Series, tau)
 		if len(tau.Points) > 0 {
@@ -122,7 +112,7 @@ func AblationClankBuffers(ctx context.Context, run runner.Options) (*Figure, err
 	}
 	fig.AddNote("lzfx flattens early: per-iteration WAR violations dominate regardless of capacity")
 	if len(errs) > 0 {
-		fig.AddNote("%s", errs.Summary(len(jobs)))
+		fig.AddNote("%s", errs.Summary(len(benches)*len(capacities)))
 		return fig, errs
 	}
 	return fig, nil
@@ -148,21 +138,21 @@ func AblationClankWatchdog(ctx context.Context, run runner.Options) (*Figure, er
 		return nil, err
 	}
 	watchdogs := []uint64{500, 1000, 2000, 4000, 8000, 16000}
-	o := run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("clank-watchdog sha wd=%d cycles", watchdogs[i])
+	plan := sweep.NewPlan("ablation-clank-watchdog")
+	for _, wd := range watchdogs {
+		wd := wd
+		plan.Add(ablationCell(
+			fmt.Sprintf("clank-watchdog sha wd=%d cycles", wd),
+			pm, 20000, 100000, true,
+			func() (*asm.Program, device.Strategy, error) {
+				cl := strategy.NewClank()
+				cl.WatchdogCycles = wd
+				cl.ReadFirstEntries = 4096 // watchdog-only checkpointing
+				cl.WriteFirstEntries = 4096
+				return prog, cl, nil
+			}))
 	}
-	all, errs := runner.Map(ctx, len(watchdogs), o, func(i int) (float64, error) {
-		cl := strategy.NewClank()
-		cl.WatchdogCycles = watchdogs[i]
-		cl.ReadFirstEntries = 4096 // watchdog-only checkpointing
-		cl.WriteFirstEntries = 4096
-		res, err := runAblation(ctx, prog, cl, pm, 20000, run)
-		if err != nil {
-			return 0, err
-		}
-		return res.MeasuredProgress(), nil
-	})
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 
 	meas := Series{Label: "measured"}
@@ -170,7 +160,7 @@ func AblationClankWatchdog(ctx context.Context, run runner.Options) (*Figure, er
 		if failed[i] {
 			continue
 		}
-		meas.Points = append(meas.Points, Point{X: float64(wd), Y: all[i]})
+		meas.Points = append(meas.Points, Point{X: float64(wd), Y: all[i].Result.MeasuredProgress()})
 	}
 	fig.Series = append(fig.Series, meas)
 	if len(meas.Points) > 0 {
@@ -207,20 +197,30 @@ func AblationHibernusMargin(ctx context.Context, run runner.Options) (*Figure, e
 		return nil, err
 	}
 	margins := []float64{1.02, 1.1, 1.5, 2, 3, 5, 8}
-	type marginPoint struct{ p, failFrac float64 }
-	o := run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("hibernus-margin crc margin=%g", margins[i])
-	}
-	all, errs := runner.Map(ctx, len(margins), o, func(i int) (marginPoint, error) {
-		h := strategy.NewHibernus()
-		h.Margin = margins[i]
+	plan := sweep.NewPlan("ablation-hibernus-margin")
+	for _, margin := range margins {
+		margin := margin
 		// tight margins may never complete — dying mid-backup every
 		// period is §IV-B's hazard and exactly what this ablation shows
-		res, err := runAblationMaybe(ctx, prog, h, pm, 15000, 500, run)
-		if err != nil {
-			return marginPoint{}, err
+		plan.Add(ablationCell(
+			fmt.Sprintf("hibernus-margin crc margin=%g", margin),
+			pm, 15000, 500, false,
+			func() (*asm.Program, device.Strategy, error) {
+				h := strategy.NewHibernus()
+				h.Margin = margin
+				return prog, h, nil
+			}))
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
+	failed := errs.FailedSet()
+
+	prg := Series{Label: "measured p"}
+	failedS := Series{Label: "failed-backup fraction"}
+	for i, margin := range margins {
+		if failed[i] {
+			continue
 		}
+		res := all[i].Result
 		fails := 0
 		for _, p := range res.Periods {
 			if p.BackupCycles > 0 && p.Backups == 0 {
@@ -231,18 +231,8 @@ func AblationHibernusMargin(ctx context.Context, run runner.Options) (*Figure, e
 		if !res.Completed && res.Backups() == 0 {
 			y = 0 // perpetual restart: no committed work at all
 		}
-		return marginPoint{p: y, failFrac: float64(fails) / float64(len(res.Periods))}, nil
-	})
-	failed := errs.FailedSet()
-
-	prg := Series{Label: "measured p"}
-	failedS := Series{Label: "failed-backup fraction"}
-	for i, margin := range margins {
-		if failed[i] {
-			continue
-		}
-		prg.Points = append(prg.Points, Point{X: margin, Y: all[i].p})
-		failedS.Points = append(failedS.Points, Point{X: margin, Y: all[i].failFrac})
+		prg.Points = append(prg.Points, Point{X: margin, Y: y})
+		failedS.Points = append(failedS.Points, Point{X: margin, Y: float64(fails) / float64(len(res.Periods))})
 	}
 	fig.Series = append(fig.Series, prg, failedS)
 	fig.AddNote("tight margins die mid-backup (§IV-B's inconsistency hazard); loose margins idle energy away")
@@ -271,19 +261,19 @@ func AblationMementosGap(ctx context.Context, run runner.Options) (*Figure, erro
 		return nil, err
 	}
 	gaps := []uint64{32, 128, 512, 2048, 8192}
-	o := run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("mementos-gap ds gap=%d cycles", gaps[i])
+	plan := sweep.NewPlan("ablation-mementos-gap")
+	for _, gap := range gaps {
+		gap := gap
+		plan.Add(ablationCell(
+			fmt.Sprintf("mementos-gap ds gap=%d cycles", gap),
+			pm, 15000, 100000, true,
+			func() (*asm.Program, device.Strategy, error) {
+				m := strategy.NewMementos()
+				m.MinGapCycles = gap
+				return prog, m, nil
+			}))
 	}
-	all, errs := runner.Map(ctx, len(gaps), o, func(i int) (float64, error) {
-		m := strategy.NewMementos()
-		m.MinGapCycles = gaps[i]
-		res, err := runAblation(ctx, prog, m, pm, 15000, run)
-		if err != nil {
-			return 0, err
-		}
-		return res.MeasuredProgress(), nil
-	})
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 
 	s := Series{Label: "measured p"}
@@ -291,7 +281,7 @@ func AblationMementosGap(ctx context.Context, run runner.Options) (*Figure, erro
 		if failed[i] {
 			continue
 		}
-		s.Points = append(s.Points, Point{X: float64(gap), Y: all[i]})
+		s.Points = append(s.Points, Point{X: float64(gap), Y: all[i].Result.MeasuredProgress()})
 	}
 	fig.Series = append(fig.Series, s)
 	if len(errs) > 0 {
@@ -308,39 +298,41 @@ func AblationMementosGap(ctx context.Context, run runner.Options) (*Figure, erro
 // device from a multi-peak harvested trace: in-period charging varies
 // with trace phase, shifting where each period dies relative to the
 // backup schedule, exactly the supply-side non-determinism §IV-A2
-// describes. It is a single run, not a sweep, so the runner options
-// only supply the per-run deadline and cancellation hook.
+// describes. It is a single cell, not a sweep, but it still runs
+// through the memoizing executor so repeated invocations recall the
+// stored result.
 func VariabilityStudy(ctx context.Context, tauB uint64, periods int, run runner.Options) (*Figure, error) {
 	if periods <= 0 {
 		periods = 40
 	}
 	pm := energy.MSP430Power()
-	w, _ := workload.Get("counter")
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 400})
-	if err != nil {
-		return nil, err
+	cells := []sweep.Cell{{
+		Label: fmt.Sprintf("variability τ_B=%d periods=%d", tauB, periods),
+		Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+			w, _ := workload.Get("counter")
+			prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 400})
+			if err != nil {
+				return device.Config{}, nil, err
+			}
+			tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 99)
+			h, err := energy.NewHarvester(tr, 40000, 0.7) // peak power below core draw
+			if err != nil {
+				return device.Config{}, nil, err
+			}
+			e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
+			capC, vmax, von, voff := device.FixedSupplyConfig(e)
+			return device.Config{
+				Prog: prog, Power: pm, Harvester: h,
+				CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+				MaxPeriods: periods, MaxCycles: 1 << 62,
+			}, strategy.NewTimer(tauB, 0.1), nil
+		},
+	}}
+	all, errs := sweep.Run(ctx, cells, run)
+	if len(errs) > 0 {
+		return nil, errs[0].Err
 	}
-	tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 99)
-	h, err := energy.NewHarvester(tr, 40000, 0.7) // peak power below core draw
-	if err != nil {
-		return nil, err
-	}
-	e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
-	capC, vmax, von, voff := device.FixedSupplyConfig(e)
-	d, err := device.New(device.Config{
-		Prog: prog, Power: pm, Harvester: h,
-		CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-		MaxPeriods: periods, MaxCycles: 1 << 62,
-		RunTimeout: run.RunTimeout,
-		Interrupt:  runner.Interrupt(ctx),
-	}, strategy.NewTimer(tauB, 0.1))
-	if err != nil {
-		return nil, err
-	}
-	res, err := d.Run()
-	if err != nil {
-		return nil, err
-	}
+	res := all[0].Result
 
 	fig := &Figure{
 		ID:     "variability",

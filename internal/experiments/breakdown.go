@@ -8,6 +8,7 @@ import (
 	"ehmodel/internal/device"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -58,31 +59,21 @@ func BreakdownComparison(ctx context.Context, bench string, periodCycles float64
 		XLabel: "runtime index",
 		YLabel: "fraction of supplied energy",
 	}
-	o := run
-	o.Label = func(i int) string { return "breakdown " + entries[i].name + "/" + bench }
-	all, errs := runner.Map(ctx, len(entries), o, func(i int) (BreakdownRow, error) {
-		en := entries[i]
-		prog, err := w.Build(workload.Options{Seg: en.seg, Scale: 4})
-		if err != nil {
-			return BreakdownRow{}, err
-		}
-		res, _, err := runFixed(ctx, prog, en.make(), periodCycles, run)
-		if err != nil {
-			return BreakdownRow{}, err
-		}
-		bd := res.Breakdown()
-		total := bd.Supply + bd.Harvested
-		row := BreakdownRow{
-			System:   en.name,
-			Progress: bd.Progress / total,
-			Dead:     bd.Dead / total,
-			Backup:   bd.Backup / total,
-			Restore:  bd.Restore / total,
-			Idle:     bd.Idle / total,
-		}
-		row.Residual = 1 - row.Progress - row.Dead - row.Backup - row.Restore - row.Idle
-		return row, nil
-	})
+	plan := sweep.NewPlan("breakdown")
+	for _, en := range entries {
+		en := en
+		plan.Add(fixedCell(
+			"breakdown "+en.name+"/"+bench,
+			periodCycles,
+			func(ctx context.Context) (*asm.Program, device.Strategy, error) {
+				prog, err := w.Build(workload.Options{Seg: en.seg, Scale: 4})
+				if err != nil {
+					return nil, nil, err
+				}
+				return prog, en.make(), nil
+			}))
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 
 	cats := []string{"progress", "dead", "backup", "restore", "idle"}
@@ -95,7 +86,17 @@ func BreakdownComparison(ctx context.Context, bench string, periodCycles float64
 		if failed[i] {
 			continue
 		}
-		row := all[i]
+		bd := all[i].Result.Breakdown()
+		total := bd.Supply + bd.Harvested
+		row := BreakdownRow{
+			System:   entries[i].name,
+			Progress: bd.Progress / total,
+			Dead:     bd.Dead / total,
+			Backup:   bd.Backup / total,
+			Restore:  bd.Restore / total,
+			Idle:     bd.Idle / total,
+		}
+		row.Residual = 1 - row.Progress - row.Dead - row.Backup - row.Restore - row.Idle
 		rows = append(rows, row)
 		for j, v := range []float64{row.Progress, row.Dead, row.Backup, row.Restore, row.Idle} {
 			series[j].Points = append(series[j].Points, Point{X: float64(i), Y: v})

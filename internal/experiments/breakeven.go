@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -22,17 +25,12 @@ type BreakEvenPoint struct {
 // break-even point τ_B,be of Eq. 11 is where backups-per-period cross
 // one — beyond it the device restores more often than it backs up, so
 // restore cost dominates the optimization agenda. The study sweeps τ_B
-// on the simulator, locates the empirical crossover, and compares it
-// against Eq. 11 evaluated from the run's own measurements.
-func BreakEvenStudy() (*Figure, []BreakEvenPoint, float64, error) {
+// on the simulator (one cell per setting, through the memoizing
+// executor), locates the empirical crossover, and compares it against
+// Eq. 11 evaluated from the run's own measurements.
+func BreakEvenStudy(ctx context.Context, run runner.Options) (*Figure, []BreakEvenPoint, float64, error) {
 	pm := energy.MSP430Power()
-	w, _ := workload.Get("counter")
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 120})
-	if err != nil {
-		return nil, nil, 0, err
-	}
 	const periodCycles = 20000
-	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
 
 	fig := &Figure{
 		ID:     "breakeven",
@@ -44,22 +42,32 @@ func BreakEvenStudy() (*Figure, []BreakEvenPoint, float64, error) {
 	rate := Series{Label: "backups per period"}
 	prg := Series{Label: "progress p"}
 
+	tauBs := []uint64{1000, 2000, 4000, 8000, 12000, 16000, 24000, 32000}
+	plan := sweep.NewPlan("breakeven")
+	for _, tauB := range tauBs {
+		tauB := tauB
+		plan.Add(sweep.Cell{
+			Label: fmt.Sprintf("breakeven τ_B=%d cycles", tauB),
+			Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+				w, _ := workload.Get("counter")
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 120})
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				cfg := fixedConfig(prog, pm, periodCycles, 16)
+				return cfg, strategy.NewTimer(tauB, 0.1), nil
+			},
+		})
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
+	if len(errs) > 0 {
+		return nil, nil, 0, errs[0].Err
+	}
+
 	var pts []BreakEvenPoint
 	var tauBE float64
-	for _, tauB := range []uint64{1000, 2000, 4000, 8000, 12000, 16000, 24000, 32000} {
-		capC, vmax, von, voff := device.FixedSupplyConfig(e)
-		d, err := device.New(device.Config{
-			Prog: prog, Power: pm,
-			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-			MaxPeriods: 16, MaxCycles: 1 << 62,
-		}, strategy.NewTimer(tauB, 0.1))
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		res, err := d.Run()
-		if err != nil {
-			return nil, nil, 0, err
-		}
+	for i, tauB := range tauBs {
+		res := all[i].Result
 		periods := len(res.Periods)
 		pt := BreakEvenPoint{
 			TauB:             float64(tauB),
@@ -72,7 +80,7 @@ func BreakEvenStudy() (*Figure, []BreakEvenPoint, float64, error) {
 
 		// evaluate Eq. 11 once, from a mid-sweep run's measurements
 		if tauB == 8000 {
-			params, _ := PredictFromRun(res, d.Cfg(), false)
+			params, _ := PredictFromRun(res, all[i].Cfg, false)
 			tauBE = params.TauBBreakEven()
 		}
 	}

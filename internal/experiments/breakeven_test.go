@@ -1,13 +1,18 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+)
 
 // TestBreakEvenStudy: the empirical one-backup-per-period crossover
 // must straddle Eq. 11's break-even estimate — the paper's "more
 // restore invocations than backup invocations" regime starts where the
 // model says it does.
 func TestBreakEvenStudy(t *testing.T) {
-	fig, pts, tauBE, err := BreakEvenStudy()
+	fig, pts, tauBE, err := BreakEvenStudy(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

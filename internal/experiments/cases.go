@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
@@ -8,7 +9,9 @@ import (
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
 	"ehmodel/internal/mem"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -136,6 +139,8 @@ type CircularConfig struct {
 	BufNs []int
 	// PeriodCycles sizes the supply (default 40000).
 	PeriodCycles float64
+	// Run configures the parallel sweep engine.
+	Run runner.Options
 }
 
 func (c *CircularConfig) setDefaults() {
@@ -162,8 +167,9 @@ type CircularPoint struct {
 // Clank machine with large tracking buffers (isolating
 // idempotency-violation control from buffer-capacity effects), checking
 // that τ_B follows (N−n+1)·τ_store and that progress peaks near the
-// Eq. 15 plan.
-func CaseCircularBuffer(cfg CircularConfig) (*Figure, []CircularPoint, core.CircularBufferPlan, error) {
+// Eq. 15 plan. One cell per buffer size, through the memoizing
+// executor.
+func CaseCircularBuffer(ctx context.Context, cfg CircularConfig) (*Figure, []CircularPoint, core.CircularBufferPlan, error) {
 	cfg.setDefaults()
 	pm := energy.CortexM0Power()
 	e := cfg.PeriodCycles * pm.EnergyPerCycle(energy.ClassALU)
@@ -205,32 +211,42 @@ func CaseCircularBuffer(cfg CircularConfig) (*Figure, []CircularPoint, core.Circ
 	tauPred := Series{Label: "τ_B predicted (N−n+1)·τ_store"}
 	tauMeas := Series{Label: "τ_B measured"}
 	prog := Series{Label: "measured progress"}
-	var pts []CircularPoint
+	splan := sweep.NewPlan("case-circular")
 	for _, bufN := range cfg.BufNs {
-		p, err := workload.CircularBuffer(cfg.ArrayN, bufN, cfg.Iters, asm.FRAM)
-		if err != nil {
-			return nil, nil, plan, err
-		}
-		capC, vmax, von, voff := device.FixedSupplyConfig(e)
-		cl := strategy.NewClank()
-		cl.ReadFirstEntries = 4096 // isolate violation-driven backups
-		cl.WriteFirstEntries = 4096
-		cl.WatchdogCycles = 1 << 40
-		d, err := device.New(device.Config{
-			Prog: p, Power: pm,
-			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-			MaxPeriods: 100000, MaxCycles: 1 << 62,
-		}, cl)
-		if err != nil {
-			return nil, nil, plan, err
-		}
-		res, err := d.Run()
-		if err != nil {
-			return nil, nil, plan, err
-		}
-		if !res.Completed {
-			return nil, nil, plan, fmt.Errorf("experiments: circular N=%d did not complete", bufN)
-		}
+		bufN := bufN
+		splan.Add(sweep.Cell{
+			Label: fmt.Sprintf("circular N=%d", bufN),
+			Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+				p, err := workload.CircularBuffer(cfg.ArrayN, bufN, cfg.Iters, asm.FRAM)
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				capC, vmax, von, voff := device.FixedSupplyConfig(e)
+				cl := strategy.NewClank()
+				cl.ReadFirstEntries = 4096 // isolate violation-driven backups
+				cl.WriteFirstEntries = 4096
+				cl.WatchdogCycles = 1 << 40
+				return device.Config{
+					Prog: p, Power: pm,
+					CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+					MaxPeriods: 100000, MaxCycles: 1 << 62,
+				}, cl, nil
+			},
+			Verify: func(res *device.Result) error {
+				if !res.Completed {
+					return fmt.Errorf("experiments: circular N=%d did not complete", bufN)
+				}
+				return nil
+			},
+		})
+	}
+	all, errs := sweep.RunPlan(ctx, splan, cfg.Run)
+	if len(errs) > 0 {
+		return nil, nil, plan, errs[0].Err
+	}
+	var pts []CircularPoint
+	for i, bufN := range cfg.BufNs {
+		res := all[i].Result
 		pt := CircularPoint{
 			BufN:         bufN,
 			PredictedTau: core.StoresBetweenViolations(bufN, cfg.ArrayN, 0) * workload.CircularBufferStoreCycles(),

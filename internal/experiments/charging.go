@@ -11,6 +11,7 @@ import (
 	"ehmodel/internal/energy"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
 )
@@ -31,11 +32,6 @@ type ChargingPoint struct {
 // measurement with Eq. 8 evaluated at the measured ε_C.
 func ChargingStudy(ctx context.Context, run runner.Options) (*Figure, []ChargingPoint, error) {
 	pm := energy.MSP430Power()
-	w, _ := workload.Get("counter")
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 120})
-	if err != nil {
-		return nil, nil, err
-	}
 	const (
 		periodCycles = 20000
 		tauB         = 2000
@@ -51,89 +47,59 @@ func ChargingStudy(ctx context.Context, run runner.Options) (*Figure, []Charging
 	}
 	// resistance sweep: ∞ (no harvester) down to near the sustain point
 	rs := []float64{0, 400e3, 150e3, 80e3, 50e3, 35e3}
-	o := run
-	o.Label = func(i int) string { return fmt.Sprintf("charging r=%g Ω", rs[i]) }
-	all, errs := runner.Map(ctx, len(rs), o, func(i int) (ChargingPoint, error) {
-		r := rs[i]
-		cfg := device.Config{
-			Prog: prog, Power: pm,
-			MaxPeriods: 12, MaxCycles: 1 << 62,
-			RunTimeout: run.RunTimeout,
-			Interrupt:  runner.Interrupt(ctx),
-		}
-		cfg.CapC, cfg.CapVMax, cfg.VOn, cfg.VOff = device.FixedSupplyConfig(e)
-		if r > 0 {
-			src := trace.Constant(3.0, 1, 0.01)
-			h, err := energy.NewHarvester(src, r, 0.7)
-			if err != nil {
-				return ChargingPoint{}, err
-			}
-			cfg.Harvester = h
-		}
-		d, err := device.New(cfg, strategy.NewTimer(tauB, alphaB))
-		if err != nil {
-			return ChargingPoint{}, err
-		}
-		res, err := d.Run()
-		if err != nil {
-			return ChargingPoint{}, err
-		}
-
-		// aggregate over failure-terminated periods only: full budgets
-		var supply, progressE, harvested float64
-		var activeCycles uint64
-		for i := range res.Periods {
-			if res.Completed && i == len(res.Periods)-1 {
-				continue
-			}
-			p := &res.Periods[i]
-			supply += p.SupplyE
-			progressE += p.ProgressE
-			harvested += p.HarvestedE
-			activeCycles += p.ProgressCycles + p.DeadCycles + p.BackupCycles + p.RestoreCycles + p.IdleCycles
-		}
-		if supply == 0 || activeCycles == 0 {
-			return ChargingPoint{}, fmt.Errorf("experiments: charging run too short (r=%g)", r)
-		}
-		epsC := harvested / float64(activeCycles)
-		eps := res.MeasuredEpsilon()
-
-		params := core.Params{
-			E:        supply / float64(len(res.Periods)-boolInt(res.Completed)),
-			Epsilon:  eps,
-			EpsilonC: epsC,
-			TauB:     tauB,
-			SigmaB:   d.Cfg().SigmaB,
-			OmegaB:   pm.EnergyPerCycle(energy.ClassMem) / d.Cfg().SigmaB,
-			AB:       float64(cpu.ArchStateBytes),
-			AlphaB:   alphaB,
-			SigmaR:   d.Cfg().SigmaR,
-			OmegaR:   pm.EnergyPerCycle(energy.ClassMem) / d.Cfg().SigmaR,
-			AR:       float64(cpu.ArchStateBytes) + alphaB*tauB,
-		}
-		if err := params.Validate(); err != nil {
-			return ChargingPoint{}, fmt.Errorf("experiments: charging params (r=%g): %w", r, err)
-		}
-		return ChargingPoint{
-			EpsilonCOverEps: epsC / eps,
-			Measured:        progressE / supply,
-			Predicted:       params.Progress(),
-		}, nil
-	})
+	plan := sweep.NewPlan("charging")
+	for _, r := range rs {
+		r := r
+		plan.Add(sweep.Cell{
+			Label: fmt.Sprintf("charging r=%g Ω", r),
+			Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+				w, _ := workload.Get("counter")
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 120})
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				cfg := device.Config{
+					Prog: prog, Power: pm,
+					MaxPeriods: 12, MaxCycles: 1 << 62,
+				}
+				cfg.CapC, cfg.CapVMax, cfg.VOn, cfg.VOff = device.FixedSupplyConfig(e)
+				if r > 0 {
+					src := trace.Constant(3.0, 1, 0.01)
+					h, err := energy.NewHarvester(src, r, 0.7)
+					if err != nil {
+						return device.Config{}, nil, err
+					}
+					cfg.Harvester = h
+				}
+				return cfg, strategy.NewTimer(tauB, alphaB), nil
+			},
+		})
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 
 	meas := Series{Label: "measured"}
 	model := Series{Label: "EH model"}
 	var pts []ChargingPoint
-	for i := range rs {
+	var evalErrs runner.Errors
+	for i, r := range rs {
 		if failed[i] {
 			continue
 		}
-		pt := all[i]
+		pt, err := chargingEval(pm, r, tauB, alphaB, &all[i])
+		if err != nil {
+			evalErrs = append(evalErrs, &runner.RunError{
+				Index: i,
+				Label: fmt.Sprintf("charging r=%g Ω", r),
+				Err:   err,
+			})
+			continue
+		}
 		pts = append(pts, pt)
 		meas.Points = append(meas.Points, Point{X: pt.EpsilonCOverEps, Y: pt.Measured})
 		model.Points = append(model.Points, Point{X: pt.EpsilonCOverEps, Y: pt.Predicted})
 	}
+	errs = mergeEvalErrors(errs, evalErrs)
 	fig.Series = append(fig.Series, meas, model)
 	if len(pts) > 0 {
 		last := pts[len(pts)-1]
@@ -145,6 +111,51 @@ func ChargingStudy(ctx context.Context, run runner.Options) (*Figure, []Charging
 		return fig, pts, errs
 	}
 	return fig, pts, nil
+}
+
+// chargingEval aggregates one run's failure-terminated periods (full
+// budgets only) and evaluates Eq. 8 at the measured ε_C.
+func chargingEval(pm energy.PowerModel, r, tauB, alphaB float64, cr *sweep.CellResult) (ChargingPoint, error) {
+	res := cr.Result
+	var supply, progressE, harvested float64
+	var activeCycles uint64
+	for i := range res.Periods {
+		if res.Completed && i == len(res.Periods)-1 {
+			continue
+		}
+		p := &res.Periods[i]
+		supply += p.SupplyE
+		progressE += p.ProgressE
+		harvested += p.HarvestedE
+		activeCycles += p.ProgressCycles + p.DeadCycles + p.BackupCycles + p.RestoreCycles + p.IdleCycles
+	}
+	if supply == 0 || activeCycles == 0 {
+		return ChargingPoint{}, fmt.Errorf("experiments: charging run too short (r=%g)", r)
+	}
+	epsC := harvested / float64(activeCycles)
+	eps := res.MeasuredEpsilon()
+
+	params := core.Params{
+		E:        supply / float64(len(res.Periods)-boolInt(res.Completed)),
+		Epsilon:  eps,
+		EpsilonC: epsC,
+		TauB:     tauB,
+		SigmaB:   cr.Cfg.SigmaB,
+		OmegaB:   pm.EnergyPerCycle(energy.ClassMem) / cr.Cfg.SigmaB,
+		AB:       float64(cpu.ArchStateBytes),
+		AlphaB:   alphaB,
+		SigmaR:   cr.Cfg.SigmaR,
+		OmegaR:   pm.EnergyPerCycle(energy.ClassMem) / cr.Cfg.SigmaR,
+		AR:       float64(cpu.ArchStateBytes) + alphaB*tauB,
+	}
+	if err := params.Validate(); err != nil {
+		return ChargingPoint{}, fmt.Errorf("experiments: charging params (r=%g): %w", r, err)
+	}
+	return ChargingPoint{
+		EpsilonCOverEps: epsC / eps,
+		Measured:        progressE / supply,
+		Predicted:       params.Progress(),
+	}, nil
 }
 
 func boolInt(b bool) int {

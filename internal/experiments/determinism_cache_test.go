@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+	"ehmodel/internal/sweep"
+)
+
+// TestFigureBytesIdenticalAcrossCacheTemps extends the determinism
+// invariant to the memoization layer: a figure's CSV must be
+// byte-identical with caching off, on a cold store, on a warm store,
+// and at any worker count — the store may only change how fast an
+// answer arrives, never the answer.
+func TestFigureBytesIdenticalAcrossCacheTemps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep is slow")
+	}
+	prev := sweep.Default()
+	defer sweep.SetDefault(prev)
+
+	fig5CSV := func(workers int) []byte {
+		t.Helper()
+		cfg := QuickFig5Config()
+		cfg.Run = runner.Options{Workers: workers}
+		fig, _, err := Fig5(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Reference: caching off, serial.
+	sweep.SetDefault(sweep.NewExecutor(nil))
+	ref := fig5CSV(1)
+
+	// One executor across three runs: cold fill, then two warm replays
+	// at different worker counts.
+	exec := sweep.NewExecutor(sweep.NewMemStore(0))
+	sweep.SetDefault(exec)
+	cold := fig5CSV(4)
+	st := exec.Stats()
+	if st.Misses == 0 {
+		t.Fatal("cold run hit a fresh store")
+	}
+	if st.Bypass != 0 {
+		t.Fatalf("fig5 cells should all be hashable: %+v", st)
+	}
+	warm1 := fig5CSV(1)
+	warm8 := fig5CSV(8)
+	st = exec.Stats()
+	if st.Hits == 0 {
+		t.Fatal("warm runs never hit the store")
+	}
+
+	for name, got := range map[string][]byte{
+		"cache=mem cold workers=4": cold,
+		"cache=mem warm workers=1": warm1,
+		"cache=mem warm workers=8": warm8,
+	} {
+		if !bytes.Equal(ref, got) {
+			t.Errorf("%s: CSV differs from cache=off:\n%s\n---\n%s", name, ref, got)
+		}
+	}
+}
+
+// TestGenerateFiguresDedupesAcrossFigures: one `-fig all`-style batch
+// funnels every driver through the shared default executor, so cells
+// repeated across figures (and across runs) are answered from the
+// store — the counters prove the dedup actually happened.
+func TestGenerateFiguresDedupesAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep is slow")
+	}
+	prev := sweep.Default()
+	defer sweep.SetDefault(prev)
+	exec := sweep.NewExecutor(sweep.NewMemStore(0))
+	sweep.SetDefault(exec)
+
+	gen := func() {
+		t.Helper()
+		figs, failures := GenerateFigures(context.Background(), "5", true, runner.Options{})
+		if len(failures) != 0 {
+			t.Fatal(failures[0].Err)
+		}
+		if len(figs) != 1 {
+			t.Fatalf("%d figures", len(figs))
+		}
+	}
+	gen()
+	st := exec.Stats()
+	simulated := st.Misses
+	if simulated == 0 {
+		t.Fatal("no cells simulated")
+	}
+	gen()
+	st = exec.Stats()
+	if st.Misses != simulated {
+		t.Fatalf("second identical batch re-simulated: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatal("second batch reported no hits")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -30,10 +31,6 @@ func CapacitorSweep(ctx context.Context, bench string, periodCycles []float64, r
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", bench)
 	}
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
-	if err != nil {
-		return nil, err
-	}
 	fig := &Figure{
 		ID:     "exploration-capacitor",
 		Title:  fmt.Sprintf("Energy-buffer sizing for %s under DINO", bench),
@@ -43,26 +40,29 @@ func CapacitorSweep(ctx context.Context, bench string, periodCycles []float64, r
 	}
 	meas := Series{Label: "measured"}
 	model := Series{Label: "EH model"}
-	type capPoint struct{ measured, predicted float64 }
-	o := run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("capacitor %s E=%g cycles", bench, periodCycles[i])
+	plan := sweep.NewPlan("exploration-capacitor")
+	for _, pc := range periodCycles {
+		plan.Add(fixedCell(
+			fmt.Sprintf("capacitor %s E=%g cycles", bench, pc),
+			pc,
+			func(ctx context.Context) (*asm.Program, device.Strategy, error) {
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
+				if err != nil {
+					return nil, nil, err
+				}
+				return prog, strategy.NewDINO(), nil
+			}))
 	}
-	all, errs := runner.Map(ctx, len(periodCycles), o, func(i int) (capPoint, error) {
-		res, dcfg, err := runFixed(ctx, prog, strategy.NewDINO(), periodCycles[i], run)
-		if err != nil {
-			return capPoint{}, err
-		}
-		_, pred := PredictFromRun(res, dcfg, false)
-		return capPoint{measured: res.MeasuredProgress(), predicted: pred}, nil
-	})
+	all, errs := sweep.RunPlan(ctx, plan, run)
 	failed := errs.FailedSet()
 	for i, pc := range periodCycles {
 		if failed[i] {
 			continue
 		}
-		meas.Points = append(meas.Points, Point{X: pc, Y: all[i].measured})
-		model.Points = append(model.Points, Point{X: pc, Y: all[i].predicted})
+		res := all[i].Result
+		_, pred := PredictFromRun(res, all[i].Cfg, false)
+		meas.Points = append(meas.Points, Point{X: pc, Y: res.MeasuredProgress()})
+		model.Points = append(model.Points, Point{X: pc, Y: pred})
 	}
 	fig.Series = append(fig.Series, meas, model)
 	if n := len(meas.Points); n > 1 {
@@ -92,10 +92,6 @@ func NVMComparison(ctx context.Context, bench string, tauB uint64, run runner.Op
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: unknown workload %q", bench)
 	}
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
-	if err != nil {
-		return nil, nil, err
-	}
 	fig := &Figure{
 		ID:     "exploration-nvm",
 		Title:  fmt.Sprintf("Checkpoint NVM technology comparison (%s, timer τ_B=%d)", bench, tauB),
@@ -106,31 +102,42 @@ func NVMComparison(ctx context.Context, bench string, tauB uint64, run runner.Op
 	model := Series{Label: "EH model"}
 	pm := energy.MSP430Power()
 	nvms := energy.NVMProfiles()
-	o := run
-	o.Label = func(i int) string { return "nvm " + nvms[i].Name + "/" + bench }
-	all, errs := runner.Map(ctx, len(nvms), o, func(i int) (NVMComparisonPoint, error) {
+	plan := sweep.NewPlan("exploration-nvm")
+	for i := range nvms {
 		nvm := nvms[i]
-		e := 30000 * pm.EnergyPerCycle(energy.ClassALU)
-		capC, vmax, von, voff := device.FixedSupplyConfig(e)
-		d, err := device.New(device.Config{
-			Prog: prog, Power: pm,
-			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-			SigmaB: nvm.SigmaB, SigmaR: nvm.SigmaR,
-			OmegaBExtra: nvm.OmegaBExtra, OmegaRExtra: nvm.OmegaRExtra,
-			MaxPeriods: 100000, MaxCycles: 1 << 62,
-			RunTimeout: run.RunTimeout,
-			Interrupt:  runner.Interrupt(ctx),
-		}, strategy.NewTimer(tauB, 0.1))
-		if err != nil {
-			return NVMComparisonPoint{}, err
+		plan.Add(sweep.Cell{
+			Label: "nvm " + nvm.Name + "/" + bench,
+			Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 8})
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				e := 30000 * pm.EnergyPerCycle(energy.ClassALU)
+				capC, vmax, von, voff := device.FixedSupplyConfig(e)
+				return device.Config{
+					Prog: prog, Power: pm,
+					CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+					SigmaB: nvm.SigmaB, SigmaR: nvm.SigmaR,
+					OmegaBExtra: nvm.OmegaBExtra, OmegaRExtra: nvm.OmegaRExtra,
+					MaxPeriods: 100000, MaxCycles: 1 << 62,
+				}, strategy.NewTimer(tauB, 0.1), nil
+			},
+			Verify: func(res *device.Result) error {
+				if !res.Completed {
+					return fmt.Errorf("experiments: %s on %s incomplete", bench, nvm.Name)
+				}
+				return nil
+			},
+		})
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
+	failed := errs.FailedSet()
+	var pts []NVMComparisonPoint
+	for i := range nvms {
+		if failed[i] {
+			continue
 		}
-		res, err := d.Run()
-		if err != nil {
-			return NVMComparisonPoint{}, err
-		}
-		if !res.Completed {
-			return NVMComparisonPoint{}, fmt.Errorf("experiments: %s on %s incomplete", bench, nvm.Name)
-		}
+		nvm, res := nvms[i], all[i].Result
 		payload := stats.Mean(res.PayloadSamples())
 		params := core.Params{
 			E:       res.MeanSupply(),
@@ -143,19 +150,11 @@ func NVMComparison(ctx context.Context, bench string, tauB uint64, run runner.Op
 			OmegaR:  pm.EnergyPerCycle(energy.ClassMem)/nvm.SigmaR + nvm.OmegaRExtra,
 			AR:      payload,
 		}
-		return NVMComparisonPoint{
+		pt := NVMComparisonPoint{
 			NVM:       nvm.Name,
 			Measured:  res.MeasuredProgress(),
 			Predicted: params.Progress(),
-		}, nil
-	})
-	failed := errs.FailedSet()
-	var pts []NVMComparisonPoint
-	for i := range nvms {
-		if failed[i] {
-			continue
 		}
-		pt := all[i]
 		pts = append(pts, pt)
 		meas.Points = append(meas.Points, Point{X: float64(i), Y: pt.Measured})
 		model.Points = append(model.Points, Point{X: float64(i), Y: pt.Predicted})

@@ -11,6 +11,7 @@ import (
 	"ehmodel/internal/energy"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -70,12 +71,14 @@ type Fig5Point struct {
 	Within     bool
 }
 
-// Fig5 runs the sweep on the device simulator via the parallel sweep
-// engine and evaluates the model bounds for each point. Failed points
-// (deadline, panic, cancellation) are dropped from the figure with a
-// note and reported through the returned error; the surviving points
-// still populate the figure, merged in input order so the output is
-// byte-identical at any worker count.
+// Fig5 runs the sweep on the device simulator — a plan of one group per
+// active-period duration, one cell per τ_B, executed through the
+// memoizing sweep layer — and evaluates the model bounds for each point.
+// Failed points (deadline, panic, cancellation, invalid model
+// parameters) are dropped from the figure with a note and reported
+// through the returned error; the surviving points still populate the
+// figure, merged in input order so the output is byte-identical at any
+// worker count and any cache temperature.
 func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 	cfg.setDefaults()
 	pm := energy.MSP430Power()
@@ -85,25 +88,26 @@ func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 		XLabel: "τ_B (cycles)",
 		YLabel: "progress p",
 	}
-	type job struct{ dur, eSupply, tauB float64 }
+	type job struct{ dur, tauB float64 }
 	var jobs []job
+	plan := sweep.NewPlan("fig5")
 	for _, dur := range cfg.DurationsS {
 		eSupply := dur * pm.PowerW[energy.ClassALU] // period energy at ~1.05 mW
+		g := plan.Group(fmt.Sprintf("duration=%gs", dur))
 		for _, ms := range cfg.TauBsMS {
-			jobs = append(jobs, job{dur: dur, eSupply: eSupply, tauB: ms * 1e-3 * pm.FreqHz})
+			j := job{dur: dur, tauB: ms * 1e-3 * pm.FreqHz}
+			jobs = append(jobs, j)
+			g.Add(sweep.Cell{
+				Label: fmt.Sprintf("fig5 duration=%gs τ_B=%g cycles", j.dur, j.tauB),
+				Build: fig5Build(cfg, pm, eSupply, j.tauB),
+			})
 		}
 	}
-	o := cfg.Run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("fig5 duration=%gs τ_B=%g cycles", jobs[i].dur, jobs[i].tauB)
-	}
-	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (Fig5Point, error) {
-		j := jobs[i]
-		return fig5Point(ctx, cfg, pm, j.eSupply, j.dur, j.tauB)
-	})
+	all, errs := sweep.RunPlan(ctx, plan, cfg.Run)
 	failed := errs.FailedSet()
 
 	var pts []Fig5Point
+	var evalErrs runner.Errors
 	within, idx := 0, 0
 	for _, dur := range cfg.DurationsS {
 		meas := Series{Label: fmt.Sprintf("measured %gs", dur)}
@@ -115,7 +119,15 @@ func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 			if failed[i] {
 				continue
 			}
-			pt := all[i]
+			pt, err := fig5Eval(cfg, pm, jobs[i].dur, jobs[i].tauB, &all[i])
+			if err != nil {
+				evalErrs = append(evalErrs, &runner.RunError{
+					Index: i,
+					Label: fmt.Sprintf("fig5 duration=%gs τ_B=%g cycles", jobs[i].dur, jobs[i].tauB),
+					Err:   err,
+				})
+				continue
+			}
 			pts = append(pts, pt)
 			if pt.Within {
 				within++
@@ -126,6 +138,7 @@ func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 		}
 		fig.Series = append(fig.Series, meas, lo, hi)
 	}
+	errs = mergeEvalErrors(errs, evalErrs)
 	fig.AddNote("%d/%d measured points fall within the EH-model bounds", within, len(pts))
 	if len(errs) > 0 {
 		fig.AddNote("%s", errs.Summary(len(jobs)))
@@ -134,48 +147,46 @@ func Fig5(ctx context.Context, cfg Fig5Config) (*Figure, []Fig5Point, error) {
 	return fig, pts, nil
 }
 
-func fig5Point(ctx context.Context, cfg Fig5Config, pm energy.PowerModel, eSupply, dur, tauB float64) (Fig5Point, error) {
-	// Size the counter workload so it cannot finish before the
-	// requested number of periods elapses.
-	totalCycles := float64(cfg.PeriodsPerRun+1) * eSupply / pm.EnergyPerCycle(energy.ClassALU)
-	scale := int(totalCycles/20000) + 1
-	w, _ := workload.Get("counter")
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: scale})
-	if err != nil {
-		return Fig5Point{}, err
+// fig5Build assembles one configuration's cell content: a counter
+// workload sized so it cannot finish before the requested number of
+// periods elapses, on a fixed supply of eSupply joules per period.
+func fig5Build(cfg Fig5Config, pm energy.PowerModel, eSupply, tauB float64) func(context.Context) (device.Config, device.Strategy, error) {
+	return func(ctx context.Context) (device.Config, device.Strategy, error) {
+		totalCycles := float64(cfg.PeriodsPerRun+1) * eSupply / pm.EnergyPerCycle(energy.ClassALU)
+		scale := int(totalCycles/20000) + 1
+		w, _ := workload.Get("counter")
+		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: scale})
+		if err != nil {
+			return device.Config{}, nil, err
+		}
+		capC, vmax, von, voff := device.FixedSupplyConfig(eSupply)
+		return device.Config{
+			Prog:       prog,
+			Power:      pm,
+			CapC:       capC,
+			CapVMax:    vmax,
+			VOn:        von,
+			VOff:       voff,
+			MaxPeriods: cfg.PeriodsPerRun,
+			MaxCycles:  1 << 62,
+		}, strategy.NewTimer(uint64(tauB), cfg.AlphaB), nil
 	}
-	capC, vmax, von, voff := device.FixedSupplyConfig(eSupply)
-	d, err := device.New(device.Config{
-		Prog:       prog,
-		Power:      pm,
-		CapC:       capC,
-		CapVMax:    vmax,
-		VOn:        von,
-		VOff:       voff,
-		MaxPeriods: cfg.PeriodsPerRun,
-		MaxCycles:  1 << 62,
-		RunTimeout: cfg.Run.RunTimeout,
-		Interrupt:  runner.Interrupt(ctx),
-	}, strategy.NewTimer(uint64(tauB), cfg.AlphaB))
-	if err != nil {
-		return Fig5Point{}, err
-	}
-	res, err := d.Run()
-	if err != nil {
-		return Fig5Point{}, err
-	}
+}
 
+// fig5Eval derives the EH-model bounds for one measured run.
+func fig5Eval(cfg Fig5Config, pm energy.PowerModel, dur, tauB float64, cr *sweep.CellResult) (Fig5Point, error) {
+	res := cr.Result
 	params := core.Params{
 		E:        res.MeanSupply(),
 		Epsilon:  res.MeasuredEpsilon(),
 		EpsilonC: 0,
 		TauB:     tauB,
-		SigmaB:   d.Cfg().SigmaB,
-		OmegaB:   pm.EnergyPerCycle(energy.ClassMem) / d.Cfg().SigmaB,
+		SigmaB:   cr.Cfg.SigmaB,
+		OmegaB:   pm.EnergyPerCycle(energy.ClassMem) / cr.Cfg.SigmaB,
 		AB:       float64(cpu.ArchStateBytes),
 		AlphaB:   cfg.AlphaB,
-		SigmaR:   d.Cfg().SigmaR,
-		OmegaR:   pm.EnergyPerCycle(energy.ClassMem) / d.Cfg().SigmaR,
+		SigmaR:   cr.Cfg.SigmaR,
+		OmegaR:   pm.EnergyPerCycle(energy.ClassMem) / cr.Cfg.SigmaR,
 		AR:       float64(cpu.ArchStateBytes) + cfg.AlphaB*tauB,
 		AlphaR:   0,
 	}

@@ -12,6 +12,7 @@ import (
 	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -62,39 +63,6 @@ func fig6Systems() []struct {
 	}
 }
 
-// runFixed executes a workload program under a strategy with a fixed
-// per-period supply, requiring completion.
-func runFixed(ctx context.Context, prog *asm.Program, s device.Strategy, periodCycles float64, run runner.Options) (*device.Result, device.Config, error) {
-	pm := energy.MSP430Power()
-	e := periodCycles * pm.EnergyPerCycle(energy.ClassALU)
-	capC, vmax, von, voff := device.FixedSupplyConfig(e)
-	cfg := device.Config{
-		Prog:       prog,
-		Power:      pm,
-		CapC:       capC,
-		CapVMax:    vmax,
-		VOn:        von,
-		VOff:       voff,
-		MaxPeriods: 100000,
-		MaxCycles:  1 << 62,
-		RunTimeout: run.RunTimeout,
-		Interrupt:  runner.Interrupt(ctx),
-	}
-	d, err := device.New(cfg, s)
-	if err != nil {
-		return nil, cfg, err
-	}
-	res, err := d.Run()
-	if err != nil {
-		return nil, d.Cfg(), err
-	}
-	if !res.Completed {
-		return nil, d.Cfg(), fmt.Errorf("experiments: %s/%s did not complete (%d periods)",
-			s.Name(), prog.Name, len(res.Periods))
-	}
-	return res, d.Cfg(), nil
-}
-
 // PredictFromRun builds EH-model parameters from a measured run and
 // returns the model's progress prediction — the workflow behind the
 // paper's second intro question ("can a programmer estimate how well
@@ -131,9 +99,9 @@ func PredictFromRun(res *device.Result, cfg device.Config, single bool) (core.Pa
 }
 
 // Fig6 measures forward progress for Hibernus, Mementos and DINO across
-// the Table II benchmarks and compares against the EH model's
-// prediction, reporting per-system geometric-mean error as the paper
-// does.
+// the Table II benchmarks — a plan of one group per system, one cell
+// per benchmark — and compares against the EH model's prediction,
+// reporting per-system geometric-mean error as the paper does.
 func Fig6(ctx context.Context, cfg Fig6Config) (*Figure, []Fig6Point, error) {
 	cfg.setDefaults()
 	fig := &Figure{
@@ -146,35 +114,26 @@ func Fig6(ctx context.Context, cfg Fig6Config) (*Figure, []Fig6Point, error) {
 	benches := workload.TableII()
 	type job struct{ sys, bench int }
 	var jobs []job
+	plan := sweep.NewPlan("fig6")
 	for si := range systems {
+		sys := systems[si]
+		g := plan.Group(sys.name)
 		for bi := range benches {
+			w := benches[bi]
 			jobs = append(jobs, job{sys: si, bench: bi})
+			g.Add(fixedCell(
+				fmt.Sprintf("fig6 %s/%s", sys.name, w.Name),
+				cfg.PeriodCycles,
+				func(ctx context.Context) (*asm.Program, device.Strategy, error) {
+					prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
+					if err != nil {
+						return nil, nil, err
+					}
+					return prog, sys.make(), nil
+				}))
 		}
 	}
-	o := cfg.Run
-	o.Label = func(i int) string {
-		return fmt.Sprintf("fig6 %s/%s", systems[jobs[i].sys].name, benches[jobs[i].bench].Name)
-	}
-	all, errs := runner.Map(ctx, len(jobs), o, func(i int) (Fig6Point, error) {
-		sys, w := systems[jobs[i].sys], benches[jobs[i].bench]
-		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
-		if err != nil {
-			return Fig6Point{}, err
-		}
-		res, dcfg, err := runFixed(ctx, prog, sys.make(), cfg.PeriodCycles, cfg.Run)
-		if err != nil {
-			return Fig6Point{}, err
-		}
-		_, pred := PredictFromRun(res, dcfg, sys.single)
-		meas := res.MeasuredProgress()
-		return Fig6Point{
-			Bench:     w.Name,
-			System:    sys.name,
-			Measured:  meas,
-			Predicted: pred,
-			RelErr:    stats.RelErr(pred, meas),
-		}, nil
-	})
+	all, errs := sweep.RunPlan(ctx, plan, cfg.Run)
 	failed := errs.FailedSet()
 
 	var pts []Fig6Point
@@ -187,7 +146,17 @@ func Fig6(ctx context.Context, cfg Fig6Config) (*Figure, []Fig6Point, error) {
 		if failed[i] {
 			continue
 		}
-		pt := all[i]
+		sys, w := systems[j.sys], benches[j.bench]
+		res := all[i].Result
+		_, pred := PredictFromRun(res, all[i].Cfg, sys.single)
+		meas := res.MeasuredProgress()
+		pt := Fig6Point{
+			Bench:     w.Name,
+			System:    sys.name,
+			Measured:  meas,
+			Predicted: pred,
+			RelErr:    stats.RelErr(pred, meas),
+		}
 		pts = append(pts, pt)
 		perSystemErr[pt.System] = append(perSystemErr[pt.System], pt.RelErr)
 		series[j.sys].Points = append(series[j.sys].Points, Point{X: pt.Measured, Y: pt.Predicted})
@@ -233,33 +202,21 @@ func Fig7(ctx context.Context, cfg Fig6Config) (*Figure, []Fig7Point, error) {
 		YLabel: "measured p",
 	}
 	benches := workload.TableII()
-	o := cfg.Run
-	o.Label = func(i int) string { return "fig7 dino/" + benches[i].Name }
-	all, errs := runner.Map(ctx, len(benches), o, func(i int) (Fig7Point, error) {
-		w := benches[i]
-		prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
-		if err != nil {
-			return Fig7Point{}, err
-		}
-		res, dcfg, err := runFixed(ctx, prog, strategy.NewDINO(), cfg.PeriodCycles, cfg.Run)
-		if err != nil {
-			return Fig7Point{}, err
-		}
-		params, _ := PredictFromRun(res, dcfg, false)
-		opt := params.TauBOpt()
-		tauB := params.TauB
-		sim := tauB / opt
-		if sim > 1 {
-			sim = 1 / sim
-		}
-		return Fig7Point{
-			Bench:      w.Name,
-			Measured:   res.MeasuredProgress(),
-			TauB:       tauB,
-			TauBOpt:    opt,
-			Similarity: sim,
-		}, nil
-	})
+	plan := sweep.NewPlan("fig7")
+	for bi := range benches {
+		w := benches[bi]
+		plan.Add(fixedCell(
+			"fig7 dino/"+w.Name,
+			cfg.PeriodCycles,
+			func(ctx context.Context) (*asm.Program, device.Strategy, error) {
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: cfg.Scale})
+				if err != nil {
+					return nil, nil, err
+				}
+				return prog, strategy.NewDINO(), nil
+			}))
+	}
+	all, errs := sweep.RunPlan(ctx, plan, cfg.Run)
 	failed := errs.FailedSet()
 
 	var pts []Fig7Point
@@ -268,7 +225,21 @@ func Fig7(ctx context.Context, cfg Fig6Config) (*Figure, []Fig7Point, error) {
 		if failed[i] {
 			continue
 		}
-		pt := all[i]
+		res := all[i].Result
+		params, _ := PredictFromRun(res, all[i].Cfg, false)
+		opt := params.TauBOpt()
+		tauB := params.TauB
+		sim := tauB / opt
+		if sim > 1 {
+			sim = 1 / sim
+		}
+		pt := Fig7Point{
+			Bench:      benches[i].Name,
+			Measured:   res.MeasuredProgress(),
+			TauB:       tauB,
+			TauBOpt:    opt,
+			Similarity: sim,
+		}
 		pts = append(pts, pt)
 		s.Points = append(s.Points, Point{X: pt.Similarity, Y: pt.Measured})
 	}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"ehmodel/internal/runner"
+)
+
+// The figure registry is the one catalog of everything this repo can
+// regenerate — each paper figure, table and case study keyed by the ID
+// the ehfigs CLI and the ehserve service both accept. Centralizing it
+// here means a figure added to the catalog is immediately reachable
+// from both front ends and from tests.
+
+// Failure records one figure that could not be (fully) generated.
+type Failure struct {
+	ID  string
+	Err error
+}
+
+// FigureIDs returns every identifier GenerateFigures accepts besides
+// "all", in catalog order.
+func FigureIDs() []string {
+	return []string{
+		"2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+		"table2", "storemajor", "storemajor-device", "circular", "bitprecision",
+		"clank-buffers", "clank-watchdog", "hibernus-margin", "mementos-gap",
+		"variability", "capacitor", "nvm", "breakdown", "breakeven",
+		"charging", "tail",
+	}
+}
+
+// KnownFigureID reports whether id names a catalog entry ("all" counts).
+func KnownFigureID(id string) bool {
+	if id == "all" {
+		return true
+	}
+	for _, k := range FigureIDs() {
+		if k == id {
+			return true
+		}
+	}
+	return false
+}
+
+// GenerateFigures builds the requested figures ("all" or a single ID).
+// Figures that fail are recorded rather than aborting the batch; a
+// driver that returns a partial figure alongside its error contributes
+// both — the survivors render, the error lands in the failure report.
+// Simulation sweeps execute through the process-default sweep executor,
+// so a front end that installed a memoizing store serves repeats from
+// cache.
+func GenerateFigures(ctx context.Context, which string, quick bool, run runner.Options) ([]*Figure, []Failure) {
+	want := func(id string) bool { return which == "all" || which == id }
+	var figs []*Figure
+	var failures []Failure
+	add := func(f *Figure) { figs = append(figs, f) }
+	// collect appends the figure (possibly partial) and the error —
+	// whichever the generator produced.
+	collect := func(id string, f *Figure, err error) {
+		if f != nil {
+			figs = append(figs, f)
+		}
+		if err != nil {
+			failures = append(failures, Failure{ID: id, Err: err})
+		}
+	}
+
+	if want("2") {
+		add(Fig2())
+	}
+	if want("3") {
+		add(Fig3())
+	}
+	if want("4") {
+		add(Fig4())
+	}
+	if want("5") {
+		cfg := Fig5Config{}
+		if quick {
+			cfg = QuickFig5Config()
+		}
+		cfg.Run = run
+		f, _, err := Fig5(ctx, cfg)
+		collect("5", f, err)
+	}
+	if want("6") {
+		f, _, err := Fig6(ctx, Fig6Config{Run: run})
+		collect("6", f, err)
+	}
+	if want("7") {
+		f, _, err := Fig7(ctx, Fig6Config{Run: run})
+		collect("7", f, err)
+	}
+	if want("8") || want("9") {
+		cfg := CharacterizationConfig{}
+		if quick {
+			cfg = QuickCharacterizationConfig()
+		}
+		cfg.Run = run
+		f8, f9, _, err := Fig8And9(ctx, cfg)
+		if !want("8") {
+			f8 = nil
+		}
+		if !want("9") {
+			f9 = nil
+		}
+		if f8 != nil {
+			add(f8)
+		}
+		if f9 != nil {
+			add(f9)
+		}
+		if err != nil {
+			failures = append(failures, Failure{ID: "8/9", Err: err})
+		}
+	}
+	if want("10") {
+		cfg := CharacterizationConfig{}
+		if quick {
+			cfg = QuickCharacterizationConfig()
+		}
+		cfg.Run = run
+		f, _, err := Fig10(ctx, cfg)
+		collect("10", f, err)
+	}
+	if want("11") {
+		add(Fig11(Fig11Config{Base: DefaultFig11Base()}))
+	}
+	if want("table2") {
+		rows, err := Table2(nil)
+		if err != nil {
+			failures = append(failures, Failure{ID: "table2", Err: err})
+		} else {
+			f := &Figure{ID: "table2", Title: "Table II benchmark inventory (measured characteristics)"}
+			for _, r := range rows {
+				f.AddNote("%-6s %s — %d instrs, %d cycles, %.1f%% loads, %.1f%% stores, τ_store %.0f, %d B sram",
+					r.Name, r.Desc, r.Instructions, r.Cycles, 100*r.LoadFrac, 100*r.StoreFrac, r.TauStore, r.SRAMFootprint)
+			}
+			add(f)
+		}
+	}
+	if want("storemajor") {
+		f, _, err := CaseStoreMajor()
+		collect("storemajor", f, err)
+	}
+	if want("storemajor-device") {
+		f, _, err := CaseStoreMajorDevice(ctx, run)
+		collect("storemajor-device", f, err)
+	}
+	if want("circular") {
+		f, _, _, err := CaseCircularBuffer(ctx, CircularConfig{Run: run})
+		collect("circular", f, err)
+	}
+	for _, abl := range []struct {
+		id  string
+		gen func(context.Context, runner.Options) (*Figure, error)
+	}{
+		{"clank-buffers", AblationClankBuffers},
+		{"clank-watchdog", AblationClankWatchdog},
+		{"hibernus-margin", AblationHibernusMargin},
+		{"mementos-gap", AblationMementosGap},
+	} {
+		if want(abl.id) {
+			f, err := abl.gen(ctx, run)
+			collect(abl.id, f, err)
+		}
+	}
+	if want("tail") {
+		f, _, err := TailLatencyStudy(ctx, 0, run)
+		collect("tail", f, err)
+	}
+	if want("charging") {
+		f, _, err := ChargingStudy(ctx, run)
+		collect("charging", f, err)
+	}
+	if want("breakeven") {
+		f, _, _, err := BreakEvenStudy(ctx, run)
+		collect("breakeven", f, err)
+	}
+	if want("breakdown") {
+		f, _, err := BreakdownComparison(ctx, "crc", 0, run)
+		collect("breakdown", f, err)
+	}
+	if want("capacitor") {
+		f, err := CapacitorSweep(ctx, "crc", nil, run)
+		collect("capacitor", f, err)
+	}
+	if want("nvm") {
+		f, _, err := NVMComparison(ctx, "crc", 2000, run)
+		collect("nvm", f, err)
+	}
+	if want("variability") {
+		f, err := VariabilityStudy(ctx, 4000, 40, run)
+		collect("variability", f, err)
+	}
+	if want("bitprecision") {
+		base := DefaultFig11Base()
+		r := CaseBitPrecision(base)
+		f := &Figure{ID: "case-bitprecision", Title: "Reduced bit-precision payoff (§VI-C)"}
+		f.AddNote("τ_B,bit = %.1f cycles", r.TauBBit)
+		f.AddNote("Δp for a 1-bit α_B cut at τ_B,bit: %.4f", r.GainOneBit)
+		f.AddNote("Δp for the same cut at τ_B,opt: %.4f", r.GainAtOpt)
+		add(f)
+	}
+	if len(figs) == 0 && len(failures) == 0 {
+		failures = append(failures, Failure{ID: which, Err: fmt.Errorf("unknown figure %q", which)})
+	}
+	return figs, failures
+}

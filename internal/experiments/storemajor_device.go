@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/workload"
 )
 
@@ -24,8 +27,8 @@ type StoreMajorDevicePoint struct {
 // the §VI-A case study as an execution rather than an equation. For
 // each NVM write/read bandwidth ratio it reports both loop orders'
 // progress; Eq. 14 predicts store-major wins exactly when writes are
-// slow.
-func CaseStoreMajorDevice() (*Figure, []StoreMajorDevicePoint, error) {
+// slow. One cell per ratio × order, through the memoizing executor.
+func CaseStoreMajorDevice(ctx context.Context, run runner.Options) (*Figure, []StoreMajorDevicePoint, error) {
 	const (
 		n    = 16
 		reps = 6
@@ -38,61 +41,81 @@ func CaseStoreMajorDevice() (*Figure, []StoreMajorDevicePoint, error) {
 		YLabel: "progress p",
 		XLog:   true,
 	}
-	var pts []StoreMajorDevicePoint
 	series := map[workload.TransposeOrder]*Series{
 		workload.LoadMajor:  {Label: "load-major"},
 		workload.StoreMajor: {Label: "store-major"},
 	}
 	want := workload.TransposeRef(n)
-	for _, ratio := range []float64{0.1, 0.5, 1, 2} {
-		for _, order := range []workload.TransposeOrder{workload.LoadMajor, workload.StoreMajor} {
-			prog, err := workload.Transpose(order, n, reps)
-			if err != nil {
-				return nil, nil, err
-			}
-			e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
-			capC, vmax, von, voff := device.FixedSupplyConfig(e)
-			d, err := device.New(device.Config{
-				Prog: prog, Power: pm,
-				CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-				SigmaB: 2 * ratio, SigmaR: 2, // σ_load fixed at FRAM speed
-				CacheBlockSize: 32, CacheSets: 16, CacheWays: 2,
-				MaxPeriods: 100000, MaxCycles: 1 << 62,
-			}, strategy.NewCacheVolatile())
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := d.Run()
-			if err != nil {
-				return nil, nil, err
-			}
-			if !res.Completed {
-				return nil, nil, fmt.Errorf("experiments: transpose %v σ-ratio %g incomplete", order, ratio)
-			}
-			if len(res.Output) != 1 || res.Output[0] != want[0] {
-				return nil, nil, fmt.Errorf("experiments: transpose %v output %v, want %v", order, res.Output, want)
-			}
-			var dirty, cnt float64
-			for _, p := range res.Periods {
-				for _, b := range p.AppBytes {
-					dirty += float64(b)
-					cnt++
-				}
-			}
-			if cnt > 0 {
-				dirty /= cnt
-			}
-			pt := StoreMajorDevicePoint{
-				Order:      order,
-				SigmaRatio: ratio,
-				Progress:   res.MeasuredProgress(),
-				DirtyBytes: dirty,
-				Cycles:     res.TotalCycles,
-			}
-			pts = append(pts, pt)
-			s := series[order]
-			s.Points = append(s.Points, Point{X: ratio, Y: pt.Progress})
+	ratios := []float64{0.1, 0.5, 1, 2}
+	orders := []workload.TransposeOrder{workload.LoadMajor, workload.StoreMajor}
+	type job struct {
+		ratio float64
+		order workload.TransposeOrder
+	}
+	var jobs []job
+	plan := sweep.NewPlan("case-storemajor-device")
+	for _, ratio := range ratios {
+		g := plan.Group(fmt.Sprintf("σ-ratio=%g", ratio))
+		for _, order := range orders {
+			ratio, order := ratio, order
+			jobs = append(jobs, job{ratio: ratio, order: order})
+			g.Add(sweep.Cell{
+				Label: fmt.Sprintf("transpose %v σ-ratio=%g", order, ratio),
+				Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+					prog, err := workload.Transpose(order, n, reps)
+					if err != nil {
+						return device.Config{}, nil, err
+					}
+					e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
+					capC, vmax, von, voff := device.FixedSupplyConfig(e)
+					return device.Config{
+						Prog: prog, Power: pm,
+						CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+						SigmaB: 2 * ratio, SigmaR: 2, // σ_load fixed at FRAM speed
+						CacheBlockSize: 32, CacheSets: 16, CacheWays: 2,
+						MaxPeriods: 100000, MaxCycles: 1 << 62,
+					}, strategy.NewCacheVolatile(), nil
+				},
+				Verify: func(res *device.Result) error {
+					if !res.Completed {
+						return fmt.Errorf("experiments: transpose %v σ-ratio %g incomplete", order, ratio)
+					}
+					if len(res.Output) != 1 || res.Output[0] != want[0] {
+						return fmt.Errorf("experiments: transpose %v output %v, want %v", order, res.Output, want)
+					}
+					return nil
+				},
+			})
 		}
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
+	if len(errs) > 0 {
+		return nil, nil, errs[0].Err
+	}
+
+	var pts []StoreMajorDevicePoint
+	for i, j := range jobs {
+		res := all[i].Result
+		var dirty, cnt float64
+		for _, p := range res.Periods {
+			for _, b := range p.AppBytes {
+				dirty += float64(b)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			dirty /= cnt
+		}
+		pt := StoreMajorDevicePoint{
+			Order:      j.order,
+			SigmaRatio: j.ratio,
+			Progress:   res.MeasuredProgress(),
+			DirtyBytes: dirty,
+			Cycles:     res.TotalCycles,
+		}
+		pts = append(pts, pt)
+		s := series[j.order]
+		s.Points = append(s.Points, Point{X: j.ratio, Y: pt.Progress})
 	}
 	fig.Series = append(fig.Series, *series[workload.LoadMajor], *series[workload.StoreMajor])
 

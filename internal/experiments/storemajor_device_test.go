@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
+	"ehmodel/internal/runner"
 	"ehmodel/internal/workload"
 )
 
@@ -10,7 +12,7 @@ import (
 // the loop order's effect on dirty-block backup traffic shows up as
 // measured progress, in the direction Eq. 14 predicts.
 func TestCaseStoreMajorDevice(t *testing.T) {
-	fig, pts, err := CaseStoreMajorDevice()
+	fig, pts, err := CaseStoreMajorDevice(context.Background(), runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ehmodel/internal/asm"
 	"ehmodel/internal/device"
 	"ehmodel/internal/energy"
+	"ehmodel/internal/runner"
 	"ehmodel/internal/stats"
 	"ehmodel/internal/strategy"
+	"ehmodel/internal/sweep"
 	"ehmodel/internal/trace"
 	"ehmodel/internal/workload"
 )
@@ -25,23 +28,13 @@ type TailPoint struct {
 // per-period progress while widening its distribution, so the τ_B that
 // maximizes the worst periods (tail) sits at or below the τ_B that
 // maximizes the mean — the structural content of Eq. 10's
-// τ_B,opt(wc) < τ_B,opt.
-func TailLatencyStudy(periods int) (*Figure, []TailPoint, error) {
+// τ_B,opt(wc) < τ_B,opt. The sweep is one cell per τ_B through the
+// memoizing executor.
+func TailLatencyStudy(ctx context.Context, periods int, run runner.Options) (*Figure, []TailPoint, error) {
 	if periods <= 0 {
 		periods = 60
 	}
 	pm := energy.MSP430Power()
-	w, _ := workload.Get("counter")
-	prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 600})
-	if err != nil {
-		return nil, nil, err
-	}
-	tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 77)
-	h, err := energy.NewHarvester(tr, 40000, 0.7)
-	if err != nil {
-		return nil, nil, err
-	}
-	e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
 
 	fig := &Figure{
 		ID:     "tail",
@@ -52,27 +45,48 @@ func TailLatencyStudy(periods int) (*Figure, []TailPoint, error) {
 	}
 	meanS := Series{Label: "mean p"}
 	tailS := Series{Label: "5th percentile p"}
+
+	tauBs := []uint64{250, 500, 1000, 2000, 4000, 8000, 14000}
+	plan := sweep.NewPlan("tail")
+	for _, tauB := range tauBs {
+		tauB := tauB
+		plan.Add(sweep.Cell{
+			Label: fmt.Sprintf("tail τ_B=%d cycles", tauB),
+			Build: func(ctx context.Context) (device.Config, device.Strategy, error) {
+				w, _ := workload.Get("counter")
+				prog, err := w.Build(workload.Options{Seg: asm.SRAM, Scale: 600})
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				tr := trace.Generate(trace.MultiPeak, 10, 1e-3, 77)
+				h, err := energy.NewHarvester(tr, 40000, 0.7)
+				if err != nil {
+					return device.Config{}, nil, err
+				}
+				e := 20000 * pm.EnergyPerCycle(energy.ClassALU)
+				capC, vmax, von, voff := device.FixedSupplyConfig(e)
+				return device.Config{
+					Prog: prog, Power: pm, Harvester: h,
+					CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
+					MaxPeriods: periods, MaxCycles: 1 << 62,
+				}, strategy.NewTimer(tauB, 0.1), nil
+			},
+		})
+	}
+	all, errs := sweep.RunPlan(ctx, plan, run)
+	if len(errs) > 0 {
+		return nil, nil, errs[0].Err
+	}
+
 	var pts []TailPoint
-	for _, tauB := range []uint64{250, 500, 1000, 2000, 4000, 8000, 14000} {
-		capC, vmax, von, voff := device.FixedSupplyConfig(e)
-		d, err := device.New(device.Config{
-			Prog: prog, Power: pm, Harvester: h,
-			CapC: capC, CapVMax: vmax, VOn: von, VOff: voff,
-			MaxPeriods: periods, MaxCycles: 1 << 62,
-		}, strategy.NewTimer(tauB, 0.1))
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := d.Run()
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, tauB := range tauBs {
+		res := all[i].Result
 		var samples []float64
-		for i := range res.Periods {
-			if res.Completed && i == len(res.Periods)-1 {
+		for j := range res.Periods {
+			if res.Completed && j == len(res.Periods)-1 {
 				continue
 			}
-			p := &res.Periods[i]
+			p := &res.Periods[j]
 			samples = append(samples, p.ProgressE/(p.SupplyE+p.HarvestedE))
 		}
 		if len(samples) < periods/2 {

@@ -1,13 +1,18 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"ehmodel/internal/runner"
+)
 
 // TestTailLatencyStudy verifies §IV-A2's design trade-off empirically:
 // dead-cycle variability grows with τ_B, and the per-period tail
 // degrades faster than the mean beyond the optimum — so tail-focused
 // designs must not choose a longer τ_B than average-focused ones.
 func TestTailLatencyStudy(t *testing.T) {
-	_, pts, err := TailLatencyStudy(60)
+	_, pts, err := TailLatencyStudy(context.Background(), 60, runner.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

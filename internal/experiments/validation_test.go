@@ -205,7 +205,7 @@ func TestFig10AlphaBScale(t *testing.T) {
 // tracks (N−n+1)·τ_store, and measured progress peaks at the Eq. 15
 // plan.
 func TestCaseCircularBufferPlan(t *testing.T) {
-	_, pts, plan, err := CaseCircularBuffer(CircularConfig{})
+	_, pts, plan, err := CaseCircularBuffer(context.Background(), CircularConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

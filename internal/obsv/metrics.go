@@ -206,9 +206,48 @@ type Metrics struct {
 	WCECLivelock  uint64 `json:"wcec_livelock"`
 	WCECUnknown   uint64 `json:"wcec_unknown"`
 
+	// Result-store accounting (internal/sweep): cells answered from the
+	// store, cells simulated and stored, cells run uncached (unhashable
+	// configuration, caching off), identical in-flight cells collapsed by
+	// singleflight, and failed store writes. Populated by AddCache.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheBypass uint64 `json:"cache_bypass"`
+	CacheDedup  uint64 `json:"cache_dedup"`
+	CacheErrors uint64 `json:"cache_errors"`
+
+	// Request accounting (cmd/ehserve, and any front end that serves
+	// queries): request count, failed requests, and a log2 latency
+	// histogram in microseconds. Populated by ObserveRequest.
+	Requests      uint64    `json:"requests"`
+	RequestErrors uint64    `json:"request_errors"`
+	RequestUS     Histogram `json:"request_latency_us"`
+
 	// ErrorClasses carries the sweep runner's per-class failure counts
 	// (AddErrorClass); nil until the first class is added.
 	ErrorClasses map[string]uint64 `json:"error_classes,omitempty"`
+}
+
+// AddCache folds result-store counters into the export.
+func (m *Metrics) AddCache(hits, misses, bypass, dedup, errors uint64) {
+	m.CacheHits += hits
+	m.CacheMisses += misses
+	m.CacheBypass += bypass
+	m.CacheDedup += dedup
+	m.CacheErrors += errors
+}
+
+// ObserveRequest records one served request: its latency in
+// microseconds (negative durations clamp to zero) and whether it failed.
+func (m *Metrics) ObserveRequest(us int64, failed bool) {
+	if us < 0 {
+		us = 0
+	}
+	m.Requests++
+	if failed {
+		m.RequestErrors++
+	}
+	m.RequestUS.Observe(uint64(us))
 }
 
 // Event implements Tracer.
@@ -375,6 +414,14 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.WCECCertified += other.WCECCertified
 	m.WCECLivelock += other.WCECLivelock
 	m.WCECUnknown += other.WCECUnknown
+	m.CacheHits += other.CacheHits
+	m.CacheMisses += other.CacheMisses
+	m.CacheBypass += other.CacheBypass
+	m.CacheDedup += other.CacheDedup
+	m.CacheErrors += other.CacheErrors
+	m.Requests += other.Requests
+	m.RequestErrors += other.RequestErrors
+	m.RequestUS.Merge(&other.RequestUS)
 	for k, v := range other.ErrorClasses {
 		m.AddErrorClass(k, v)
 	}
@@ -454,6 +501,25 @@ func (m *Metrics) rows() [][2]string {
 			[2]string{"wcec_livelock", u(m.WCECLivelock)},
 			[2]string{"wcec_unknown", u(m.WCECUnknown)},
 		)
+	}
+	// Cache and request rows appear only when a result store / request
+	// front end actually ran, so exports from plain sweeps keep their
+	// exact prior shape (same conditional idiom as the WCEC rows above).
+	if m.CacheHits+m.CacheMisses+m.CacheBypass+m.CacheDedup+m.CacheErrors > 0 {
+		out = append(out,
+			[2]string{"cache_hits", u(m.CacheHits)},
+			[2]string{"cache_misses", u(m.CacheMisses)},
+			[2]string{"cache_bypass", u(m.CacheBypass)},
+			[2]string{"cache_dedup", u(m.CacheDedup)},
+			[2]string{"cache_errors", u(m.CacheErrors)},
+		)
+	}
+	if m.Requests > 0 {
+		out = append(out,
+			[2]string{"requests", u(m.Requests)},
+			[2]string{"request_errors", u(m.RequestErrors)},
+		)
+		hist("request_latency_us", &m.RequestUS)
 	}
 	for c := VerdictClass(0); c < NumVerdictClasses; c++ {
 		if m.Verdicts[c] != 0 {

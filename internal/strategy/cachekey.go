@@ -1,0 +1,103 @@
+package strategy
+
+import (
+	"fmt"
+	"strconv"
+
+	"ehmodel/internal/device"
+)
+
+// This file implements device.CacheKeyer for every catalog runtime, so
+// their runs are content-addressable in the sweep result store. Each key
+// reads the live field values — drivers tune parameters after
+// construction (cl.WatchdogCycles = …), and the key must follow.
+//
+// The contract (see device.CacheKeyer): equal Name() + equal CacheKey()
+// ⇒ bit-identical simulation. Keys therefore enumerate every public
+// tuning knob; a knob added to a strategy must be added to its key.
+// Wrappers holding run-specific state the driver reads back (RegionMeter)
+// deliberately do not implement the interface and bypass the store.
+// Clank's post-run Stats are not key-relevant — they are outputs, carried
+// through the store by the cell's Extras hook.
+
+// fkey renders a float64 with full round-trip precision for key strings.
+func fkey(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CacheKey identifies a Timer configuration.
+func (t *Timer) CacheKey() string {
+	return fmt.Sprintf("timer τB=%d αB=%s sram=%t", t.TauB, fkey(t.AlphaB), t.SnapshotSRAM)
+}
+
+// CacheKey identifies a Speculative configuration.
+func (s *Speculative) CacheKey() string {
+	return fmt.Sprintf("speculative τB=%d αB=%s margin=%s check=%d",
+		s.TauB, fkey(s.AlphaB), fkey(s.Margin), s.CheckPeriod)
+}
+
+// CacheKey identifies a Hibernus configuration.
+func (h *Hibernus) CacheKey() string {
+	return fmt.Sprintf("hibernus margin=%s check=%d", fkey(h.Margin), h.CheckPeriod)
+}
+
+// CacheKey identifies a Mementos configuration.
+func (m *Mementos) CacheKey() string {
+	return fmt.Sprintf("mementos margin=%s frac=%s gap=%d",
+		fkey(m.Margin), fkey(m.SupplyFrac), m.MinGapCycles)
+}
+
+// CacheKey identifies DINO (parameter-free).
+func (dn *DINO) CacheKey() string { return "dino" }
+
+// CacheKey identifies Chain (parameter-free).
+func (c *Chain) CacheKey() string { return "chain" }
+
+// CacheKey identifies an Alpaca configuration. An instance with commit
+// recording enabled opts out: the driver reads the live commit log after
+// the run, which a cache hit cannot supply.
+func (a *Alpaca) CacheKey() string {
+	if a.recordCommits {
+		return ""
+	}
+	return fmt.Sprintf("alpaca naive=%t coalesce=%d", a.naive, a.Coalesce)
+}
+
+// CacheKey identifies a Clank configuration. Post-run Stats are outputs,
+// not parameters; cells that need them carry them via Extras.
+func (c *Clank) CacheKey() string {
+	return fmt.Sprintf("clank rf=%d wf=%d wd=%d arch=%d",
+		c.ReadFirstEntries, c.WriteFirstEntries, c.WatchdogCycles, c.ArchBytes)
+}
+
+// CacheKey identifies a Ratchet configuration.
+func (r *Ratchet) CacheKey() string {
+	return fmt.Sprintf("ratchet region=%d arch=%d", r.MaxRegion, r.ArchBytes)
+}
+
+// CacheKey identifies an NVP configuration.
+func (n *NVP) CacheKey() string {
+	return fmt.Sprintf("nvp every=%t arch=%d margin=%s", n.EveryCycle, n.ArchBytes, fkey(n.Margin))
+}
+
+// CacheKey identifies a MixedVolatility configuration.
+func (m *MixedVolatility) CacheKey() string {
+	return fmt.Sprintf("mixvol wd=%d", m.WatchdogCycles)
+}
+
+// CacheKey identifies a CacheVolatile configuration.
+func (c *CacheVolatile) CacheKey() string {
+	return fmt.Sprintf("cachevol wd=%d arch=%d", c.WatchdogCycles, c.ArchBytes)
+}
+
+// CacheKey identifies a SenseCommit wrapper by its inner runtime's key;
+// an unkeyable inner keeps the wrapper unkeyable.
+func (s *SenseCommit) CacheKey() string {
+	ck, ok := s.inner.(device.CacheKeyer)
+	if !ok {
+		return ""
+	}
+	inner := ck.CacheKey()
+	if inner == "" {
+		return ""
+	}
+	return "sense(" + inner + ")"
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+
+	"ehmodel/internal/device"
+	"ehmodel/internal/runner"
+)
+
+// Cell is one sweep leaf: everything needed to run (or recall) a single
+// simulation.
+type Cell struct {
+	// Label names the cell in error reports and progress accounting.
+	Label string
+	// Build assembles the cell's config and strategy. It runs inside the
+	// worker pool (program assembly is part of the cell's work) and must
+	// be deterministic: the same cell must always build the same content.
+	// The executor wires RunTimeout and Interrupt itself; Build should
+	// leave them unset.
+	Build func(ctx context.Context) (device.Config, device.Strategy, error)
+	// Extras, when non-nil, runs after a live simulation with the
+	// strategy still attached and returns driver-visible data to store
+	// alongside the Result (e.g. Clank's violation counters). The value
+	// must be JSON-serializable; cache hits return it decoded into
+	// CellResult.Extras without a strategy instance.
+	Extras func(s device.Strategy, res *device.Result) (any, error)
+	// Verify, when non-nil, validates the result — cached or live — and
+	// its error fails the point (e.g. "run must complete"). Rejected
+	// results are still stored: a cell that fails policy cold must fail
+	// identically warm.
+	Verify func(res *device.Result) error
+	// NoCache forces a bypass even when the cell is hashable.
+	NoCache bool
+}
+
+// CellResult is one executed (or recalled) cell.
+type CellResult struct {
+	// Result is the simulation outcome.
+	Result *device.Result
+	// Cfg is the defaulted config exactly as device.Cfg() would report
+	// it, available on cache hits without a device.
+	Cfg device.Config
+	// Key is the cell's content hash; HasKey is false for bypassed cells.
+	Key    Key
+	HasKey bool
+	// Cached reports whether Result came from the store (a singleflight
+	// follower's shared result counts as cached).
+	Cached bool
+	// Extras is the stored extras payload (nil when the cell has none).
+	Extras json.RawMessage
+}
+
+// DecodeExtras unmarshals the cell's extras into v; it is a no-op
+// returning false when the cell carries none.
+func (r *CellResult) DecodeExtras(v any) (bool, error) {
+	if len(r.Extras) == 0 {
+		return false, nil
+	}
+	if err := json.Unmarshal(r.Extras, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Stats is a snapshot of an executor's cache accounting.
+type Stats struct {
+	// Hits answered a cell from the store; Misses simulated and stored;
+	// Bypass ran uncached (unhashable cell, NoCache, or no store);
+	// Dedup collapsed onto an identical in-flight cell (singleflight
+	// followers); StoreErrors counts failed store writes (the sweep
+	// continues — a broken store degrades to slower, never to wrong).
+	Hits, Misses, Bypass, Dedup, StoreErrors uint64
+}
+
+// Total returns how many cells the executor resolved.
+func (s Stats) Total() uint64 { return s.Hits + s.Misses + s.Bypass + s.Dedup }
+
+// Executor runs cells through the store with singleflight dedup,
+// layered on runner.Map for bounded workers, panic isolation and ordered
+// merge. A nil-store executor degrades to plain runner semantics (every
+// cell a bypass), which is the library default — caching is opt-in at
+// the CLI/service layer via SetDefault.
+type Executor struct {
+	store   Store
+	flights flightGroup
+
+	hits, misses, bypass, dedup, storeErrs atomic.Uint64
+}
+
+// NewExecutor builds an executor over store (nil disables caching).
+func NewExecutor(store Store) *Executor { return &Executor{store: store} }
+
+// Store returns the executor's backing store (nil when caching is off).
+func (e *Executor) Store() Store { return e.store }
+
+// Stats snapshots the cache counters.
+func (e *Executor) Stats() Stats {
+	return Stats{
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Bypass:      e.bypass.Load(),
+		Dedup:       e.dedup.Load(),
+		StoreErrors: e.storeErrs.Load(),
+	}
+}
+
+// defaultExec is the process-wide executor sweep.Run resolves to; a CLI
+// or service configures it once at startup (mirroring
+// device.SetDefaultEngine), so drivers inherit caching without plumbing.
+var defaultExec atomic.Pointer[Executor]
+
+// SetDefault installs the process-wide executor. Call once, at startup.
+func SetDefault(e *Executor) { defaultExec.Store(e) }
+
+// Default returns the process-wide executor, creating an uncached one on
+// first use.
+func Default() *Executor {
+	if e := defaultExec.Load(); e != nil {
+		return e
+	}
+	e := NewExecutor(nil)
+	if defaultExec.CompareAndSwap(nil, e) {
+		return e
+	}
+	return defaultExec.Load()
+}
+
+// Run executes cells through the process-default executor.
+func Run(ctx context.Context, cells []Cell, o runner.Options) ([]CellResult, runner.Errors) {
+	return Default().Run(ctx, cells, o)
+}
+
+// Run executes the cells on runner's bounded worker pool and returns
+// their results merged in input order: results[i] belongs to cells[i],
+// failed points are zero-valued with the failure in errs — exactly
+// runner.Map's contract, so figures stay byte-identical at any worker
+// count and any cache temperature.
+func (e *Executor) Run(ctx context.Context, cells []Cell, o runner.Options) ([]CellResult, runner.Errors) {
+	if o.Label == nil {
+		o.Label = func(i int) string { return cells[i].Label }
+	}
+	return runner.Map(ctx, len(cells), o, func(i int) (CellResult, error) {
+		return e.runCell(ctx, &cells[i], o)
+	})
+}
+
+func (e *Executor) runCell(ctx context.Context, c *Cell, o runner.Options) (CellResult, error) {
+	cfg, strat, err := c.Build(ctx)
+	if err != nil {
+		return CellResult{}, err
+	}
+	// Environmental wiring is the executor's job, applied uniformly so a
+	// cell's identity never depends on it: neither field is part of the
+	// key, and an aborted run is never stored.
+	if cfg.RunTimeout == 0 {
+		cfg.RunTimeout = o.RunTimeout
+	}
+	if cfg.Interrupt == nil {
+		cfg.Interrupt = runner.Interrupt(ctx)
+	}
+
+	key, keyed := Key{}, false
+	if e.store != nil && !c.NoCache {
+		key, keyed = CellKey(cfg, strat)
+	}
+	if !keyed {
+		e.bypass.Add(1)
+		res, dcfg, extras, err := runLive(cfg, strat, c)
+		if err != nil {
+			return CellResult{}, err
+		}
+		out := CellResult{Result: res, Cfg: dcfg, Extras: extras}
+		return out, verify(c, res)
+	}
+
+	if enc, ok := e.store.Get(key); ok {
+		if ent, err := decodeEntry(enc); err == nil {
+			e.hits.Add(1)
+			return e.finish(c, cfg, strat, key, ent, true)
+		}
+		// An undecodable entry (possible only if a foreign writer put
+		// garbage in the store) is a miss; the rewrite below heals it.
+	}
+
+	ent, shared, err := e.flights.do(ctx, key, func() (*Entry, error) {
+		res, _, extras, err := runLive(cfg, strat, c)
+		if err != nil {
+			return nil, err
+		}
+		ent := &Entry{Result: res, Extras: extras}
+		if enc, err := encodeEntry(ent); err == nil {
+			if err := e.store.Put(key, enc); err != nil {
+				e.storeErrs.Add(1)
+			}
+		} else {
+			// Non-finite floats in the result: serve it, don't store it.
+			e.storeErrs.Add(1)
+		}
+		return ent, nil
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	if shared {
+		e.dedup.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	return e.finish(c, cfg, strat, key, ent, shared)
+}
+
+// finish assembles a CellResult from a store or singleflight entry.
+func (e *Executor) finish(c *Cell, cfg device.Config, strat device.Strategy, key Key, ent *Entry, cached bool) (CellResult, error) {
+	out := CellResult{
+		Result: ent.Result,
+		Cfg:    cfg.WithDefaults(strat),
+		Key:    key,
+		HasKey: true,
+		Cached: cached,
+		Extras: ent.Extras,
+	}
+	return out, verify(c, ent.Result)
+}
+
+// runLive simulates the cell and captures its extras.
+func runLive(cfg device.Config, strat device.Strategy, c *Cell) (*device.Result, device.Config, json.RawMessage, error) {
+	d, err := device.New(cfg, strat)
+	if err != nil {
+		return nil, device.Config{}, nil, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, device.Config{}, nil, err
+	}
+	var extras json.RawMessage
+	if c.Extras != nil {
+		v, err := c.Extras(strat, res)
+		if err != nil {
+			return nil, device.Config{}, nil, err
+		}
+		if v != nil {
+			b, err := json.Marshal(v)
+			if err != nil {
+				return nil, device.Config{}, nil, err
+			}
+			extras = b
+		}
+	}
+	return res, d.Cfg(), extras, nil
+}
+
+func verify(c *Cell, res *device.Result) error {
+	if c.Verify == nil {
+		return nil
+	}
+	return c.Verify(res)
+}

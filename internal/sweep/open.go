@@ -1,0 +1,26 @@
+package sweep
+
+import "fmt"
+
+// OpenExecutor wires a front end's cache-mode flag into an executor:
+// "mem" keeps results in an in-process LRU (dedup within one
+// invocation), "disk" layers the LRU over the content-addressed store
+// under dir (dedup across invocations and processes), "off" runs every
+// cell uncached. Both ehfigs and ehserve resolve their -cache flags
+// here so the modes cannot drift apart.
+func OpenExecutor(mode, dir string) (*Executor, error) {
+	switch mode {
+	case "off":
+		return NewExecutor(nil), nil
+	case "mem":
+		return NewExecutor(NewMemStore(0)), nil
+	case "disk":
+		st, err := NewTiered(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewExecutor(st), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown cache mode %q (want mem, disk or off)", mode)
+	}
+}

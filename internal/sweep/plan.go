@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+
+	"ehmodel/internal/runner"
+)
+
+// Plan is a sweep expressed as a tree: leaves are cells, interior nodes
+// group the cells that share a configuration prefix (a figure, a
+// duration, a benchmark). The grouping is what makes incremental sweeps
+// cheap — a node's fingerprint is the Merkle hash of its subtree, so a
+// re-run can tell at any granularity which segments are dirty (changed
+// cells, changed code version) and which will be answered entirely from
+// the store. Execution order is the tree's depth-first leaf order, and
+// results come back in exactly that order, preserving runner's
+// ordered-merge determinism.
+type Plan struct {
+	// Name labels the node in fingerprints and diagnostics.
+	Name string
+
+	cells    []Cell
+	children []*Plan
+}
+
+// NewPlan builds an empty root node.
+func NewPlan(name string) *Plan { return &Plan{Name: name} }
+
+// Group appends and returns a child node. Cells added to the child sort
+// after this node's own cells in execution order.
+func (p *Plan) Group(name string) *Plan {
+	c := &Plan{Name: name}
+	p.children = append(p.children, c)
+	return c
+}
+
+// Add appends a leaf cell to this node.
+func (p *Plan) Add(c Cell) { p.cells = append(p.cells, c) }
+
+// Len returns the number of leaves in the subtree.
+func (p *Plan) Len() int {
+	n := len(p.cells)
+	for _, c := range p.children {
+		n += c.Len()
+	}
+	return n
+}
+
+// Cells flattens the subtree into depth-first leaf order: a node's own
+// cells, then each child's, recursively.
+func (p *Plan) Cells() []Cell {
+	out := make([]Cell, 0, p.Len())
+	return p.appendCells(out)
+}
+
+func (p *Plan) appendCells(out []Cell) []Cell {
+	out = append(out, p.cells...)
+	for _, c := range p.children {
+		out = c.appendCells(out)
+	}
+	return out
+}
+
+// Fingerprint computes the node's Merkle hash: a leaf contributes its
+// cell key (or a per-position bypass marker when unhashable), an
+// interior node hashes its name over its children's fingerprints. Two
+// plans with equal fingerprints will execute identical cells in
+// identical order — so a segment whose fingerprint matches a previous
+// run's is answered entirely from the store. Building the fingerprint
+// assembles each cell's config once (the same work a run would do).
+func (p *Plan) Fingerprint(ctx context.Context) (Key, error) {
+	w := newKeyWriter()
+	if err := p.fold(ctx, w); err != nil {
+		return Key{}, err
+	}
+	var k Key
+	w.h.Sum(k[:0])
+	return k, nil
+}
+
+func (p *Plan) fold(ctx context.Context, w *keyWriter) error {
+	w.str("node", p.Name)
+	w.u64("leaves", uint64(len(p.cells)))
+	for i := range p.cells {
+		c := &p.cells[i]
+		cfg, strat, err := c.Build(ctx)
+		if err != nil {
+			return fmt.Errorf("sweep: plan %q cell %q: %w", p.Name, c.Label, err)
+		}
+		if key, ok := CellKey(cfg, strat); ok && !c.NoCache {
+			w.bytes("cell", key[:])
+		} else {
+			// A bypass leaf has no content identity; salt it with its
+			// position and label so it never aliases another.
+			w.str("bypass", fmt.Sprintf("%d:%s", i, c.Label))
+		}
+	}
+	w.u64("children", uint64(len(p.children)))
+	for _, c := range p.children {
+		sub := newKeyWriter()
+		if err := c.fold(ctx, sub); err != nil {
+			return err
+		}
+		var k [sha256.Size]byte
+		sub.h.Sum(k[:0])
+		w.bytes("child", k[:])
+	}
+	return nil
+}
+
+// RunPlan executes the plan's leaves through the process-default
+// executor; results are in depth-first leaf order (the order Cells
+// returns).
+func RunPlan(ctx context.Context, p *Plan, o runner.Options) ([]CellResult, runner.Errors) {
+	return Default().Run(ctx, p.Cells(), o)
+}

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestMemStoreLRU(t *testing.T) {
+	// Budget fits exactly two 8-byte entries.
+	s := NewMemStore(16)
+	s.Put(key(1), []byte("aaaaaaaa"))
+	s.Put(key(2), []byte("bbbbbbbb"))
+	if s.Len() != 2 || s.Bytes() != 16 {
+		t.Fatalf("len %d bytes %d", s.Len(), s.Bytes())
+	}
+	// Touch 1 so 2 is the LRU victim.
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("lost entry 1")
+	}
+	s.Put(key(3), []byte("cccccccc"))
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := s.Get(key(3)); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestMemStoreUpdateAndOversize(t *testing.T) {
+	s := NewMemStore(16)
+	s.Put(key(1), []byte("aaaa"))
+	s.Put(key(1), []byte("aaaaaaaaaaaa")) // refresh with a larger payload
+	if got, _ := s.Get(key(1)); string(got) != "aaaaaaaaaaaa" {
+		t.Fatalf("refresh lost: %q", got)
+	}
+	if s.Bytes() != 12 {
+		t.Fatalf("bytes %d after refresh", s.Bytes())
+	}
+	// An entry larger than the whole budget is not cached (and evicts
+	// everything trying).
+	s.Put(key(2), make([]byte, 64))
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("oversized entry cached")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	ds, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.Get(key(1)); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"result":{"x":1}}`)
+	if err := ds.Put(key(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ds.Get(key(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: ok=%v %q", ok, got)
+	}
+	st, err := ds.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.Bytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := NewDiskStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// entryPath digs out the one file the store wrote for k.
+func entryPath(t *testing.T, ds *DiskStore, k Key) string {
+	t.Helper()
+	p := filepath.Join(ds.Dir(), k.String()[:2], k.String()+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDiskStoreCorruptionRecovery is the crash-safety contract: a
+// truncated or bit-flipped entry is detected by the CRC framing,
+// treated as a miss, deleted, and transparently rewritten by the next
+// Put — the store heals instead of serving garbage.
+func TestDiskStoreCorruptionRecovery(t *testing.T) {
+	payload := []byte(`{"result":{"progress":0.5}}`)
+	corruptions := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bitflip", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		}},
+		{"badmagic", func(b []byte) []byte {
+			b[0] ^= 0xff
+			return b
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			ds, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ds.Put(key(7), payload); err != nil {
+				t.Fatal(err)
+			}
+			p := entryPath(t, ds, key(7))
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, c.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := ds.Get(key(7)); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not deleted")
+			}
+			// The miss triggers a re-simulation whose Put heals the store.
+			if err := ds.Put(key(7), payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := ds.Get(key(7))
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("store did not heal: ok=%v %q", ok, got)
+			}
+		})
+	}
+}
+
+// TestDiskStoreNoTempLeakVisible: temp files never count as entries and
+// never satisfy a Get.
+func TestDiskStoreTempInvisible(t *testing.T) {
+	ds, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(ds.Dir(), key(9).String()[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: an orphaned temp file.
+	if err := os.WriteFile(filepath.Join(shard, ".tmp-dead-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.Get(key(9)); ok {
+		t.Fatal("temp file served")
+	}
+	st, err := ds.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("temp file counted: %+v", st)
+	}
+}
+
+func TestTieredPromotion(t *testing.T) {
+	ti, err := NewTiered(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"result":{}}`)
+	// Seed disk only (as if written by a previous process).
+	if err := ti.Disk.Put(key(4), payload); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Mem.Len() != 0 {
+		t.Fatal("memory tier pre-populated")
+	}
+	got, ok := ti.Get(key(4))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("tiered get: ok=%v", ok)
+	}
+	if ti.Mem.Len() != 1 {
+		t.Fatal("disk hit not promoted to memory")
+	}
+	// Put writes through to both tiers.
+	if err := ti.Put(key(5), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ti.Mem.Get(key(5)); !ok {
+		t.Fatal("put skipped memory tier")
+	}
+	if _, ok := ti.Disk.Get(key(5)); !ok {
+		t.Fatal("put skipped disk tier")
+	}
+}

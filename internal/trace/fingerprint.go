@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// CacheFingerprint returns a stable content hash of the trace — name,
+// sample period, and the exact bit pattern of every voltage sample — so
+// the memoization layer (internal/sweep) can fold a harvester's supply
+// into a cell key. Two traces with equal fingerprints drive simulations
+// identically; generator parameters (kind, seed) need no separate
+// representation because they are fully captured by the samples.
+func (t *Trace) CacheFingerprint() string {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(t.Name)))
+	h.Write(b[:])
+	h.Write([]byte(t.Name))
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(t.PeriodS))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(t.SamplesV)))
+	h.Write(b[:])
+	for _, v := range t.SamplesV {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return "trace:" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,88 @@
+#!/bin/sh
+# End-to-end smoke of cmd/ehserve (invoked via `make serve-smoke`):
+# build the server, start it on a local port with a disk-backed result
+# store, issue the same figure query twice — the second MUST come back
+# as an X-EH-Cache hit with byte-identical body — plus one sweep and
+# one model query, then write the store's counters to
+# serve_smoke_stats.json (CI uploads it as an artifact) and shut the
+# server down gracefully.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${EHSERVE_ADDR:-127.0.0.1:8093}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+	if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+		kill -TERM "$SRV_PID" 2>/dev/null || true
+		wait "$SRV_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "serve-smoke: $*" >&2
+	[ -f "$WORK/server.log" ] && sed 's/^/  server: /' "$WORK/server.log" >&2
+	exit 1
+}
+
+# A header check that survives curl's CRLF line endings and Go's
+# canonical X-Eh-Cache capitalization.
+header_is() { # file name want
+	tr -d '\r' <"$1" | grep -qi "^$2: $3\$"
+}
+
+echo "== build =="
+go build -o "$WORK/ehserve" ./cmd/ehserve
+
+echo "== start (cache disk, $ADDR) =="
+"$WORK/ehserve" -addr "$ADDR" -cache disk -cache-dir "$WORK/cache" \
+	>"$WORK/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && fail "server never became healthy on $ADDR"
+	kill -0 "$SRV_PID" 2>/dev/null || fail "server exited during startup"
+	sleep 0.1
+done
+
+FIG="$BASE/v1/figure?id=5&quick=true"
+
+echo "== figure (cold) =="
+curl -fsS -D "$WORK/h1" -o "$WORK/b1" "$FIG"
+header_is "$WORK/h1" x-eh-cache miss || fail "first figure response was not a miss"
+
+echo "== figure (warm) =="
+curl -fsS -D "$WORK/h2" -o "$WORK/b2" "$FIG"
+header_is "$WORK/h2" x-eh-cache hit || fail "second figure response was not a cache hit"
+cmp -s "$WORK/b1" "$WORK/b2" || fail "cached figure response differs from the generated one"
+
+echo "== sweep =="
+curl -fsS "$BASE/v1/sweep?lo=1&hi=1000&n=50" -o "$WORK/sweep.json"
+grep -q '"tau_b_opt"' "$WORK/sweep.json" || fail "sweep response missing tau_b_opt"
+
+echo "== model =="
+curl -fsS "$BASE/v1/model?tau_b=10&alpha_b=0.1" -o "$WORK/model.json"
+grep -q '"progress"' "$WORK/model.json" || fail "model response missing progress"
+
+echo "== store stats =="
+curl -fsS "$BASE/metrics?format=json" -o serve_smoke_stats.json
+grep -q '"cache_misses"' serve_smoke_stats.json || fail "metrics export missing store counters"
+# The warm figure reply came from the response cache, so the result
+# store must have simulated the figure exactly once: misses > 0 from
+# the cold pass, and four total requests on the books.
+misses="$(sed -n 's/.*"cache_misses": \([0-9]*\).*/\1/p' serve_smoke_stats.json | head -n 1)"
+[ -n "$misses" ] && [ "$misses" -gt 0 ] || fail "no result-store misses recorded (got '$misses')"
+
+echo "== graceful shutdown =="
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero on SIGTERM"
+grep -q "drained" "$WORK/server.log" || fail "server log missing drain summary"
+SRV_PID=""
+
+echo "serve-smoke: OK (stats in serve_smoke_stats.json)"
