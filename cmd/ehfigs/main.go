@@ -18,9 +18,12 @@
 // temperature.
 //
 // Observability: -trace FILE writes every sweep device's lifecycle onto
-// its own thread of one Chrome trace_event timeline, -metrics FILE
-// exports loss-free aggregated counters across all workers (with the
-// sweep engine's per-class failure counts and the result store's
+// its own thread of one Chrome trace_event timeline, -trace-spans FILE
+// writes the run's wall-clock span tree (figure generation, every
+// simulation cell with its cache outcome, CSV renders — the same
+// document ehserve serves at /v1/trace/{id}), -metrics FILE exports
+// loss-free aggregated counters across all workers (with the sweep
+// engine's per-class failure counts and the result store's
 // hit/miss/dedup accounting), and the -cpuprofile, -memprofile and
 // -pprof flags expose the Go profiling hooks.
 //
@@ -40,6 +43,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"ehmodel/internal/device"
 	"ehmodel/internal/experiments"
@@ -64,6 +68,7 @@ func cliMain() int {
 	cacheMode := flag.String("cache", "mem", "result store: mem (in-process LRU), disk (persistent CAS under -cache-dir) or off")
 	cacheDir := flag.String("cache-dir", "results/cache", "directory for the on-disk result store (with -cache disk)")
 	traceFile := flag.String("trace", "", "write every device's lifecycle to this Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	traceSpans := flag.String("trace-spans", "", "write the run's wall-clock span tree (figure generation, each simulation cell, CSV renders) to this JSON file")
 	metricsFile := flag.String("metrics", "", "write aggregated sweep metrics to this file (CSV, or JSON with a .json suffix)")
 	var prof profiling.Flags
 	prof.Register()
@@ -133,8 +138,27 @@ func cliMain() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -trace-spans runs the whole generation as one trace: the same
+	// span vocabulary a traced ehserve request records (cells with
+	// outcome and device.run children, CSV renders), without a server.
+	var spanTrace *obsv.Trace
+	if *traceSpans != "" {
+		spanTrace = obsv.NewTrace(obsv.NewTraceID(), 0)
+		ctx = obsv.ContextWithTrace(ctx, spanTrace)
+	}
+
 	ropts := runner.Options{Workers: *workers, RunTimeout: *runTimeout}
 	runErr := run(ctx, *fig, *quick, *csvDir, ropts, exec, coll, *metricsFile)
+	if spanTrace != nil {
+		if err := writeSpanTree(*traceSpans, spanTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "ehfigs: trace-spans:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Printf("wrote span tree to %s\n", *traceSpans)
+		}
+	}
 	if chrome != nil {
 		if err := chrome.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "ehfigs: trace:", err)
@@ -162,11 +186,17 @@ func buildExecutor(mode, dir string) (*sweep.Executor, error) {
 // failure counts and the result store's counters) are exported to
 // metricsFile.
 func run(ctx context.Context, which string, quick bool, csvDir string, ropts runner.Options, exec *sweep.Executor, coll *obsv.Collector, metricsFile string) error {
-	figs, failures := experiments.GenerateFigures(ctx, which, quick, ropts)
+	genCtx, gsp := obsv.StartSpan(ctx, "generate")
+	gsp.SetAttr("figure", which)
+	figs, failures := experiments.GenerateFigures(genCtx, which, quick, ropts)
+	gsp.Finish()
 	for _, f := range figs {
 		render(f)
 		if csvDir != "" {
-			if err := writeCSV(f, csvDir); err != nil {
+			start := time.Now()
+			err := writeCSV(f, csvDir)
+			obsv.AddSpan(ctx, "render.csv", start, time.Now(), obsv.Attr{Key: "figure", Val: f.ID})
+			if err != nil {
 				failures = append(failures, experiments.Failure{ID: f.ID, Err: err})
 			}
 		}
@@ -221,6 +251,20 @@ func render(f *experiments.Figure) {
 		fmt.Println("  •", n)
 	}
 	fmt.Println()
+}
+
+// writeSpanTree exports the run's trace as an indented JSON span tree —
+// the same document /v1/trace/{id} serves.
+func writeSpanTree(path string, tr *obsv.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tr.Snapshot().WriteTree(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeMetrics exports the aggregated metrics as CSV, or JSON when the

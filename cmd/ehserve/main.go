@@ -9,6 +9,9 @@
 //	GET /v1/figure?id=5&quick=true  regenerate a paper figure (or "all")
 //	GET /v1/sweep?lo=1&hi=1e3&n=50  Eq. 8 progress over a τ_B range
 //	GET /v1/model?tau_b=10&e=100    one closed-form model evaluation
+//	GET /v1/trace/{id}              span tree of a recent request (?format=chrome)
+//	GET /v1/metrics/series          sampled per-interval metrics deltas
+//	GET /v1/events                  live request/cell completions (SSE)
 //
 // /v1/model and /v1/sweep accept every Table I parameter as a query key
 // (e, epsilon, epsilon_c, tau_b, sigma_b, omega_b, a_b, alpha_b,
@@ -22,7 +25,16 @@
 // same content-addressed result store the ehfigs -cache flag uses — so
 // with -cache disk, a restarted server still answers warm.
 //
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// Every request is traced: the X-EH-Trace response header names a span
+// tree (request parse, cache lookup, singleflight wait, each simulation
+// cell, render) retrievable from /v1/trace/{id} while it stays in the
+// bounded trace store. Send X-EH-Trace on the request to pick the ID.
+// /v1/figure?provenance=1 additionally wraps the payload in an envelope
+// reporting, per simulation cell, whether it was computed, recalled,
+// deduplicated or bypassed, and what the producing run cost.
+//
+// SIGINT/SIGTERM drain in-flight requests before exit and log a final
+// accounting line (requests served, spans recorded, store hit rate).
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	"ehmodel/internal/device"
+	"ehmodel/internal/obsv"
 	"ehmodel/internal/runner"
 	"ehmodel/internal/sweep"
 )
@@ -53,6 +66,9 @@ func cliMain() int {
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per simulation run (0 = none)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Minute, "deadline per HTTP request (0 = none)")
 	engineName := flag.String("engine", "batched", "execution engine: batched (event-horizon) or reference (per-instruction)")
+	traceCap := flag.Int("trace-store", obsv.DefaultTraceCapacity, "request traces retained for /v1/trace/{id} (0 disables tracing)")
+	seriesEvery := flag.Duration("series-interval", 10*time.Second, "metrics sampling interval for /v1/metrics/series")
+	seriesWindow := flag.Int("series-window", obsv.DefaultSeriesWindow, "samples retained for /v1/metrics/series")
 	flag.Parse()
 
 	engine, err := device.ParseEngine(*engineName)
@@ -70,10 +86,19 @@ func cliMain() int {
 	sweep.SetDefault(exec)
 
 	s := newServer(exec, runner.Options{Workers: *workers, RunTimeout: *runTimeout}, *reqTimeout)
+	if *traceCap > 0 {
+		s.traces = obsv.NewTraceStore(*traceCap)
+	} else {
+		s.traces = nil
+	}
+	s.series = obsv.NewSeries(*seriesWindow)
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *seriesEvery > 0 {
+		go s.sampleLoop(ctx, *seriesEvery)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -91,6 +116,7 @@ func cliMain() int {
 		st := exec.Stats()
 		log.Printf("ehserve: drained (%d cells: %d hits, %d misses, %d deduplicated, %d bypassed)",
 			st.Total(), st.Hits, st.Misses, st.Dedup, st.Bypass)
+		log.Printf("ehserve: telemetry %s", s.drainSummary())
 		return 0
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "ehserve:", err)

@@ -39,10 +39,28 @@ type server struct {
 	// count and stall generations to observe the singleflight.
 	generate func(ctx context.Context, which string, quick bool, run runner.Options) ([]*experiments.Figure, []experiments.Failure)
 
+	// traces retains the last N request traces for /v1/trace/{id}; nil
+	// disables request tracing entirely (the -trace-store 0 flag).
+	traces *obsv.TraceStore
+	// hub fans live request/cell events out to /v1/events subscribers.
+	hub *eventHub
+	// series is the sampled /metrics delta ring behind /v1/metrics/series.
+	series *obsv.Series
+
 	mu      sync.Mutex
 	metrics obsv.Metrics
 	resp    map[string][]byte
 	flights map[string]*respFlight
+
+	// Sampler state: the previous snapshot each interval's deltas are
+	// computed against. Guarded by smu (not mu: sampling must not
+	// contend with request accounting beyond the snapshot itself).
+	smu        sync.Mutex
+	lastSample obsv.Metrics
+	lastStats  sweep.Stats
+	lastTraces uint64
+	lastSpans  uint64
+	lastAt     time.Time
 }
 
 // respFlight is one in-progress figure generation; followers for the
@@ -60,6 +78,9 @@ func newServer(exec *sweep.Executor, run runner.Options, timeout time.Duration) 
 		run:      run,
 		timeout:  timeout,
 		generate: experiments.GenerateFigures,
+		traces:   obsv.NewTraceStore(0),
+		hub:      newEventHub(),
+		series:   obsv.NewSeries(0),
 		resp:     map[string][]byte{},
 		flights:  map[string]*respFlight{},
 	}
@@ -72,6 +93,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/figure", s.observe(s.handleFigure))
 	mux.HandleFunc("GET /v1/sweep", s.observe(s.handleSweep))
 	mux.HandleFunc("GET /v1/model", s.observe(s.handleModel))
+	mux.HandleFunc("GET /v1/trace/{id}", s.observe(s.handleTrace))
+	mux.HandleFunc("GET /v1/metrics/series", s.observe(s.handleSeries))
+	// The event stream is long-lived; it bypasses the request deadline
+	// and counts itself out of the latency histogram.
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	return mux
 }
 
@@ -86,8 +112,24 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// observe wraps a handler with the per-request deadline and the
-// latency/error accounting exported at /metrics.
+// Flush passes streaming flushes through to the underlying writer, so
+// wrapped handlers can still serve server-sent events.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// traceHeader carries the request's trace ID: accepted inbound (so a
+// caller can name its own trace) and always echoed outbound, which is
+// how a client learns the ID to fetch from /v1/trace/{id}.
+const traceHeader = "X-EH-Trace"
+
+// observe wraps a handler with the per-request deadline, the
+// latency/error accounting exported at /metrics, and the request trace:
+// every wrapped request gets a trace (ID from the X-EH-Trace header or
+// generated) whose root "request" span brackets the handler, retained
+// in the trace store and announced on the event stream.
 func (s *server) observe(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -97,12 +139,41 @@ func (s *server) observe(h http.HandlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
+		var tr *obsv.Trace
+		var root *obsv.Span
+		if s.traces != nil {
+			id, ok := obsv.ParseTraceID(r.Header.Get(traceHeader))
+			if !ok {
+				id = obsv.NewTraceID()
+			}
+			tr = obsv.NewTrace(id, 0)
+			ctx = obsv.ContextWithTrace(ctx, tr)
+			ctx, root = obsv.StartSpan(ctx, "request")
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			w.Header().Set(traceHeader, id.String())
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r.WithContext(ctx))
 		us := time.Since(start).Microseconds()
 		s.mu.Lock()
 		s.metrics.ObserveRequest(us, sw.status >= 400)
 		s.mu.Unlock()
+		if tr != nil {
+			root.SetUint("status", uint64(sw.status))
+			root.Finish()
+			s.traces.Add(tr.Snapshot())
+			if s.hub.active() {
+				s.hub.publish(requestEvent{
+					Type:   "request",
+					Trace:  tr.ID.String(),
+					Method: r.Method,
+					Path:   r.URL.Path,
+					Status: sw.status,
+					DurUS:  us,
+				})
+			}
+		}
 	}
 }
 
@@ -110,12 +181,29 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// snapshotMetrics returns a copy of the request accounting safe to use
+// outside the lock. A plain struct copy is not enough: Metrics holds a
+// reference field (the ErrorClasses map), and handing its header out of
+// the critical section would let an exporter read the map while a
+// request goroutine grows it. Clone it under the lock.
+func (s *server) snapshotMetrics() obsv.Metrics {
+	s.mu.Lock()
+	snap := s.metrics
+	if snap.ErrorClasses != nil {
+		ec := make(map[string]uint64, len(snap.ErrorClasses))
+		for k, v := range snap.ErrorClasses {
+			ec[k] = v
+		}
+		snap.ErrorClasses = ec
+	}
+	s.mu.Unlock()
+	return snap
+}
+
 // handleMetrics exports the request accounting with the result store's
 // counters folded in, as CSV (default) or JSON (?format=json).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	snap := s.metrics
-	s.mu.Unlock()
+	snap := s.snapshotMetrics()
 	st := s.exec.Stats()
 	snap.AddCache(st.Hits, st.Misses, st.Bypass, st.Dedup, st.StoreErrors)
 	var buf bytes.Buffer
@@ -134,6 +222,121 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes()) //nolint:errcheck // client gone
 }
 
+// handleTrace serves one retained request trace: the indented span tree
+// by default, the Chrome trace_event form with ?format=chrome (load it
+// in chrome://tracing or Perfetto next to a -trace file).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		http.Error(w, "request tracing disabled (-trace-store 0)", http.StatusNotFound)
+		return
+	}
+	id, ok := obsv.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "bad trace id (want 16 hex characters)", http.StatusBadRequest)
+		return
+	}
+	td, ok := s.traces.Get(id)
+	if !ok {
+		http.Error(w, "trace not found (evicted or never seen)", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	var err error
+	if r.URL.Query().Get("format") == "chrome" {
+		err = obsv.WriteSpansChrome(&buf, td)
+	} else {
+		err = td.WriteTree(&buf)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone
+}
+
+// seriesResponse is the /v1/metrics/series payload.
+type seriesResponse struct {
+	Window  int           `json:"window"`
+	Samples []obsv.Sample `json:"samples"`
+}
+
+// handleSeries serves the sampled metrics ring, oldest sample first.
+func (s *server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, seriesResponse{
+		Window:  s.series.Cap(),
+		Samples: s.series.Snapshot(),
+	})
+}
+
+// sample records one interval's activity delta into the series ring.
+// The ticker loop in main calls it; tests call it directly.
+func (s *server) sample(now time.Time) {
+	snap := s.snapshotMetrics()
+	st := s.exec.Stats()
+	var traces, spans uint64
+	if s.traces != nil {
+		traces, spans = s.traces.Stats()
+	}
+
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	durMS := int64(0)
+	if !s.lastAt.IsZero() {
+		durMS = now.Sub(s.lastAt).Milliseconds()
+	}
+	lat := snap.RequestUS.DeltaFrom(&s.lastSample.RequestUS)
+	s.series.Add(obsv.Sample{
+		UnixMS:        now.UnixMilli(),
+		DurMS:         durMS,
+		Requests:      snap.Requests - s.lastSample.Requests,
+		RequestErrors: snap.RequestErrors - s.lastSample.RequestErrors,
+		LatencyP50US:  lat.Quantile(0.50),
+		LatencyP99US:  lat.Quantile(0.99),
+		CacheHits:     st.Hits - s.lastStats.Hits,
+		CacheMisses:   st.Misses - s.lastStats.Misses,
+		CacheDedup:    st.Dedup - s.lastStats.Dedup,
+		CacheBypass:   st.Bypass - s.lastStats.Bypass,
+		Traces:        traces - s.lastTraces,
+		Spans:         spans - s.lastSpans,
+	})
+	s.lastSample, s.lastStats = snap, st
+	s.lastTraces, s.lastSpans = traces, spans
+	s.lastAt = now
+}
+
+// drainSummary renders the shutdown telemetry line: how much the
+// process served and recorded over its lifetime, and how warm the
+// result store ran (hits and deduplicated cells over all resolved).
+func (s *server) drainSummary() string {
+	snap := s.snapshotMetrics()
+	var traces, spans uint64
+	if s.traces != nil {
+		traces, spans = s.traces.Stats()
+	}
+	st := s.exec.Stats()
+	hitRate := 0.0
+	if t := st.Total(); t > 0 {
+		hitRate = float64(st.Hits+st.Dedup) / float64(t)
+	}
+	return fmt.Sprintf("(%d requests, %d request errors, %d traces, %d spans, store hit rate %.1f%%)",
+		snap.Requests, snap.RequestErrors, traces, spans, 100*hitRate)
+}
+
+// sampleLoop drives sample on the given interval until ctx ends.
+func (s *server) sampleLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.sample(now)
+		}
+	}
+}
+
 // figureResponse is the /v1/figure payload.
 type figureResponse struct {
 	ID       string                `json:"id"`
@@ -148,6 +351,8 @@ type figureFailure struct {
 }
 
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	parseStart := time.Now()
 	q := r.URL.Query()
 	id := q.Get("id")
 	if id == "" {
@@ -168,40 +373,79 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		quick = b
 	}
+	wantProv := false
+	if v := q.Get("provenance"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "bad provenance parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		wantProv = b
+	}
 	key := fmt.Sprintf("figure|id=%s|quick=%t", id, quick)
+	obsv.AddSpan(ctx, "request.parse", parseStart, time.Now())
 
+	// Collect cell provenance when anyone will see it: the response
+	// (?provenance=1), the trace, or a live /v1/events subscriber. The
+	// records double as the event stream's cell feed.
+	var pl *sweep.ProvLog
+	if wantProv || obsv.TraceFrom(ctx) != nil || s.hub.active() {
+		pl = sweep.NewProvLog(0)
+		if s.hub.active() {
+			tid := ""
+			if tr := obsv.TraceFrom(ctx); tr != nil {
+				tid = tr.ID.String()
+			}
+			pl.OnCell = func(p sweep.CellProv) {
+				s.hub.publish(cellEvent{Type: "cell", Trace: tid, CellProv: p})
+			}
+		}
+		ctx = sweep.WithProvLog(ctx, pl)
+	}
+
+	lookupStart := time.Now()
 	s.mu.Lock()
 	if body, ok := s.resp[key]; ok {
 		s.mu.Unlock()
-		serveFigureBytes(w, body, "hit")
+		obsv.AddSpan(ctx, "cache.lookup", lookupStart, time.Now(), obsv.Attr{Key: "outcome", Val: "hit"})
+		s.serveFigure(ctx, w, body, "hit", wantProv, pl)
 		return
 	}
 	if fl, ok := s.flights[key]; ok {
 		// Coalesce onto the in-flight generation.
 		s.mu.Unlock()
+		obsv.AddSpan(ctx, "cache.lookup", lookupStart, time.Now(), obsv.Attr{Key: "outcome", Val: "inflight"})
+		waitStart := time.Now()
 		select {
 		case <-fl.done:
-		case <-r.Context().Done():
-			http.Error(w, r.Context().Err().Error(), http.StatusGatewayTimeout)
+		case <-ctx.Done():
+			http.Error(w, ctx.Err().Error(), http.StatusGatewayTimeout)
 			return
 		}
+		obsv.AddSpan(ctx, "singleflight.wait", waitStart, time.Now())
 		if fl.err != nil {
 			http.Error(w, fl.err.Error(), fl.status)
 			return
 		}
-		serveFigureBytes(w, fl.body, "coalesced")
+		s.serveFigure(ctx, w, fl.body, "coalesced", wantProv, pl)
 		return
 	}
 	fl := &respFlight{done: make(chan struct{})}
 	s.flights[key] = fl
 	s.mu.Unlock()
+	obsv.AddSpan(ctx, "cache.lookup", lookupStart, time.Now(), obsv.Attr{Key: "outcome", Val: "miss"})
 
-	figs, failures := s.generate(r.Context(), id, quick, s.run)
+	genCtx, gsp := obsv.StartSpan(ctx, "generate")
+	gsp.SetAttr("figure", id)
+	figs, failures := s.generate(genCtx, id, quick, s.run)
+	gsp.Finish()
+	renderStart := time.Now()
 	resp := figureResponse{ID: id, Quick: quick, Figures: figs}
 	for _, f := range failures {
 		resp.Failures = append(resp.Failures, figureFailure{ID: f.ID, Error: f.Err.Error()})
 	}
 	body, err := json.MarshalIndent(&resp, "", "  ")
+	obsv.AddSpan(ctx, "render", renderStart, time.Now())
 
 	s.mu.Lock()
 	delete(s.flights, key)
@@ -222,7 +466,61 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fl.err.Error(), fl.status)
 		return
 	}
-	serveFigureBytes(w, body, "miss")
+	s.serveFigure(ctx, w, body, "miss", wantProv, pl)
+}
+
+// provEnvelope is the ?provenance=1 response shape: the figure payload
+// verbatim, plus how this request obtained it.
+type provEnvelope struct {
+	Figure     json.RawMessage `json:"figure"`
+	Provenance provReport      `json:"provenance"`
+}
+
+type provReport struct {
+	// Trace is the request's trace ID (fetch the span tree from
+	// /v1/trace/{id}); Cache mirrors the X-EH-Cache header.
+	Trace string `json:"trace,omitempty"`
+	Cache string `json:"cache"`
+	// Cells lists every simulation cell this request resolved, in
+	// arrival order — empty when the response came from the byte cache.
+	Cells []sweep.CellProv `json:"cells"`
+	// ComputedCells counts the cells that actually ran a simulation
+	// (miss or bypass outcomes).
+	ComputedCells int    `json:"computed_cells"`
+	Dropped       uint64 `json:"dropped,omitempty"`
+}
+
+// serveFigure writes the rendered figure, wrapped in a provenance
+// envelope when asked. The envelope is assembled per-request around the
+// cached bytes, so the byte cache (and the figures it replays) stays
+// identical whether or not anyone asks for provenance.
+func (s *server) serveFigure(ctx context.Context, w http.ResponseWriter, body []byte, how string, wantProv bool, pl *sweep.ProvLog) {
+	if !wantProv {
+		serveFigureBytes(w, body, how)
+		return
+	}
+	env := provEnvelope{
+		Figure:     json.RawMessage(body),
+		Provenance: provReport{Cache: how, Cells: []sweep.CellProv{}},
+	}
+	if tr := obsv.TraceFrom(ctx); tr != nil {
+		env.Provenance.Trace = tr.ID.String()
+	}
+	if pl != nil {
+		if cells := pl.Cells(); len(cells) > 0 {
+			env.Provenance.Cells = cells
+		}
+		env.Provenance.ComputedCells = pl.ComputedCells()
+		env.Provenance.Dropped = pl.Dropped()
+	}
+	out, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cacheHeader, how)
+	w.Write(out) //nolint:errcheck // client gone
 }
 
 func serveFigureBytes(w http.ResponseWriter, body []byte, how string) {

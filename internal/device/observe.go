@@ -32,15 +32,25 @@ func SetDefaultObserver(provider func() obsv.Tracer) {
 	defaultObserver.Store(&provider)
 }
 
+// DefaultObserver invokes the process-wide provider once and returns
+// its tracer (nil when no provider is installed). Layers that must
+// combine the default sink with their own per-run tracer — the sweep
+// executor attaching a span counter to a traced cell — resolve it here
+// and pass the combination through Config.Observe, which preserves the
+// provider's once-per-device contract.
+func DefaultObserver() obsv.Tracer {
+	if p := defaultObserver.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
+}
+
 // resolveObserver picks the device's tracer at construction time.
 func resolveObserver(explicit obsv.Tracer) obsv.Tracer {
 	if explicit != nil {
 		return explicit
 	}
-	if p := defaultObserver.Load(); p != nil {
-		return (*p)()
-	}
-	return nil
+	return DefaultObserver()
 }
 
 // emit sends one event stamped with the device's current position.

@@ -1,9 +1,12 @@
 package device_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
+
+	"ehmodel/internal/obsv"
 )
 
 // TestObservabilityDisabledCost is the zero-cost contract's enforcement
@@ -77,4 +80,30 @@ func readBenchBaseline(t *testing.T, path string) map[string]benchRecord {
 		out[b.Name] = b
 	}
 	return out
+}
+
+// TestSpanDisabledCost extends the zero-cost contract to the request
+// tracing layer (obsv.StartSpan and friends): with no trace attached to
+// the context, the entire span round trip — start, attributes, finish —
+// must allocate nothing and return the context unchanged. The ns/op half
+// of the contract is covered by the engine benchmarks above unchanged:
+// span code never enters the engine's hot loops (it brackets whole
+// simulation cells, one call per device.Run), so the committed
+// BENCH_core.json baselines bound its drift too.
+func TestSpanDisabledCost(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sctx, sp := obsv.StartSpan(ctx, "cell")
+		if sctx != ctx {
+			t.Fatal("disabled StartSpan rewrote the context")
+		}
+		sp.SetAttr("label", "x")
+		sp.SetUint("simcycles", 1)
+		sp.SetBool("completed", true)
+		sp.Finish()
+		obsv.TraceFrom(ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
 }

@@ -149,6 +149,34 @@ func jsonFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', 3, 64)
 }
 
+// WriteSpansChrome renders a frozen request trace in the same Chrome
+// trace_event format the device sink above emits, so a span tree opens
+// in chrome://tracing / Perfetto next to device timelines. Every span
+// becomes a complete ("X") event on one thread; the viewers derive
+// nesting from time containment, which holds because child spans live
+// inside their parents. Timestamps are microseconds from trace start.
+func WriteSpansChrome(w io.Writer, td *TraceData) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		ts := float64(sp.Start.Sub(td.Start).Nanoseconds()) / 1e3
+		dur := float64(sp.End.Sub(sp.Start).Nanoseconds()) / 1e3
+		fmt.Fprintf(bw, `{"name":%q,"cat":"eh-request","ph":"X","pid":1,"tid":1,"ts":%s,"dur":%s`,
+			sp.Name, jsonFloat(ts), jsonFloat(dur))
+		bw.WriteString(`,"args":{"span_id":` + itoa(uint64(sp.ID)) + `,"parent":` + itoa(uint64(sp.Parent)))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(bw, `,%q:%q`, a.Key, a.Val)
+		}
+		bw.WriteString(`}}`)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
 // Close terminates the JSON document and closes the underlying writer
 // when it is closable. The sink must not be used afterwards.
 func (s *ChromeSink) Close() error {

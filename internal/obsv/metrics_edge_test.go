@@ -1,0 +1,98 @@
+package obsv
+
+import "testing"
+
+// Direct edge-case coverage for the histogram quantile and float-stat
+// merge logic the /metrics and /v1/metrics/series exports lean on.
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0, including the extremes.
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d", q, got)
+		}
+	}
+
+	// Only zeros: bucket 0 answers every quantile exactly.
+	var zeros Histogram
+	zeros.Observe(0)
+	zeros.Observe(0)
+	if zeros.Quantile(0.5) != 0 || zeros.Quantile(1) != 0 {
+		t.Errorf("all-zero histogram: p50=%d p100=%d", zeros.Quantile(0.5), zeros.Quantile(1))
+	}
+
+	// A single occupied bucket: every quantile lands in it, and the
+	// bucket's upper bound is clamped to the observed Max.
+	var single Histogram
+	single.Observe(100) // bucket 7, top 127
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := single.Quantile(q); got != 100 {
+			t.Errorf("single-sample Quantile(%g) = %d, want Max-clamped 100", q, got)
+		}
+	}
+
+	// q=0 rounds up to the first sample; q=1 reaches the last. With two
+	// distinct buckets they must not collapse onto one answer.
+	var two Histogram
+	two.Observe(1)
+	two.Observe(1000)
+	if lo, hi := two.Quantile(0), two.Quantile(1); lo != 1 || hi != 1000 {
+		t.Errorf("two-bucket extremes: p0=%d p100=%d, want 1 and 1000", lo, hi)
+	}
+
+	// The quantile is an upper bound: for samples inside one bucket it
+	// reports the bucket top clamped to Max, never below a sample's
+	// bucket floor.
+	var mid Histogram
+	mid.Observe(9) // bucket 4 (values 8..15)
+	if got := mid.Quantile(0.5); got != 9 {
+		t.Errorf("upper-bound clamp: %d, want 9", got)
+	}
+}
+
+func TestFloatStatMergeEdges(t *testing.T) {
+	// Merging an empty stat is a no-op.
+	a := FloatStat{}
+	a.Observe(2)
+	a.Observe(8)
+	before := a
+	a.Merge(&FloatStat{})
+	if a != before {
+		t.Fatalf("empty merge changed stat: %+v", a)
+	}
+
+	// Merging into an empty stat copies the other side, including Min
+	// (the empty side's zero Min must not win).
+	b := FloatStat{}
+	src := FloatStat{}
+	src.Observe(5)
+	src.Observe(7)
+	b.Merge(&src)
+	if b != src {
+		t.Fatalf("merge into empty: %+v, want %+v", b, src)
+	}
+
+	// Negative samples: Min tracks below zero, Merge preserves it.
+	neg := FloatStat{}
+	neg.Observe(-3)
+	pos := FloatStat{}
+	pos.Observe(4)
+	pos.Merge(&neg)
+	if pos.Min != -3 || pos.Max != 4 || pos.Count != 2 || pos.Sum != 1 {
+		t.Fatalf("negative merge: %+v", pos)
+	}
+
+	// Merge with self doubles count and sum and keeps the extremes.
+	self := FloatStat{}
+	self.Observe(1)
+	self.Observe(9)
+	cp := self
+	self.Merge(&cp)
+	if self.Count != 4 || self.Sum != 20 || self.Min != 1 || self.Max != 9 {
+		t.Fatalf("self merge: %+v", self)
+	}
+	if self.Mean() != 5 {
+		t.Fatalf("self merge mean %g", self.Mean())
+	}
+}

@@ -1,0 +1,112 @@
+package obsv
+
+import "sync"
+
+// Time-series metrics: the /metrics snapshot sampled on an interval
+// into a fixed ring of per-interval deltas, so "requests per second
+// over the last hour" and "p99 latency over time" are queryable from
+// the service itself without an external scraper.
+
+// Sample is one interval's activity delta. Counter fields are the
+// increase over the interval; the latency quantiles are computed from
+// the interval's own histogram delta (not the lifetime histogram), so
+// they describe what the service did *during* the interval.
+type Sample struct {
+	// UnixMS stamps the end of the interval; DurMS is its length.
+	UnixMS int64 `json:"unix_ms"`
+	DurMS  int64 `json:"dur_ms"`
+
+	Requests      uint64 `json:"requests"`
+	RequestErrors uint64 `json:"request_errors"`
+	// LatencyP50US/LatencyP99US are log2-bucket upper bounds over the
+	// interval's requests (0 when the interval served none).
+	LatencyP50US uint64 `json:"latency_p50_us"`
+	LatencyP99US uint64 `json:"latency_p99_us"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheDedup  uint64 `json:"cache_dedup"`
+	CacheBypass uint64 `json:"cache_bypass"`
+
+	Traces uint64 `json:"traces"`
+	Spans  uint64 `json:"spans"`
+}
+
+// Series is a fixed-size ring of samples; Add past capacity overwrites
+// the oldest. Safe for concurrent use.
+type Series struct {
+	mu   sync.Mutex
+	buf  []Sample
+	next int
+	full bool
+}
+
+// DefaultSeriesWindow retains 360 samples — an hour at the service's
+// default 10 s sampling interval.
+const DefaultSeriesWindow = 360
+
+// NewSeries builds a ring holding capacity samples (≤ 0 selects
+// DefaultSeriesWindow).
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultSeriesWindow
+	}
+	return &Series{buf: make([]Sample, capacity)}
+}
+
+// Cap returns the ring's capacity.
+func (s *Series) Cap() int { return len(s.buf) }
+
+// Add appends one sample, overwriting the oldest past capacity.
+func (s *Series) Add(v Sample) {
+	s.mu.Lock()
+	s.buf[s.next] = v
+	s.next++
+	if s.next == len(s.buf) {
+		s.next, s.full = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns the retained samples oldest-first.
+func (s *Series) Snapshot() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		out := make([]Sample, s.next)
+		copy(out, s.buf[:s.next])
+		return out
+	}
+	out := make([]Sample, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// DeltaFrom returns the histogram of samples observed since prev (which
+// must be an earlier snapshot of the same histogram — buckets are
+// monotone counters, so the subtraction is exact). Min/Max cannot be
+// recovered per-interval; the delta's Min is the lower bound of its
+// lowest occupied bucket and Max the current lifetime Max, keeping
+// Quantile an upper bound over the interval.
+func (h *Histogram) DeltaFrom(prev *Histogram) Histogram {
+	var d Histogram
+	d.Count = h.Count - prev.Count
+	d.Sum = h.Sum - prev.Sum
+	for i := range d.Buckets {
+		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	if d.Count == 0 {
+		return d
+	}
+	d.Max = h.Max
+	for i, c := range d.Buckets {
+		if c > 0 {
+			if i > 0 {
+				d.Min = 1 << (i - 1)
+			}
+			break
+		}
+	}
+	return d
+}

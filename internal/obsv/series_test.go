@@ -1,0 +1,74 @@
+package obsv
+
+import "testing"
+
+// TestSeriesRing: the ring returns samples oldest-first and overwrites
+// past capacity.
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries(3)
+	if s.Cap() != 3 {
+		t.Fatalf("cap %d", s.Cap())
+	}
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring returned %d samples", len(got))
+	}
+	for i := 1; i <= 2; i++ {
+		s.Add(Sample{UnixMS: int64(i)})
+	}
+	got := s.Snapshot()
+	if len(got) != 2 || got[0].UnixMS != 1 || got[1].UnixMS != 2 {
+		t.Fatalf("partial ring: %+v", got)
+	}
+	for i := 3; i <= 5; i++ {
+		s.Add(Sample{UnixMS: int64(i)})
+	}
+	got = s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("full ring holds %d", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].UnixMS != want {
+			t.Fatalf("wrapped ring order: %+v", got)
+		}
+	}
+}
+
+// TestHistogramDeltaFrom: the interval delta is exact bucket
+// subtraction, with quantiles describing only the interval's samples.
+func TestHistogramDeltaFrom(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	prev := h // snapshot
+
+	// An empty interval yields an all-zero delta.
+	d := h.DeltaFrom(&prev)
+	if d.Count != 0 || d.Sum != 0 || d.Quantile(0.99) != 0 {
+		t.Fatalf("empty delta: %+v", d)
+	}
+
+	// New samples far above the old ones: the delta's quantiles must
+	// reflect only the new interval, not the lifetime distribution.
+	h.Observe(100_000)
+	h.Observe(200_000)
+	d = h.DeltaFrom(&prev)
+	if d.Count != 2 || d.Sum != 300_000 {
+		t.Fatalf("delta count/sum: %+v", d)
+	}
+	if p50 := d.Quantile(0.50); p50 < 100_000/2 {
+		t.Fatalf("delta p50 %d reflects pre-interval samples", p50)
+	}
+	if d.Min == 0 || d.Min > 100_000 {
+		t.Fatalf("delta min %d outside the occupied bucket bound", d.Min)
+	}
+	if d.Max != h.Max {
+		t.Fatalf("delta max %d, want lifetime max %d", d.Max, h.Max)
+	}
+
+	// Delta from a zero snapshot is the histogram itself (bucket-wise).
+	var zero Histogram
+	d = h.DeltaFrom(&zero)
+	if d.Count != h.Count || d.Sum != h.Sum {
+		t.Fatalf("delta from zero: %+v", d)
+	}
+}

@@ -1,0 +1,74 @@
+package obsv
+
+import "sync"
+
+// TraceStore is the bounded in-memory retention layer behind
+// GET /v1/trace/{id}: the most recent Capacity traces in FIFO order,
+// plus cumulative counters for the shutdown summary. Safe for
+// concurrent use.
+type TraceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []TraceID
+	m     map[TraceID]*TraceData
+
+	traces uint64 // traces ever added (including since-evicted ones)
+	spans  uint64 // spans ever recorded across those traces
+}
+
+// DefaultTraceCapacity retains the last 256 request traces — enough to
+// debug a burst, small enough to never matter next to the result store.
+const DefaultTraceCapacity = 256
+
+// NewTraceStore builds a store retaining at most capacity traces (≤ 0
+// selects DefaultTraceCapacity).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{cap: capacity, m: make(map[TraceID]*TraceData)}
+}
+
+// Add retains td, evicting the oldest trace past capacity. A re-used
+// trace ID replaces the stored trace without double-counting eviction
+// order.
+func (s *TraceStore) Add(td *TraceData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces++
+	s.spans += uint64(len(td.Spans))
+	if _, ok := s.m[td.ID]; ok {
+		s.m[td.ID] = td
+		return
+	}
+	for len(s.order) >= s.cap {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.m, old)
+	}
+	s.order = append(s.order, td.ID)
+	s.m[td.ID] = td
+}
+
+// Get returns the trace by ID.
+func (s *TraceStore) Get(id TraceID) (*TraceData, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	td, ok := s.m[id]
+	return td, ok
+}
+
+// Len returns the number of traces currently retained.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Stats returns the cumulative trace and span counts (not reduced by
+// eviction) — the numbers the service's drain summary reports.
+func (s *TraceStore) Stats() (traces, spans uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces, s.spans
+}

@@ -217,6 +217,19 @@ func Interrupt(ctx context.Context) func() error {
 	}
 }
 
+// workerKey carries the worker slot executing the current point, for
+// provenance records that want to name the worker.
+type workerKey struct{}
+
+// WorkerFrom returns the worker slot (0-based) running the current
+// sweep point, or -1 outside a MapCtx worker.
+func WorkerFrom(ctx context.Context) int {
+	if w, ok := ctx.Value(workerKey{}).(int); ok {
+		return w
+	}
+	return -1
+}
+
 // Map runs fn for every index in [0, n) on a bounded worker pool and
 // returns the results merged in input order. results[i] holds fn(i)'s
 // value for every succeeded point and the zero value for failed ones;
@@ -229,6 +242,16 @@ func Interrupt(ctx context.Context) func() error {
 // failed with the cancellation cause — the partial results that did
 // complete are still returned, in order.
 func Map[T any](ctx context.Context, n int, o Options, fn func(i int) (T, error)) ([]T, Errors) {
+	return MapCtx(ctx, n, o, func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// MapCtx is Map with the worker's context threaded into fn: the same
+// bounded pool, panic isolation and ordered merge, plus a per-worker
+// context carrying the worker slot (WorkerFrom) so request-scoped
+// layers above — tracing spans, provenance records — know which slot
+// resolved each point. fn must treat its context as request-scoped:
+// it is derived from ctx and shared by every point the worker runs.
+func MapCtx[T any](ctx context.Context, n int, o Options, fn func(ctx context.Context, i int) (T, error)) ([]T, Errors) {
 	results := make([]T, n)
 	if n <= 0 {
 		return results, nil
@@ -242,17 +265,18 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(i int) (T, error)
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers(n); w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx := context.WithValue(ctx, workerKey{}, w)
 			for i := range idx {
-				v, err := runOne(i, fn)
+				v, err := runOne(wctx, i, fn)
 				if err != nil {
 					perPoint[i] = &RunError{Index: i, Label: o.label(i), Err: err}
 				} else {
 					results[i] = v
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < n; i++ {
@@ -278,12 +302,12 @@ feed:
 	return results, errs
 }
 
-// runOne invokes fn(i) with panic isolation.
-func runOne[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+// runOne invokes fn(ctx, i) with panic isolation.
+func runOne[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(i)
+	return fn(ctx, i)
 }

@@ -382,3 +382,52 @@ func TestSweepDegradesPanicAndDeadline(t *testing.T) {
 		t.Fatalf("point 2 deadline detail missing: %v", errs[1])
 	}
 }
+
+// TestMapCtxWorkerSlots: every point sees a valid worker slot via
+// WorkerFrom, results stay input-ordered, and a plain context reports
+// no slot.
+func TestMapCtxWorkerSlots(t *testing.T) {
+	if WorkerFrom(context.Background()) != -1 {
+		t.Fatal("background context has a worker slot")
+	}
+	const n, workers = 32, 4
+	slots := make([]int, n)
+	res, errs := MapCtx(context.Background(), n, Options{Workers: workers},
+		func(ctx context.Context, i int) (int, error) {
+			slots[i] = WorkerFrom(ctx)
+			return i * i, nil
+		})
+	if len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+	for i, s := range slots {
+		if s < 0 || s >= workers {
+			t.Fatalf("point %d ran on slot %d (want 0..%d)", i, s, workers-1)
+		}
+		if res[i] != i*i {
+			t.Fatalf("result %d misordered: %d", i, res[i])
+		}
+	}
+}
+
+// TestMapCtxPanicIsolation: a panic inside the ctx-taking fn is
+// recovered per-point, like Map's.
+func TestMapCtxPanicIsolation(t *testing.T) {
+	res, errs := MapCtx(context.Background(), 3, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 1 {
+				panic("boom")
+			}
+			return i, nil
+		})
+	if len(errs) != 1 || errs[0].Index != 1 {
+		t.Fatalf("errs %v", errs)
+	}
+	var pe *PanicError
+	if !errors.As(errs[0].Err, &pe) {
+		t.Fatalf("panic not typed: %v", errs[0].Err)
+	}
+	if res[0] != 0 || res[2] != 2 {
+		t.Fatal("surviving points lost")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"sync/atomic"
+	"time"
 
 	"ehmodel/internal/device"
+	"ehmodel/internal/obsv"
 	"ehmodel/internal/runner"
 )
 
@@ -141,15 +143,24 @@ func (e *Executor) Run(ctx context.Context, cells []Cell, o runner.Options) ([]C
 	if o.Label == nil {
 		o.Label = func(i int) string { return cells[i].Label }
 	}
-	return runner.Map(ctx, len(cells), o, func(i int) (CellResult, error) {
+	return runner.MapCtx(ctx, len(cells), o, func(ctx context.Context, i int) (CellResult, error) {
 		return e.runCell(ctx, &cells[i], o)
 	})
 }
 
 func (e *Executor) runCell(ctx context.Context, c *Cell, o runner.Options) (CellResult, error) {
+	// Request-scoped observability: when the context carries a trace the
+	// whole resolution becomes a "cell" span; when it carries a ProvLog
+	// the outcome lands there too. Both are nil-disabled — with neither
+	// attached this adds two time stamps and two context lookups per
+	// cell, no allocation.
+	start := time.Now()
+	ctx, sp := obsv.StartSpan(ctx, "cell")
+	sp.SetAttr("label", c.Label)
+
 	cfg, strat, err := c.Build(ctx)
 	if err != nil {
-		return CellResult{}, err
+		return CellResult{}, failSpan(sp, err)
 	}
 	// Environmental wiring is the executor's job, applied uniformly so a
 	// cell's identity never depends on it: neither field is part of the
@@ -167,29 +178,37 @@ func (e *Executor) runCell(ctx context.Context, c *Cell, o runner.Options) (Cell
 	}
 	if !keyed {
 		e.bypass.Add(1)
-		res, dcfg, extras, err := runLive(cfg, strat, c)
+		res, dcfg, extras, err := runLive(ctx, cfg, strat, c)
 		if err != nil {
-			return CellResult{}, err
+			return CellResult{}, failSpan(sp, err)
 		}
 		out := CellResult{Result: res, Cfg: dcfg, Extras: extras}
+		e.noteCell(ctx, sp, c, "bypass", Key{}, false, res, start, 0)
 		return out, verify(c, res)
 	}
 
 	if enc, ok := e.store.Get(key); ok {
 		if ent, err := decodeEntry(enc); err == nil {
 			e.hits.Add(1)
+			e.noteCell(ctx, sp, c, "hit", key, true, ent.Result, start, storedComputeUS(ent))
 			return e.finish(c, cfg, strat, key, ent, true)
 		}
 		// An undecodable entry (possible only if a foreign writer put
 		// garbage in the store) is a miss; the rewrite below heals it.
 	}
 
+	waitStart := time.Now()
 	ent, shared, err := e.flights.do(ctx, key, func() (*Entry, error) {
-		res, _, extras, err := runLive(cfg, strat, c)
+		live := time.Now()
+		res, _, extras, err := runLive(ctx, cfg, strat, c)
 		if err != nil {
 			return nil, err
 		}
-		ent := &Entry{Result: res, Extras: extras}
+		ent := &Entry{Result: res, Extras: extras, Prov: &StoredProv{
+			Label:         c.Label,
+			ComputeUS:     time.Since(live).Microseconds(),
+			CreatedUnixMS: live.UnixMilli(),
+		}}
 		if enc, err := encodeEntry(ent); err == nil {
 			if err := e.store.Put(key, enc); err != nil {
 				e.storeErrs.Add(1)
@@ -201,14 +220,69 @@ func (e *Executor) runCell(ctx context.Context, c *Cell, o runner.Options) (Cell
 		return ent, nil
 	})
 	if err != nil {
-		return CellResult{}, err
+		return CellResult{}, failSpan(sp, err)
 	}
+	outcome := "miss"
 	if shared {
 		e.dedup.Add(1)
+		outcome = "dedup"
+		// The follower's whole wait was on the leader's run; record it
+		// retroactively (the span was only known to be a wait, not a
+		// simulation, once the flight resolved).
+		obsv.AddSpan(ctx, "singleflight.wait", waitStart, time.Now())
 	} else {
 		e.misses.Add(1)
 	}
+	e.noteCell(ctx, sp, c, outcome, key, true, ent.Result, start, storedComputeUS(ent))
 	return e.finish(c, cfg, strat, key, ent, shared)
+}
+
+// failSpan closes sp recording err; nil-safe, returns err unchanged.
+func failSpan(sp *obsv.Span, err error) error {
+	sp.SetAttr("error", err.Error())
+	sp.Finish()
+	return err
+}
+
+// storedComputeUS recovers the producing run's cost from an entry.
+func storedComputeUS(ent *Entry) int64 {
+	if ent.Prov == nil {
+		return 0
+	}
+	return ent.Prov.ComputeUS
+}
+
+// noteCell closes the cell span with its outcome and appends the
+// provenance record when the request collects one.
+func (e *Executor) noteCell(ctx context.Context, sp *obsv.Span, c *Cell, outcome string, key Key, keyed bool, res *device.Result, start time.Time, computeUS int64) {
+	wallUS := time.Since(start).Microseconds()
+	if computeUS == 0 && (outcome == "miss" || outcome == "bypass") {
+		computeUS = wallUS
+	}
+	if sp != nil {
+		sp.SetAttr("outcome", outcome)
+		sp.SetUint("simcycles", res.TotalCycles)
+		sp.SetBool("completed", res.Completed)
+		sp.Finish()
+	}
+	pl := ProvFrom(ctx)
+	if pl == nil {
+		return
+	}
+	p := CellProv{
+		Label:     c.Label,
+		Outcome:   outcome,
+		Worker:    runner.WorkerFrom(ctx),
+		WallUS:    wallUS,
+		SimCycles: res.TotalCycles,
+		Periods:   len(res.Periods),
+		Completed: res.Completed,
+		ComputeUS: computeUS,
+	}
+	if keyed {
+		p.Key = key.String()
+	}
+	pl.add(p)
 }
 
 // finish assembles a CellResult from a store or singleflight entry.
@@ -224,16 +298,35 @@ func (e *Executor) finish(c *Cell, cfg device.Config, strat device.Strategy, key
 	return out, verify(c, ent.Result)
 }
 
-// runLive simulates the cell and captures its extras.
-func runLive(cfg device.Config, strat device.Strategy, c *Cell) (*device.Result, device.Config, json.RawMessage, error) {
+// runLive simulates the cell and captures its extras. When the context
+// carries a trace, the simulation gets its own "device.run" span whose
+// attributes (periods, backups, brown-outs, simcycles) are counted from
+// the device's own lifecycle events: a SpanCounter is combined with
+// whatever tracer the config or process default would have used, so
+// tracing a request never displaces the metrics sink.
+func runLive(ctx context.Context, cfg device.Config, strat device.Strategy, c *Cell) (*device.Result, device.Config, json.RawMessage, error) {
+	_, sp := obsv.StartSpan(ctx, "device.run")
+	var sc *obsv.SpanCounter
+	if sp != nil {
+		sc = obsv.NewSpanCounter(sp)
+		obs := cfg.Observe
+		if obs == nil {
+			obs = device.DefaultObserver()
+		}
+		cfg.Observe = obsv.Combine(obs, sc)
+	}
 	d, err := device.New(cfg, strat)
 	if err != nil {
-		return nil, device.Config{}, nil, err
+		return nil, device.Config{}, nil, failSpan(sp, err)
 	}
 	res, err := d.Run()
-	if err != nil {
-		return nil, device.Config{}, nil, err
+	if sp != nil {
+		sc.Flush()
 	}
+	if err != nil {
+		return nil, device.Config{}, nil, failSpan(sp, err)
+	}
+	sp.Finish()
 	var extras json.RawMessage
 	if c.Extras != nil {
 		v, err := c.Extras(strat, res)

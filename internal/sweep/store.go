@@ -12,10 +12,13 @@ import (
 // Entry is one cell's stored outcome: the full simulation Result plus
 // any strategy-side extras the cell's Extras hook captured after the
 // live run (e.g. Clank's violation counters), serialized so cache hits
-// can hand them back without a strategy instance.
+// can hand them back without a strategy instance. Prov records what the
+// producing simulation cost (entries written before provenance existed
+// decode with a nil Prov — a hit then reports ComputeUS 0).
 type Entry struct {
 	Result *device.Result  `json:"result"`
 	Extras json.RawMessage `json:"extras,omitempty"`
+	Prov   *StoredProv     `json:"prov,omitempty"`
 }
 
 // encodeEntry serializes an entry. JSON is the storage format on

@@ -2,10 +2,14 @@
 # End-to-end smoke of cmd/ehserve (invoked via `make serve-smoke`):
 # build the server, start it on a local port with a disk-backed result
 # store, issue the same figure query twice — the second MUST come back
-# as an X-EH-Cache hit with byte-identical body — plus one sweep and
-# one model query, then write the store's counters to
-# serve_smoke_stats.json (CI uploads it as an artifact) and shut the
-# server down gracefully.
+# as an X-EH-Cache hit with byte-identical body, and its request trace
+# (fetched from /v1/trace/{id} by the X-EH-Trace ID we name) MUST show
+# a cache-hit lookup span and no simulation cell spans — plus a
+# provenance query (0 computed cells when warm), the sampled metrics
+# series, one sweep and one model query. The store's counters land in
+# serve_smoke_stats.json and the warm request's span tree in
+# serve_smoke_trace.json (CI uploads both as artifacts) before a
+# graceful shutdown, whose log must carry the telemetry summary.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,6 +44,7 @@ go build -o "$WORK/ehserve" ./cmd/ehserve
 
 echo "== start (cache disk, $ADDR) =="
 "$WORK/ehserve" -addr "$ADDR" -cache disk -cache-dir "$WORK/cache" \
+	-series-interval 500ms \
 	>"$WORK/server.log" 2>&1 &
 SRV_PID=$!
 
@@ -58,9 +63,31 @@ curl -fsS -D "$WORK/h1" -o "$WORK/b1" "$FIG"
 header_is "$WORK/h1" x-eh-cache miss || fail "first figure response was not a miss"
 
 echo "== figure (warm) =="
-curl -fsS -D "$WORK/h2" -o "$WORK/b2" "$FIG"
+# Name the warm request's trace ourselves so we can fetch it by ID.
+TRACE_ID="cafe0123cafe0123"
+curl -fsS -H "X-EH-Trace: $TRACE_ID" -D "$WORK/h2" -o "$WORK/b2" "$FIG"
 header_is "$WORK/h2" x-eh-cache hit || fail "second figure response was not a cache hit"
 cmp -s "$WORK/b1" "$WORK/b2" || fail "cached figure response differs from the generated one"
+header_is "$WORK/h2" x-eh-trace "$TRACE_ID" || fail "trace ID not echoed on the warm response"
+
+echo "== trace (warm request: cache-hit span, no cells) =="
+curl -fsS "$BASE/v1/trace/$TRACE_ID" -o serve_smoke_trace.json
+grep -q '"name": "cache.lookup"' serve_smoke_trace.json || fail "trace missing the cache.lookup span"
+grep -q '"outcome": "hit"' serve_smoke_trace.json || fail "warm trace's lookup span is not a cache hit"
+grep -q '"name": "cell"' serve_smoke_trace.json && fail "warm trace contains simulation cell spans"
+# The chrome export of the same trace must be loadable trace_event JSON.
+curl -fsS "$BASE/v1/trace/$TRACE_ID?format=chrome" -o "$WORK/trace_chrome.json"
+grep -q '"traceEvents"' "$WORK/trace_chrome.json" || fail "chrome trace export malformed"
+
+echo "== provenance (warm: 0 computed cells) =="
+curl -fsS "$FIG&provenance=1" -o "$WORK/prov.json"
+grep -q '"computed_cells": 0' "$WORK/prov.json" || fail "warm provenance reports computed cells"
+grep -q '"cache": "hit"' "$WORK/prov.json" || fail "warm provenance does not report the response-cache hit"
+
+echo "== metrics series =="
+sleep 1.2 # let at least two sampling intervals elapse
+curl -fsS "$BASE/v1/metrics/series" -o "$WORK/series.json"
+grep -q '"unix_ms"' "$WORK/series.json" || fail "metrics series has no samples"
 
 echo "== sweep =="
 curl -fsS "$BASE/v1/sweep?lo=1&hi=1000&n=50" -o "$WORK/sweep.json"
@@ -83,6 +110,8 @@ echo "== graceful shutdown =="
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || fail "server exited non-zero on SIGTERM"
 grep -q "drained" "$WORK/server.log" || fail "server log missing drain summary"
+grep -q "telemetry" "$WORK/server.log" || fail "server log missing telemetry summary"
+grep -q "store hit rate" "$WORK/server.log" || fail "telemetry summary missing the store hit rate"
 SRV_PID=""
 
-echo "serve-smoke: OK (stats in serve_smoke_stats.json)"
+echo "serve-smoke: OK (stats in serve_smoke_stats.json, span tree in serve_smoke_trace.json)"
